@@ -1,0 +1,52 @@
+(* Regenerates the sample textual designs in examples/designs/. *)
+
+open Hir_ir
+open Hir_dialect
+
+let () = Ops.register ()
+
+let write path m =
+  let oc = open_out path in
+  output_string oc (Printer.op_to_string m);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* The broken array-add of Figure 1a, for demoing `hirc verify`. *)
+let err_add () =
+  let m = Builder.create_module () in
+  let memref port = Types.memref ~dims:[ 128 ] ~elem:Typ.i32 ~port () in
+  let _ =
+    Builder.func m ~name:"Array_Add"
+      ~args:
+        [
+          Builder.arg "A" (memref Types.Read);
+          Builder.arg "B" (memref Types.Read);
+          Builder.arg "C" (memref Types.Write);
+        ]
+      (fun b args t ->
+        match args with
+        | [ a; bb; c ] ->
+          let c0 = Builder.constant b 0 in
+          let c1 = Builder.constant b 1 in
+          let c128 = Builder.constant b 128 in
+          let _ =
+            Builder.for_loop b ~iv_width:8 ~iv_hint:"i" ~lb:c0 ~ub:c128 ~step:c1
+              ~at:Builder.(t @>> 1)
+              (fun b ~iv:i ~ti ->
+                Builder.yield b ~at:Builder.(ti @>> 1);
+                let va = Builder.mem_read b a [ i ] ~at:Builder.(ti @>> 0) in
+                let vb = Builder.mem_read b bb [ i ] ~at:Builder.(ti @>> 0) in
+                let vc = Builder.add b va vb in
+                Builder.mem_write b vc c [ i ] ~at:Builder.(ti @>> 1))
+          in
+          Builder.return_ b []
+        | _ -> assert false)
+  in
+  m
+
+let () =
+  write "examples/designs/transpose.hir" (fst (Hir_kernels.Transpose.build ()));
+  write "examples/designs/stencil_1d.hir" (fst (Hir_kernels.Stencil1d.build ()));
+  write "examples/designs/fifo.hir" (fst (Hir_kernels.Fifo.build ()));
+  write "examples/designs/err_add.hir" (err_add ())

@@ -1,0 +1,179 @@
+(* hirc — the HIR compiler driver.
+
+     hirc compile design.hir [-o out.v] [--top f] [--no-opt]
+         parse (generic textual form), verify, optimize, emit Verilog
+     hirc verify design.hir
+         run the structural and schedule verifiers, print diagnostics
+     hirc print design.hir
+         parse and re-print (round-trip check)
+     hirc kernels
+         list the built-in benchmark kernels
+     hirc demo <kernel> [-o out.v] [--no-opt] [--stats]
+         compile a built-in kernel and report resources *)
+
+open Hir_ir
+open Hir_dialect
+open Cmdliner
+
+let () = Ops.register ()
+
+let load_module path =
+  try Ok (Parser.parse_file path) with
+  | Parser.Parse_error (loc, msg) ->
+    Error (Printf.sprintf "%s: parse error: %s" (Location.to_string loc) msg)
+  | Lexer.Lex_error (loc, msg) ->
+    Error (Printf.sprintf "%s: lex error: %s" (Location.to_string loc) msg)
+  | Sys_error e -> Error e
+
+let run_verifiers module_op =
+  let engine = Diagnostic.Engine.create () in
+  (match Verify.verify module_op with
+  | Ok () -> ()
+  | Error e -> List.iter (Diagnostic.Engine.emit engine) (Diagnostic.Engine.to_list e));
+  if not (Diagnostic.Engine.has_errors engine) then
+    Verify_schedule.verify_module engine module_op;
+  engine
+
+let output_text out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s (%d bytes)\n" path (String.length text)
+
+let pick_top module_op top =
+  match (top, Ops.module_funcs module_op) with
+  | Some name, _ -> (
+    match Ops.lookup_func module_op name with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "no function @%s in the module" name))
+  | None, [] -> Error "module contains no functions"
+  | None, funcs -> Ok (List.nth funcs (List.length funcs - 1))
+
+let compile_module ~optimize ~top ~out module_op =
+  let engine = run_verifiers module_op in
+  if Diagnostic.Engine.has_errors engine then begin
+    prerr_endline (Diagnostic.Engine.to_string engine);
+    1
+  end
+  else
+    match pick_top module_op top with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok top_func ->
+      let emitted = Hir_codegen.Emit.compile ~optimize ~module_op ~top:top_func () in
+      output_text out (Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design);
+      0
+
+(* ----------------------------- commands --------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .hir file")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file")
+
+let top_arg =
+  Arg.(value & opt (some string) None & info [ "top" ] ~docv:"FUNC" ~doc:"Top-level function")
+
+let no_opt_arg =
+  Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimization pipeline")
+
+let compile_cmd =
+  let run file out top no_opt =
+    match load_module file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok m -> compile_module ~optimize:(not no_opt) ~top ~out m
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile textual HIR to Verilog")
+    Term.(const run $ file_arg $ out_arg $ top_arg $ no_opt_arg)
+
+let verify_cmd =
+  let run file =
+    match load_module file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok m ->
+      let engine = run_verifiers m in
+      if Diagnostic.Engine.has_errors engine then begin
+        prerr_endline (Diagnostic.Engine.to_string engine);
+        1
+      end
+      else begin
+        Printf.printf "%s: all functions verify\n" file;
+        0
+      end
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify a textual HIR design") Term.(const run $ file_arg)
+
+let print_cmd =
+  let pretty_arg =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Use the paper-style custom syntax")
+  in
+  let run file out pretty =
+    match load_module file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok m ->
+      if pretty then output_text out (Pretty.module_to_string m)
+      else output_text out (Printer.op_to_string m ^ "\n");
+      0
+  in
+  Cmd.v
+    (Cmd.info "print" ~doc:"Parse and re-print (round-trip, or --pretty)")
+    Term.(const run $ file_arg $ out_arg $ pretty_arg)
+
+let kernels_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        Printf.printf "%-14s %s\n" k.Hir_kernels.Kernels.name
+          k.Hir_kernels.Kernels.description)
+      Hir_kernels.Kernels.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"List the built-in benchmark kernels")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  let kernel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print resource estimates")
+  in
+  let run name out no_opt stats =
+    match Hir_kernels.Kernels.find name with
+    | None ->
+      Printf.eprintf "unknown kernel %s (try `hirc kernels`)\n" name;
+      1
+    | Some k ->
+      let m, f = k.Hir_kernels.Kernels.build () in
+      let emitted =
+        Hir_codegen.Emit.compile ~optimize:(not no_opt) ~module_op:m ~top:f ()
+      in
+      if stats then begin
+        let u = Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design in
+        Printf.eprintf "%s: %s\n" name
+          (Format.asprintf "%a" Hir_resources.Model.pp u)
+      end;
+      output_text out (Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design);
+      0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Compile a built-in kernel")
+    Term.(const run $ kernel_arg $ out_arg $ no_opt_arg $ stats_arg)
+
+let () =
+  let doc = "HIR: an MLIR-style IR for hardware accelerator description" in
+  let info = Cmd.info "hirc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd ]))

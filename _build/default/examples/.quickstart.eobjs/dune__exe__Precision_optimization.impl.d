@@ -1,0 +1,1 @@
+examples/precision_optimization.ml: Array Bitvec Diagnostic Format Hir_codegen Hir_dialect Hir_ir Hir_kernels Hir_resources Interp Ir List Ops Precision_opt Printf String Typ Verify_schedule

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Builder Diagnostic Format Hir_codegen Hir_dialect Hir_ir Hir_resources Hir_verilog Interp List Ops Printer Printf String Typ Types Verify Verify_schedule

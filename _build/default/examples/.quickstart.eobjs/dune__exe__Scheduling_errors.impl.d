@@ -1,0 +1,1 @@
+examples/scheduling_errors.ml: Builder Diagnostic Hir_dialect Hir_ir List Location Ops Printf Typ Types Verify_schedule

@@ -1,0 +1,1 @@
+examples/scheduling_errors.mli:

@@ -1,0 +1,1 @@
+examples/systolic_gemm.ml: Array Bitvec Format Hir_codegen Hir_dialect Hir_kernels Hir_resources Hir_rtl Interp Ops Printf

@@ -1,0 +1,1 @@
+examples/systolic_gemm.mli:

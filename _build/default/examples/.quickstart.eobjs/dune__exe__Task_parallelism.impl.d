@@ -1,0 +1,1 @@
+examples/task_parallelism.ml: Hir_dialect Hir_ir Hir_kernels Interp List Ops Printf

@@ -1,0 +1,34 @@
+(* Deterministic, synchronization-free task-level parallelism (paper
+   Listing 3, Section 5.3): two dependent stencil stages run overlapped
+   in lock-step through a shared buffer with no FIFOs and no
+   handshakes, and the total latency barely exceeds one stage's.
+
+     dune exec examples/task_parallelism.exe *)
+
+open Hir_dialect
+
+let () =
+  Ops.register ();
+  let overlapped, single = Hir_kernels.Taskparallel.overlap_summary () in
+  Printf.printf "one stencil stage alone:          %4d cycles\n" single;
+  Printf.printf "two stages, sequential estimate:  %4d cycles\n" (2 * single);
+  Printf.printf "two stages, overlapped (HIR):     %4d cycles\n\n" overlapped;
+
+  (* The overlapped design still computes the right answer: check the
+     pipeline against composing the reference model twice. *)
+  (match Hir_kernels.Taskparallel.check_interp () with
+  | Ok result ->
+    Printf.printf "functional check: PASS (%d reads, %d writes)\n" result.Interp.reads
+      result.Interp.writes
+  | Error e -> Printf.printf "functional check: FAIL (%s)\n" e);
+
+  (* How it works: stencilB is called a fixed 6 cycles after stencilA;
+     from then on both run one element per cycle.  The offset is part
+     of the schedule, so no synchronization hardware exists at all. *)
+  let m, _ = Hir_kernels.Taskparallel.build () in
+  let calls = Hir_ir.Ir.Walk.find_all m "hir.call" in
+  List.iter
+    (fun call ->
+      Printf.printf "  call @%-10s at %%t offset %d\n"
+        (Ops.call_callee call) (Ops.call_offset call))
+    calls

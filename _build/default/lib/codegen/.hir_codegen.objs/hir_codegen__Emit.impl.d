@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Attribute Bitvec Format Hashtbl Hir_dialect Hir_ir Hir_verilog Ir List Location Names Ops Option Passes Precision_opt Printf Typ Types Unroll

@@ -1,0 +1,1 @@
+lib/codegen/names.ml: Buffer Hashtbl Hir_ir List Printf String

@@ -1,0 +1,53 @@
+(* Verilog-legal, unique signal naming for one generated module. *)
+
+type t = { used : (string, unit) Hashtbl.t }
+
+let create () =
+  let t = { used = Hashtbl.create 64 } in
+  (* Reserved ports and keywords. *)
+  List.iter
+    (fun n -> Hashtbl.replace t.used n ())
+    [
+      "clk"; "t_start"; "module"; "endmodule"; "input"; "output"; "wire";
+      "reg"; "assign"; "always"; "begin"; "end"; "if"; "else"; "case"; "for";
+      "posedge"; "negedge"; "signed";
+    ];
+  t
+
+let sanitize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    s;
+  let s = Buffer.contents buf in
+  if s = "" then "sig"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "s" ^ s
+    | _ -> s
+
+let fresh t base =
+  let base = sanitize base in
+  if not (Hashtbl.mem t.used base) then begin
+    Hashtbl.replace t.used base ();
+    base
+  end
+  else begin
+    let rec go k =
+      let candidate = Printf.sprintf "%s_%d" base k in
+      if Hashtbl.mem t.used candidate then go (k + 1)
+      else begin
+        Hashtbl.replace t.used candidate ();
+        candidate
+      end
+    in
+    go 1
+  end
+
+let value_base v =
+  match Hir_ir.Ir.Value.hint v with
+  | Some h -> h
+  | None -> Printf.sprintf "v%d" (Hir_ir.Ir.Value.id v)

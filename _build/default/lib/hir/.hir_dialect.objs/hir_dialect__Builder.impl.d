@@ -1,0 +1,1 @@
+lib/hir/builder.ml: Attribute Hir_ir Ir List Location Ops Printf Typ Types

@@ -1,0 +1,1 @@
+lib/hir/extern.ml: Bitvec Hashtbl

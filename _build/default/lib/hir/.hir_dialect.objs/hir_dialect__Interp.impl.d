@@ -1,0 +1,1 @@
+lib/hir/interp.ml: Array Bitvec Extern Format Hashtbl Hir_ir Ir List Ops Option Typ Types

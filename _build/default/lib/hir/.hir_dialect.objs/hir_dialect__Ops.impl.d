@@ -1,0 +1,1 @@
+lib/hir/ops.ml: Attribute Diagnostic Dialect Extern Hir_ir Ir List Typ Types

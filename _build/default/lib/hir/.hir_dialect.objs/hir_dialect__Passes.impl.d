@@ -1,0 +1,1 @@
+lib/hir/passes.ml: Attribute Dialect Hashtbl Hir_ir Ir List Ops Option Pass Typ Types

@@ -1,0 +1,1 @@
+lib/hir/precision_opt.ml: Hashtbl Hir_ir Ir List Ops Pass Typ

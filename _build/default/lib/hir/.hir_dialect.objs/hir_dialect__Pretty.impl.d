@@ -1,0 +1,1 @@
+lib/hir/pretty.ml: Buffer Format Hir_ir Ir List Ops Printer Printf String Typ

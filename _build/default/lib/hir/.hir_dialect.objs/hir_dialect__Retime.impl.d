@@ -1,0 +1,1 @@
+lib/hir/retime.ml: Array Attribute Dialect Hir_ir Ir List Ops Option Pass

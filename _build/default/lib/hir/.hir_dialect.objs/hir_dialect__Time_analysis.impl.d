@@ -1,0 +1,1 @@
+lib/hir/time_analysis.ml: Diagnostic Hashtbl Hir_ir Ir List Location Ops Option Printf Types

@@ -1,0 +1,1 @@
+lib/hir/types.ml: Format Hir_ir List String

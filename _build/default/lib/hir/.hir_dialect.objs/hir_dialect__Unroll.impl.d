@@ -1,0 +1,1 @@
+lib/hir/unroll.ml: Array Attribute Hashtbl Hir_ir Ir List Ops Pass Printf Types

@@ -1,0 +1,1 @@
+lib/hir/verify_schedule.ml: Diagnostic Hashtbl Hir_ir Ir List Ops Option Pass Time_analysis Types

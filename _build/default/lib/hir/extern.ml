@@ -1,0 +1,42 @@
+(* Registry of external ("blackbox") modules (paper Section 5.4).
+
+   An external function in HIR is declared with an explicit schedule
+   signature (argument and result delays) and no body.  For this repo's
+   purposes each extern also carries a behavioural model so that the
+   interpreter and the RTL simulator can execute designs that use it —
+   standing in for the vendor IP the paper links against. *)
+
+type impl = {
+  latency : int;  (* result delay in cycles *)
+  arg_widths : int list;
+  result_width : int;
+  eval : Bitvec.t list -> Bitvec.t;  (* combinational function of the inputs *)
+}
+
+let registry : (string, impl) Hashtbl.t = Hashtbl.create 8
+
+let register ~name impl = Hashtbl.replace registry name impl
+
+let lookup name = Hashtbl.find_opt registry name
+
+let lookup_exn name =
+  match lookup name with
+  | Some impl -> impl
+  | None -> failwith ("no behavioural model registered for extern module '" ^ name ^ "'")
+
+(* A pipelined integer multiplier, the example of Figure 2. *)
+let register_standard () =
+  register ~name:"mult"
+    {
+      latency = 2;
+      arg_widths = [ 32; 32 ];
+      result_width = 32;
+      eval = (function [ a; b ] -> Bitvec.mul a b | _ -> failwith "mult arity");
+    };
+  register ~name:"mult3"
+    {
+      latency = 3;
+      arg_widths = [ 32; 32 ];
+      result_width = 32;
+      eval = (function [ a; b ] -> Bitvec.mul a b | _ -> failwith "mult3 arity");
+    }

@@ -1,0 +1,508 @@
+(* HIR operation definitions: registration with the dialect registry,
+   structural verifiers, and typed accessors used by passes, the
+   interpreter and the code generator.
+
+   Operand layout conventions:
+   - scheduled ops take their time variable as the LAST operand and
+     carry an integer "offset" attribute (the paper's [at %t offset k]);
+   - compute ops are combinational and carry no schedule of their own.
+
+   (See Table 2 of the paper for the op inventory.) *)
+
+open Hir_ir
+
+let is_time v = Typ.equal (Ir.Value.typ v) Types.Time
+let is_const v = Typ.equal (Ir.Value.typ v) Types.Const
+let is_memref v = match Ir.Value.typ v with Types.Memref _ -> true | _ -> false
+let is_int v = match Ir.Value.typ v with Typ.Int _ -> true | _ -> false
+let is_int_or_const v = is_int v || is_const v
+
+let err engine op fmt =
+  Diagnostic.Engine.errorf engine (Ir.Op.loc op) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Structural verifiers                                                *)
+
+let verify_operand_count ~n op engine =
+  if Ir.Op.num_operands op <> n then
+    err engine op "'%s' expects %d operands, got %d" (Ir.Op.name op) n
+      (Ir.Op.num_operands op)
+
+let verify_time_last op engine =
+  let n = Ir.Op.num_operands op in
+  if n = 0 || not (is_time (Ir.Op.operand op (n - 1))) then
+    err engine op "'%s' expects its last operand to be a !hir.time value"
+      (Ir.Op.name op)
+  else if not (Ir.Op.has_attr op "offset") then
+    err engine op "'%s' is a scheduled op and requires an 'offset' attribute"
+      (Ir.Op.name op)
+
+let single_block_region op engine =
+  match Ir.Op.regions op with
+  | [ r ] -> (
+    match Ir.Region.blocks r with
+    | [ b ] -> Some b
+    | blocks ->
+      err engine op "'%s' expects a single-block region, got %d blocks"
+        (Ir.Op.name op) (List.length blocks);
+      None)
+  | rs ->
+    err engine op "'%s' expects exactly one region, got %d" (Ir.Op.name op)
+      (List.length rs);
+    None
+
+let verify_module op engine =
+  verify_operand_count ~n:0 op engine;
+  match single_block_region op engine with
+  | None -> ()
+  | Some b ->
+    if Ir.Block.num_args b <> 0 then
+      err engine op "module block takes no arguments";
+    List.iter
+      (fun o ->
+        if Ir.Op.name o <> "hir.func" then
+          err engine op "module may only contain hir.func ops, found '%s'"
+            (Ir.Op.name o))
+      (Ir.Block.ops b)
+
+let is_extern_func op =
+  match Ir.Op.attr op "extern" with
+  | Some (Attribute.Bool true) -> true
+  | _ -> false
+
+let func_arg_types op =
+  match Ir.Op.attr op "arg_types" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_type l
+  | _ -> failwith "hir.func: missing arg_types attribute"
+
+let func_result_types op =
+  match Ir.Op.attr op "result_types" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_type l
+  | _ -> []
+
+let func_arg_delays op =
+  match Ir.Op.attr op "arg_delays" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_int l
+  | _ -> List.map (fun _ -> 0) (func_arg_types op)
+
+let func_result_delays op =
+  match Ir.Op.attr op "result_delays" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_int l
+  | _ -> List.map (fun _ -> 0) (func_result_types op)
+
+let func_name op = Ir.Op.symbol_attr op "sym_name"
+
+(* The function body's block: args are the data args followed by the
+   function start-time %t. *)
+let func_body op =
+  match Ir.Op.regions op with
+  | [ r ] -> (
+    match Ir.Region.blocks r with [ b ] -> b | _ -> failwith "hir.func: malformed body")
+  | _ -> failwith "hir.func: malformed body"
+
+let func_time_arg op =
+  let b = func_body op in
+  Ir.Block.arg b (Ir.Block.num_args b - 1)
+
+let func_data_args op =
+  let b = func_body op in
+  let n = Ir.Block.num_args b in
+  List.filteri (fun i _ -> i < n - 1) (Ir.Block.args b)
+
+let verify_func op engine =
+  verify_operand_count ~n:0 op engine;
+  if Ir.Op.attr op "sym_name" = None then err engine op "hir.func requires sym_name";
+  if is_extern_func op then begin
+    if Ir.Op.regions op <> [] && single_block_region op engine <> None then ()
+  end
+  else
+    match single_block_region op engine with
+    | None -> ()
+    | Some b ->
+      let n = Ir.Block.num_args b in
+      if n = 0 || not (is_time (Ir.Block.arg b (n - 1))) then
+        err engine op "hir.func body's last block argument must be !hir.time";
+      let arg_types = func_arg_types op in
+      if List.length arg_types <> n - 1 then
+        err engine op "hir.func arg_types length (%d) does not match body args (%d)"
+          (List.length arg_types) (n - 1);
+      let returns =
+        List.filter (fun o -> Ir.Op.name o = "hir.return") (Ir.Block.ops b)
+      in
+      if List.length returns <> 1 then
+        err engine op "hir.func body must contain exactly one hir.return"
+
+let verify_constant op engine =
+  verify_operand_count ~n:0 op engine;
+  if Ir.Op.num_results op <> 1 || not (is_const (Ir.Op.result op 0)) then
+    err engine op "hir.constant produces a single !hir.const result";
+  if Ir.Op.attr op "value" = None then err engine op "hir.constant requires 'value'"
+
+let for_lb op = Ir.Op.operand op 0
+let for_ub op = Ir.Op.operand op 1
+let for_step op = Ir.Op.operand op 2
+let for_time op = Ir.Op.operand op 3
+let for_offset op = Ir.Op.int_attr op "offset"
+
+let loop_body op =
+  match Ir.Op.regions op with
+  | [ r ] -> (
+    match Ir.Region.blocks r with [ b ] -> b | _ -> failwith "hir.for: malformed body")
+  | _ -> failwith "hir.for: malformed body"
+
+let loop_induction_var op = Ir.Block.arg (loop_body op) 0
+let loop_iter_time op = Ir.Block.arg (loop_body op) 1
+
+let loop_yield op =
+  match List.filter (fun o -> Ir.Op.name o = "hir.yield") (Ir.Block.ops (loop_body op)) with
+  | [ y ] -> y
+  | _ -> failwith "loop body must contain exactly one hir.yield"
+
+let verify_for op engine =
+  verify_operand_count ~n:4 op engine;
+  if Ir.Op.num_operands op = 4 then begin
+    List.iteri
+      (fun i v ->
+        if not (is_int_or_const v) then
+          err engine op "hir.for bound/step operand %d must be integer or !hir.const" i)
+      [ for_lb op; for_ub op; for_step op ];
+    if not (is_time (for_time op)) then
+      err engine op "hir.for operand 3 must be the start !hir.time"
+  end;
+  if Ir.Op.attr op "offset" = None then err engine op "hir.for requires 'offset'";
+  if Ir.Op.num_results op <> 1 || not (is_time (Ir.Op.result op 0)) then
+    err engine op "hir.for produces a single !hir.time result";
+  match single_block_region op engine with
+  | None -> ()
+  | Some b ->
+    if Ir.Block.num_args b <> 2 then
+      err engine op "hir.for body takes (%%iv, %%t_iter) arguments"
+    else begin
+      if not (is_int (Ir.Block.arg b 0)) then
+        err engine op "hir.for induction variable must have integer type";
+      if not (is_time (Ir.Block.arg b 1)) then
+        err engine op "hir.for iteration time must be !hir.time"
+    end;
+    let yields = List.filter (fun o -> Ir.Op.name o = "hir.yield") (Ir.Block.ops b) in
+    if List.length yields <> 1 then
+      err engine op "hir.for body must contain exactly one hir.yield"
+
+let unroll_for_lb op = Ir.Op.int_attr op "lb"
+let unroll_for_ub op = Ir.Op.int_attr op "ub"
+let unroll_for_step op = Ir.Op.int_attr op "step"
+let unroll_for_time op = Ir.Op.operand op 0
+let unroll_for_offset op = Ir.Op.int_attr op "offset"
+
+let verify_unroll_for op engine =
+  verify_operand_count ~n:1 op engine;
+  if Ir.Op.num_operands op = 1 && not (is_time (unroll_for_time op)) then
+    err engine op "hir.unroll_for operand must be the start !hir.time";
+  List.iter
+    (fun key ->
+      if Ir.Op.attr op key = None then
+        err engine op "hir.unroll_for requires '%s' attribute" key)
+    [ "lb"; "ub"; "step"; "offset" ];
+  (match Ir.Op.int_attr_opt op "step" with
+  | Some 0 -> err engine op "hir.unroll_for step must be nonzero"
+  | _ -> ());
+  if Ir.Op.num_results op <> 1 || not (is_time (Ir.Op.result op 0)) then
+    err engine op "hir.unroll_for produces a single !hir.time result";
+  match single_block_region op engine with
+  | None -> ()
+  | Some b ->
+    if Ir.Block.num_args b <> 2
+       || not (is_const (Ir.Block.arg b 0))
+       || not (is_time (Ir.Block.arg b 1))
+    then err engine op "hir.unroll_for body takes (%%iv: !hir.const, %%t: !hir.time)";
+    let yields = List.filter (fun o -> Ir.Op.name o = "hir.yield") (Ir.Block.ops b) in
+    if List.length yields <> 1 then
+      err engine op "hir.unroll_for body must contain exactly one hir.yield"
+
+let yield_time op = Ir.Op.operand op 0
+let yield_offset op = Ir.Op.int_attr op "offset"
+
+let verify_yield op engine =
+  verify_operand_count ~n:1 op engine;
+  if Ir.Op.num_operands op = 1 && not (is_time (yield_time op)) then
+    err engine op "hir.yield operand must be a !hir.time value";
+  if Ir.Op.attr op "offset" = None then err engine op "hir.yield requires 'offset'"
+
+let verify_return op engine =
+  List.iteri
+    (fun i v ->
+      if is_time v || is_memref v then
+        err engine op "hir.return operand %d must be a data value" i)
+    (Ir.Op.operands op)
+
+let call_callee op = Ir.Op.symbol_attr op "callee"
+let call_offset op = Ir.Op.int_attr op "offset"
+
+let call_time op = Ir.Op.operand op (Ir.Op.num_operands op - 1)
+
+let call_args op =
+  let n = Ir.Op.num_operands op in
+  List.filteri (fun i _ -> i < n - 1) (Ir.Op.operands op)
+
+let call_arg_delays op =
+  match Ir.Op.attr op "arg_delays" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_int l
+  | _ -> List.map (fun _ -> 0) (call_args op)
+
+let call_result_delays op =
+  match Ir.Op.attr op "result_delays" with
+  | Some (Attribute.Array l) -> List.map Attribute.as_int l
+  | _ -> List.map (fun _ -> 0) (Ir.Op.results op)
+
+let verify_call op engine =
+  if Ir.Op.attr op "callee" = None then err engine op "hir.call requires 'callee'";
+  verify_time_last op engine
+
+let delay_input op = Ir.Op.operand op 0
+let delay_time op = Ir.Op.operand op 1
+let delay_by op = Ir.Op.int_attr op "by"
+let delay_offset op = Ir.Op.int_attr op "offset"
+
+let verify_delay op engine =
+  verify_operand_count ~n:2 op engine;
+  verify_time_last op engine;
+  if Ir.Op.attr op "by" = None then err engine op "hir.delay requires 'by'";
+  (match Ir.Op.int_attr_opt op "by" with
+  | Some n when n < 0 -> err engine op "hir.delay 'by' must be non-negative"
+  | _ -> ());
+  if Ir.Op.num_results op = 1 && Ir.Op.num_operands op = 2 then begin
+    if not (Typ.equal (Ir.Value.typ (delay_input op)) (Ir.Value.typ (Ir.Op.result op 0)))
+    then err engine op "hir.delay result type must match its input"
+  end
+
+let mem_read_mem op = Ir.Op.operand op 0
+let mem_read_indices op =
+  let n = Ir.Op.num_operands op in
+  List.filteri (fun i _ -> i > 0 && i < n - 1) (Ir.Op.operands op)
+let mem_read_time op = Ir.Op.operand op (Ir.Op.num_operands op - 1)
+let mem_read_offset op = Ir.Op.int_attr op "offset"
+let mem_read_latency op =
+  match Ir.Op.int_attr_opt op "latency" with Some l -> l | None -> 1
+
+let verify_mem_access ~is_read op engine =
+  let name = Ir.Op.name op in
+  let mem_pos = if is_read then 0 else 1 in
+  let min_operands = mem_pos + 2 in
+  if Ir.Op.num_operands op < min_operands then
+    err engine op "'%s' is missing operands" name
+  else begin
+    verify_time_last op engine;
+    let mem = Ir.Op.operand op mem_pos in
+    match Ir.Value.typ mem with
+    | Types.Memref info ->
+      let n_indices = Ir.Op.num_operands op - min_operands in
+      if n_indices <> List.length info.dims then
+        err engine op "'%s' has %d indices for a rank-%d memref" name n_indices
+          (List.length info.dims);
+      (* Distributed dims may only be indexed by compile-time consts. *)
+      List.iteri
+        (fun i d ->
+          if (not d.Types.packed) && i < n_indices then begin
+            let idx = Ir.Op.operand op (mem_pos + 1 + i) in
+            if not (is_const idx) then
+              err engine op
+                "'%s': distributed dimension %d must be indexed by a !hir.const" name i
+          end)
+        info.dims;
+      (match info.port with
+      | Types.Read when not is_read ->
+        err engine op "'%s' writes through a read-only memref port" name
+      | Types.Write when is_read ->
+        err engine op "'%s' reads through a write-only memref port" name
+      | _ -> ());
+      if is_read then begin
+        if Ir.Op.num_results op <> 1
+           || not (Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) info.elem)
+        then err engine op "hir.mem_read result must have the memref element type"
+      end
+      else if
+        (* A !hir.const coerces to any element width, as a constant
+           wire does in hardware. *)
+        (not (Typ.equal (Ir.Value.typ (Ir.Op.operand op 0)) info.elem))
+        && not (is_const (Ir.Op.operand op 0))
+      then err engine op "hir.mem_write value must have the memref element type"
+    | _ -> err engine op "'%s' operand %d must be a memref" name mem_pos
+  end
+
+let mem_write_value op = Ir.Op.operand op 0
+let mem_write_mem op = Ir.Op.operand op 1
+let mem_write_indices op =
+  let n = Ir.Op.num_operands op in
+  List.filteri (fun i _ -> i > 1 && i < n - 1) (Ir.Op.operands op)
+let mem_write_time op = Ir.Op.operand op (Ir.Op.num_operands op - 1)
+let mem_write_offset op = Ir.Op.int_attr op "offset"
+
+type mem_kind = Reg | Lut_ram | Block_ram
+
+let mem_kind_to_string = function
+  | Reg -> "reg"
+  | Lut_ram -> "lutram"
+  | Block_ram -> "bram"
+
+let mem_kind_of_string = function
+  | "reg" -> Reg
+  | "lutram" -> Lut_ram
+  | "bram" -> Block_ram
+  | s -> failwith ("unknown mem_kind: " ^ s)
+
+let alloc_kind op = mem_kind_of_string (Ir.Op.string_attr op "mem_kind")
+
+(* Read latency implied by the storage kind (paper §4.1: register reads
+   are combinational, RAM reads take one cycle). *)
+let mem_kind_latency = function Reg -> 0 | Lut_ram | Block_ram -> 1
+
+let verify_alloc op engine =
+  verify_operand_count ~n:0 op engine;
+  if Ir.Op.attr op "mem_kind" = None then err engine op "hir.alloc requires 'mem_kind'";
+  let results = Ir.Op.results op in
+  if results = [] then err engine op "hir.alloc must produce at least one memref port";
+  let infos =
+    List.filter_map
+      (fun v ->
+        match Ir.Value.typ v with
+        | Types.Memref i -> Some i
+        | _ ->
+          err engine op "hir.alloc results must be memrefs";
+          None)
+      results
+  in
+  match infos with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun i ->
+        if not (Types.same_tensor_shape first i) then
+          err engine op "hir.alloc ports must agree on tensor shape and element type")
+      rest
+
+let binary_compute_ops =
+  [ "hir.add"; "hir.sub"; "hir.mult"; "hir.and"; "hir.or"; "hir.xor";
+    "hir.shl"; "hir.shrl"; "hir.shra" ]
+
+let comparison_ops = [ "hir.lt"; "hir.le"; "hir.gt"; "hir.ge"; "hir.eq"; "hir.ne" ]
+
+let verify_binary op engine =
+  (* Mixed operand widths are legal, as in Verilog: operands are
+     implicitly zero-extended to the result width (the precision
+     optimization pass of Section 6.3 relies on this). *)
+  verify_operand_count ~n:2 op engine;
+  if Ir.Op.num_operands op = 2 then
+    List.iteri
+      (fun i v ->
+        if not (is_int_or_const v) then
+          err engine op "'%s' operand %d must be integer or !hir.const" (Ir.Op.name op) i)
+      (Ir.Op.operands op);
+  if Ir.Op.num_results op <> 1 then
+    err engine op "'%s' produces a single result" (Ir.Op.name op)
+
+let verify_comparison op engine =
+  verify_binary op engine;
+  if Ir.Op.num_results op = 1
+     && not (Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) Typ.i1)
+  then err engine op "'%s' produces an i1 result" (Ir.Op.name op)
+
+let verify_not op engine =
+  verify_operand_count ~n:1 op engine
+
+let verify_select op engine =
+  verify_operand_count ~n:3 op engine;
+  if Ir.Op.num_operands op = 3 then begin
+    if not (Typ.equal (Ir.Value.typ (Ir.Op.operand op 0)) Typ.i1) then
+      err engine op "hir.select condition must be i1"
+  end
+
+let verify_resize op engine = verify_operand_count ~n:1 op engine
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Types.register ();
+    let open Dialect in
+    register_dialect ~name:"builtin" ~description:"Builtin module container";
+    register_dialect ~name:"hir"
+      ~description:"Hardware IR with explicitly scheduled operations";
+    register_op "builtin.module" ~summary:"Top-level container of hir.func ops"
+      ~verify:verify_module;
+    register_op "hir.func"
+      ~summary:"Hardware function; lowers to a Verilog module" ~verify:verify_func;
+    register_op "hir.constant" ~summary:"Compile-time integer constant"
+      ~traits:[ Pure ] ~verify:verify_constant;
+    register_op "hir.for"
+      ~summary:"Sequential/pipelined loop; lowers to a state machine"
+      ~traits:[ Scheduled ] ~verify:verify_for;
+    register_op "hir.unroll_for"
+      ~summary:"Fully unrolled loop; replicates its body in hardware"
+      ~traits:[ Scheduled ] ~verify:verify_unroll_for;
+    register_op "hir.yield" ~summary:"Schedules the next loop iteration"
+      ~traits:[ Terminator; Scheduled ] ~verify:verify_yield;
+    register_op "hir.return" ~summary:"Terminates a function body"
+      ~traits:[ Terminator ] ~verify:verify_return;
+    register_op "hir.call"
+      ~summary:"Invoke another HIR function or an external Verilog module"
+      ~traits:[ Scheduled ] ~verify:verify_call;
+    register_op "hir.delay" ~summary:"Delay a value; lowers to a shift register"
+      ~traits:[ Scheduled ] ~verify:verify_delay;
+    register_op "hir.mem_read" ~summary:"Read one element through a memref port"
+      ~traits:[ Scheduled ] ~verify:(verify_mem_access ~is_read:true);
+    register_op "hir.mem_write" ~summary:"Write one element through a memref port"
+      ~traits:[ Scheduled ] ~verify:(verify_mem_access ~is_read:false);
+    register_op "hir.alloc" ~summary:"Instantiate on-chip storage and its ports"
+      ~verify:verify_alloc;
+    List.iter
+      (fun name ->
+        register_op name ~summary:"Combinational arithmetic/logic"
+          ~traits:[ Pure ] ~verify:verify_binary)
+      binary_compute_ops;
+    List.iter
+      (fun name ->
+        register_op name ~summary:"Combinational comparison" ~traits:[ Pure ]
+          ~verify:verify_comparison)
+      comparison_ops;
+    register_op "hir.not" ~summary:"Combinational bitwise negation"
+      ~traits:[ Pure ] ~verify:verify_not;
+    register_op "hir.select" ~summary:"Combinational 2:1 multiplexer"
+      ~traits:[ Pure ] ~verify:verify_select;
+    register_op "hir.zext" ~summary:"Zero-extend to a wider integer"
+      ~traits:[ Pure ] ~verify:verify_resize;
+    register_op "hir.sext" ~summary:"Sign-extend to a wider integer"
+      ~traits:[ Pure ] ~verify:verify_resize;
+    register_op "hir.trunc" ~summary:"Truncate to a narrower integer"
+      ~traits:[ Pure ] ~verify:verify_resize;
+    (* Behavioural models for the stock extern modules (pipelined
+       multipliers), so designs using them are interpretable. *)
+    Extern.register_standard ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Module-level helpers                                                *)
+
+let module_funcs module_op =
+  match Ir.Op.regions module_op with
+  | [ r ] -> (
+    match Ir.Region.blocks r with
+    | [ b ] -> List.filter (fun o -> Ir.Op.name o = "hir.func") (Ir.Block.ops b)
+    | _ -> [])
+  | _ -> []
+
+let lookup_func module_op name =
+  List.find_opt (fun f -> func_name f = name) (module_funcs module_op)
+
+let constant_value op =
+  match Ir.Op.attr op "value" with
+  | Some (Attribute.Int n) -> n
+  | _ -> failwith "hir.constant: missing value"
+
+(* If [v] is produced by hir.constant, its integer value. *)
+let as_constant v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = "hir.constant" -> Some (constant_value op)
+  | _ -> None

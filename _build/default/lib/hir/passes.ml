@@ -1,0 +1,367 @@
+(* Standard optimization passes (paper Section 6.2 and 6.4):
+   dead-code elimination, constant folding/propagation, common
+   sub-expression elimination, strength reduction of constant
+   multiplies, and delay (shift-register) elimination.
+
+   All passes operate on a module op and report whether they changed
+   anything.  The precision optimization of Section 6.3 lives in
+   [Precision_opt]. *)
+
+open Hir_ir
+
+let is_pure op = Dialect.op_has_trait (Ir.Op.name op) Dialect.Pure
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+
+(* Iteratively removes pure ops (and delays) whose results are unused.
+   hir.delay is not Pure (it is scheduled), but an unused delay drives
+   nothing and can go. *)
+let dce_removable op =
+  (is_pure op || Ir.Op.name op = "hir.delay") && Ir.Op.num_results op > 0
+
+let run_dce module_op =
+  let changed = ref false in
+  let rec fixpoint () =
+    let removed = ref false in
+    let candidates = ref [] in
+    Ir.Walk.ops_post module_op ~f:(fun op ->
+        if dce_removable op then candidates := op :: !candidates);
+    List.iter
+      (fun op ->
+        let used =
+          List.exists
+            (fun r -> Ir.Rewrite.has_uses ~root:module_op r)
+            (Ir.Op.results op)
+        in
+        if not used then begin
+          Ir.Rewrite.erase op;
+          removed := true;
+          changed := true
+        end)
+      !candidates;
+    if !removed then fixpoint ()
+  in
+  fixpoint ();
+  !changed
+
+let dce =
+  Pass.make ~name:"dce" ~description:"Remove unused pure operations"
+    (fun module_op _engine -> run_dce module_op)
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding / propagation                                      *)
+
+let fold_binary name a b =
+  match name with
+  | "hir.add" -> Some (a + b)
+  | "hir.sub" -> Some (a - b)
+  | "hir.mult" -> Some (a * b)
+  | "hir.and" -> Some (a land b)
+  | "hir.or" -> Some (a lor b)
+  | "hir.xor" -> Some (a lxor b)
+  | "hir.shl" -> Some (a lsl b)
+  | "hir.shrl" -> Some (a lsr b)
+  | "hir.shra" -> Some (a asr b)
+  | "hir.lt" -> Some (if a < b then 1 else 0)
+  | "hir.le" -> Some (if a <= b then 1 else 0)
+  | "hir.gt" -> Some (if a > b then 1 else 0)
+  | "hir.ge" -> Some (if a >= b then 1 else 0)
+  | "hir.eq" -> Some (if a = b then 1 else 0)
+  | "hir.ne" -> Some (if a <> b then 1 else 0)
+  | _ -> None
+
+(* Fold ops whose operands are all hir.constant into a fresh
+   hir.constant.  Folding is exact (OCaml int arithmetic): constants
+   are width-polymorphic until they meet a typed wire. *)
+let run_const_fold module_op =
+  let changed = ref false in
+  let worklist = ref [] in
+  Ir.Walk.ops_pre module_op ~f:(fun op ->
+      if is_pure op && Ir.Op.name op <> "hir.constant" then worklist := op :: !worklist);
+  (* Program order, so a folded def feeds folds of its users in the
+     same pass. *)
+  let worklist = ref (List.rev !worklist) in
+  List.iter
+    (fun op ->
+      let const_operands = List.map Ops.as_constant (Ir.Op.operands op) in
+      if List.for_all Option.is_some const_operands then begin
+        let vals = List.map (Option.value ~default:0) const_operands in
+        let folded =
+          match (Ir.Op.name op, vals) with
+          | name, [ a; b ] -> fold_binary name a b
+          | "hir.not", [ a ] -> Some (lnot a)
+          | ("hir.zext" | "hir.sext" | "hir.trunc"), [ a ] -> Some a
+          | "hir.select", [ c; x; y ] -> Some (if c <> 0 then x else y)
+          | _ -> None
+        in
+        match folded with
+        | None -> ()
+        | Some value ->
+          (match Ir.Op.parent op with
+          | None -> ()
+          | Some block ->
+            let new_const =
+              Ir.Op.create ~loc:(Ir.Op.loc op)
+                ~attrs:[ ("value", Attribute.Int value) ]
+                "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+            in
+            Ir.Block.insert_before block ~anchor:op new_const;
+            Ir.Rewrite.replace_uses ~root:module_op
+              ~old_v:(Ir.Op.result op 0)
+              ~new_v:(Ir.Op.result new_const 0);
+            Ir.Block.remove block op;
+            changed := true)
+      end)
+    !worklist;
+  !changed
+
+let const_fold =
+  Pass.make ~name:"const-fold"
+    ~description:"Fold compute ops with constant operands (Section 6.2)"
+    (fun module_op _engine -> run_const_fold module_op)
+
+(* ------------------------------------------------------------------ *)
+(* Common sub-expression elimination                                   *)
+
+(* Two pure ops with the same name, operands and attributes compute the
+   same value.  Scoped per block region-tree: an op can only be
+   replaced by an equivalent one from the same or an enclosing block,
+   which the single-pass scope table guarantees. *)
+let cse_key op =
+  ( Ir.Op.name op,
+    List.map Ir.Value.id (Ir.Op.operands op),
+    List.sort compare op.Ir.attrs )
+
+let run_cse module_op =
+  let changed = ref false in
+  let table : (string * int list * (string * Attribute.t) list, Ir.value) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let rec walk_block block =
+    let added = ref [] in
+    List.iter
+      (fun op ->
+        if is_pure op && Ir.Op.num_results op = 1 then begin
+          let key = cse_key op in
+          match Hashtbl.find_opt table key with
+          | Some existing ->
+            Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
+              ~new_v:existing;
+            (* The op itself is now dead; leave removal to DCE so we
+               don't mutate the list we are iterating. *)
+            changed := true
+          | None ->
+            Hashtbl.add table key (Ir.Op.result op 0);
+            added := key :: !added
+        end;
+        List.iter
+          (fun r -> List.iter (fun b -> walk_block b) (Ir.Region.blocks r))
+          (Ir.Op.regions op))
+      (Ir.Block.ops block);
+    (* Leaving the scope: entries from this block are no longer valid
+       dominators for siblings. *)
+    List.iter (Hashtbl.remove table) !added
+  in
+  (match Ir.Op.regions module_op with
+  | [ r ] -> List.iter walk_block (Ir.Region.blocks r)
+  | _ -> ());
+  if !changed then ignore (run_dce module_op);
+  !changed
+
+let cse =
+  Pass.make ~name:"cse"
+    ~description:"Common sub-expression elimination (Section 6.2)"
+    (fun module_op _engine -> run_cse module_op)
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction                                                  *)
+
+let log2_exact n =
+  if n <= 0 then None
+  else
+    let rec go k v = if v = 1 then Some k else if v land 1 = 1 then None else go (k + 1) (v / 2) in
+    go 0 n
+
+(* Multiplications by power-of-two constants become shifts; x*1 -> x;
+   x*0 -> 0; x+0 / x-0 -> x.  (Section 6.2: "replaces multiplication
+   ... with constants" by cheaper ops — a multiplier costs DSPs or many
+   LUTs, a constant shift costs wires.) *)
+let run_strength_reduction module_op =
+  let changed = ref false in
+  let worklist = ref [] in
+  Ir.Walk.ops_pre module_op ~f:(fun op -> worklist := op :: !worklist);
+  List.iter
+    (fun op ->
+      let replace_with_value v =
+        (* Keep the IR typed: only forward a value that has the same
+           type as the result, or a width-polymorphic constant. *)
+        let type_ok = Typ.equal (Ir.Value.typ v) (Ir.Value.typ (Ir.Op.result op 0)) in
+        match Ir.Op.parent op with
+        | Some _ when type_ok ->
+          Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0) ~new_v:v;
+          Ir.Rewrite.erase op;
+          changed := true
+        | _ -> ()
+      in
+      let rewrite_to name operands =
+        match Ir.Op.parent op with
+        | None -> ()
+        | Some block ->
+          let new_op =
+            Ir.Op.create ~loc:(Ir.Op.loc op) name ~operands
+              ~result_types:[ Ir.Value.typ (Ir.Op.result op 0) ]
+          in
+          Ir.Block.insert_before block ~anchor:op new_op;
+          Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
+            ~new_v:(Ir.Op.result new_op 0);
+          Ir.Block.remove block op;
+          changed := true
+      in
+      let mk_const value =
+        match Ir.Op.parent op with
+        | None -> None
+        | Some block ->
+          let c =
+            Ir.Op.create ~loc:(Ir.Op.loc op)
+              ~attrs:[ ("value", Attribute.Int value) ]
+              "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+          in
+          Ir.Block.insert_before block ~anchor:op c;
+          Some (Ir.Op.result c 0)
+      in
+      match Ir.Op.name op with
+      | "hir.mult" -> (
+        let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+        let with_const x c =
+          match c with
+          | 0 -> (match mk_const 0 with Some z -> replace_with_value z | None -> ())
+          | 1 -> replace_with_value x
+          | c -> (
+            match log2_exact c with
+            | Some k -> (
+              match mk_const k with
+              | Some shift -> rewrite_to "hir.shl" [ x; shift ]
+              | None -> ())
+            | None -> ())
+        in
+        match (Ops.as_constant x, Ops.as_constant y) with
+        | _, Some c -> with_const x c
+        | Some c, _ -> with_const y c
+        | None, None -> ())
+      | "hir.add" | "hir.sub" -> (
+        let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+        match Ops.as_constant y with
+        | Some 0 -> replace_with_value x
+        | _ ->
+          if Ir.Op.name op = "hir.add" then
+            match Ops.as_constant x with Some 0 -> replace_with_value y | _ -> ())
+      | _ -> ())
+    !worklist;
+  if !changed then ignore (run_dce module_op);
+  !changed
+
+let strength_reduction =
+  Pass.make ~name:"strength-reduction"
+    ~description:"Rewrite constant multiplies into shifts (Section 6.2)"
+    (fun module_op _engine -> run_strength_reduction module_op)
+
+(* ------------------------------------------------------------------ *)
+(* Delay elimination                                                   *)
+
+(* Shift registers are shared (Section 6.4):
+   - duplicate delays (same input, same time variable, same offset,
+     same depth) collapse to one;
+   - a deeper delay of the same (input, time, offset) reuses the
+     shallower one as its input:  delay(x, m) = delay(delay(x, k), m-k)
+     for the largest available k < m. *)
+let run_delay_elim module_op =
+  let changed = ref false in
+  (* Group delays by (input value, time value, offset). *)
+  let groups : (int * int * int, (int * Ir.op) list ref) Hashtbl.t = Hashtbl.create 32 in
+  Ir.Walk.ops_pre module_op ~f:(fun op ->
+      if Ir.Op.name op = "hir.delay" then begin
+        let key =
+          ( Ir.Value.id (Ops.delay_input op),
+            Ir.Value.id (Ops.delay_time op),
+            Ops.delay_offset op )
+        in
+        let cell =
+          match Hashtbl.find_opt groups key with
+          | Some c -> c
+          | None ->
+            let c = ref [] in
+            Hashtbl.add groups key c;
+            c
+        in
+        cell := (Ops.delay_by op, op) :: !cell
+      end);
+  Hashtbl.iter
+    (fun _ cell ->
+      (* Restore textual order (the walk prepended) so that the stable
+         sort keeps the textually-first delay as the survivor: only it
+         dominates every user of its duplicates. *)
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !cell) in
+      (* Walk shallow to deep; collapse duplicates, re-root deeper ones
+         onto the previous stage.  Only delays in the same block may be
+         chained (same time domain is guaranteed by the key, but a
+         delay in a nested block cannot feed an outer one). *)
+      let rec go prev = function
+        | [] -> ()
+        | (by, op) :: rest -> (
+          match prev with
+          | Some (prev_by, prev_op)
+            when Option.equal Ir.Block.equal (Ir.Op.parent op) (Ir.Op.parent prev_op) ->
+            if by = prev_by then begin
+              (* Exact duplicate: forward all uses to the survivor. *)
+              Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
+                ~new_v:(Ir.Op.result prev_op 0);
+              Ir.Rewrite.erase op;
+              changed := true;
+              go prev rest
+            end
+            else begin
+              (* Chain: this delay only needs (by - prev_by) more
+                 stages on top of the survivor's output, starting when
+                 the survivor's output is valid. *)
+              Ir.Op.set_operand op 0 (Ir.Op.result prev_op 0);
+              Ir.Op.set_attr op "by" (Attribute.Int (by - prev_by));
+              Ir.Op.set_attr op "offset"
+                (Attribute.Int (Ops.delay_offset op + prev_by));
+              changed := true;
+              go (Some (by, op)) rest
+            end
+          | _ -> go (Some (by, op)) rest)
+      in
+      go None sorted)
+    groups;
+  !changed
+
+let delay_elim =
+  Pass.make ~name:"delay-elim"
+    ~description:"Share and chain shift registers (Section 6.4)"
+    (fun module_op _engine -> run_delay_elim module_op)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization pipeline                                           *)
+
+let run_canonicalize module_op =
+  let changed = ref false in
+  let step () =
+    let c1 = run_const_fold module_op in
+    let c2 = run_strength_reduction module_op in
+    let c3 = run_cse module_op in
+    let c4 = run_dce module_op in
+    c1 || c2 || c3 || c4
+  in
+  while step () do
+    changed := true
+  done;
+  !changed
+
+let canonicalize =
+  Pass.make ~name:"canonicalize"
+    ~description:"Fold, reduce, CSE and DCE to fixpoint"
+    (fun module_op _engine -> run_canonicalize module_op)
+
+let standard_pipeline () = [ canonicalize; delay_elim ]

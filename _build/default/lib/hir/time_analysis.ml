@@ -1,0 +1,330 @@
+(* Birth-time analysis (paper Section 4.2, 6.1).
+
+   Every SSA value of primitive type is valid at exactly one time
+   instant within its lexical scope, expressed as a constant delta from
+   a root time variable (a function's %t or a loop iteration's %ti).
+   This module computes, for every value in a function:
+
+     - [Always]      compile-time constants, valid at any instant
+     - [At (t, d)]   valid exactly at root time [t] plus [d] cycles
+     - [Time (t, d)] a !hir.time value equal to root [t] plus [d]
+     - [Mem]         memref ports (persistent resources, no birth)
+
+   plus the ancestry relation between time roots: the iteration time of
+   a loop descends from the root at which the loop itself is scheduled.
+   A value born from an ancestor root is *stable* for the whole
+   lifetime of the descendant's scope (e.g. the outer loop's induction
+   variable %i is stable during the inner j-loop of the matrix
+   transpose), which is what makes such cross-scope uses legal. *)
+
+open Hir_ir
+
+type birth =
+  | Always
+  | At of Ir.value * int
+  | At_stable of Ir.value * int
+      (** Born at an instant but physically held for the remainder of
+          the enclosing scope: loop induction variables, function
+          arguments, and pure combinational functions of those.  Only
+          such values may be consumed from a descendant time domain —
+          a mem_read result or delay output lives on a wire that is
+          reused, so it is [At], never [At_stable]. *)
+  | Time of Ir.value * int
+  | Mem
+
+type t = {
+  births : (int, birth) Hashtbl.t;  (* value id -> birth *)
+  parents : (int, Ir.value) Hashtbl.t;  (* time root id -> parent root *)
+  starts : (int, Ir.value * int) Hashtbl.t;  (* scheduled op id -> start *)
+}
+
+let create () =
+  { births = Hashtbl.create 128; parents = Hashtbl.create 16; starts = Hashtbl.create 64 }
+
+let birth t v = Hashtbl.find_opt t.births (Ir.Value.id v)
+let set_birth t v b = Hashtbl.replace t.births (Ir.Value.id v) b
+
+let set_parent t ~root ~parent = Hashtbl.replace t.parents (Ir.Value.id root) parent
+
+let op_start t op = Hashtbl.find_opt t.starts op.Ir.op_id
+
+(* Is [anc] an ancestor root of [root] (strictly)? *)
+let rec is_ancestor_root t ~anc ~root =
+  match Hashtbl.find_opt t.parents (Ir.Value.id root) with
+  | None -> false
+  | Some p -> Ir.Value.equal p anc || is_ancestor_root t ~anc ~root:p
+
+(* Resolve a !hir.time operand to (root, delta). *)
+let resolve_time t v =
+  match birth t v with
+  | Some (Time (root, d)) -> Some (root, d)
+  | _ -> None
+
+(* How an operand relates to an op start time. *)
+type operand_timing =
+  | Exact  (* born exactly at the op's start *)
+  | Stable  (* constant, memref, or a held value from an ancestor root *)
+  | Transient  (* ancestor root, but the wire is not held (bus reuse) *)
+  | Mismatch of int * int  (* (found_delta, expected_delta), same root *)
+  | Foreign  (* born from an unrelated time root *)
+  | Unresolved
+
+let classify_operand t ~start:(root, delta) v =
+  match birth t v with
+  | None -> Unresolved
+  | Some Always -> Stable
+  | Some Mem -> Stable
+  | Some (Time (r, d)) ->
+    if Ir.Value.equal r root then if d = delta then Exact else Mismatch (d, delta)
+    else if is_ancestor_root t ~anc:r ~root then Stable
+    else Foreign
+  | Some (At (r, d)) ->
+    if Ir.Value.equal r root then if d = delta then Exact else Mismatch (d, delta)
+    else if is_ancestor_root t ~anc:r ~root then Transient
+    else Foreign
+  | Some (At_stable (r, d)) ->
+    if Ir.Value.equal r root then if d = delta then Exact else Mismatch (d, delta)
+    else if is_ancestor_root t ~anc:r ~root then Stable
+    else Foreign
+
+(* Location of the definition of [v], for "Prior definition here"
+   notes. *)
+let def_location v =
+  match v.Ir.v_def with
+  | Ir.Op_result (op, _) -> Ir.Op.loc op
+  | Ir.Block_arg (b, _) -> (
+    match Ir.Block.parent b with
+    | Some r -> (
+      match Ir.Region.parent r with Some op -> Ir.Op.loc op | None -> Location.unknown)
+    | None -> Location.unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+
+(* Emit callback lets the schedule verifier report while the analysis
+   proceeds; a [None] engine analyses silently (used by codegen and the
+   interpreter, which run on verified IR). *)
+
+let analyze ?engine func =
+  let t = create () in
+  let report f = match engine with Some e -> f e | None -> () in
+  let describe_operand op i =
+    (* A human label for operand [i] of [op], matching the paper's
+       diagnostics: addresses of memory ops are "address N", the data
+       operand is "value", binary ops have left/right operands. *)
+    let name = Ir.Op.name op in
+    match name with
+    | "hir.mem_read" ->
+      if i = 0 then "memref" else Printf.sprintf "address %d" (i - 1)
+    | "hir.mem_write" ->
+      if i = 0 then "value"
+      else if i = 1 then "memref"
+      else Printf.sprintf "address %d" (i - 2)
+    | "hir.delay" -> "input"
+    | "hir.call" -> Printf.sprintf "argument %d" i
+    | "hir.return" -> Printf.sprintf "returned value %d" i
+    | _ when i = 0 -> "left operand"
+    | _ when i = 1 -> "right operand"
+    | _ -> Printf.sprintf "operand %d" i
+  in
+  let check_operand op i v ~start =
+    match classify_operand t ~start v with
+    | Exact | Stable -> ()
+    | Unresolved -> ()
+    | Mismatch (found, expected) ->
+      report (fun e ->
+          Diagnostic.Engine.error e (Ir.Op.loc op)
+            ~notes:[ Diagnostic.note ~loc:(def_location v) "Prior definition here." ]
+            (Printf.sprintf "Schedule error: mismatched delay (%d vs %d) in %s!"
+               found expected (describe_operand op i)))
+    | Foreign ->
+      report (fun e ->
+          Diagnostic.Engine.error e (Ir.Op.loc op)
+            ~notes:[ Diagnostic.note ~loc:(def_location v) "Prior definition here." ]
+            (Printf.sprintf
+               "Schedule error: %s is scheduled in an unrelated time domain!"
+               (describe_operand op i)))
+    | Transient ->
+      report (fun e ->
+          Diagnostic.Engine.error e (Ir.Op.loc op)
+            ~notes:[ Diagnostic.note ~loc:(def_location v) "Prior definition here." ]
+            (Printf.sprintf
+               "Schedule error: %s is not held across time domains (its wire may be \
+                reused); insert a register or restructure the schedule!"
+               (describe_operand op i)))
+  in
+  (* Seed: function arguments. *)
+  let time_root = Ops.func_time_arg func in
+  set_birth t time_root (Time (time_root, 0));
+  let arg_delays = Ops.func_arg_delays func in
+  List.iteri
+    (fun i v ->
+      let b =
+        match Ir.Value.typ v with
+        | Types.Memref _ -> Mem
+        | Types.Const -> Always
+        | _ -> At_stable (time_root, List.nth_opt arg_delays i |> Option.value ~default:0)
+      in
+      set_birth t v b)
+    (Ops.func_data_args func);
+  (* Start time of a scheduled op from its time operand + offset. *)
+  let sched_start op time_operand offset =
+    match resolve_time t time_operand with
+    | Some (root, d) ->
+      let start = (root, d + offset) in
+      Hashtbl.replace t.starts op.Ir.op_id start;
+      Some start
+    | None -> None
+  in
+  let rec walk_block block =
+    List.iter walk_op (Ir.Block.ops block)
+  and walk_op op =
+    match Ir.Op.name op with
+    | "hir.constant" -> set_birth t (Ir.Op.result op 0) Always
+    | "hir.alloc" -> List.iter (fun r -> set_birth t r Mem) (Ir.Op.results op)
+    | "hir.delay" -> (
+      match sched_start op (Ops.delay_time op) (Ops.delay_offset op) with
+      | None -> ()
+      | Some ((root, d) as start) ->
+        check_operand op 0 (Ops.delay_input op) ~start;
+        set_birth t (Ir.Op.result op 0) (At (root, d + Ops.delay_by op)))
+    | "hir.mem_read" -> (
+      match sched_start op (Ops.mem_read_time op) (Ops.mem_read_offset op) with
+      | None -> ()
+      | Some ((root, d) as start) ->
+        List.iteri
+          (fun k idx -> check_operand op (1 + k) idx ~start)
+          (Ops.mem_read_indices op);
+        set_birth t (Ir.Op.result op 0) (At (root, d + Ops.mem_read_latency op)))
+    | "hir.mem_write" -> (
+      match sched_start op (Ops.mem_write_time op) (Ops.mem_write_offset op) with
+      | None -> ()
+      | Some start ->
+        check_operand op 0 (Ops.mem_write_value op) ~start;
+        List.iteri
+          (fun k idx -> check_operand op (2 + k) idx ~start)
+          (Ops.mem_write_indices op))
+    | "hir.call" -> (
+      match sched_start op (Ops.call_time op) (Ops.call_offset op) with
+      | None -> ()
+      | Some (root, d) ->
+        let arg_delays = Ops.call_arg_delays op in
+        List.iteri
+          (fun i arg ->
+            let delay = List.nth_opt arg_delays i |> Option.value ~default:0 in
+            match Ir.Value.typ arg with
+            | Types.Memref _ -> ()
+            | _ -> check_operand op i arg ~start:(root, d + delay))
+          (Ops.call_args op);
+        let result_delays = Ops.call_result_delays op in
+        List.iteri
+          (fun j r ->
+            let delay = List.nth_opt result_delays j |> Option.value ~default:0 in
+            set_birth t r (At (root, d + delay)))
+          (Ir.Op.results op))
+    | "hir.for" -> (
+      let iv = Ops.loop_induction_var op in
+      let ti = Ops.loop_iter_time op in
+      (match sched_start op (Ops.for_time op) (Ops.for_offset op) with
+      | None -> ()
+      | Some ((_, _) as start) ->
+        check_operand op 0 (Ops.for_lb op) ~start;
+        check_operand op 1 (Ops.for_ub op) ~start;
+        check_operand op 2 (Ops.for_step op) ~start;
+        (match resolve_time t (Ops.for_time op) with
+        | Some (parent_root, _) -> set_parent t ~root:ti ~parent:parent_root
+        | None -> ()));
+      set_birth t ti (Time (ti, 0));
+      set_birth t iv (At_stable (ti, 0));
+      (* The loop's result time is a fresh root: completion is a
+         dynamic event (it depends on the trip count). *)
+      let tf = Ir.Op.result op 0 in
+      set_birth t tf (Time (tf, 0));
+      (match resolve_time t (Ops.for_time op) with
+      | Some (parent_root, _) -> set_parent t ~root:tf ~parent:parent_root
+      | None -> ());
+      walk_block (Ops.loop_body op))
+    | "hir.unroll_for" -> (
+      let iv = Ir.Block.arg (Ops.loop_body op) 0 in
+      let ti = Ir.Block.arg (Ops.loop_body op) 1 in
+      (match resolve_time t (Ops.unroll_for_time op) with
+      | Some (parent_root, _) ->
+        Hashtbl.replace t.starts op.Ir.op_id
+          (parent_root, snd (Option.get (resolve_time t (Ops.unroll_for_time op)))
+                        + Ops.unroll_for_offset op);
+        set_parent t ~root:ti ~parent:parent_root
+      | None -> ());
+      set_birth t iv Always;
+      set_birth t ti (Time (ti, 0));
+      let tf = Ir.Op.result op 0 in
+      set_birth t tf (Time (tf, 0));
+      (match resolve_time t (Ops.unroll_for_time op) with
+      | Some (parent_root, _) -> set_parent t ~root:tf ~parent:parent_root
+      | None -> ());
+      walk_block (Ops.loop_body op))
+    | "hir.yield" -> (
+      match sched_start op (Ops.yield_time op) (Ops.yield_offset op) with
+      | None -> () | Some _ -> ())
+    | "hir.return" ->
+      let result_delays = Ops.func_result_delays func in
+      List.iteri
+        (fun i v ->
+          let delay = List.nth_opt result_delays i |> Option.value ~default:0 in
+          check_operand op i v ~start:(time_root, delay))
+        (Ir.Op.operands op)
+    | name
+      when List.mem name Ops.binary_compute_ops
+           || List.mem name Ops.comparison_ops
+           || List.mem name [ "hir.not"; "hir.select"; "hir.zext"; "hir.sext"; "hir.trunc" ]
+      ->
+      (* Combinational: all operands must agree on a single birth; the
+         first operand with a concrete birth is the reference. *)
+      let operands = Ir.Op.operands op in
+      let concrete =
+        List.filter_map
+          (fun v ->
+            match birth t v with
+            | Some (At (r, d)) -> Some (v, r, d, false)
+            | Some (At_stable (r, d)) -> Some (v, r, d, true)
+            | _ -> None)
+          operands
+      in
+      let result_birth =
+        match concrete with
+        | [] -> Always  (* all operands constant *)
+        | (_, r0, d0, _) :: _ ->
+          (* Reference: the most deeply nested root among operands. *)
+          let ref_root, ref_delta =
+            List.fold_left
+              (fun (r, d) (_, r', d', _) ->
+                if is_ancestor_root t ~anc:r ~root:r' then (r', d') else (r, d))
+              (r0, d0) concrete
+          in
+          List.iteri
+            (fun i v -> check_operand op i v ~start:(ref_root, ref_delta))
+            operands;
+          (* A combinational function of held values is itself held. *)
+          if List.for_all (fun (_, _, _, s) -> s) concrete then
+            At_stable (ref_root, ref_delta)
+          else At (ref_root, ref_delta)
+      in
+      List.iter (fun res -> set_birth t res result_birth) (Ir.Op.results op)
+    | _ ->
+      (* Unknown op: results unresolved. *)
+      ()
+  in
+  walk_block (Ops.func_body func);
+  t
+
+(* Initiation interval of a loop: the yield offset relative to the
+   iteration start, when statically resolvable. *)
+let loop_ii analysis loop_op =
+  let yield_op = Ops.loop_yield loop_op in
+  let ti =
+    match Ir.Op.name loop_op with
+    | "hir.for" -> Ops.loop_iter_time loop_op
+    | _ -> Ir.Block.arg (Ops.loop_body loop_op) 1
+  in
+  match resolve_time analysis (Ops.yield_time yield_op) with
+  | Some (root, d) when Ir.Value.equal root ti -> Some (d + Ops.yield_offset yield_op)
+  | _ -> None

@@ -1,0 +1,113 @@
+(* Full expansion of hir.unroll_for (paper Section 7.3): the body is
+   cloned once per iteration, the !hir.const induction variable is
+   substituted with a constant, and every schedule reference to the
+   iteration time variable is retargeted to the parent time domain with
+   a constant offset bump.  After this pass a design contains only
+   hir.for loops and straight-line ops, which is what the code
+   generator consumes. *)
+
+open Hir_ir
+
+(* Retarget every op under [root] that uses [old_time] as its time
+   operand to use [new_time] instead, adding [delta] to its offset
+   attribute.  Time operands are always of !hir.time type, and each
+   scheduled op has exactly one. *)
+let retarget_time_uses ~root ~old_time ~new_time ~delta =
+  Ir.Walk.ops_pre root ~f:(fun op ->
+      Array.iteri
+        (fun i v ->
+          if Ir.Value.equal v old_time then begin
+            Ir.Op.set_operand op i new_time;
+            match Ir.Op.int_attr_opt op "offset" with
+            | Some off -> Ir.Op.set_attr op "offset" (Attribute.Int (off + delta))
+            | None -> ()
+          end)
+        op.Ir.operands)
+
+(* The yield of an unroll body defines where the next iteration starts,
+   as (time value, constant offset). *)
+let yield_target op =
+  let y = Ops.loop_yield op in
+  (Ops.yield_time y, Ops.yield_offset y)
+
+let expand_one module_op op =
+  let parent_block =
+    match Ir.Op.parent op with Some b -> b | None -> failwith "detached unroll_for"
+  in
+  let lb = Ops.unroll_for_lb op in
+  let ub = Ops.unroll_for_ub op in
+  let step = Ops.unroll_for_step op in
+  let body = Ops.loop_body op in
+  let iv = Ir.Block.arg body 0 in
+  let ti = Ir.Block.arg body 1 in
+  (* Current start point: (time value, offset delta). *)
+  let current = ref (Ops.unroll_for_time op, Ops.unroll_for_offset op) in
+  let k = ref lb in
+  while !k < ub do
+    let time_v, delta = !current in
+    (* Constant for this iteration's induction variable. *)
+    let const_op =
+      Ir.Op.create ~loc:(Ir.Op.loc op)
+        ~attrs:[ ("value", Attribute.Int !k) ]
+        ~result_hints:[ Some (Printf.sprintf "u%d" !k) ]
+        "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+    in
+    Ir.Block.insert_before parent_block ~anchor:op const_op;
+    (* Clone the body with iv substituted. *)
+    let mapping = Hashtbl.create 16 in
+    Hashtbl.replace mapping (Ir.Value.id iv) (Ir.Op.result const_op 0);
+    let cloned_block = Ir.Clone.clone_block ~mapping body in
+    let cloned_ti =
+      match Hashtbl.find_opt mapping (Ir.Value.id ti) with
+      | Some v -> v
+      | None -> failwith "unroll: iteration time not cloned"
+    in
+    (* Detach the cloned ops and splice them before the unroll op. *)
+    let cloned_ops = Ir.Block.ops cloned_block in
+    List.iter (fun o -> Ir.Block.remove cloned_block o) cloned_ops;
+    List.iter (fun o -> Ir.Block.insert_before parent_block ~anchor:op o) cloned_ops;
+    (* The body-level yield is the only hir.yield at the top level of
+       the splice (nested loops keep theirs inside their regions). *)
+    let body_yield = List.find (fun o -> Ir.Op.name o = "hir.yield") cloned_ops in
+    (* Retarget schedule references to the cloned ti. *)
+    List.iter
+      (fun o ->
+        retarget_time_uses ~root:o ~old_time:cloned_ti ~new_time:time_v ~delta)
+      cloned_ops;
+    (* Next iteration starts where this clone's yield pointed. *)
+    let next_time = Ops.yield_time body_yield in
+    let next_off = Ops.yield_offset body_yield in
+    current := (next_time, next_off);
+    (* The yield itself is control metadata; drop it. *)
+    Ir.Block.remove parent_block body_yield;
+    k := !k + step
+  done;
+  (* Uses of the unroll's completion time continue from the final
+     start point. *)
+  let final_time, final_delta = !current in
+  retarget_time_uses ~root:module_op ~old_time:(Ir.Op.result op 0) ~new_time:final_time
+    ~delta:final_delta;
+  Ir.Block.remove parent_block op
+
+let run module_op =
+  let changed = ref false in
+  let rec fixpoint () =
+    (* Innermost first: collect in post-order and expand the first
+       unroll that contains no nested unroll. *)
+    let candidates = ref [] in
+    Ir.Walk.ops_post module_op ~f:(fun op ->
+        if Ir.Op.name op = "hir.unroll_for" then candidates := !candidates @ [ op ]);
+    match !candidates with
+    | [] -> ()
+    | op :: _ ->
+      expand_one module_op op;
+      changed := true;
+      fixpoint ()
+  in
+  fixpoint ();
+  !changed
+
+let pass =
+  Pass.make ~name:"unroll"
+    ~description:"Fully expand hir.unroll_for bodies (Section 7.3)"
+    (fun module_op _engine -> run module_op)

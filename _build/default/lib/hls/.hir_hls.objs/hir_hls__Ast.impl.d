@@ -1,0 +1,1 @@
+lib/hls/ast.ml: List Printf

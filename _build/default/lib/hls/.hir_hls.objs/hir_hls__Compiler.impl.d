@@ -1,0 +1,1 @@
+lib/hls/compiler.ml: Ast Format Hashtbl Hir_dialect Hir_ir List Option Printf Unix

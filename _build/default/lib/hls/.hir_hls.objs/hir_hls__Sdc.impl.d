@@ -1,0 +1,1 @@
+lib/hls/sdc.ml: Array Ast Compiler Hashtbl List

@@ -1,0 +1,1 @@
+lib/hls/suite.ml: Array Ast List Option Printf

@@ -1,0 +1,207 @@
+(* Source language of the baseline HLS compiler: a small C-like
+   language with arrays, static loops and Vivado-style pragmas
+   (PIPELINE with a target II, UNROLL, ARRAY_PARTITION).
+
+   This plays the role of the C++ kernels fed to Vivado HLS in the
+   paper's evaluation; the compiler in [Compiler] performs the classic
+   HLS phases (dependence analysis, allocation, list / iterative-modulo
+   scheduling) and then emits HIR with the schedule made explicit —
+   the integration path Section 9.2 of the paper proposes for HLS
+   front-ends. *)
+
+type ty = { width : int }
+
+let i32 = { width = 32 }
+let ty w = { width = w }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type expr =
+  | Int of int
+  | Var of string  (* loop variable, temp, or scalar parameter *)
+  | Load of string * expr list
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Let of string * ty * expr
+  | Store of string * expr list * expr
+  | For of for_loop
+
+and for_loop = {
+  var : string;
+  var_ty : ty;
+  lb : int;
+  ub : int;  (* exclusive *)
+  pipeline : int option;  (* PIPELINE pragma with target II *)
+  unroll : bool;  (* UNROLL pragma (full) *)
+  dep_free : string list;
+      (* DEPENDENCE inter false pragma: arrays asserted to carry no
+         loop-carried dependence *)
+  body : stmt list;
+}
+
+type storage = Auto | Bram | Lutram | Reg_file
+
+type array_decl = {
+  arr_name : string;
+  elem_width : int;
+  dims : int list;
+  partition : int list;  (* dims fully partitioned (ARRAY_PARTITION complete) *)
+  storage : storage;
+}
+
+type direction = In | Out
+
+type param =
+  | P_array of direction * array_decl
+  | P_scalar of string * ty
+
+type func = {
+  fn_name : string;
+  params : param list;
+  locals : array_decl list;
+  body : stmt list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers (the "C source") *)
+
+let v name = Var name
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( &: ) a b = Binop (And, a, b)
+let load arr idx = Load (arr, idx)
+let store arr idx value = Store (arr, idx, value)
+let let_ ?(ty = i32) name e = Let (name, ty, e)
+
+let for_ ?(var_ty = i32) ?pipeline ?(unroll = false) ?(dep_free = []) var ~lb ~ub body =
+  For { var; var_ty; lb; ub; pipeline; unroll; dep_free; body }
+
+let array ?(partition = []) ?(storage = Auto) ~width name dims =
+  { arr_name = name; elem_width = width; dims; partition; storage }
+
+(* ------------------------------------------------------------------ *)
+(* Substitution (used by full unrolling) *)
+
+let rec subst_expr name value = function
+  | Int _ as e -> e
+  | Var n when n = name -> Int value
+  | Var _ as e -> e
+  | Load (arr, idx) -> Load (arr, List.map (subst_expr name value) idx)
+  | Binop (op, a, b) -> Binop (op, subst_expr name value a, subst_expr name value b)
+
+let rec subst_stmt name value = function
+  | Let (n, t, e) -> Let (n, t, subst_expr name value e)
+  | Store (arr, idx, e) ->
+    Store (arr, List.map (subst_expr name value) idx, subst_expr name value e)
+  | For f ->
+    For { f with body = List.map (subst_stmt name value) f.body }
+
+(* Rename temporaries to keep SSA names unique after unrolling. *)
+let rec rename_stmt suffix renamed = function
+  | Let (n, t, e) ->
+    let n' = n ^ suffix in
+    (Let (n', t, rename_expr renamed e), (n, n') :: renamed)
+  | Store (arr, idx, e) ->
+    (Store (arr, List.map (rename_expr renamed) idx, rename_expr renamed e), renamed)
+  | For f ->
+    let body, _ =
+      List.fold_left
+        (fun (acc, ren) s ->
+          let s', ren' = rename_stmt suffix ren s in
+          (s' :: acc, ren'))
+        ([], renamed) f.body
+    in
+    (For { f with body = List.rev body }, renamed)
+
+and rename_expr renamed = function
+  | Int _ as e -> e
+  | Var n -> (
+    match List.assoc_opt n renamed with Some n' -> Var n' | None -> Var n)
+  | Load (arr, idx) -> Load (arr, List.map (rename_expr renamed) idx)
+  | Binop (op, a, b) -> Binop (op, rename_expr renamed a, rename_expr renamed b)
+
+(* Fully unroll every loop marked UNROLL. *)
+let rec unroll_stmt s =
+  match s with
+  | Let _ | Store _ -> [ s ]
+  | For f when f.unroll ->
+    let body = List.concat_map unroll_stmt f.body in
+    List.concat_map
+      (fun k ->
+        let suffix = Printf.sprintf "_%s%d" f.var k in
+        let substituted = List.map (subst_stmt f.var k) body in
+        let renamed, _ =
+          List.fold_left
+            (fun (acc, ren) s ->
+              let s', ren' = rename_stmt suffix ren s in
+              (s' :: acc, ren'))
+            ([], []) substituted
+        in
+        List.rev renamed)
+      (List.init (f.ub - f.lb) (fun i -> f.lb + i))
+  | For f -> [ For { f with body = List.concat_map unroll_stmt f.body } ]
+
+let unroll_func f = { f with body = List.concat_map unroll_stmt f.body }
+
+(* Constant folding — part of the "LLVM-style" middle end. *)
+let rec fold_expr = function
+  | Int _ as e -> e
+  | Var _ as e -> e
+  | Load (arr, idx) -> Load (arr, List.map fold_expr idx)
+  | Binop (op, a, b) -> (
+    match (fold_expr a, fold_expr b) with
+    | Int x, Int y ->
+      let r =
+        match op with
+        | Add -> x + y
+        | Sub -> x - y
+        | Mul -> x * y
+        | And -> x land y
+        | Or -> x lor y
+        | Xor -> x lxor y
+        | Shl -> x lsl y
+        | Shr -> x lsr y
+        | Lt -> if x < y then 1 else 0
+        | Le -> if x <= y then 1 else 0
+        | Gt -> if x > y then 1 else 0
+        | Ge -> if x >= y then 1 else 0
+        | Eq -> if x = y then 1 else 0
+        | Ne -> if x <> y then 1 else 0
+      in
+      Int r
+    | a, Int 0 when op = Add || op = Sub -> a
+    | Int 0, b when op = Add -> b
+    | a, Int 1 when op = Mul -> a
+    | Int 1, b when op = Mul -> b
+    (* Strength reduction: multiply by a power of two becomes a
+       shift (as Vivado's middle end does). *)
+    | a, Int c when op = Mul && c > 1 && c land (c - 1) = 0 ->
+      let rec log2 k v = if v = 1 then k else log2 (k + 1) (v / 2) in
+      Binop (Shl, a, Int (log2 0 c))
+    | Int c, b when op = Mul && c > 1 && c land (c - 1) = 0 ->
+      let rec log2 k v = if v = 1 then k else log2 (k + 1) (v / 2) in
+      Binop (Shl, b, Int (log2 0 c))
+    | a, b -> Binop (op, a, b))
+
+let rec fold_stmt = function
+  | Let (n, t, e) -> Let (n, t, fold_expr e)
+  | Store (arr, idx, e) -> Store (arr, List.map fold_expr idx, fold_expr e)
+  | For f -> For { f with body = List.map fold_stmt f.body }
+
+let fold_func f = { f with body = List.map fold_stmt f.body }

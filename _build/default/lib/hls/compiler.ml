@@ -1,0 +1,840 @@
+(* The baseline HLS compiler: classic high-level-synthesis phases over
+   the C-like [Ast], emitting HIR with the discovered schedule made
+   explicit (the integration path of paper Section 9.2), which then
+   reuses the HIR Verilog backend.
+
+   Phases, mirroring a Vivado-HLS-style flow:
+     1. frontend     full unrolling, repeated constant folding
+     2. allocation   array storage/port/latency selection
+     3. scheduling   dependence analysis + list scheduling per block;
+                     iterative modulo scheduling for PIPELINE loops
+     4. binding      operator/register usage accounting
+     5. codegen      HIR emission (schedules explicit), then the shared
+                     HIR → Verilog backend
+
+   Unlike the HIR flow, the widths are whatever the C source declared
+   (32-bit by default) and every value crossing a cycle boundary gets
+   its own alignment registers — which is exactly where the LUT/FF gap
+   of Tables 4 and 5 comes from. *)
+
+open Ast
+module Builder = Hir_dialect.Builder
+module Types = Hir_dialect.Types
+module Ops = Hir_dialect.Ops
+module Typ = Hir_ir.Typ
+
+exception Hls_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Hls_error s)) fmt
+
+type config = {
+  mul_latency : int;  (* extra pipeline stages on multipliers *)
+  fold_iterations : int;  (* middle-end cleanup repetitions *)
+}
+
+let default_config = { mul_latency = 0; fold_iterations = 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Allocation: arrays                                                  *)
+
+type array_info = {
+  ai_decl : array_decl;
+  ai_local : bool;
+  ai_dir : direction option;
+  ai_kind : Ops.mem_kind;  (* for locals *)
+  ai_latency : int;
+  ai_banks : int;
+  ai_packing : int list;  (* packed (non-partitioned) dim indices *)
+}
+
+let allocate_array ~local ~dir (decl : array_decl) =
+  let ndims = List.length decl.dims in
+  let packing =
+    List.filter (fun i -> not (List.mem i decl.partition)) (List.init ndims (fun i -> i))
+  in
+  let banks =
+    List.fold_left ( * ) 1 (List.filteri (fun i _ -> List.mem i decl.partition) decl.dims)
+  in
+  let depth_per_bank =
+    List.fold_left ( * ) 1 (List.filteri (fun i _ -> not (List.mem i decl.partition)) decl.dims)
+  in
+  let kind =
+    match decl.storage with
+    | Bram -> Ops.Block_ram
+    | Lutram -> Ops.Lut_ram
+    | Reg_file -> Ops.Reg
+    | Auto ->
+      if depth_per_bank = 1 then Ops.Reg
+      else if depth_per_bank * decl.elem_width >= 4096 then Ops.Block_ram
+      else Ops.Lut_ram
+  in
+  let latency = if local then Ops.mem_kind_latency kind else 1 in
+  {
+    ai_decl = decl;
+    ai_local = local;
+    ai_dir = dir;
+    ai_kind = kind;
+    ai_latency = latency;
+    ai_banks = banks;
+    ai_packing = packing;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Normalization: hoist loads out of expressions                       *)
+
+type node = {
+  n_id : int;
+  n_kind : nkind;
+  mutable n_cycle : int;
+}
+
+and nkind =
+  | N_load of { array : string; indices : expr list; temp : string; lat : int }
+  | N_temp of { temp : string; nty : ty; value : expr; lat : int }
+  | N_store of { array : string; indices : expr list; value : expr }
+
+type seg_item = Straight of node list | Subloop of for_loop
+
+let node_counter = ref 0
+
+let new_node kind =
+  incr node_counter;
+  { n_id = !node_counter; n_kind = kind; n_cycle = 0 }
+
+let rec expr_has_mul = function
+  | Int _ | Var _ -> false
+  | Load _ -> true  (* never after normalization *)
+  | Binop (Mul, _, _) -> true
+  | Binop (_, a, b) -> expr_has_mul a || expr_has_mul b
+
+(* Hoist loads: returns (expr without loads, load nodes in order).
+   Syntactically identical loads are shared through [load_cache]
+   (Vivado-style redundant-load elimination), which is what lets an
+   unrolled PE row broadcast one read to many consumers; the cache is
+   invalidated on stores to the same array. *)
+let normalize_expr ~arrays ~load_cache e =
+  let fresh =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Printf.sprintf "_ld%d_%d" !node_counter !c
+  in
+  let nodes = ref [] in
+  let rec go = function
+    | Int _ as e -> e
+    | Var _ as e -> e
+    | Binop (op, a, b) -> Binop (op, go a, go b)
+    | Load (arr, idx) ->
+      let idx = List.map go idx in
+      (match Hashtbl.find_opt load_cache (arr, idx) with
+      | Some temp -> Var temp
+      | None ->
+        let temp = fresh () in
+        let lat =
+          match List.assoc_opt arr arrays with
+          | Some ai -> ai.ai_latency
+          | None -> fail "unknown array %s" arr
+        in
+        nodes := new_node (N_load { array = arr; indices = idx; temp; lat }) :: !nodes;
+        Hashtbl.replace load_cache (arr, idx) temp;
+        Var temp)
+  in
+  let e' = go e in
+  (e', List.rev !nodes)
+
+let normalize_stmts ~arrays ~config stmts =
+  let load_cache = Hashtbl.create 32 in
+  let invalidate arr =
+    let stale =
+      Hashtbl.fold (fun (a, i) _ acc -> if a = arr then (a, i) :: acc else acc)
+        load_cache []
+    in
+    List.iter (Hashtbl.remove load_cache) stale
+  in
+  let rec seg acc current = function
+    | [] -> List.rev (if current = [] then acc else Straight (List.rev current) :: acc)
+    | Let (n, t, e) :: rest ->
+      let e', loads = normalize_expr ~arrays ~load_cache e in
+      let lat = if expr_has_mul e' then config.mul_latency else 0 in
+      let node = new_node (N_temp { temp = n; nty = t; value = e'; lat }) in
+      seg acc (node :: List.rev_append (List.rev loads) current) rest
+    | Store (arr, idx, e) :: rest ->
+      let e', loads1 = normalize_expr ~arrays ~load_cache e in
+      let idx_pairs = List.map (normalize_expr ~arrays ~load_cache) idx in
+      let idx' = List.map fst idx_pairs in
+      let loads2 = List.concat_map snd idx_pairs in
+      invalidate arr;
+      let node = new_node (N_store { array = arr; indices = idx'; value = e' }) in
+      seg acc
+        (node :: List.rev_append (List.rev (loads1 @ loads2)) current)
+        rest
+    | For f :: rest ->
+      let acc = if current = [] then acc else Straight (List.rev current) :: acc in
+      Hashtbl.reset load_cache;
+      seg (Subloop f :: acc) [] rest
+  in
+  seg [] [] stmts
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis                                                 *)
+
+(* Bank of an access when all partitioned-dim indices are constants
+   (guaranteed after unrolling for legal designs). *)
+let access_bank ~arrays array indices =
+  let ai = List.assoc array arrays in
+  let partitioned = ai.ai_decl.partition in
+  let banked =
+    List.filteri (fun i _ -> List.mem i partitioned)
+      (List.combine indices ai.ai_decl.dims)
+  in
+  let rec go acc = function
+    | [] -> Some acc
+    | (Int n, size) :: rest -> go ((acc * size) + n) rest
+    | _ -> None
+  in
+  go 0 banked
+
+(* May two index vectors refer to the same element? *)
+let same_address_maybe a b =
+  let rec definitely_eq x y =
+    match (x, y) with
+    | Int m, Int n -> m = n
+    | Var m, Var n -> m = n
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      o1 = o2 && definitely_eq a1 a2 && definitely_eq b1 b2
+    | _ -> false
+  in
+  let definitely_ne x y = match (x, y) with Int m, Int n -> m <> n | _ -> false in
+  if List.for_all2 definitely_eq a b then `Same
+  else if List.exists2 definitely_ne a b then `Different
+  else `Unknown
+
+type dep = { dep_from : node; dep_to : node; dep_min : int; dep_distance : int }
+
+(* Memory dependences among the nodes of one straight-line segment.
+   [pipelined] additionally yields distance-1 cross-iteration edges. *)
+let memory_deps ~arrays ~pipelined ?(dep_free = []) nodes =
+  let accesses =
+    List.filter_map
+      (fun n ->
+        match n.n_kind with
+        | N_load { array; indices; _ } -> Some (n, array, indices, `R)
+        | N_store { array; indices; _ } -> Some (n, array, indices, `W)
+        | N_temp _ -> None)
+      nodes
+  in
+  let deps = ref [] in
+  let add dep = deps := dep :: !deps in
+  let rec pairs = function
+    | [] -> ()
+    | (n1, arr1, idx1, rw1) :: rest ->
+      List.iter
+        (fun (n2, arr2, idx2, rw2) ->
+          if arr1 = arr2 then begin
+            let bank1 = access_bank ~arrays arr1 idx1 in
+            let bank2 = access_bank ~arrays arr2 idx2 in
+            let same_bank =
+              match (bank1, bank2) with Some a, Some b -> a = b | _ -> true
+            in
+            let addr = same_address_maybe idx1 idx2 in
+            if same_bank && addr <> `Different then begin
+              (* Intra-iteration edge n1 -> n2 (textual order). *)
+              (match (rw1, rw2) with
+              | `W, `R -> add { dep_from = n1; dep_to = n2; dep_min = 1; dep_distance = 0 }
+              | `R, `W -> add { dep_from = n1; dep_to = n2; dep_min = 0; dep_distance = 0 }
+              | `W, `W -> add { dep_from = n1; dep_to = n2; dep_min = 1; dep_distance = 0 }
+              | `R, `R -> ());
+              (* Cross-iteration edges for pipelining: the later
+                 iteration's access must respect this iteration's
+                 store. *)
+              if pipelined && not (List.mem arr1 dep_free) then begin
+                match (rw1, rw2) with
+                | `W, `R | `W, `W ->
+                  add { dep_from = n1; dep_to = n2; dep_min = 1; dep_distance = 1 }
+                | `R, `W | `R, `R -> ()
+              end
+            end;
+            (* Cross-iteration store-after-anything in the reverse
+               textual direction (e.g. load early, store late: next
+               iteration's load vs this store). *)
+            if pipelined && same_bank && addr <> `Different
+               && not (List.mem arr1 dep_free)
+            then begin
+              match (rw2, rw1) with
+              | `W, `R | `W, `W ->
+                add { dep_from = n2; dep_to = n1; dep_min = 1; dep_distance = 1 }
+              | _ -> ()
+            end
+          end)
+        rest;
+      pairs rest
+  in
+  pairs accesses;
+  !deps
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+(* Ready time of the leaf values of an expression. *)
+let expr_ready ~ready e =
+  let rec go = function
+    | Int _ -> 0
+    | Var n -> ready n
+    | Load _ -> fail "unnormalized load during scheduling"
+    | Binop (_, a, b) -> max (go a) (go b)
+  in
+  go e
+
+type port_use = { pu : (string * int * int * [ `R | `W ], int) Hashtbl.t }
+(* key: array, bank, cycle (mod II for pipelined), direction *)
+
+let port_free ports ~modulus ~arrays array indices ~cycle ~dir =
+  let ai = List.assoc array arrays in
+  ignore ai;
+  let bank = match access_bank ~arrays array indices with Some b -> b | None -> 0 in
+  let c = match modulus with Some ii -> cycle mod ii | None -> cycle in
+  let key = (array, bank, c, dir) in
+  match Hashtbl.find_opt ports.pu key with Some n -> n < 1 | None -> true
+
+let port_take ports ~modulus ~arrays array indices ~cycle ~dir =
+  let bank = match access_bank ~arrays array indices with Some b -> b | None -> 0 in
+  let c = match modulus with Some ii -> cycle mod ii | None -> cycle in
+  let key = (array, bank, c, dir) in
+  let n = Option.value ~default:0 (Hashtbl.find_opt ports.pu key) in
+  Hashtbl.replace ports.pu key (n + 1)
+
+(* Schedule one straight-line segment.  Returns the segment's
+   completion latency.  [modulus] = Some II for pipelined bodies. *)
+let schedule_segment ~arrays ~modulus ~outer_ready ?(extra = Hashtbl.create 0) nodes deps =
+  let ready_tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let ready name =
+    match Hashtbl.find_opt ready_tbl name with
+    | Some c -> c
+    | None -> outer_ready name
+  in
+  let ports = { pu = Hashtbl.create 32 } in
+  let horizon = 4096 in
+  let place node =
+    let data_ready =
+      match node.n_kind with
+      | N_load { indices; _ } -> List.fold_left (fun acc e -> max acc (expr_ready ~ready e)) 0 indices
+      | N_temp { value; _ } -> expr_ready ~ready value
+      | N_store { indices; value; _ } ->
+        List.fold_left (fun acc e -> max acc (expr_ready ~ready e)) (expr_ready ~ready value) indices
+    in
+    let dep_ready =
+      List.fold_left
+        (fun acc d ->
+          if d.dep_to == node && d.dep_distance = 0 then
+            max acc (d.dep_from.n_cycle + d.dep_min)
+          else acc)
+        0 deps
+    in
+    let earliest = max data_ready dep_ready in
+    let earliest =
+      max earliest (Option.value ~default:0 (Hashtbl.find_opt extra node.n_id))
+    in
+    let cycle =
+      match node.n_kind with
+      | N_temp _ -> earliest
+      | N_load { array; indices; _ } ->
+        let rec find c tries =
+          if tries > horizon then fail "scheduling horizon exceeded"
+          else if port_free ports ~modulus ~arrays array indices ~cycle:c ~dir:`R then c
+          else find (c + 1) (tries + 1)
+        in
+        let c = find earliest 0 in
+        port_take ports ~modulus ~arrays array indices ~cycle:c ~dir:`R;
+        c
+      | N_store { array; indices; _ } ->
+        let rec find c tries =
+          if tries > horizon then fail "scheduling horizon exceeded"
+          else if port_free ports ~modulus ~arrays array indices ~cycle:c ~dir:`W then c
+          else find (c + 1) (tries + 1)
+        in
+        let c = find earliest 0 in
+        port_take ports ~modulus ~arrays array indices ~cycle:c ~dir:`W;
+        c
+    in
+    node.n_cycle <- cycle;
+    (match node.n_kind with
+    | N_load { temp; lat; _ } -> Hashtbl.replace ready_tbl temp (cycle + lat)
+    | N_temp { temp; lat; _ } -> Hashtbl.replace ready_tbl temp (cycle + lat)
+    | N_store _ -> ())
+  in
+  List.iter place nodes;
+  (* Lifetime compaction (non-pipelined blocks): loads placed ASAP can
+     sit hundreds of cycles before their single consumer (e.g. a
+     register-file drain serialized on one output port), which would
+     cost huge alignment-register chains.  Re-place each load as late
+     as its consumers and dependence edges allow, if its port is free
+     there — the standard register-pressure step of an HLS scheduler. *)
+  (match modulus with
+  | Some _ -> ()
+  | None ->
+    let rec expr_vars acc = function
+      | Int _ -> acc
+      | Var n -> n :: acc
+      | Load _ -> acc
+      | Binop (_, a, b) -> expr_vars (expr_vars acc a) b
+    in
+    let node_reads n =
+      match n.n_kind with
+      | N_load { indices; _ } -> List.fold_left expr_vars [] indices
+      | N_temp { value; _ } -> expr_vars [] value
+      | N_store { indices; value; _ } ->
+        List.fold_left expr_vars (expr_vars [] value) indices
+    in
+    let consumer_bound temp =
+      List.fold_left
+        (fun acc n -> if List.mem temp (node_reads n) then min acc n.n_cycle else acc)
+        max_int nodes
+    in
+    let release array indices ~cycle ~dir =
+      let bank = match access_bank ~arrays array indices with Some b -> b | None -> 0 in
+      let key = (array, bank, cycle, dir) in
+      let n = Option.value ~default:1 (Hashtbl.find_opt ports.pu key) in
+      Hashtbl.replace ports.pu key (n - 1)
+    in
+    List.iter
+      (fun node ->
+        match node.n_kind with
+        | N_load { array; indices; temp; lat } ->
+          let use_bound = consumer_bound temp in
+          let dep_bound =
+            List.fold_left
+              (fun acc d ->
+                if d.dep_from == node && d.dep_distance = 0 then
+                  min acc (d.dep_to.n_cycle - d.dep_min)
+                else acc)
+              max_int deps
+          in
+          let target = min (use_bound - lat) dep_bound in
+          if target > node.n_cycle && target < max_int then begin
+            (* walk down from the target to the first free port slot
+               that is still later than the current placement *)
+            let rec try_at c =
+              if c <= node.n_cycle then ()
+              else if port_free ports ~modulus ~arrays array indices ~cycle:c ~dir:`R
+              then begin
+                release array indices ~cycle:node.n_cycle ~dir:`R;
+                port_take ports ~modulus ~arrays array indices ~cycle:c ~dir:`R;
+                node.n_cycle <- c;
+                Hashtbl.replace ready_tbl temp (c + lat)
+              end
+              else try_at (c - 1)
+            in
+            try_at target
+          end
+        | N_temp _ | N_store _ -> ())
+      (List.rev nodes));
+  (* Cross-iteration constraint check (pipelined only). *)
+  let ok =
+    match modulus with
+    | None -> true
+    | Some ii ->
+      List.for_all
+        (fun d ->
+          if d.dep_distance = 0 then true
+          else d.dep_to.n_cycle + (ii * d.dep_distance) >= d.dep_from.n_cycle + d.dep_min)
+        deps
+  in
+  let latency =
+    List.fold_left
+      (fun acc n ->
+        match n.n_kind with
+        | N_load { lat; _ } -> max acc (n.n_cycle + lat)
+        | N_temp { lat; _ } -> max acc (n.n_cycle + lat)
+        | N_store _ -> max acc (n.n_cycle + 1))
+      0 nodes
+  in
+  (ok, latency)
+
+(* Resource-constrained minimum II. *)
+let res_mii ~arrays nodes =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let bump array indices dir =
+        let bank = match access_bank ~arrays array indices with Some b -> b | None -> 0 in
+        let key = (array, bank, dir) in
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      in
+      match n.n_kind with
+      | N_load { array; indices; _ } -> bump array indices `R
+      | N_store { array; indices; _ } -> bump array indices `W
+      | N_temp _ -> ())
+    nodes;
+  Hashtbl.fold (fun _ n acc -> max acc n) counts 1
+
+(* Iterative modulo scheduling: raise II until a legal schedule is
+   found (the expensive search that dominates HLS compile time). *)
+let modulo_schedule ~arrays ~outer_ready ~target_ii nodes deps =
+  let mii = max target_ii (res_mii ~arrays nodes) in
+  let rec attempt ii =
+    if ii > mii + 64 then fail "no feasible II found";
+    (* Iterative repair: re-place with raised lower bounds on the
+       sinks of violated cross-iteration edges before giving up on
+       this II. *)
+    let extra = Hashtbl.create 8 in
+    let rec repair tries =
+      let ok, latency =
+        schedule_segment ~arrays ~modulus:(Some ii) ~outer_ready ~extra nodes deps
+      in
+      if ok then Some latency
+      else if tries = 0 then None
+      else begin
+        let progressed = ref false in
+        List.iter
+          (fun d ->
+            if d.dep_distance > 0
+               && d.dep_to.n_cycle + (ii * d.dep_distance)
+                  < d.dep_from.n_cycle + d.dep_min
+            then begin
+              let needed = d.dep_from.n_cycle + d.dep_min - (ii * d.dep_distance) in
+              let current = Option.value ~default:0 (Hashtbl.find_opt extra d.dep_to.n_id) in
+              if needed > current then begin
+                Hashtbl.replace extra d.dep_to.n_id needed;
+                progressed := true
+              end
+            end)
+          deps;
+        if !progressed then repair (tries - 1) else None
+      end
+    in
+    match repair 8 with Some latency -> (ii, latency) | None -> attempt (ii + 1)
+  in
+  attempt mii
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: scheduled nodes -> HIR with explicit schedules            *)
+
+type binding = {
+  bv : Hir_ir.Ir.value;
+  b_root : Hir_ir.Ir.value;  (* time root the value is anchored to *)
+  b_ready : int;  (* delta from root *)
+  b_stable : bool;
+}
+
+type mem_ports = {
+  mp_read : Hir_ir.Ir.value option;
+  mp_write : Hir_ir.Ir.value option;
+  mp_latency : int;
+}
+
+type lower_ctx = {
+  lc_env : (string, binding) Hashtbl.t;
+  lc_mems : (string, mem_ports) Hashtbl.t;
+  lc_arrays : (string * array_info) list;
+  lc_config : config;
+  lc_consts : (int * int, Hir_ir.Ir.value) Hashtbl.t;
+  (* delay cache: (block id, value id, target delta) -> delayed value *)
+  lc_delays : (int * int * int, Hir_ir.Ir.value) Hashtbl.t;
+  mutable lc_sched_time : float;
+  mutable lc_iis : (string * int) list;
+}
+
+let block_id (b : Builder.t) = b.Builder.block.Hir_ir.Ir.b_id
+
+let constant lc b n =
+  let key = (block_id b, n) in
+  match Hashtbl.find_opt lc.lc_consts key with
+  | Some v -> v
+  | None ->
+    let v = Builder.constant b n in
+    Hashtbl.replace lc.lc_consts key v;
+    v
+
+(* Align [v] (anchored at root/ready) to delta [target] of [root] by a
+   shift register; stable values need no alignment. *)
+let align lc b ~root v ~ready ~stable ~target =
+  if stable || ready >= target then v
+  else begin
+    let key = (block_id b, Hir_ir.Ir.Value.id v, target) in
+    match Hashtbl.find_opt lc.lc_delays key with
+    | Some d -> d
+    | None ->
+      let d = Builder.delay b v ~by:(target - ready) ~at:(root, ready) in
+      Hashtbl.replace lc.lc_delays key d;
+      d
+  end
+
+let hls_binop_table =
+  [
+    (Add, `B "hir.add"); (Sub, `B "hir.sub"); (Mul, `B "hir.mult");
+    (And, `B "hir.and"); (Or, `B "hir.or"); (Xor, `B "hir.xor");
+    (Shl, `B "hir.shl"); (Shr, `B "hir.shrl");
+    (Lt, `C "hir.lt"); (Le, `C "hir.le"); (Gt, `C "hir.gt");
+    (Ge, `C "hir.ge"); (Eq, `C "hir.eq"); (Ne, `C "hir.ne");
+  ]
+
+(* Build the HIR value of a (load-free) expression; returns
+   (value, ready delta, stable).  Operands are aligned to a common
+   instant as required by HIR's combinational ops. *)
+let rec lower_expr lc b ~root e =
+  match e with
+  | Int n -> (constant lc b n, 0, true)
+  | Var name -> (
+    match Hashtbl.find_opt lc.lc_env name with
+    | None -> fail "use of undefined value %s" name
+    | Some bind ->
+      if Hir_ir.Ir.Value.equal bind.b_root root then
+        (* Within its own time domain every value — the induction
+           variable included — is valid at exactly one instant and
+           must be realigned with shift registers for later use (the
+           Figure 1 error class); stability only exempts uses from
+           nested domains. *)
+        (bind.bv, bind.b_ready, false)
+      else if bind.b_stable then (bind.bv, 0, true)
+      else
+        fail "value %s crosses a loop boundary but is not held in a register" name)
+  | Load _ -> fail "unnormalized load during lowering"
+  | Binop (op, x, y) ->
+    let vx, rx, sx = lower_expr lc b ~root x in
+    let vy, ry, sy = lower_expr lc b ~root y in
+    let r = max rx ry in
+    let vx = align lc b ~root vx ~ready:rx ~stable:sx ~target:r in
+    let vy = align lc b ~root vy ~ready:ry ~stable:sy ~target:r in
+    let result =
+      match List.assoc op hls_binop_table with
+      | `B name -> Builder.binop name b vx vy
+      | `C name -> Builder.cmp name b vx vy
+    in
+    (result, r, sx && sy)
+
+let lower_node lc b ~root ~base node =
+  match node.n_kind with
+  | N_temp { temp; nty; value; lat } ->
+    let v, r, stable = lower_expr lc b ~root value in
+    (* Model pipelined operators (e.g. multi-stage multipliers) as a
+       registered result. *)
+    let v, r, stable =
+      if lat > 0 then (align lc b ~root v ~ready:r ~stable:false ~target:(r + lat), r + lat, false)
+      else (v, r, stable)
+    in
+    ignore nty;
+    Hashtbl.replace lc.lc_env temp { bv = v; b_root = root; b_ready = r; b_stable = stable }
+  | N_load { array; indices; temp; lat } ->
+    let c = node.n_cycle + base in
+    let ports =
+      match Hashtbl.find_opt lc.lc_mems array with
+      | Some p -> p
+      | None -> fail "unknown array %s" array
+    in
+    let port = match ports.mp_read with Some p -> p | None -> fail "array %s is write-only" array in
+    let idx_values =
+      List.map
+        (fun e ->
+          let v, r, s = lower_expr lc b ~root e in
+          align lc b ~root v ~ready:r ~stable:s ~target:c)
+        indices
+    in
+    let v = Builder.mem_read b port idx_values ~latency:lat ~at:(root, c) in
+    Hashtbl.replace lc.lc_env temp
+      { bv = v; b_root = root; b_ready = c + lat; b_stable = false }
+  | N_store { array; indices; value } ->
+    let c = node.n_cycle + base in
+    let ports = Hashtbl.find lc.lc_mems array in
+    let port = match ports.mp_write with Some p -> p | None -> fail "array %s is read-only" array in
+    let idx_values =
+      List.map
+        (fun e ->
+          let v, r, s = lower_expr lc b ~root e in
+          align lc b ~root v ~ready:r ~stable:s ~target:c)
+        indices
+    in
+    let v, r, s = lower_expr lc b ~root value in
+    let v = align lc b ~root v ~ready:r ~stable:s ~target:c in
+    Builder.mem_write b v port idx_values ~at:(root, c)
+
+(* Lower a statement block.  Returns (root, offset) of its completion
+   point. *)
+let rec lower_block lc b ~time stmts =
+  let segments = normalize_stmts ~arrays:lc.lc_arrays ~config:lc.lc_config stmts in
+  let root = ref time in
+  let cursor = ref 0 in
+  List.iter
+    (fun segment ->
+      match segment with
+      | Straight nodes ->
+        let deps = memory_deps ~arrays:lc.lc_arrays ~pipelined:false nodes in
+        let outer_ready _name = 0 in
+        let t0 = Unix.gettimeofday () in
+        let _ok, latency =
+          schedule_segment ~arrays:lc.lc_arrays ~modulus:None ~outer_ready nodes deps
+        in
+        lc.lc_sched_time <- lc.lc_sched_time +. (Unix.gettimeofday () -. t0);
+        List.iter (lower_node lc b ~root:!root ~base:!cursor) nodes;
+        cursor := !cursor + latency
+      | Subloop f ->
+        let nodes_probe = normalize_stmts ~arrays:lc.lc_arrays ~config:lc.lc_config f.body in
+        let has_subloops =
+          List.exists (function Subloop _ -> true | Straight _ -> false) nodes_probe
+        in
+        let lb = constant lc b f.lb in
+        let ub = constant lc b f.ub in
+        let step = constant lc b 1 in
+        let tf =
+          Builder.for_loop b ~iv_width:f.var_ty.width ~iv_hint:f.var ~lb ~ub ~step
+            ~at:(!root, !cursor + 1)
+            (fun body_b ~iv ~ti ->
+              Hashtbl.replace lc.lc_env f.var
+                { bv = iv; b_root = ti; b_ready = 0; b_stable = true };
+              match f.pipeline with
+              | Some target_ii when not has_subloops ->
+                let nodes =
+                  List.concat_map
+                    (function Straight ns -> ns | Subloop _ -> [])
+                    nodes_probe
+                in
+                let deps =
+                  memory_deps ~arrays:lc.lc_arrays ~pipelined:true
+                    ~dep_free:f.dep_free nodes
+                in
+                let t0 = Unix.gettimeofday () in
+                let ii, latency =
+                  modulo_schedule ~arrays:lc.lc_arrays
+                    ~outer_ready:(fun _ -> 0)
+                    ~target_ii nodes deps
+                in
+                lc.lc_sched_time <- lc.lc_sched_time +. (Unix.gettimeofday () -. t0);
+                lc.lc_iis <- (f.var, ii) :: lc.lc_iis;
+                List.iter (lower_node lc body_b ~root:ti ~base:0) nodes;
+                Builder.yield body_b ~at:(ti, ii);
+                (* Record drain for the epilogue of the enclosing
+                   block: handled by the caller through latency. *)
+                ignore latency
+              | _ ->
+                let end_root, end_off = lower_block lc body_b ~time:ti f.body in
+                Builder.yield body_b ~at:(end_root, max 1 end_off))
+        in
+        (* Conservative drain after a pipelined loop: stores of the
+           last iteration may still be in flight. *)
+        let drain =
+          match f.pipeline with
+          | Some _ -> 4  (* small constant: latency - II is bounded by
+                            the pipeline depth of our operator set *)
+          | None -> 0
+        in
+        root := tf;
+        cursor := drain)
+    segments;
+  (!root, !cursor)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+type compiled = {
+  hls_module : Hir_ir.Ir.op;
+  hls_func : Hir_ir.Ir.op;
+  phase_seconds : (string * float) list;
+  loop_iis : (string * int) list;
+}
+
+let compile ?(config = default_config) (f : func) =
+  Hir_dialect.Ops.register ();
+  let timer = Unix.gettimeofday in
+  (* Phase 1: frontend. *)
+  let t0 = timer () in
+  let f = unroll_func f in
+  let f = ref f in
+  for _ = 1 to config.fold_iterations do
+    f := fold_func !f
+  done;
+  let f = !f in
+  let t_frontend = timer () -. t0 in
+  (* Phase 2: allocation. *)
+  let t0 = timer () in
+  let arrays =
+    List.filter_map
+      (function
+        | P_array (dir, decl) ->
+          Some (decl.arr_name, allocate_array ~local:false ~dir:(Some dir) decl)
+        | P_scalar _ -> None)
+      f.params
+    @ List.map
+        (fun decl -> (decl.arr_name, allocate_array ~local:true ~dir:None decl))
+        f.locals
+  in
+  let t_alloc = timer () -. t0 in
+  (* Phases 3-5 happen during HIR construction; scheduling time is
+     accounted separately inside the lowering context. *)
+  let t0 = timer () in
+  let m = Builder.create_module () in
+  let lc =
+    {
+      lc_env = Hashtbl.create 64;
+      lc_mems = Hashtbl.create 16;
+      lc_arrays = arrays;
+      lc_config = config;
+      lc_consts = Hashtbl.create 16;
+      lc_delays = Hashtbl.create 64;
+      lc_sched_time = 0.;
+      lc_iis = [];
+    }
+  in
+  let args =
+    List.map
+      (fun p ->
+        match p with
+        | P_scalar (name, t) -> Builder.arg name (Typ.Int t.width)
+        | P_array (dir, decl) ->
+          let ai = List.assoc decl.arr_name arrays in
+          let port = match dir with In -> Types.Read | Out -> Types.Write in
+          Builder.arg decl.arr_name
+            (Types.memref
+               ~packing:(Some ai.ai_packing)
+               ~dims:decl.dims
+               ~elem:(Typ.Int decl.elem_width)
+               ~port ()))
+      f.params
+  in
+  let func_op =
+    Builder.func m ~name:f.fn_name ~args (fun b actuals t ->
+        List.iteri
+          (fun i p ->
+            let actual = List.nth actuals i in
+            match p with
+            | P_scalar (name, _) ->
+              Hashtbl.replace lc.lc_env name
+                { bv = actual; b_root = t; b_ready = 0; b_stable = true }
+            | P_array (dir, decl) ->
+              let ports =
+                match dir with
+                | In -> { mp_read = Some actual; mp_write = None; mp_latency = 1 }
+                | Out -> { mp_read = None; mp_write = Some actual; mp_latency = 1 }
+              in
+              Hashtbl.replace lc.lc_mems decl.arr_name ports)
+          f.params;
+        (* Local arrays. *)
+        List.iter
+          (fun decl ->
+            let ai = List.assoc decl.arr_name arrays in
+            let ports =
+              Builder.alloc b ~kind:ai.ai_kind
+                ~packing:ai.ai_packing ~dims:decl.dims
+                ~elem:(Typ.Int decl.elem_width)
+                ~ports:[ Types.Read; Types.Write ]
+            in
+            match ports with
+            | [ r; w ] ->
+              Hashtbl.replace lc.lc_mems decl.arr_name
+                { mp_read = Some r; mp_write = Some w; mp_latency = ai.ai_latency }
+            | _ -> fail "alloc shape")
+          f.locals;
+        let _ = lower_block lc b ~time:t f.body in
+        Builder.return_ b [])
+  in
+  let t_lower_total = timer () -. t0 in
+  {
+    hls_module = m;
+    hls_func = func_op;
+    phase_seconds =
+      [
+        ("frontend", t_frontend);
+        ("allocation", t_alloc);
+        ("scheduling", lc.lc_sched_time);
+        ("rtl-lowering", t_lower_total -. lc.lc_sched_time);
+      ];
+    loop_iis = List.rev lc.lc_iis;
+  }

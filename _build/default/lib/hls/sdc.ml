@@ -1,0 +1,147 @@
+(* SDC-style scheduling (Cong & Zhang's "system of difference
+   constraints" formulation, the one production HLS tools use): start
+   times are integer variables and every dependence becomes a
+   constraint
+
+       s(to) - s(from) >= minlat - II * distance
+
+   Solving the system by longest path (Bellman-Ford from a virtual
+   source) yields the ASAP schedule, and infeasibility — a positive
+   cycle in the constraint graph — is exactly the statement that the
+   recurrences do not fit in the candidate II.  This gives an *exact*
+   recurrence-MII, used to cross-validate the list/modulo scheduler in
+   [Compiler] (which additionally handles resource constraints). *)
+
+open Ast
+
+(* Data-dependence edges from SSA temps: def -> use with the def's
+   result latency. *)
+let data_deps (nodes : Compiler.node list) =
+  let def_of : (string, Compiler.node * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Compiler.node) ->
+      match n.Compiler.n_kind with
+      | Compiler.N_load { temp; lat; _ } -> Hashtbl.replace def_of temp (n, lat)
+      | Compiler.N_temp { temp; lat; _ } -> Hashtbl.replace def_of temp (n, lat)
+      | Compiler.N_store _ -> ())
+    nodes;
+  let rec expr_vars acc = function
+    | Int _ -> acc
+    | Var v -> v :: acc
+    | Load (_, idx) -> List.fold_left expr_vars acc idx
+    | Binop (_, a, b) -> expr_vars (expr_vars acc a) b
+  in
+  let reads (n : Compiler.node) =
+    match n.Compiler.n_kind with
+    | Compiler.N_load { indices; _ } -> List.fold_left expr_vars [] indices
+    | Compiler.N_temp { value; _ } -> expr_vars [] value
+    | Compiler.N_store { indices; value; _ } ->
+      List.fold_left expr_vars (expr_vars [] value) indices
+  in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun v ->
+          match Hashtbl.find_opt def_of v with
+          | Some (def, lat) when def != n ->
+            Some
+              {
+                Compiler.dep_from = def;
+                dep_to = n;
+                dep_min = lat;
+                dep_distance = 0;
+              }
+          | _ -> None)
+        (reads n))
+    nodes
+
+(* Longest-path solve.  Returns the start times, or None if the
+   constraint graph has a positive cycle (II infeasible). *)
+let solve ~ii nodes deps =
+  let all_deps = deps @ data_deps nodes in
+  let index : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri (fun i (n : Compiler.node) -> Hashtbl.replace index n.Compiler.n_id i) nodes;
+  let n = List.length nodes in
+  let dist = Array.make n 0 in
+  let edges =
+    List.filter_map
+      (fun (d : Compiler.dep) ->
+        match
+          ( Hashtbl.find_opt index d.Compiler.dep_from.Compiler.n_id,
+            Hashtbl.find_opt index d.Compiler.dep_to.Compiler.n_id )
+        with
+        | Some i, Some j ->
+          Some (i, j, d.Compiler.dep_min - (ii * d.Compiler.dep_distance))
+        | _ -> None)
+      all_deps
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (i, j, w) ->
+        if dist.(i) + w > dist.(j) then begin
+          dist.(j) <- dist.(i) + w;
+          changed := true
+        end)
+      edges
+  done;
+  if !changed then None  (* still relaxing after n+1 rounds: positive cycle *)
+  else Some dist
+
+(* The exact recurrence-constrained minimum II of a pipelined body. *)
+let recurrence_mii nodes deps =
+  let rec go ii = if ii > 64 then None else
+    match solve ~ii nodes deps with Some _ -> Some ii | None -> go (ii + 1)
+  in
+  go 1
+
+(* Convenience: analyze one PIPELINE loop of an HLS function.  Returns
+   (exact RecMII, schedule length at that II). *)
+let analyze_pipelined_loop ~(func : func) ~loop_var =
+  let cfg = Compiler.default_config in
+  let f = unroll_func func in
+  let arrays =
+    List.filter_map
+      (function
+        | P_array (dir, decl) ->
+          Some
+            ( decl.arr_name,
+              Compiler.allocate_array ~local:false ~dir:(Some dir) decl )
+        | P_scalar _ -> None)
+      f.params
+    @ List.map
+        (fun decl -> (decl.arr_name, Compiler.allocate_array ~local:true ~dir:None decl))
+        f.locals
+  in
+  let rec find_loop stmts =
+    List.find_map
+      (function
+        | For fl when fl.var = loop_var -> Some fl
+        | For fl -> find_loop fl.body
+        | _ -> None)
+      stmts
+  in
+  match find_loop f.body with
+  | None -> None
+  | Some fl ->
+    let segments = Compiler.normalize_stmts ~arrays ~config:cfg fl.body in
+    let nodes =
+      List.concat_map
+        (function Compiler.Straight ns -> ns | Compiler.Subloop _ -> [])
+        segments
+    in
+    let deps =
+      Compiler.memory_deps ~arrays ~pipelined:true ~dep_free:fl.dep_free nodes
+    in
+    (match recurrence_mii nodes deps with
+    | None -> None
+    | Some mii ->
+      let length =
+        match solve ~ii:mii nodes deps with
+        | Some dist -> Array.fold_left max 0 dist
+        | None -> 0
+      in
+      Some (mii, length))

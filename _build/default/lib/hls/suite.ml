@@ -1,0 +1,231 @@
+(* The evaluation kernels as C-like HLS sources with Vivado-style
+   pragmas — the "C++ fed to Vivado HLS" side of Tables 4, 5 and 6.
+   Loop structure, pipelining and unrolling match the HIR designs in
+   [Hir_kernels] so the comparison is between equally optimized
+   designs, as in the paper. *)
+
+open Ast
+
+(* --------------------------- transpose --------------------------- *)
+
+(* [iv_width] distinguishes the baseline (32-bit everything) from the
+   manually optimized variant of Table 4 (ap_uint<5> indices). *)
+let transpose ?(iv_width = 32) () =
+  {
+    fn_name = "transpose_hls";
+    params =
+      [
+        P_array (In, array ~width:32 "A" [ 16; 16 ]);
+        P_array (Out, array ~width:32 "B" [ 16; 16 ]);
+      ];
+    locals = [];
+    body =
+      [
+        for_ ~var_ty:(ty iv_width) "i" ~lb:0 ~ub:16
+          [
+            for_ ~var_ty:(ty iv_width) ~pipeline:1 "j" ~lb:0 ~ub:16
+              [
+                let_ "t" (load "A" [ v "i"; v "j" ]);
+                store "B" [ v "j"; v "i" ] (v "t");
+              ];
+          ];
+      ];
+  }
+
+(* --------------------------- stencil ----------------------------- *)
+
+let stencil () =
+  {
+    fn_name = "stencil_hls";
+    params =
+      [
+        P_array (In, array ~width:32 "A" [ 64 ]);
+        P_array (Out, array ~width:32 "B" [ 64 ]);
+      ];
+    locals = [ array ~width:32 ~partition:[ 0 ] "win" [ 2 ] ];
+    body =
+      [
+        let_ "a0" (load "A" [ Int 0 ]);
+        let_ "a1" (load "A" [ Int 1 ]);
+        store "win" [ Int 0 ] (v "a0");
+        store "win" [ Int 1 ] (v "a1");
+        for_ ~pipeline:1 "i" ~lb:1 ~ub:63
+          [
+            let_ "v0" (load "win" [ Int 0 ]);
+            let_ "v1" (load "win" [ Int 1 ]);
+            let_ "vn" (load "A" [ v "i" +: Int 1 ]);
+            let_ "r" ((Int 3 *: v "v0") +: (Int 5 *: v "v1"));
+            store "B" [ v "i" ] (v "r");
+            store "win" [ Int 0 ] (v "v1");
+            store "win" [ Int 1 ] (v "vn");
+          ];
+      ];
+  }
+
+(* --------------------------- histogram --------------------------- *)
+
+let histogram () =
+  {
+    fn_name = "histogram_hls";
+    params =
+      [
+        P_array (In, array ~width:8 "img" [ 256 ]);
+        P_array (Out, array ~width:32 "histo" [ 256 ]);
+      ];
+    locals = [ array ~width:32 ~storage:Bram "hist" [ 256 ] ];
+    body =
+      [
+        for_ ~pipeline:1 "bc" ~lb:0 ~ub:256 [ store "hist" [ v "bc" ] (Int 0) ];
+        (* The accumulation loop asks for II=1; the modulo scheduler
+           discovers the BRAM read-modify-write recurrence and settles
+           on II=2, as Vivado does. *)
+        for_ ~pipeline:1 "p" ~lb:0 ~ub:256
+          [
+            let_ "pix" (load "img" [ v "p" ]);
+            let_ "cnt" (load "hist" [ v "pix" ]);
+            store "hist" [ v "pix" ] (v "cnt" +: Int 1);
+          ];
+        for_ ~pipeline:1 "bo" ~lb:0 ~ub:256
+          [ store "histo" [ v "bo" ] (load "hist" [ v "bo" ]) ];
+      ];
+  }
+
+(* ----------------------------- gemm ------------------------------ *)
+
+let gemm ?(n = 16) () =
+  {
+    fn_name = "gemm_hls";
+    params =
+      [
+        P_array (In, array ~width:32 ~partition:[ 0 ] "A" [ n; n ]);
+        P_array (In, array ~width:32 ~partition:[ 1 ] "B" [ n; n ]);
+        P_array (Out, array ~width:32 "C" [ n; n ]);
+      ];
+    locals =
+      [
+        array ~width:32 ~partition:[ 0 ] ~storage:Lutram "ab" [ n; n ];
+        array ~width:32 ~partition:[ 1 ] ~storage:Lutram "bb" [ n; n ];
+        array ~width:32 ~partition:[ 0; 1 ] "acc" [ n; n ];
+      ];
+    body =
+      [
+        (* Zero the accumulators: fully parallel (all banks). *)
+        for_ ~unroll:true "zi" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "zj" ~lb:0 ~ub:n
+              [ store "acc" [ v "zi"; v "zj" ] (Int 0) ];
+          ];
+        (* Load local buffers, one column/row per cycle. *)
+        for_ ~pipeline:1 "k" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "li" ~lb:0 ~ub:n
+              [
+                store "ab" [ v "li"; v "k" ] (load "A" [ v "li"; v "k" ]);
+                store "bb" [ v "k"; v "li" ] (load "B" [ v "k"; v "li" ]);
+              ];
+          ];
+        (* The PE grid: 256 multiply-accumulates per cycle. *)
+        for_ ~pipeline:1 "kk" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "pi" ~lb:0 ~ub:n
+              [
+                for_ ~unroll:true "pj" ~lb:0 ~ub:n
+                  [
+                    store "acc" [ v "pi"; v "pj" ]
+                      (load "acc" [ v "pi"; v "pj" ]
+                      +: (load "ab" [ v "pi"; v "kk" ] *: load "bb" [ v "kk"; v "pj" ]));
+                  ];
+              ];
+          ];
+        (* Drain through the single output port; the port constraint
+           serializes the unrolled stores, one per cycle. *)
+        for_ ~unroll:true "di" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "dj" ~lb:0 ~ub:n
+              [ store "C" [ v "di"; v "dj" ] (load "acc" [ v "di"; v "dj" ]) ];
+          ];
+      ];
+  }
+
+(* -------------------------- convolution -------------------------- *)
+
+let convolution () =
+  let weights = [| [| 1; 2; 1 |]; [| 2; 4; 2 |]; [| 1; 2; 1 |] |] in
+  let tap r k =
+    (* taps: w<r>0 = win[r][0], w<r>1 = win[r][1], stream_r — the
+       window registers are read once into temps before being
+       shifted. *)
+    match k with
+    | 0 -> v (Printf.sprintf "w%d0" r)
+    | 1 -> v (Printf.sprintf "w%d1" r)
+    | _ -> v (match r with 0 -> "top" | 1 -> "mid" | _ -> "bot")
+  in
+  let sum =
+    List.fold_left
+      (fun acc (r, k) ->
+        let term = Int weights.(r).(k) *: tap r k in
+        match acc with None -> Some term | Some a -> Some (a +: term))
+      None
+      (List.concat_map (fun r -> List.map (fun k -> (r, k)) [ 0; 1; 2 ]) [ 0; 1; 2 ])
+    |> Option.get
+  in
+  {
+    fn_name = "convolution_hls";
+    params =
+      [
+        P_array (In, array ~width:32 "img" [ 64 ]);
+        P_array (Out, array ~width:32 "out" [ 64 ]);
+      ];
+    locals =
+      [
+        array ~width:32 ~partition:[ 0 ] ~storage:Lutram "lb" [ 2; 8 ];
+        array ~width:32 ~partition:[ 0; 1 ] "win" [ 3; 2 ];
+      ];
+    body =
+      [
+        (* Clear the window registers and line buffers (reads of
+           uninitialized memory are UB). *)
+        for_ ~unroll:true "wr" ~lb:0 ~ub:3
+          [
+            store "win" [ v "wr"; Int 0 ] (Int 0);
+            store "win" [ v "wr"; Int 1 ] (Int 0);
+          ];
+        for_ ~pipeline:1 "cc" ~lb:0 ~ub:8
+          [
+            store "lb" [ Int 0; v "cc" ] (Int 0);
+            store "lb" [ Int 1; v "cc" ] (Int 0);
+          ];
+        for_ ~pipeline:1 ~dep_free:[ "lb" ] "p" ~lb:0 ~ub:64
+          [
+            let_ "col" (v "p" &: Int 7);
+            let_ "top" (load "lb" [ Int 0; v "col" ]);
+            let_ "mid" (load "lb" [ Int 1; v "col" ]);
+            let_ "bot" (load "img" [ v "p" ]);
+            let_ "w00" (load "win" [ Int 0; Int 0 ]);
+            let_ "w01" (load "win" [ Int 0; Int 1 ]);
+            let_ "w10" (load "win" [ Int 1; Int 0 ]);
+            let_ "w11" (load "win" [ Int 1; Int 1 ]);
+            let_ "w20" (load "win" [ Int 2; Int 0 ]);
+            let_ "w21" (load "win" [ Int 2; Int 1 ]);
+            let_ "sum" sum;
+            store "out" [ v "p" ] (v "sum");
+            store "lb" [ Int 0; v "col" ] (v "mid");
+            store "lb" [ Int 1; v "col" ] (v "bot");
+            store "win" [ Int 0; Int 0 ] (v "w01");
+            store "win" [ Int 0; Int 1 ] (v "top");
+            store "win" [ Int 1; Int 0 ] (v "w11");
+            store "win" [ Int 1; Int 1 ] (v "mid");
+            store "win" [ Int 2; Int 0 ] (v "w21");
+            store "win" [ Int 2; Int 1 ] (v "bot");
+          ];
+      ];
+  }
+
+let all () =
+  [
+    ("transpose", transpose ());
+    ("stencil_1d", stencil ());
+    ("histogram", histogram ());
+    ("gemm", gemm ());
+    ("convolution", convolution ());
+  ]

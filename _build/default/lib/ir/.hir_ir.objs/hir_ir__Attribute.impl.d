@@ -1,0 +1,1 @@
+lib/ir/attribute.ml: Format Typ

@@ -1,0 +1,1 @@
+lib/ir/diagnostic.ml: Format List Location

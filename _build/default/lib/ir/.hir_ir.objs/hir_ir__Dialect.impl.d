@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Diagnostic Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Attribute Hashtbl Int List Location Map Option Set Typ

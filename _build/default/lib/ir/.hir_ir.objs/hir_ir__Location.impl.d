@@ -1,0 +1,1 @@
+lib/ir/location.ml: Format

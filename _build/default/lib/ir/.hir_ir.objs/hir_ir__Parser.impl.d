@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Attribute Hashtbl Ir Lexer List Location Printf Typ Type_parser

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Diagnostic Format Ir List Unix Verify

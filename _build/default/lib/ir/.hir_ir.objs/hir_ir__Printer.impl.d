@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Attribute Block Format Hashtbl Ir List Location Printf String Typ

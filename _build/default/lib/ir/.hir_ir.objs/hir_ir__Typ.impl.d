@@ -1,0 +1,1 @@
+lib/ir/typ.ml: Format List

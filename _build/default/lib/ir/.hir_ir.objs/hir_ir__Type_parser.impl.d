@@ -1,0 +1,1 @@
+lib/ir/type_parser.ml: Hashtbl Lexer String Typ

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Diagnostic Dialect Hashtbl Ir List

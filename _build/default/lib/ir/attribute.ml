@@ -1,0 +1,43 @@
+(* Attributes: constant, uniqued metadata attached to operations. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | String of string
+  | Symbol of string  (** Reference to a symbol, printed as [@name]. *)
+  | Type of Typ.t
+  | Array of t list
+  | Dict of (string * t) list
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "unit"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int n -> Format.pp_print_int fmt n
+  | String s -> Format.fprintf fmt "%S" s
+  | Symbol s -> Format.fprintf fmt "@%s" s
+  | Type t -> Format.fprintf fmt "!ty<%a>" Typ.pp t
+  | Array l ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp)
+      l
+  | Dict l ->
+    let pp_entry fmt (k, v) = Format.fprintf fmt "%s = %a" k pp v in
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_entry)
+      l
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal (a : t) (b : t) = a = b
+
+(* Typed accessors; raise on shape mismatch so that misuse in passes
+   fails loudly rather than silently. *)
+let as_int = function Int n -> n | a -> failwith ("Attribute.as_int: " ^ to_string a)
+let as_bool = function Bool b -> b | a -> failwith ("Attribute.as_bool: " ^ to_string a)
+let as_string = function String s -> s | a -> failwith ("Attribute.as_string: " ^ to_string a)
+let as_symbol = function Symbol s -> s | a -> failwith ("Attribute.as_symbol: " ^ to_string a)
+let as_type = function Type t -> t | a -> failwith ("Attribute.as_type: " ^ to_string a)
+let as_array = function Array l -> l | a -> failwith ("Attribute.as_array: " ^ to_string a)

@@ -1,0 +1,71 @@
+(* Diagnostics with attached notes, rendered in the style of MLIR:
+
+     file.mlir:13:5: error: Schedule error: mismatched delay (0 vs 1) ...
+     file.mlir:8:3: note: Prior definition here.
+
+   An [Engine.t] collects diagnostics during verification or a pass
+   pipeline; callers inspect [has_errors] / [to_list] afterwards. *)
+
+type severity = Error | Warning | Remark
+
+type note = { note_loc : Location.t; note_msg : string }
+
+type t = {
+  severity : severity;
+  loc : Location.t;
+  msg : string;
+  notes : note list;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Remark -> "remark"
+
+let make ?(notes = []) severity loc msg = { severity; loc; msg; notes }
+
+let error ?notes loc msg = make ?notes Error loc msg
+let warning ?notes loc msg = make ?notes Warning loc msg
+
+let note ~loc msg = { note_loc = loc; note_msg = msg }
+
+let pp fmt d =
+  Format.fprintf fmt "%a: %s: %s" Location.pp d.loc
+    (severity_to_string d.severity)
+    d.msg;
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "@\n%a: note: %s" Location.pp n.note_loc n.note_msg)
+    d.notes
+
+let to_string d = Format.asprintf "%a" pp d
+
+module Engine = struct
+  type diagnostic = t
+
+  type t = { mutable diags : diagnostic list (* reverse order *) }
+
+  let create () = { diags = [] }
+
+  let emit t d = t.diags <- d :: t.diags
+
+  let error t ?notes loc msg = emit t (error ?notes loc msg)
+  let warning t ?notes loc msg = emit t (warning ?notes loc msg)
+
+  let errorf t ?notes loc fmt =
+    Format.kasprintf (fun msg -> error t ?notes loc msg) fmt
+
+  let to_list t = List.rev t.diags
+
+  let has_errors t = List.exists (fun d -> d.severity = Error) t.diags
+
+  let error_count t =
+    List.length (List.filter (fun d -> d.severity = Error) t.diags)
+
+  let pp fmt t =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+      pp fmt (to_list t)
+
+  let to_string t = Format.asprintf "%a" pp t
+end

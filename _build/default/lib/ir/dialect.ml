@@ -1,0 +1,55 @@
+(* Dialect and operation registry.
+
+   Dialects register their operations with a verifier and trait set;
+   generic infrastructure (the verifier, the pass manager, Table 2 of
+   the paper) consults the registry rather than hard-coding op names. *)
+
+type trait =
+  | Terminator  (** Op terminates its enclosing block (yield, return). *)
+  | Pure  (** No side effects; eligible for CSE and DCE. *)
+  | Commutative
+  | Scheduled  (** Op carries an explicit (time, offset) schedule. *)
+
+type op_def = {
+  od_name : string;  (* fully qualified, e.g. "hir.for" *)
+  od_summary : string;
+  od_traits : trait list;
+  od_verify : Ir.op -> Diagnostic.Engine.t -> unit;
+}
+
+type dialect = {
+  d_name : string;
+  d_description : string;
+}
+
+let dialects : (string, dialect) Hashtbl.t = Hashtbl.create 8
+let op_defs : (string, op_def) Hashtbl.t = Hashtbl.create 64
+
+let no_verify (_ : Ir.op) (_ : Diagnostic.Engine.t) = ()
+
+let register_dialect ~name ~description =
+  Hashtbl.replace dialects name { d_name = name; d_description = description }
+
+let register_op ?(summary = "") ?(traits = []) ?(verify = no_verify) name =
+  Hashtbl.replace op_defs name
+    { od_name = name; od_summary = summary; od_traits = traits; od_verify = verify }
+
+let lookup_op name = Hashtbl.find_opt op_defs name
+
+let op_has_trait name trait =
+  match lookup_op name with
+  | Some def -> List.mem trait def.od_traits
+  | None -> false
+
+let registered_ops () =
+  Hashtbl.fold (fun _ def acc -> def :: acc) op_defs []
+  |> List.sort (fun a b -> String.compare a.od_name b.od_name)
+
+let registered_dialects () =
+  Hashtbl.fold (fun _ d acc -> d :: acc) dialects []
+  |> List.sort (fun a b -> String.compare a.d_name b.d_name)
+
+let dialect_of_op_name name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> ""

@@ -1,0 +1,364 @@
+(* The structural core of the IR: SSA values, operations, blocks and
+   regions, with the same containment model as MLIR:
+
+     op -> regions -> blocks -> ops
+
+   Everything is mutable so that passes can rewrite in place; the
+   [Builder] module provides the safe construction API and [Verify]
+   checks structural invariants after surgery. *)
+
+type value = {
+  v_id : int;
+  mutable v_type : Typ.t;
+  mutable v_hint : string option;  (* preferred printed name, e.g. "ti" *)
+  mutable v_def : def;
+}
+
+and def =
+  | Op_result of op * int
+  | Block_arg of block * int
+
+and op = {
+  op_id : int;
+  mutable op_name : string;  (* fully qualified, e.g. "hir.mem_read" *)
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : (string * Attribute.t) list;
+  mutable regions : region list;
+  mutable loc : Location.t;
+  mutable op_parent : block option;
+}
+
+and block = {
+  b_id : int;
+  mutable b_args : value array;
+  mutable b_ops : op list;  (* program order *)
+  mutable b_parent : region option;
+}
+
+and region = {
+  r_id : int;
+  mutable blocks : block list;
+  mutable r_parent : op option;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+module Value = struct
+  type t = value
+
+  let create ?hint typ def = { v_id = fresh_id (); v_type = typ; v_hint = hint; v_def = def }
+
+  let typ v = v.v_type
+  let hint v = v.v_hint
+  let set_hint v h = v.v_hint <- Some h
+  let id v = v.v_id
+  let equal a b = a.v_id = b.v_id
+  let compare a b = Int.compare a.v_id b.v_id
+  let hash v = v.v_id
+
+  let defining_op v =
+    match v.v_def with Op_result (op, _) -> Some op | Block_arg _ -> None
+
+  let result_index v =
+    match v.v_def with Op_result (_, i) -> Some i | Block_arg _ -> None
+
+  let defining_block v =
+    match v.v_def with Block_arg (b, _) -> Some b | Op_result _ -> None
+
+  let is_block_arg v =
+    match v.v_def with Block_arg _ -> true | Op_result _ -> false
+end
+
+module Value_map = Map.Make (struct
+  type t = value
+
+  let compare = Value.compare
+end)
+
+module Value_set = Set.Make (struct
+  type t = value
+
+  let compare = Value.compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+module Op = struct
+  type t = op
+
+  let name op = op.op_name
+  let operands op = Array.to_list op.operands
+  let operand op i = op.operands.(i)
+  let num_operands op = Array.length op.operands
+  let results op = Array.to_list op.results
+  let result op i = op.results.(i)
+  let num_results op = Array.length op.results
+  let regions op = op.regions
+  let region op i = List.nth op.regions i
+  let loc op = op.loc
+  let parent op = op.op_parent
+  let equal a b = a.op_id = b.op_id
+
+  let attr op key = List.assoc_opt key op.attrs
+  let has_attr op key = List.mem_assoc key op.attrs
+
+  let set_attr op key value =
+    op.attrs <- (key, value) :: List.remove_assoc key op.attrs
+
+  let remove_attr op key = op.attrs <- List.remove_assoc key op.attrs
+
+  let int_attr op key =
+    match attr op key with Some a -> Attribute.as_int a | None -> failwith (op.op_name ^ ": missing attr " ^ key)
+
+  let int_attr_opt op key = Option.map Attribute.as_int (attr op key)
+
+  let string_attr op key =
+    match attr op key with Some a -> Attribute.as_string a | None -> failwith (op.op_name ^ ": missing attr " ^ key)
+
+  let symbol_attr op key =
+    match attr op key with Some a -> Attribute.as_symbol a | None -> failwith (op.op_name ^ ": missing attr " ^ key)
+
+  let set_operand op i v = op.operands.(i) <- v
+  let set_operands op vs = op.operands <- Array.of_list vs
+
+  (* Create a detached op.  Result values are created from the given
+     result types. *)
+  let create ?(attrs = []) ?(regions = []) ?(loc = Location.unknown)
+      ?(result_hints = []) name ~operands ~result_types =
+    let rec hint_at i = function
+      | [] -> None
+      | h :: _ when i = 0 -> h
+      | _ :: rest -> hint_at (i - 1) rest
+    in
+    let op =
+      {
+        op_id = fresh_id ();
+        op_name = name;
+        operands = Array.of_list operands;
+        results = [||];
+        attrs;
+        regions;
+        loc;
+        op_parent = None;
+      }
+    in
+    op.results <-
+      Array.of_list
+        (List.mapi
+           (fun i ty -> Value.create ?hint:(hint_at i result_hints) ty (Op_result (op, i)))
+           result_types);
+    List.iter (fun r -> r.r_parent <- Some op) regions;
+    op
+
+  (* The region (if any) that encloses this op transitively at the
+     given nesting distance of 1. *)
+  let parent_region op = Option.bind op.op_parent (fun b -> b.b_parent)
+  let parent_op op = Option.bind (parent_region op) (fun r -> r.r_parent)
+
+  let rec ancestors op =
+    match parent_op op with None -> [] | Some p -> p :: ancestors p
+end
+
+(* ------------------------------------------------------------------ *)
+(* Blocks                                                              *)
+
+module Block = struct
+  type t = block
+
+  let create ?(arg_hints = []) arg_types =
+    let b = { b_id = fresh_id (); b_args = [||]; b_ops = []; b_parent = None } in
+    let rec hint_at i = function
+      | [] -> None
+      | h :: _ when i = 0 -> h
+      | _ :: rest -> hint_at (i - 1) rest
+    in
+    b.b_args <-
+      Array.of_list
+        (List.mapi
+           (fun i ty -> Value.create ?hint:(hint_at i arg_hints) ty (Block_arg (b, i)))
+           arg_types);
+    b
+
+  let args b = Array.to_list b.b_args
+  let arg b i = b.b_args.(i)
+  let num_args b = Array.length b.b_args
+  let ops b = b.b_ops
+  let parent b = b.b_parent
+  let equal a b = a.b_id = b.b_id
+
+  let append b op =
+    assert (op.op_parent = None);
+    op.op_parent <- Some b;
+    b.b_ops <- b.b_ops @ [ op ]
+
+  let insert_before b ~anchor op =
+    assert (op.op_parent = None);
+    op.op_parent <- Some b;
+    let rec go = function
+      | [] -> [ op ]  (* anchor not found: append *)
+      | o :: rest when Op.equal o anchor -> op :: o :: rest
+      | o :: rest -> o :: go rest
+    in
+    b.b_ops <- go b.b_ops
+
+  let insert_after b ~anchor op =
+    assert (op.op_parent = None);
+    op.op_parent <- Some b;
+    let rec go = function
+      | [] -> [ op ]
+      | o :: rest when Op.equal o anchor -> o :: op :: rest
+      | o :: rest -> o :: go rest
+    in
+    b.b_ops <- go b.b_ops
+
+  let remove b op =
+    b.b_ops <- List.filter (fun o -> not (Op.equal o op)) b.b_ops;
+    op.op_parent <- None
+
+  let terminator b =
+    match List.rev b.b_ops with [] -> None | last :: _ -> Some last
+end
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+
+module Region = struct
+  type t = region
+
+  let create ?(blocks = []) () =
+    let r = { r_id = fresh_id (); blocks; r_parent = None } in
+    List.iter (fun b -> b.b_parent <- Some r) blocks;
+    r
+
+  let blocks r = r.blocks
+  let parent r = r.r_parent
+  let equal a b = a.r_id = b.r_id
+
+  let append_block r b =
+    assert (b.b_parent = None);
+    b.b_parent <- Some r;
+    r.blocks <- r.blocks @ [ b ]
+
+  let entry_block r =
+    match r.blocks with [] -> None | b :: _ -> Some b
+
+  let rec ancestor_ops r =
+    match r.r_parent with
+    | None -> []
+    | Some op -> (
+      op :: (match Op.parent_region op with None -> [] | Some r' -> ancestor_ops r'))
+
+  (* Is [inner] nested within (or equal to) [outer]? *)
+  let rec is_nested_in ~outer inner =
+    if equal inner outer then true
+    else
+      match inner.r_parent with
+      | None -> false
+      | Some op -> (
+        match Op.parent_region op with
+        | None -> false
+        | Some r -> is_nested_in ~outer r)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Traversal and rewriting utilities                                   *)
+
+module Walk = struct
+  (* Pre-order walk over every op nested under [op], including [op]. *)
+  let rec ops_pre op ~f =
+    f op;
+    List.iter (fun r -> List.iter (fun b -> List.iter (fun o -> ops_pre o ~f) b.b_ops) r.blocks) op.regions
+
+  (* Post-order: children first. *)
+  let rec ops_post op ~f =
+    List.iter (fun r -> List.iter (fun b -> List.iter (fun o -> ops_post o ~f) b.b_ops) r.blocks) op.regions;
+    f op
+
+  let collect op ~pred =
+    let acc = ref [] in
+    ops_pre op ~f:(fun o -> if pred o then acc := o :: !acc);
+    List.rev !acc
+
+  let find_all op name = collect op ~pred:(fun o -> o.op_name = name)
+end
+
+module Rewrite = struct
+  (* Replace every use of [old_v] with [new_v] in ops nested under
+     [root] (operand lists only; block args and results are defs, not
+     uses). *)
+  let replace_uses ~root ~old_v ~new_v =
+    Walk.ops_pre root ~f:(fun op ->
+        Array.iteri
+          (fun i v -> if Value.equal v old_v then op.operands.(i) <- new_v)
+          op.operands)
+
+  let replace_op_with_value ~root op new_v =
+    assert (Array.length op.results = 1);
+    replace_uses ~root ~old_v:op.results.(0) ~new_v;
+    match op.op_parent with Some b -> Block.remove b op | None -> ()
+
+  (* Erase an op (must have no remaining uses; not checked here). *)
+  let erase op =
+    match op.op_parent with Some b -> Block.remove b op | None -> ()
+
+  (* Count uses of [v] under [root]. *)
+  let count_uses ~root v =
+    let n = ref 0 in
+    Walk.ops_pre root ~f:(fun op ->
+        Array.iter (fun u -> if Value.equal u v then incr n) op.operands);
+    !n
+
+  let has_uses ~root v = count_uses ~root v > 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cloning                                                             *)
+
+module Clone = struct
+  (* Deep-clone an op.  [mapping] seeds value substitutions (e.g. to
+     substitute a block arg with a constant when unrolling); the
+     returned table includes mappings for all cloned results and block
+     args. *)
+  let rec clone_op ?(mapping = Hashtbl.create 16) op =
+    let map_value v =
+      match Hashtbl.find_opt mapping v.v_id with Some v' -> v' | None -> v
+    in
+    let operands = Array.to_list (Array.map map_value op.operands) in
+    let regions = List.map (clone_region ~mapping) op.regions in
+    let cloned =
+      Op.create ~attrs:op.attrs ~regions ~loc:op.loc op.op_name ~operands
+        ~result_types:(List.map (fun r -> r.v_type) (Array.to_list op.results))
+    in
+    Array.iteri
+      (fun i r ->
+        cloned.results.(i).v_hint <- r.v_hint;
+        Hashtbl.replace mapping r.v_id cloned.results.(i))
+      op.results;
+    cloned
+
+  and clone_region ~mapping r =
+    let blocks = List.map (clone_block ~mapping) r.blocks in
+    Region.create ~blocks ()
+
+  and clone_block ~mapping b =
+    let nb = Block.create (List.map (fun a -> a.v_type) (Block.args b)) in
+    Array.iteri
+      (fun i a ->
+        nb.b_args.(i).v_hint <- a.v_hint;
+        (* Respect substitutions seeded by the caller (e.g. an unroll
+           pass mapping the induction variable to a constant). *)
+        if not (Hashtbl.mem mapping a.v_id) then
+          Hashtbl.replace mapping a.v_id nb.b_args.(i))
+      b.b_args;
+    List.iter (fun op -> Block.append nb (clone_op ~mapping op)) b.b_ops;
+    nb
+end

@@ -1,0 +1,213 @@
+(* Hand-written lexer for the generic textual IR format.  Also used by
+   dialect type-parser hooks, which receive the token stream to consume
+   the body of types like [!hir.memref<16*16*i32, r>]. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | PERCENT of string  (* %name: an SSA value use or definition *)
+  | AT of string  (* @name: a symbol reference *)
+  | CARET of string  (* ^name: a block label *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | EQUAL
+  | COLON
+  | STAR
+  | ARROW
+  | BANG
+  | DOT
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> "identifier '" ^ s ^ "'"
+  | INT n -> "integer " ^ string_of_int n
+  | STRING s -> Printf.sprintf "string %S" s
+  | PERCENT s -> "%" ^ s
+  | AT s -> "@" ^ s
+  | CARET s -> "^" ^ s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | COMMA -> "','"
+  | EQUAL -> "'='"
+  | COLON -> "':'"
+  | STAR -> "'*'"
+  | ARROW -> "'->'"
+  | BANG -> "'!'"
+  | DOT -> "'.'"
+  | EOF -> "end of input"
+
+exception Lex_error of Location.t * string
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  mutable peeked : (token * Location.t) option;
+}
+
+let create ?(file = "<input>") src =
+  { src; file; pos = 0; line = 1; bol = 0; peeked = None }
+
+let location t =
+  Location.file ~file:t.file ~line:t.line ~col:(t.pos - t.bol + 1)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let rec skip_ws t =
+  if t.pos < String.length t.src then begin
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_ws t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.line <- t.line + 1;
+      t.bol <- t.pos;
+      skip_ws t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_ws t
+    | _ -> ()
+  end
+
+let read_ident t =
+  let start = t.pos in
+  while t.pos < String.length t.src && is_ident_char t.src.[t.pos] do
+    t.pos <- t.pos + 1
+  done;
+  String.sub t.src start (t.pos - start)
+
+let read_token t =
+  skip_ws t;
+  let loc = location t in
+  if t.pos >= String.length t.src then (EOF, loc)
+  else begin
+    let c = t.src.[t.pos] in
+    let simple tok =
+      t.pos <- t.pos + 1;
+      (tok, loc)
+    in
+    match c with
+    | '(' -> simple LPAREN
+    | ')' -> simple RPAREN
+    | '{' -> simple LBRACE
+    | '}' -> simple RBRACE
+    | '[' -> simple LBRACKET
+    | ']' -> simple RBRACKET
+    | '<' -> simple LANGLE
+    | '>' -> simple RANGLE
+    | ',' -> simple COMMA
+    | '=' -> simple EQUAL
+    | ':' -> simple COLON
+    | '*' -> simple STAR
+    | '!' -> simple BANG
+    | '.' -> simple DOT
+    | '-' ->
+      if t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '>' then begin
+        t.pos <- t.pos + 2;
+        (ARROW, loc)
+      end
+      else if t.pos + 1 < String.length t.src
+              && t.src.[t.pos + 1] >= '0'
+              && t.src.[t.pos + 1] <= '9'
+      then begin
+        t.pos <- t.pos + 1;
+        let digits = read_ident t in
+        (INT (-int_of_string digits), loc)
+      end
+      else raise (Lex_error (loc, "unexpected '-'"))
+    | '%' ->
+      t.pos <- t.pos + 1;
+      (PERCENT (read_ident t), loc)
+    | '@' ->
+      t.pos <- t.pos + 1;
+      (AT (read_ident t), loc)
+    | '^' ->
+      t.pos <- t.pos + 1;
+      (CARET (read_ident t), loc)
+    | '"' ->
+      t.pos <- t.pos + 1;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if t.pos >= String.length t.src then
+          raise (Lex_error (loc, "unterminated string literal"))
+        else
+          match t.src.[t.pos] with
+          | '"' -> t.pos <- t.pos + 1
+          | '\\' when t.pos + 1 < String.length t.src ->
+            (match t.src.[t.pos + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> Buffer.add_char buf c);
+            t.pos <- t.pos + 2;
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            t.pos <- t.pos + 1;
+            go ()
+      in
+      go ();
+      (STRING (Buffer.contents buf), loc)
+    | '0' .. '9' -> (INT (int_of_string (read_ident t)), loc)
+    | c when is_ident_char c -> (IDENT (read_ident t), loc)
+    | c -> raise (Lex_error (loc, Printf.sprintf "unexpected character %C" c))
+  end
+
+let next t =
+  match t.peeked with
+  | Some tok ->
+    t.peeked <- None;
+    tok
+  | None -> read_token t
+
+let peek t =
+  match t.peeked with
+  | Some tok -> tok
+  | None ->
+    let tok = read_token t in
+    t.peeked <- Some tok;
+    tok
+
+let peek_token t = fst (peek t)
+
+let expect t tok =
+  let got, loc = next t in
+  if got <> tok then
+    raise
+      (Lex_error
+         ( loc,
+           Printf.sprintf "expected %s but found %s" (token_to_string tok)
+             (token_to_string got) ))
+
+let accept t tok = if peek_token t = tok then (ignore (next t); true) else false
+
+let expect_int t =
+  match next t with
+  | INT n, _ -> n
+  | got, loc ->
+    raise (Lex_error (loc, "expected integer, found " ^ token_to_string got))
+
+let expect_ident t =
+  match next t with
+  | IDENT s, _ -> s
+  | got, loc ->
+    raise (Lex_error (loc, "expected identifier, found " ^ token_to_string got))

@@ -1,0 +1,21 @@
+(* Source locations, in the style of MLIR's Location attribute. *)
+
+type t =
+  | Unknown
+  | File of { file : string; line : int; col : int }
+  | Name of { name : string; child : t }
+      (* A named location, e.g. the label a builder attaches to an op. *)
+
+let unknown = Unknown
+let file ~file ~line ~col = File { file; line; col }
+let name ?(child = Unknown) n = Name { name = n; child }
+
+let rec pp fmt = function
+  | Unknown -> Format.pp_print_string fmt "loc(unknown)"
+  | File { file; line; col } -> Format.fprintf fmt "%s:%d:%d" file line col
+  | Name { name; child = Unknown } -> Format.fprintf fmt "%S" name
+  | Name { name; child } -> Format.fprintf fmt "%S(%a)" name pp child
+
+let to_string t = Format.asprintf "%a" pp t
+
+let is_unknown = function Unknown -> true | File _ | Name _ -> false

@@ -1,0 +1,281 @@
+(* Parser for the generic textual form emitted by [Printer].  The
+   grammar is the MLIR generic-op grammar restricted to what this IR
+   supports (single-block regions with argument lists, no successor
+   lists). *)
+
+exception Parse_error of Location.t * string
+
+let fail loc msg = raise (Parse_error (loc, msg))
+
+type state = {
+  lex : Lexer.t;
+  scope : (string, Ir.value) Hashtbl.t;  (* SSA name -> value *)
+}
+
+let lookup_value st name loc =
+  match Hashtbl.find_opt st.scope name with
+  | Some v -> v
+  | None -> fail loc (Printf.sprintf "use of undefined value %%%s" name)
+
+let define_value st name v = Hashtbl.replace st.scope name v
+
+let rec parse_attr_value st =
+  match Lexer.next st.lex with
+  | Lexer.INT n, _ -> Attribute.Int n
+  | Lexer.STRING s, _ -> Attribute.String s
+  | Lexer.AT s, _ -> Attribute.Symbol s
+  | Lexer.IDENT "true", _ -> Attribute.Bool true
+  | Lexer.IDENT "false", _ -> Attribute.Bool false
+  | Lexer.IDENT "unit", _ -> Attribute.Unit
+  | Lexer.LBRACKET, _ ->
+    let rec go acc =
+      if Lexer.accept st.lex Lexer.RBRACKET then List.rev acc
+      else begin
+        let v = parse_attr_value st in
+        if Lexer.accept st.lex Lexer.COMMA then go (v :: acc)
+        else begin
+          Lexer.expect st.lex Lexer.RBRACKET;
+          List.rev (v :: acc)
+        end
+      end
+    in
+    Attribute.Array (go [])
+  | Lexer.LBRACE, _ -> Attribute.Dict (parse_attr_entries st)
+  | Lexer.BANG, loc ->
+    let kind = Lexer.expect_ident st.lex in
+    if kind <> "ty" then fail loc "expected !ty<...> attribute"
+    else begin
+      Lexer.expect st.lex Lexer.LANGLE;
+      let t = Type_parser.parse st.lex in
+      Lexer.expect st.lex Lexer.RANGLE;
+      Attribute.Type t
+    end
+  | got, loc -> fail loc ("expected attribute value, found " ^ Lexer.token_to_string got)
+
+and parse_attr_entries st =
+  (* Assumes the opening brace is already consumed; consumes the
+     closing brace. *)
+  if Lexer.accept st.lex Lexer.RBRACE then []
+  else begin
+    let rec go acc =
+      let key = Lexer.expect_ident st.lex in
+      Lexer.expect st.lex Lexer.EQUAL;
+      let v = parse_attr_value st in
+      let acc = (key, v) :: acc in
+      if Lexer.accept st.lex Lexer.COMMA then go acc
+      else begin
+        Lexer.expect st.lex Lexer.RBRACE;
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+let parse_loc st =
+  (* 'loc' '(' STRING [':' INT ':' INT] ')' — optional trailer. *)
+  match Lexer.peek_token st.lex with
+  | Lexer.IDENT "loc" ->
+    ignore (Lexer.next st.lex);
+    Lexer.expect st.lex Lexer.LPAREN;
+    let s =
+      match Lexer.next st.lex with
+      | Lexer.STRING s, _ -> s
+      | got, loc -> fail loc ("expected string in loc(...), found " ^ Lexer.token_to_string got)
+    in
+    let result =
+      if Lexer.accept st.lex Lexer.COLON then begin
+        let line = Lexer.expect_int st.lex in
+        Lexer.expect st.lex Lexer.COLON;
+        let col = Lexer.expect_int st.lex in
+        Location.file ~file:s ~line ~col
+      end
+      else Location.name s
+    in
+    Lexer.expect st.lex Lexer.RPAREN;
+    result
+  | _ -> Location.unknown
+
+let rec parse_op st =
+  (* Optional results. *)
+  let results =
+    match Lexer.peek_token st.lex with
+    | Lexer.PERCENT _ ->
+      let rec go acc =
+        match Lexer.next st.lex with
+        | Lexer.PERCENT name, _ ->
+          if Lexer.accept st.lex Lexer.COMMA then go (name :: acc)
+          else begin
+            Lexer.expect st.lex Lexer.EQUAL;
+            List.rev (name :: acc)
+          end
+        | got, loc -> fail loc ("expected %result, found " ^ Lexer.token_to_string got)
+      in
+      go []
+    | _ -> []
+  in
+  let name, name_loc =
+    match Lexer.next st.lex with
+    | Lexer.STRING s, loc -> (s, loc)
+    | got, loc -> fail loc ("expected op name string, found " ^ Lexer.token_to_string got)
+  in
+  (* Operands. *)
+  Lexer.expect st.lex Lexer.LPAREN;
+  let operands =
+    let rec go acc =
+      match Lexer.peek_token st.lex with
+      | Lexer.RPAREN ->
+        ignore (Lexer.next st.lex);
+        List.rev acc
+      | _ -> (
+        match Lexer.next st.lex with
+        | Lexer.PERCENT n, loc ->
+          let v = lookup_value st n loc in
+          if Lexer.accept st.lex Lexer.COMMA then go (v :: acc)
+          else begin
+            Lexer.expect st.lex Lexer.RPAREN;
+            List.rev (v :: acc)
+          end
+        | got, loc -> fail loc ("expected %operand, found " ^ Lexer.token_to_string got))
+    in
+    go []
+  in
+  (* Optional regions. *)
+  let regions =
+    if Lexer.peek_token st.lex = Lexer.LPAREN then begin
+      ignore (Lexer.next st.lex);
+      let rec go acc =
+        let r = parse_region st in
+        if Lexer.accept st.lex Lexer.COMMA then go (r :: acc)
+        else begin
+          Lexer.expect st.lex Lexer.RPAREN;
+          List.rev (r :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  (* Optional attributes. *)
+  let attrs =
+    if Lexer.accept st.lex Lexer.LBRACE then parse_attr_entries st else []
+  in
+  (* Type signature. *)
+  Lexer.expect st.lex Lexer.COLON;
+  Lexer.expect st.lex Lexer.LPAREN;
+  let operand_types =
+    let rec go acc =
+      if Lexer.accept st.lex Lexer.RPAREN then List.rev acc
+      else begin
+        let t = Type_parser.parse st.lex in
+        if Lexer.accept st.lex Lexer.COMMA then go (t :: acc)
+        else begin
+          Lexer.expect st.lex Lexer.RPAREN;
+          List.rev (t :: acc)
+        end
+      end
+    in
+    go []
+  in
+  Lexer.expect st.lex Lexer.ARROW;
+  Lexer.expect st.lex Lexer.LPAREN;
+  let result_types =
+    let rec go acc =
+      if Lexer.accept st.lex Lexer.RPAREN then List.rev acc
+      else begin
+        let t = Type_parser.parse st.lex in
+        if Lexer.accept st.lex Lexer.COMMA then go (t :: acc)
+        else begin
+          Lexer.expect st.lex Lexer.RPAREN;
+          List.rev (t :: acc)
+        end
+      end
+    in
+    go []
+  in
+  let loc = parse_loc st in
+  if List.length operand_types <> List.length operands then
+    fail name_loc "operand count does not match operand type list";
+  if List.length result_types <> List.length results then
+    fail name_loc "result count does not match result type list";
+  (* Check declared operand types against the resolved values. *)
+  List.iter2
+    (fun v t ->
+      if not (Typ.equal v.Ir.v_type t) then
+        fail name_loc
+          (Printf.sprintf "operand type mismatch: value has %s, signature says %s"
+             (Typ.to_string v.Ir.v_type) (Typ.to_string t)))
+    operands operand_types;
+  let op =
+    Ir.Op.create ~attrs ~regions ~loc name ~operands ~result_types
+      ~result_hints:(List.map (fun n -> Some n) results)
+  in
+  List.iteri (fun i n -> define_value st n (Ir.Op.result op i)) results;
+  op
+
+and parse_region st =
+  Lexer.expect st.lex Lexer.LBRACE;
+  let rec go acc =
+    match Lexer.peek_token st.lex with
+    | Lexer.RBRACE ->
+      ignore (Lexer.next st.lex);
+      List.rev acc
+    | _ -> go (parse_block st :: acc)
+  in
+  let blocks = go [] in
+  Ir.Region.create ~blocks ()
+
+and parse_block st =
+  (match Lexer.next st.lex with
+  | Lexer.CARET _, _ -> ()
+  | got, loc -> fail loc ("expected block label ^.., found " ^ Lexer.token_to_string got));
+  Lexer.expect st.lex Lexer.LPAREN;
+  let args =
+    let rec go acc =
+      if Lexer.accept st.lex Lexer.RPAREN then List.rev acc
+      else begin
+        match Lexer.next st.lex with
+        | Lexer.PERCENT n, _ ->
+          Lexer.expect st.lex Lexer.COLON;
+          let t = Type_parser.parse st.lex in
+          let acc = (n, t) :: acc in
+          if Lexer.accept st.lex Lexer.COMMA then go acc
+          else begin
+            Lexer.expect st.lex Lexer.RPAREN;
+            List.rev acc
+          end
+        | got, loc -> fail loc ("expected %blockarg, found " ^ Lexer.token_to_string got)
+      end
+    in
+    go []
+  in
+  Lexer.expect st.lex Lexer.COLON;
+  let block =
+    Ir.Block.create
+      ~arg_hints:(List.map (fun (n, _) -> Some n) args)
+      (List.map snd args)
+  in
+  List.iteri (fun i (n, _) -> define_value st n (Ir.Block.arg block i)) args;
+  let rec go () =
+    match Lexer.peek_token st.lex with
+    | Lexer.RBRACE | Lexer.CARET _ -> ()
+    | _ ->
+      Ir.Block.append block (parse_op st);
+      go ()
+  in
+  go ();
+  block
+
+let parse_string ?(file = "<input>") src =
+  let st = { lex = Lexer.create ~file src; scope = Hashtbl.create 64 } in
+  let op = parse_op st in
+  (match Lexer.peek st.lex with
+  | Lexer.EOF, _ -> ()
+  | got, loc -> fail loc ("trailing input: " ^ Lexer.token_to_string got));
+  op
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string ~file:path src

@@ -1,0 +1,63 @@
+(* Passes and the pass manager.
+
+   A pass transforms the IR rooted at an op (usually a module or a
+   function) and reports whether it changed anything.  The manager runs
+   a pipeline, optionally re-verifying between passes, and records
+   wall-clock statistics per pass — the infrastructure behind the
+   compile-time evaluation in Table 6. *)
+
+type t = {
+  name : string;
+  description : string;
+  run : Ir.op -> Diagnostic.Engine.t -> bool;
+}
+
+let make ~name ~description run = { name; description; run }
+
+type stat = { pass_name : string; seconds : float; changed : bool }
+
+type result = {
+  stats : stat list;
+  engine : Diagnostic.Engine.t;
+  succeeded : bool;
+}
+
+module Manager = struct
+  type manager = {
+    passes : t list;
+    verify_each : bool;
+  }
+
+  let create ?(verify_each = false) passes = { passes; verify_each }
+
+  let run mgr root =
+    let engine = Diagnostic.Engine.create () in
+    let rec go stats = function
+      | [] -> { stats = List.rev stats; engine; succeeded = true }
+      | pass :: rest ->
+        let t0 = Unix.gettimeofday () in
+        let changed = pass.run root engine in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let stats = { pass_name = pass.name; seconds; changed } :: stats in
+        if Diagnostic.Engine.has_errors engine then
+          { stats = List.rev stats; engine; succeeded = false }
+        else if mgr.verify_each then begin
+          match Verify.verify root with
+          | Ok () -> go stats rest
+          | Error verify_engine ->
+            Diagnostic.Engine.errorf engine (Ir.Op.loc root)
+              "IR verification failed after pass '%s':\n%s" pass.name
+              (Diagnostic.Engine.to_string verify_engine);
+            { stats = List.rev stats; engine; succeeded = false }
+        end
+        else go stats rest
+    in
+    go [] mgr.passes
+
+  let pp_stats fmt result =
+    List.iter
+      (fun s ->
+        Format.fprintf fmt "%-28s %8.3f ms %s@\n" s.pass_name (s.seconds *. 1000.)
+          (if s.changed then "(changed)" else ""))
+      result.stats
+end

@@ -1,0 +1,119 @@
+(* Generic textual form, MLIR style:
+
+     %v0 = "hir.add"(%a, %b) {attrs} : (i32, i32) -> i32
+
+   The output round-trips through [Parser].  Value names prefer the
+   hint recorded on the value, uniquified with a numeric suffix. *)
+
+open Ir
+
+type namer = {
+  names : (int, string) Hashtbl.t;  (* value id -> printed name *)
+  used : (string, int) Hashtbl.t;  (* base name -> next suffix *)
+}
+
+let create_namer () = { names = Hashtbl.create 64; used = Hashtbl.create 64 }
+
+let name_value namer v =
+  match Hashtbl.find_opt namer.names v.v_id with
+  | Some n -> n
+  | None ->
+    let base =
+      match v.v_hint with Some h -> h | None -> Printf.sprintf "v%d" v.v_id
+    in
+    let rec unique candidate k =
+      if Hashtbl.mem namer.used candidate then
+        unique (Printf.sprintf "%s_%d" base k) (k + 1)
+      else candidate
+    in
+    let n = unique base 1 in
+    Hashtbl.replace namer.used n 0;
+    Hashtbl.replace namer.names v.v_id n;
+    n
+
+let pp_value namer fmt v = Format.fprintf fmt "%%%s" (name_value namer v)
+
+let pp_attrs fmt attrs =
+  match attrs with
+  | [] -> ()
+  | _ ->
+    let attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs in
+    let pp_entry fmt (k, v) = Format.fprintf fmt "%s = %a" k Attribute.pp v in
+    Format.fprintf fmt " {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_entry)
+      attrs
+
+(* Locations are printed in the parseable quoted form, unlike the bare
+   form [Location.pp] uses in diagnostics. *)
+let pp_loc fmt = function
+  | Location.Unknown -> ()
+  | Location.File { file; line; col } ->
+    Format.fprintf fmt " loc(%S:%d:%d)" file line col
+  | Location.Name { name; _ } -> Format.fprintf fmt " loc(%S)" name
+
+let rec pp_op ?(indent = 0) namer fmt op =
+  (* results *)
+  (match Array.to_list op.results with
+  | [] -> ()
+  | rs ->
+    Format.fprintf fmt "%a = "
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (pp_value namer))
+      rs);
+  Format.fprintf fmt "%S(%a)" op.op_name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (pp_value namer))
+    (Array.to_list op.operands);
+  (* regions *)
+  (match op.regions with
+  | [] -> ()
+  | regions ->
+    Format.fprintf fmt " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_region ~indent namer fmt r)
+      regions;
+    Format.fprintf fmt ")");
+  pp_attrs fmt op.attrs;
+  (* type signature *)
+  Format.fprintf fmt " : (%a) -> (%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Typ.pp)
+    (List.map (fun v -> v.v_type) (Array.to_list op.operands))
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Typ.pp)
+    (List.map (fun v -> v.v_type) (Array.to_list op.results));
+  pp_loc fmt op.loc
+
+and pp_region ~indent namer fmt r =
+  let pad = String.make (indent + 2) ' ' in
+  Format.fprintf fmt "{";
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "\n%s^bb(%a):" pad
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt a -> Format.fprintf fmt "%a: %a" (pp_value namer) a Typ.pp a.v_type))
+        (Block.args b);
+      List.iter
+        (fun op ->
+          Format.fprintf fmt "\n%s" pad;
+          pp_op ~indent:(indent + 2) namer fmt op)
+        b.b_ops)
+    r.blocks;
+  Format.fprintf fmt "\n%s}" (String.make indent ' ')
+
+let op_to_string op =
+  let namer = create_namer () in
+  Format.asprintf "%a" (pp_op ~indent:0 namer) op
+
+let pp fmt op =
+  let namer = create_namer () in
+  pp_op ~indent:0 namer fmt op

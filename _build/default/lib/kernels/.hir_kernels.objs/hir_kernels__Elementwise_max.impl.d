@@ -1,0 +1,1 @@
+lib/kernels/elementwise_max.ml: Array Bitvec Builder Hir_dialect Hir_ir Interp Typ Types Util

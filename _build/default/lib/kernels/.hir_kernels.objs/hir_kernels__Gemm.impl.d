@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Array Bitvec Builder Hir_dialect Hir_ir Interp Ops Typ Types Util

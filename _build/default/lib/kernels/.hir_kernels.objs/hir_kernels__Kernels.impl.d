@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Convolution Elementwise_max Fifo Gemm Hir_dialect Hir_ir Histogram Ir List Stencil1d Taskparallel Transpose

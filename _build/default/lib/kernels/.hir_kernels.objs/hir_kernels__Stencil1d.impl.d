@@ -1,0 +1,1 @@
+lib/kernels/stencil1d.ml: Array Bitvec Builder Hir_dialect Hir_ir Interp List Ops Typ Types Util

@@ -1,0 +1,1 @@
+lib/kernels/taskparallel.ml: Array Bitvec Builder Hir_dialect Hir_ir Interp Ops Stencil1d Typ Types Util

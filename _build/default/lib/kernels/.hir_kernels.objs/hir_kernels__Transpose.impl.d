@@ -1,0 +1,1 @@
+lib/kernels/transpose.ml: Array Bitvec Builder Hir_dialect Hir_ir Interp Typ Types Util

@@ -1,0 +1,1 @@
+lib/kernels/util.ml: Array Bitvec

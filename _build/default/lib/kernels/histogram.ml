@@ -1,0 +1,98 @@
+(* Histogram of an 8-bit image using a local block-RAM buffer (paper
+   Section 8: "data dependent memory accesses").
+
+   Three phases: clear the 256 bins (II = 1), accumulate over the
+   pixels (II = 2, covering the read-modify-write latency on the BRAM),
+   and copy the bins to the output interface (II = 1). *)
+
+open Hir_ir
+open Hir_dialect
+
+let name = "histogram"
+let pixels = 256
+let bins = 256
+
+let build_into m =
+  Builder.func m ~name
+    ~args:
+      [
+        Builder.arg "img" (Types.memref ~dims:[ pixels ] ~elem:Typ.i8 ~port:Types.Read ());
+        Builder.arg "histo"
+          (Types.memref ~dims:[ bins ] ~elem:Typ.i32 ~port:Types.Write ());
+      ]
+    (fun b args t ->
+      match args with
+      | [ img; out ] ->
+        let c0 = Builder.constant b 0 in
+        let c1 = Builder.constant b 1 in
+        let cbins = Builder.constant b bins in
+        let cpixels = Builder.constant b pixels in
+        let ports =
+          Builder.alloc b ~kind:Ops.Block_ram ~dims:[ bins ] ~elem:Typ.i32
+            ~ports:[ Types.Read; Types.Write ]
+        in
+        let hist_r, hist_w =
+          match ports with [ r; w ] -> (r, w) | _ -> assert false
+        in
+        (* Phase 1: clear the bins. *)
+        let tf_clear =
+          Builder.for_loop b ~iv_hint:"bc" ~lb:c0 ~ub:cbins ~step:c1
+            ~at:Builder.(t @>> 1)
+            (fun b ~iv ~ti ->
+              Builder.mem_write b c0 hist_w [ iv ] ~at:Builder.(ti @>> 0);
+              Builder.yield b ~at:Builder.(ti @>> 1))
+        in
+        (* Phase 2: accumulate; II = 2 covers the BRAM
+           read-increment-write recurrence. *)
+        let tf_acc =
+          Builder.for_loop b ~iv_hint:"p" ~lb:c0 ~ub:cpixels ~step:c1
+            ~at:Builder.(tf_clear @>> 1)
+            (fun b ~iv:p ~ti ->
+              let pix = Builder.mem_read b img [ p ] ~at:Builder.(ti @>> 0) in
+              let cnt = Builder.mem_read b hist_r [ pix ] ~at:Builder.(ti @>> 1) in
+              let cnt1 = Builder.add b cnt c1 in
+              let pix2 = Builder.delay b pix ~by:1 ~at:Builder.(ti @>> 1) in
+              Builder.mem_write b cnt1 hist_w [ pix2 ] ~at:Builder.(ti @>> 2);
+              Builder.yield b ~at:Builder.(ti @>> 2))
+        in
+        (* Phase 3: write the final histogram out. *)
+        let _tf =
+          Builder.for_loop b ~iv_hint:"bo" ~lb:c0 ~ub:cbins ~step:c1
+            ~at:Builder.(tf_acc @>> 1)
+            (fun b ~iv ~ti ->
+              let h = Builder.mem_read b hist_r [ iv ] ~at:Builder.(ti @>> 0) in
+              let iv1 = Builder.delay b iv ~by:1 ~at:Builder.(ti @>> 0) in
+              Builder.mem_write b h out [ iv1 ] ~at:Builder.(ti @>> 1);
+              Builder.yield b ~at:Builder.(ti @>> 1))
+        in
+        Builder.return_ b []
+      | _ -> assert false)
+
+let build () =
+  let m = Builder.create_module () in
+  let f = build_into m in
+  (m, f)
+
+let reference input =
+  let counts = Array.make bins 0 in
+  Array.iter (fun v -> counts.(Bitvec.to_int v) <- counts.(Bitvec.to_int v) + 1) input;
+  Array.map (Bitvec.of_int ~width:32) counts
+
+let make_input ~seed = Util.test_data ~seed ~n:pixels ~width:8
+
+let check_interp ?(seed = 3) () =
+  let m, f = build () in
+  let input = make_input ~seed in
+  let result, tensors =
+    Interp.run ~module_op:m ~func:f [ Interp.Tensor input; Interp.Out_tensor ]
+  in
+  let out = Interp.tensor_snapshot (tensors 1) ~cycle:max_int in
+  let expected = reference input in
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Some got when Bitvec.equal got expected.(i) -> ()
+      | _ -> ok := false)
+    out;
+  if !ok then Ok result else Error "histogram output mismatch"

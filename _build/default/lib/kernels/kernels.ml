@@ -1,0 +1,65 @@
+(* Registry of the evaluation kernels (paper Section 8) plus the
+   task-parallel pipeline of Listing 3. *)
+
+open Hir_ir
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Ir.op * Ir.op;  (* (module, top-level function) *)
+  check : unit -> (Hir_dialect.Interp.result, string) result;
+}
+
+let all =
+  [
+    {
+      name = Transpose.name;
+      description = "16x16 matrix transpose, pipelined inner loop (Listing 1)";
+      build = Transpose.build;
+      check = (fun () -> Transpose.check_interp ());
+    };
+    {
+      name = Stencil1d.name;
+      description = "1-d weighted stencil with a register window, II=1 (Listing 2)";
+      build = Stencil1d.build;
+      check = (fun () -> Stencil1d.check_interp ());
+    };
+    {
+      name = Histogram.name;
+      description = "256-bin histogram with data-dependent BRAM accesses";
+      build = Histogram.build;
+      check = (fun () -> Histogram.check_interp ());
+    };
+    {
+      name = Gemm.name;
+      description = "16x16 GEMM on a 16x16 PE array built from nested unroll_for";
+      build = Gemm.build;
+      check = (fun () -> Gemm.check_interp ());
+    };
+    {
+      name = Convolution.name;
+      description = "8x8 image x 3x3 constant kernel, line buffers, II=1";
+      build = Convolution.build;
+      check = (fun () -> Convolution.check_interp ());
+    };
+    {
+      name = Fifo.name;
+      description = "depth-256 flow-through BRAM FIFO, concurrent push/pop";
+      build = Fifo.build;
+      check = (fun () -> Fifo.check_interp ());
+    };
+    {
+      name = Elementwise_max.name;
+      description = "element-wise max: comparator + mux datapath, II=1";
+      build = Elementwise_max.build;
+      check = (fun () -> Elementwise_max.check_interp ());
+    };
+    {
+      name = Taskparallel.name;
+      description = "two stencils overlapped in lock-step (Listing 3)";
+      build = Taskparallel.build;
+      check = (fun () -> Taskparallel.check_interp ());
+    };
+  ]
+
+let find name = List.find_opt (fun k -> k.name = name) all

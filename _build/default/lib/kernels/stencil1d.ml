@@ -1,0 +1,125 @@
+(* One-dimensional stencil with a pipelined loop (paper Listing 2).
+
+   A window of the two most recent inputs is kept in fully-distributed
+   registers; each iteration computes a weighted sum through a separate
+   HIR function [stencil_opA] whose result is registered (delay 1), and
+   the loop is pipelined with II = 1.
+
+   B[i] = 3*A[i-1] + 5*A[i]  for i in 1 .. N-2.
+
+   The two multiplies by non-power-of-two constants map to DSP blocks
+   (2 x 3 DSPs = the 6 DSPs of Table 5). *)
+
+open Hir_ir
+open Hir_dialect
+
+let name = "stencil_1d"
+let n = 64
+let w0 = 3
+let w1 = 5
+
+let build_op_into ?(op_name = "stencil_opA") m =
+  Builder.func m ~name:op_name
+    ~args:[ Builder.arg "v0" Typ.i32; Builder.arg "v1" Typ.i32 ]
+    ~results:[ (Typ.i32, 1) ]
+    (fun b args t ->
+      match args with
+      | [ v0; v1 ] ->
+        let cw0 = Builder.constant b w0 in
+        let cw1 = Builder.constant b w1 in
+        let p0 = Builder.mult b v0 cw0 in
+        let p1 = Builder.mult b v1 cw1 in
+        let s = Builder.add b p0 p1 in
+        let r = Builder.delay b s ~by:1 ~at:Builder.(t @>> 0) in
+        Builder.return_ b [ r ]
+      | _ -> assert false)
+
+(* [lb] is the first output index: the window is primed with
+   A[lb-1], A[lb] and iteration [i] in [lb .. ub-1] emits
+   B[i] = w0*A[i-1] + w1*A[i] while prefetching A[i+1].  The second
+   stage of the task-parallel pipeline (Listing 3) uses lb = 2 so that
+   it only consumes indices its producer actually wrote. *)
+let build_into ?(func_name = name) ?(lb = 1) ?(ub = n - 1) m =
+  let op_func = build_op_into ~op_name:(func_name ^ "_op") m in
+  Builder.func m ~name:func_name
+    ~args:
+      [
+        Builder.arg "Ai" (Types.memref ~dims:[ n ] ~elem:Typ.i32 ~port:Types.Read ());
+        Builder.arg "Bw" (Types.memref ~dims:[ n ] ~elem:Typ.i32 ~port:Types.Write ());
+      ]
+    (fun b args t ->
+      match args with
+      | [ ai; bw ] ->
+        let c0 = Builder.constant b 0 in
+        let c1 = Builder.constant b 1 in
+        let clb_m1 = Builder.constant b (lb - 1) in
+        let clb = Builder.constant b lb in
+        let cub = Builder.constant b ub in
+        let ports =
+          Builder.alloc b ~kind:Ops.Reg ~dims:[ 2 ] ~packing:[] ~elem:Typ.i32
+            ~ports:[ Types.Read; Types.Write ]
+        in
+        let w1r, w1w =
+          match ports with [ r; w ] -> (r, w) | _ -> assert false
+        in
+        (* Preamble: prime the window with A[lb-1], A[lb]. *)
+        let val_a = Builder.mem_read b ai [ clb_m1 ] ~at:Builder.(t @>> 0) in
+        let val_a1 = Builder.delay b val_a ~by:1 ~at:Builder.(t @>> 1) in
+        let val_b = Builder.mem_read b ai [ clb ] ~at:Builder.(t @>> 1) in
+        Builder.mem_write b val_a1 w1w [ c0 ] ~at:Builder.(t @>> 2);
+        Builder.mem_write b val_b w1w [ c1 ] ~at:Builder.(t @>> 2);
+        (* Pipelined loop, II = 1. *)
+        let _tf =
+          Builder.for_loop b ~iv_hint:"i" ~lb:clb ~ub:cub ~step:c1
+            ~at:Builder.(t @>> 3)
+            (fun b ~iv:i ~ti ->
+              Builder.yield b ~at:Builder.(ti @>> 1);
+              let v0 = Builder.mem_read b w1r [ c0 ] ~at:Builder.(ti @>> 1) in
+              let v1 = Builder.mem_read b w1r [ c1 ] ~at:Builder.(ti @>> 1) in
+              let i_plus1 = Builder.add b i c1 in
+              let v = Builder.mem_read b ai [ i_plus1 ] ~at:Builder.(ti @>> 0) in
+              Builder.mem_write b v1 w1w [ c0 ] ~at:Builder.(ti @>> 1);
+              Builder.mem_write b v w1w [ c1 ] ~at:Builder.(ti @>> 1);
+              let r =
+                List.hd (Builder.call b ~callee:op_func [ v0; v1 ] ~at:Builder.(ti @>> 1))
+              in
+              let i2 = Builder.delay b i ~by:2 ~at:Builder.(ti @>> 0) in
+              Builder.mem_write b r bw [ i2 ] ~at:Builder.(ti @>> 2))
+        in
+        Builder.return_ b []
+      | _ -> assert false)
+
+let build () =
+  let m = Builder.create_module () in
+  let f = build_into m in
+  (m, f)
+
+let reference input =
+  Array.init n (fun i ->
+      if i >= 1 && i <= n - 2 then
+        Bitvec.add
+          (Bitvec.mul input.(i - 1) (Util.bv32 w0))
+          (Bitvec.mul input.(i) (Util.bv32 w1))
+      else Bitvec.zero 32)
+
+(* Output indices actually produced by the design. *)
+let valid_range = (1, n - 2)
+
+let make_input ~seed = Util.test_data ~seed ~n ~width:32
+
+let check_interp ?(seed = 2) () =
+  let m, f = build () in
+  let input = make_input ~seed in
+  let result, tensors =
+    Interp.run ~module_op:m ~func:f [ Interp.Tensor input; Interp.Out_tensor ]
+  in
+  let out = Interp.tensor_snapshot (tensors 1) ~cycle:max_int in
+  let expected = reference input in
+  let lo, hi = valid_range in
+  let ok = ref true in
+  for i = lo to hi do
+    match out.(i) with
+    | Some got when Bitvec.equal got expected.(i) -> ()
+    | _ -> ok := false
+  done;
+  if !ok then Ok result else Error "stencil output mismatch"

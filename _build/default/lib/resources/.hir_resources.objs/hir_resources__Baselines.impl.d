@@ -1,0 +1,1 @@
+lib/resources/baselines.ml: Hir_verilog

@@ -1,0 +1,1 @@
+lib/resources/model.ml: Format Hashtbl Hir_verilog List

@@ -1,0 +1,80 @@
+(* Hand-written Verilog baselines.
+
+   The FIFO row of Table 5 compares HIR's FIFO against a classic
+   hand-coded synchronous FIFO (binary pointers, registered BRAM
+   output, combinational full/empty).  This is that baseline, built
+   directly as a Verilog AST. *)
+
+open Hir_verilog.Ast
+
+let sync_fifo ?(depth = 256) ?(width = 32) () =
+  let aw =
+    let rec go k v = if v >= depth then k else go (k + 1) (v * 2) in
+    if depth <= 1 then 1 else go 0 1
+  in
+  let items =
+    [
+      Mem_decl { name = "mem"; width; depth; style = Style_bram };
+      Reg_decl { name = "wr_ptr"; width = aw + 1 };
+      Reg_decl { name = "rd_ptr"; width = aw + 1 };
+      Reg_decl { name = "dout_r"; width };
+      Wire_decl { name = "empty_w"; width = 1 };
+      Wire_decl { name = "full_w"; width = 1 };
+      Assign
+        {
+          target = "empty_w";
+          expr = Binop (Eq, Ref "wr_ptr", Ref "rd_ptr");
+        };
+      Assign
+        {
+          target = "full_w";
+          expr =
+            Binop
+              ( Eq,
+                Binop (Sub, Ref "wr_ptr", Ref "rd_ptr"),
+                const_int ~width:(aw + 1) depth );
+        };
+      Assign { target = "empty"; expr = Ref "empty_w" };
+      Assign { target = "full"; expr = Ref "full_w" };
+      Assign { target = "dout"; expr = Ref "dout_r" };
+      Always_ff
+        [
+          If
+            ( Binop (Log_and, Ref "wr_en", Unop (Not, Ref "full_w")),
+              [
+                Nonblocking
+                  (Lindex ("mem", Slice (Ref "wr_ptr", aw - 1, 0)), Ref "din");
+                Nonblocking
+                  (Lref "wr_ptr", Binop (Add, Ref "wr_ptr", const_int ~width:(aw + 1) 1));
+              ],
+              [] );
+          If
+            ( Binop (Log_and, Ref "rd_en", Unop (Not, Ref "empty_w")),
+              [
+                Nonblocking
+                  (Lref "dout_r", Index ("mem", Slice (Ref "rd_ptr", aw - 1, 0)));
+                Nonblocking
+                  (Lref "rd_ptr", Binop (Add, Ref "rd_ptr", const_int ~width:(aw + 1) 1));
+              ],
+              [] );
+        ];
+    ]
+  in
+  {
+    mod_name = "fifo_verilog_baseline";
+    ports =
+      [
+        { port_name = "clk"; dir = Input; width = 1 };
+        { port_name = "wr_en"; dir = Input; width = 1 };
+        { port_name = "din"; dir = Input; width };
+        { port_name = "rd_en"; dir = Input; width = 1 };
+        { port_name = "dout"; dir = Output; width };
+        { port_name = "empty"; dir = Output; width = 1 };
+        { port_name = "full"; dir = Output; width = 1 };
+      ];
+    items;
+  }
+
+let sync_fifo_design ?depth ?width () =
+  let m = sync_fifo ?depth ?width () in
+  { modules = [ m ]; top = m.mod_name }

@@ -1,0 +1,133 @@
+(* Analytical Xilinx-7-series resource model over the Verilog AST —
+   the stand-in for Vivado synthesis in Tables 4 and 5.
+
+   Cost table (per operator, at its natural bit width w):
+     add/sub           w LUTs (carry chain)
+     and/or/xor        w LUTs
+     comparison        ceil(w/2) LUTs
+     2:1 mux           ceil(w/2) LUTs
+     multiply          DSP48E1s: 1 (w<=18), 2 (w<=25), 3 otherwise
+     shift by const    0 (wiring)
+     dynamic shift     barrel: w/2 * log2(w) LUTs
+     register          w FFs
+     block RAM         ceil(bits / 18Kib) BRAM18s
+     distributed RAM   width * ceil(depth/64) LUTs (RAM64X1)
+     register file     width * depth FFs
+
+   Simulation-only assertions cost nothing.  The absolute numbers are
+   a model, not Vivado; what the evaluation reproduces is the relative
+   shape between the HIR and HLS compilers, which are both measured by
+   this same model. *)
+
+open Hir_verilog.Ast
+
+type usage = { lut : int; ff : int; dsp : int; bram : int }
+
+let zero = { lut = 0; ff = 0; dsp = 0; bram = 0 }
+
+let ( ++ ) a b =
+  { lut = a.lut + b.lut; ff = a.ff + b.ff; dsp = a.dsp + b.dsp; bram = a.bram + b.bram }
+
+let luts n = { zero with lut = n }
+let ffs n = { zero with ff = n }
+
+let cdiv a b = (a + b - 1) / b
+
+let clog2 n =
+  if n <= 1 then 0
+  else
+    let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+    go 0 1
+
+let dsp_for_mul w = if w <= 18 then 1 else if w <= 25 then 2 else 3
+
+let is_const = function Const _ -> true | _ -> false
+
+let rec expr_cost ~signal_width e =
+  let w e' = max 1 (natural_width ~signal_width e') in
+  match e with
+  | Const _ | Ref _ -> zero
+  | Index (_, addr) -> expr_cost ~signal_width addr
+  | Slice (e, _, _) -> expr_cost ~signal_width e
+  | Unop (Not, e) -> expr_cost ~signal_width e
+  | Unop ((Red_or | Red_and), e) -> expr_cost ~signal_width e ++ luts (cdiv (w e) 6)
+  | Binop ((Add | Sub), a, b) ->
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b ++ luts (max (w a) (w b))
+  | Binop ((And | Or | Xor), a, b) ->
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b ++ luts (max (w a) (w b))
+  | Binop (Mul, a, b) ->
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b
+    ++ { zero with dsp = dsp_for_mul (max (w a) (w b)) }
+  | Binop ((Shl | Shr), a, b) ->
+    let shift_cost =
+      if is_const b then zero
+      else luts (max (w a) 2 * clog2 (max (w a) 2) / 2)
+    in
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b ++ shift_cost
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne), a, b) ->
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b
+    ++ luts (cdiv (max (w a) (w b)) 2)
+  | Binop ((Log_and | Log_or), a, b) ->
+    expr_cost ~signal_width a ++ expr_cost ~signal_width b ++ luts 1
+  | Ternary (c, a, b) ->
+    expr_cost ~signal_width c ++ expr_cost ~signal_width a ++ expr_cost ~signal_width b
+    ++ luts (cdiv (max (w a) (w b)) 2)
+  | Concat es -> List.fold_left (fun acc e -> acc ++ expr_cost ~signal_width e) zero es
+
+let rec stmt_cost ~signal_width s =
+  match s with
+  | Nonblocking (Lref _, e) -> expr_cost ~signal_width e
+  | Nonblocking (Lindex (_, a), e) -> expr_cost ~signal_width a ++ expr_cost ~signal_width e
+  | If (c, t, f) ->
+    expr_cost ~signal_width c
+    ++ List.fold_left (fun acc s -> acc ++ stmt_cost ~signal_width s) zero t
+    ++ List.fold_left (fun acc s -> acc ++ stmt_cost ~signal_width s) zero f
+  | Assert_stmt _ -> zero  (* simulation-only *)
+
+let mem_cost ~width ~depth = function
+  | Style_bram -> { zero with bram = max 1 (cdiv (width * depth) 18432) }
+  | Style_lutram -> luts (width * max 1 (cdiv depth 64))
+  | Style_reg -> ffs (width * depth)
+
+(* Resource usage of one module, with instances resolved against the
+   design (memoized). *)
+let design_usage (design : design) =
+  let table : (string, usage) Hashtbl.t = Hashtbl.create 8 in
+  let module_of name = List.find (fun m -> m.mod_name = name) design.modules in
+  let rec usage_of m =
+    match Hashtbl.find_opt table m.mod_name with
+    | Some u -> u
+    | None ->
+      let widths = Hashtbl.create 64 in
+      List.iter
+        (fun item ->
+          match item with
+          | Wire_decl { name; width } | Reg_decl { name; width } ->
+            Hashtbl.replace widths name width
+          | Mem_decl { name; width; _ } -> Hashtbl.replace widths name width
+          | _ -> ())
+        m.items;
+      List.iter (fun p -> Hashtbl.replace widths p.port_name p.width) m.ports;
+      let signal_width name =
+        match Hashtbl.find_opt widths name with Some w -> w | None -> 1
+      in
+      let u =
+        List.fold_left
+          (fun acc item ->
+            match item with
+            | Wire_decl _ | Comment _ -> acc
+            | Reg_decl { width; _ } -> acc ++ ffs width
+            | Mem_decl { width; depth; style; _ } -> acc ++ mem_cost ~width ~depth style
+            | Assign { expr; _ } -> acc ++ expr_cost ~signal_width expr
+            | Always_ff stmts ->
+              List.fold_left (fun acc s -> acc ++ stmt_cost ~signal_width s) acc stmts
+            | Instance { module_name; _ } -> acc ++ usage_of (module_of module_name))
+          zero m.items
+      in
+      Hashtbl.replace table m.mod_name u;
+      u
+  in
+  usage_of (module_of design.top)
+
+let pp fmt u =
+  Format.fprintf fmt "LUT=%d FF=%d DSP=%d BRAM=%d" u.lut u.ff u.dsp u.bram

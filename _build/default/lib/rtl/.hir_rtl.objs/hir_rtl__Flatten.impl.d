@@ -1,0 +1,1 @@
+lib/rtl/flatten.ml: Format Hir_verilog List

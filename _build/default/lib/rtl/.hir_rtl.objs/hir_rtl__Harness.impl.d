@@ -1,0 +1,1 @@
+lib/rtl/harness.ml: Array Bitvec Flatten Hashtbl Hir_codegen Hir_dialect List Option Sim Types Vcd

@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Bitvec Flatten Format Hashtbl Hir_verilog List Printf

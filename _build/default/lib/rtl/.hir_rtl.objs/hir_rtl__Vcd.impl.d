@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bitvec Char Hashtbl List Printf Sim String

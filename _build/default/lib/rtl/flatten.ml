@@ -1,0 +1,122 @@
+(* Hierarchical elaboration: inline every module instance into a single
+   flat module, prefixing instance-local signals with the instance
+   path.  Input ports become assigns from the (parent-scope) connection
+   expressions; output ports become assigns from the child signal into
+   the parent signal. *)
+
+open Hir_verilog.Ast
+
+exception Elab_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Elab_error s)) fmt
+
+let rec rename_expr f = function
+  | Const _ as e -> e
+  | Ref name -> Ref (f name)
+  | Index (name, a) -> Index (f name, rename_expr f a)
+  | Slice (e, hi, lo) -> Slice (rename_expr f e, hi, lo)
+  | Unop (op, e) -> Unop (op, rename_expr f e)
+  | Binop (op, a, b) -> Binop (op, rename_expr f a, rename_expr f b)
+  | Ternary (c, a, b) -> Ternary (rename_expr f c, rename_expr f a, rename_expr f b)
+  | Concat es -> Concat (List.map (rename_expr f) es)
+
+let rename_lvalue f = function
+  | Lref name -> Lref (f name)
+  | Lindex (name, a) -> Lindex (f name, rename_expr f a)
+
+let rec rename_stmt f = function
+  | Nonblocking (lv, e) -> Nonblocking (rename_lvalue f lv, rename_expr f e)
+  | If (c, t, e) -> If (rename_expr f c, List.map (rename_stmt f) t, List.map (rename_stmt f) e)
+  | Assert_stmt { cond; message } -> Assert_stmt { cond = rename_expr f cond; message }
+
+type flat = {
+  flat_items : item list;
+  flat_inputs : string list;  (* top-level input ports (clk excluded) *)
+  flat_outputs : string list;
+}
+
+let flatten (design : design) =
+  let modules = List.map (fun m -> (m.mod_name, m)) design.modules in
+  let top =
+    match List.assoc_opt design.top modules with
+    | Some m -> m
+    | None -> fail "top module %s not found" design.top
+  in
+  let out_items = ref [] in
+  let emit i = out_items := i :: !out_items in
+  (* [prefix] maps local names to global ones; ports of the instance
+     are bound via [port_map] to parent-scope global expressions. *)
+  let rec inline ~path ~port_map m =
+    let local name =
+      match List.assoc_opt name port_map with
+      | Some (`Alias global) -> global
+      | Some (`Expr _) ->
+        (* Input ports bound to non-trivial expressions get their own
+           prefixed wire, assigned below. *)
+        path ^ name
+      | None -> if path = "" then name else path ^ name
+    in
+    (* Declare wires for ports bound to expressions and emit the
+       binding assigns. *)
+    List.iter
+      (fun p ->
+        match List.assoc_opt p.port_name port_map with
+        | Some (`Expr e) ->
+          (match p.dir with
+          | Input ->
+            emit (Wire_decl { name = path ^ p.port_name; width = p.width });
+            emit (Assign { target = path ^ p.port_name; expr = e })
+          | Output -> fail "output port %s bound to a non-wire expression" p.port_name)
+        | Some (`Alias _) -> ()
+        | None ->
+          (* Unconnected port: dangling wire (reads as 0). *)
+          emit (Wire_decl { name = path ^ p.port_name; width = p.width }))
+      m.ports;
+    List.iter
+      (fun item ->
+        match item with
+        | Wire_decl { name; width } -> emit (Wire_decl { name = local name; width })
+        | Reg_decl { name; width } -> emit (Reg_decl { name = local name; width })
+        | Mem_decl { name; width; depth; style } ->
+          emit (Mem_decl { name = local name; width; depth; style })
+        | Assign { target; expr } ->
+          emit (Assign { target = local target; expr = rename_expr local expr })
+        | Always_ff stmts -> emit (Always_ff (List.map (rename_stmt local) stmts))
+        | Comment c -> emit (Comment c)
+        | Instance { module_name; instance_name; connections } -> (
+          match List.assoc_opt module_name modules with
+          | None -> fail "instance of unknown module %s" module_name
+          | Some child ->
+            let child_path = path ^ instance_name ^ "__" in
+            let port_map =
+              List.map
+                (fun (port, actual) ->
+                  let dir =
+                    match List.find_opt (fun p -> p.port_name = port) child.ports with
+                    | Some p -> p.dir
+                    | None -> fail "module %s has no port %s" module_name port
+                  in
+                  let actual = rename_expr local actual in
+                  match (dir, actual) with
+                  | _, Ref global -> (port, `Alias global)
+                  | Input, e -> (port, `Expr e)
+                  | Output, _ -> fail "output port %s needs a plain wire" port)
+                connections
+            in
+            inline ~path:child_path ~port_map child))
+      m.items
+  in
+  inline ~path:"" ~port_map:[] top;
+  let inputs =
+    List.filter_map
+      (fun p -> if p.dir = Input then Some p.port_name else None)
+      top.ports
+  in
+  let outputs =
+    List.filter_map
+      (fun p -> if p.dir = Output then Some p.port_name else None)
+      top.ports
+  in
+  (* Top ports were declared by the unconnected-port case of [inline]
+     (the top runs with an empty port map). *)
+  { flat_items = List.rev !out_items; flat_inputs = inputs; flat_outputs = outputs }

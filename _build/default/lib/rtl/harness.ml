@@ -1,0 +1,138 @@
+(* Testbench harness: runs a compiled HIR design in the RTL simulator
+   with behavioural memory agents standing in for the external memory
+   interfaces (the paper's "input/output memory interface").
+
+   Each external memref port is served with 1-cycle read latency:
+   addresses presented with rd_en at cycle T return data at T+1; writes
+   presented at T are visible to reads from T+1 on — the same semantics
+   as the HIR interpreter's memory model, which is what makes the
+   codegen-vs-interpreter equivalence tests meaningful. *)
+
+open Hir_dialect
+module Emit = Hir_codegen.Emit
+
+type input =
+  | Scalar of Bitvec.t
+  | Tensor of Bitvec.t array
+  | Out_tensor
+
+type agent = {
+  ag_iface : Emit.mem_iface;
+  ag_tensor : Bitvec.t option array;  (* linear row-major; None = uninitialized *)
+  ag_linear : (int * int) -> int option;  (* (bank, addr) -> linear index *)
+  mutable ag_pending : (string * Bitvec.t) list;  (* data port -> value to drive next cycle *)
+}
+
+let build_agent (mi : Emit.mem_iface) init =
+  let info = mi.Emit.mi_info in
+  let n = Hir_dialect.Types.num_elements info in
+  let depth = Hir_dialect.Types.bank_depth info in
+  let table = Hashtbl.create n in
+  List.iter
+    (fun (idx, bank, addr) ->
+      let linear =
+        List.fold_left2 (fun acc d i -> (acc * d.Types.size) + i) 0 info.Types.dims idx
+      in
+      Hashtbl.replace table ((bank * depth) + addr) linear)
+    (Types.layout info);
+  {
+    ag_iface = mi;
+    ag_tensor =
+      (match init with
+      | Some values -> Array.map Option.some values
+      | None -> Array.make n None);
+    ag_linear = (fun (bank, addr) -> Hashtbl.find_opt table ((bank * depth) + addr));
+    ag_pending = [];
+  }
+
+let agent_tensor ag = ag.ag_tensor
+
+(* Drive data inputs captured last cycle. *)
+let agent_drive ag sim =
+  List.iter (fun (port, v) -> Sim.set_input sim port v) ag.ag_pending;
+  ag.ag_pending <- []
+
+(* Observe settled outputs: capture reads (respond next cycle), apply
+   writes (visible next cycle). *)
+let agent_observe ag sim =
+  let tensor = ag.ag_tensor in
+  Array.iteri
+    (fun b (names : Emit.bank_names) ->
+      (match names.Emit.bn_rd with
+      | Some (en, addr, data) ->
+        if not (Bitvec.is_zero (Sim.peek sim en)) then begin
+          let a = Bitvec.to_int (Sim.peek sim addr) in
+          let value =
+            match ag.ag_linear (b, a) with
+            | Some linear -> (
+              match tensor.(linear) with
+              | Some v -> v
+              | None -> Bitvec.zero ag.ag_iface.Emit.mi_elem_width
+                (* uninitialized read: UB in HIR; the interpreter
+                   rejects it, the RTL agent returns zeros *))
+            | None -> Bitvec.zero ag.ag_iface.Emit.mi_elem_width
+          in
+          ag.ag_pending <- (data, value) :: ag.ag_pending
+        end
+      | None -> ());
+      match names.Emit.bn_wr with
+      | Some (en, addr, data) ->
+        if not (Bitvec.is_zero (Sim.peek sim en)) then begin
+          let a = Bitvec.to_int (Sim.peek sim addr) in
+          match ag.ag_linear (b, a) with
+          | Some linear -> tensor.(linear) <- Some (Sim.peek sim data)
+          | None -> ()
+        end
+      | None -> ())
+    ag.ag_iface.Emit.mi_banks
+
+type run_result = {
+  failures : Sim.assertion_failure list;
+  cycles_run : int;
+  output_values : (string * Bitvec.t) list;  (* scalar results at the end *)
+}
+
+let run ?(extra_cycles = 8) ?vcd_path ~(emitted : Emit.emitted) ~inputs ~cycles () =
+  let flat = Flatten.flatten emitted.Emit.design in
+  let sim = Sim.create flat in
+  let vcd = Option.map (fun path -> Vcd.create ~path sim) vcd_path in
+  let args = emitted.Emit.top_iface.Emit.ifc_args in
+  if List.length args <> List.length inputs then
+    failwith "harness: input count mismatch";
+  let agents =
+    List.map2
+      (fun arg input ->
+        match (arg, input) with
+        | Emit.Ifc_scalar (name, w, _), Scalar v ->
+          Sim.set_input sim name (Bitvec.resize ~width:w v);
+          None
+        | Emit.Ifc_mem mi, Tensor init -> Some (build_agent mi (Some init))
+        | Emit.Ifc_mem mi, Out_tensor -> Some (build_agent mi None)
+        | _ -> failwith "harness: input does not match the interface")
+      args inputs
+  in
+  let agents = List.filter_map (fun x -> x) agents in
+  let total = cycles + extra_cycles in
+  for c = 0 to total - 1 do
+    Sim.set_input sim "t_start" (Bitvec.of_bool (c = 0));
+    List.iter (fun ag -> agent_drive ag sim) agents;
+    Sim.settle_only sim;
+    Option.iter (fun v -> Vcd.sample v sim) vcd;
+    List.iter (fun ag -> agent_observe ag sim) agents;
+    Sim.clock sim
+  done;
+  Sim.settle_only sim;
+  Option.iter Vcd.close vcd;
+  let output_values =
+    List.map
+      (fun (name, _, _) -> (name, Sim.peek sim name))
+      emitted.Emit.top_iface.Emit.ifc_results
+  in
+  let result =
+    { failures = Sim.failures sim; cycles_run = total; output_values }
+  in
+  (result, agents)
+
+(* Snapshot of the [i]-th memref argument after a run (memref args
+   only, in interface order). *)
+let nth_tensor agents i = agent_tensor (List.nth agents i)

@@ -1,0 +1,281 @@
+(* Two-phase cycle-accurate simulator for the flattened synthesizable
+   subset:
+
+     phase 1  settle combinational logic (assigns in topological order)
+     phase 2  evaluate all always @(posedge clk) statements against the
+              settled state, then commit register and memory updates
+
+   Width semantics follow Verilog's context-determined evaluation as
+   documented in [Hir_verilog.Ast]. *)
+
+open Hir_verilog.Ast
+
+exception Sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type signal = {
+  mutable value : Bitvec.t;
+  width : int;
+  is_reg : bool;
+}
+
+type memory = { cells : Bitvec.t array; elem_width : int }
+
+type assertion_failure = { at_cycle : int; message : string }
+
+type t = {
+  signals : (string, signal) Hashtbl.t;
+  memories : (string, memory) Hashtbl.t;
+  assigns : (string * expr) list;  (* topologically sorted *)
+  always : stmt list;
+  inputs : string list;
+  outputs : string list;
+  mutable cycle : int;
+  mutable failures : assertion_failure list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let signal_width t name =
+  match Hashtbl.find_opt t.signals name with
+  | Some s -> s.width
+  | None -> (
+    match Hashtbl.find_opt t.memories name with
+    | Some m -> m.elem_width
+    | None -> fail "unknown signal %s" name)
+
+(* Wires read by an expression (for the dependency graph); memory reads
+   depend on the address expression only — the memory contents are
+   state. *)
+let rec wire_deps expr acc =
+  match expr with
+  | Const _ -> acc
+  | Ref name -> name :: acc
+  | Index (_, a) -> wire_deps a acc
+  | Slice (e, _, _) -> wire_deps e acc
+  | Unop (_, e) -> wire_deps e acc
+  | Binop (_, a, b) -> wire_deps a (wire_deps b acc)
+  | Ternary (c, a, b) -> wire_deps c (wire_deps a (wire_deps b acc))
+  | Concat es -> List.fold_left (fun acc e -> wire_deps e acc) acc es
+
+let create (flat : Flatten.flat) =
+  let signals = Hashtbl.create 256 in
+  let memories = Hashtbl.create 16 in
+  let assigns = ref [] in
+  let always = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Wire_decl { name; width } ->
+        Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = false }
+      | Reg_decl { name; width } ->
+        Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = true }
+      | Mem_decl { name; width; depth; _ } ->
+        Hashtbl.replace memories name
+          { cells = Array.make depth (Bitvec.zero width); elem_width = width }
+      | Assign { target; expr } -> assigns := (target, expr) :: !assigns
+      | Always_ff stmts -> always := !always @ stmts
+      | Comment _ -> ()
+      | Instance _ -> fail "simulator requires a flattened design")
+    flat.flat_items;
+  (* Topologically sort the assigns: edge from each dependency that is
+     itself an assign target. *)
+  let assign_list = List.rev !assigns in
+  let target_tbl = Hashtbl.create 64 in
+  List.iter (fun (t, e) -> Hashtbl.replace target_tbl t e) assign_list;
+  let visited = Hashtbl.create 64 in
+  let sorted = ref [] in
+  let rec visit ~stack target =
+    match Hashtbl.find_opt visited target with
+    | Some `Done -> ()
+    | Some `In_progress ->
+      fail "combinational loop through signal %s" target
+    | None ->
+      Hashtbl.replace visited target `In_progress;
+      let expr = Hashtbl.find target_tbl target in
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt signals dep with
+          | Some s when not s.is_reg ->
+            if Hashtbl.mem target_tbl dep then visit ~stack:(target :: stack) dep
+          | _ -> ())
+        (wire_deps expr []);
+      Hashtbl.replace visited target `Done;
+      sorted := (target, expr) :: !sorted
+  in
+  List.iter (fun (t, _) -> visit ~stack:[] t) assign_list;
+  {
+    signals;
+    memories;
+    assigns = List.rev !sorted;
+    always = !always;
+    inputs = flat.flat_inputs;
+    outputs = flat.flat_outputs;
+    cycle = 0;
+    failures = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+
+let rec natural t expr = natural_width ~signal_width:(signal_width t) expr
+
+and eval t ~width expr : Bitvec.t =
+  match expr with
+  | Const b -> Bitvec.resize ~width b
+  | Ref name -> (
+    match Hashtbl.find_opt t.signals name with
+    | Some s -> Bitvec.resize ~width s.value
+    | None -> fail "read of unknown signal %s" name)
+  | Index (name, addr) -> (
+    match Hashtbl.find_opt t.memories name with
+    | Some m ->
+      let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
+      if a < Array.length m.cells then Bitvec.resize ~width m.cells.(a)
+      else Bitvec.zero width
+    | None -> fail "indexing non-memory %s" name)
+  | Slice (e, hi, lo) ->
+    let v = eval t ~width:(max (hi + 1) (natural t e)) e in
+    Bitvec.resize ~width (Bitvec.extract ~hi ~lo v)
+  | Unop (Not, e) -> Bitvec.lognot (eval t ~width e)
+  | Unop (Red_or, e) ->
+    let v = eval t ~width:(max 1 (natural t e)) e in
+    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero v)))
+  | Unop (Red_and, e) ->
+    let w = max 1 (natural t e) in
+    let v = eval t ~width:w e in
+    Bitvec.resize ~width (Bitvec.of_bool (Bitvec.equal v (Bitvec.ones w)))
+  | Binop (((Add | Sub | Mul | And | Or | Xor) as op), a, b) ->
+    let x = eval t ~width a and y = eval t ~width b in
+    let f =
+      match op with
+      | Add -> Bitvec.add
+      | Sub -> Bitvec.sub
+      | Mul -> Bitvec.mul
+      | And -> Bitvec.logand
+      | Or -> Bitvec.logor
+      | Xor -> Bitvec.logxor
+      | _ -> assert false
+    in
+    f x y
+  | Binop (Shl, a, b) ->
+    let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
+    Bitvec.shift_left (eval t ~width a) (min shift width)
+  | Binop (Shr, a, b) ->
+    let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
+    Bitvec.shift_right_logical (eval t ~width a) (min shift width)
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+    let w = max 1 (max (natural t a) (natural t b)) in
+    let x = eval t ~width:w a and y = eval t ~width:w b in
+    let c = Bitvec.compare x y in
+    let r =
+      match op with
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | _ -> assert false
+    in
+    Bitvec.resize ~width (Bitvec.of_bool r)
+  | Binop (Log_and, a, b) ->
+    let x = eval t ~width:(max 1 (natural t a)) a in
+    let y = eval t ~width:(max 1 (natural t b)) b in
+    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) && not (Bitvec.is_zero y)))
+  | Binop (Log_or, a, b) ->
+    let x = eval t ~width:(max 1 (natural t a)) a in
+    let y = eval t ~width:(max 1 (natural t b)) b in
+    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) || not (Bitvec.is_zero y)))
+  | Ternary (c, a, b) ->
+    let cond = eval t ~width:(max 1 (natural t c)) c in
+    if Bitvec.is_zero cond then eval t ~width b else eval t ~width a
+  | Concat es ->
+    let parts = List.map (fun e -> eval t ~width:(max 1 (natural t e)) e) es in
+    let v = List.fold_left (fun acc p -> Bitvec.concat acc p) (List.hd parts) (List.tl parts) in
+    Bitvec.resize ~width v
+
+let eval_bool t expr = not (Bitvec.is_zero (eval t ~width:(max 1 (natural t expr)) expr))
+
+(* ------------------------------------------------------------------ *)
+(* Cycle execution                                                     *)
+
+type update =
+  | Set_reg of string * Bitvec.t
+  | Set_mem of string * int * Bitvec.t
+
+let rec run_stmt t acc stmt =
+  match stmt with
+  | Nonblocking (Lref name, e) ->
+    let w = signal_width t name in
+    Set_reg (name, eval t ~width:w e) :: acc
+  | Nonblocking (Lindex (name, addr), e) -> (
+    match Hashtbl.find_opt t.memories name with
+    | Some m ->
+      let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
+      Set_mem (name, a, eval t ~width:m.elem_width e) :: acc
+    | None -> fail "write to non-memory %s" name)
+  | If (c, then_s, else_s) ->
+    if eval_bool t c then List.fold_left (run_stmt t) acc then_s
+    else List.fold_left (run_stmt t) acc else_s
+  | Assert_stmt { cond; message } ->
+    if not (eval_bool t cond) then
+      t.failures <- { at_cycle = t.cycle; message } :: t.failures;
+    acc
+
+let settle t =
+  List.iter
+    (fun (target, expr) ->
+      let s = Hashtbl.find t.signals target in
+      s.value <- eval t ~width:s.width expr)
+    t.assigns
+
+let commit t updates =
+  List.iter
+    (fun u ->
+      match u with
+      | Set_reg (name, v) -> (Hashtbl.find t.signals name).value <- v
+      | Set_mem (name, a, v) ->
+        let m = Hashtbl.find t.memories name in
+        if a < Array.length m.cells then m.cells.(a) <- v
+        else
+          t.failures <-
+            { at_cycle = t.cycle; message = Printf.sprintf "write past end of %s" name }
+            :: t.failures)
+    updates
+
+(* Drive an input signal (before [step]). *)
+let set_input t name v =
+  match Hashtbl.find_opt t.signals name with
+  | Some s -> s.value <- Bitvec.resize ~width:s.width v
+  | None -> fail "unknown input %s" name
+
+let peek t name =
+  match Hashtbl.find_opt t.signals name with
+  | Some s -> s.value
+  | None -> fail "unknown signal %s" name
+
+(* Clock edge against already-settled combinational state. *)
+let clock t =
+  let updates = List.fold_left (run_stmt t) [] t.always in
+  commit t updates;
+  t.cycle <- t.cycle + 1
+
+(* One full clock cycle: settle combinational logic, then clock all
+   registers/memories.  Callers that need to observe settled outputs
+   (e.g. memory agents) use [settle_only] + [clock] separately. *)
+let step t =
+  settle t;
+  clock t
+
+let settle_only t = settle t
+
+let failures t = List.rev t.failures
+let cycle t = t.cycle
+
+(* All named signals with their widths, for waveform dumping. *)
+let signal_names t =
+  Hashtbl.fold (fun name s acc -> (name, s.width) :: acc) t.signals []
+  |> List.sort compare

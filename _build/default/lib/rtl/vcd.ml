@@ -1,0 +1,84 @@
+(* VCD (Value Change Dump) waveform writer for the RTL simulator, so
+   generated designs can be inspected in GTKWave & co.
+
+     let vcd = Vcd.create ~path:"trace.vcd" sim in
+     (* each cycle, after settling: *)
+     Vcd.sample vcd sim;
+     ...
+     Vcd.close vcd *)
+
+type t = {
+  oc : out_channel;
+  ids : (string * string * int) list;  (* signal, vcd id, width *)
+  last : (string, Bitvec.t) Hashtbl.t;
+  mutable time : int;
+}
+
+(* VCD identifiers: printable ASCII, shortest-first. *)
+let id_of_index i =
+  let alphabet = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod alphabet)) in
+    let acc = String.make 1 c ^ acc in
+    if i < alphabet then acc else go ((i / alphabet) - 1) acc
+  in
+  go i ""
+
+let create ?signals ~path sim =
+  let oc = open_out path in
+  let all = Sim.signal_names sim in
+  let selected =
+    match signals with
+    | None -> all
+    | Some wanted -> List.filter (fun (n, _) -> List.mem n wanted) all
+  in
+  let ids =
+    List.mapi (fun i (name, width) -> (name, id_of_index i, width)) selected
+  in
+  output_string oc "$timescale 1ns $end\n";
+  output_string oc "$scope module top $end\n";
+  List.iter
+    (fun (name, id, width) ->
+      Printf.fprintf oc "$var wire %d %s %s $end\n" width id name)
+    ids;
+  output_string oc "$upscope $end\n$enddefinitions $end\n";
+  { oc; ids; last = Hashtbl.create 64; time = 0 }
+
+let emit_value t id width v =
+  if width = 1 then
+    Printf.fprintf t.oc "%s%s\n" (if Bitvec.is_zero v then "0" else "1") id
+  else begin
+    (* VCD convention: leading zeros trimmed. *)
+    let bits = Bitvec.to_bin_string v in
+    let rec first_one i =
+      if i >= String.length bits - 1 then String.length bits - 1
+      else if bits.[i] = '1' then i
+      else first_one (i + 1)
+    in
+    let trimmed = String.sub bits (first_one 0) (String.length bits - first_one 0) in
+    Printf.fprintf t.oc "b%s %s\n" trimmed id
+  end
+
+(* Record the current settled state as one timestep; only changed
+   signals are written, per the VCD format. *)
+let sample t sim =
+  let changes =
+    List.filter_map
+      (fun (name, id, width) ->
+        let v = Sim.peek sim name in
+        match Hashtbl.find_opt t.last name with
+        | Some prev when Bitvec.equal prev v -> None
+        | _ ->
+          Hashtbl.replace t.last name v;
+          Some (id, width, v))
+      t.ids
+  in
+  if changes <> [] || t.time = 0 then begin
+    Printf.fprintf t.oc "#%d\n" t.time;
+    List.iter (fun (id, width, v) -> emit_value t id width v) changes
+  end;
+  t.time <- t.time + 1
+
+let close t =
+  Printf.fprintf t.oc "#%d\n" t.time;
+  close_out t.oc

@@ -1,0 +1,1 @@
+lib/verilog/pretty.ml: Ast Bitvec Format List Printf String

@@ -1,0 +1,113 @@
+(* Integration tests: every evaluation kernel must pass structural
+   verification, schedule verification, and produce output matching its
+   software reference model under the cycle-accurate interpreter. *)
+
+open Hir_ir
+open Hir_dialect
+
+let () = Ops.register ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let verify_all m =
+  let engine = Diagnostic.Engine.create () in
+  (match Verify.verify m with
+  | Ok () -> ()
+  | Error e -> List.iter (Diagnostic.Engine.emit engine) (Diagnostic.Engine.to_list e));
+  Verify_schedule.verify_module engine m;
+  engine
+
+let verification_case kernel () =
+  let m, _f = kernel.Hir_kernels.Kernels.build () in
+  let engine = verify_all m in
+  if Diagnostic.Engine.has_errors engine then
+    Alcotest.failf "%s fails verification:\n%s" kernel.Hir_kernels.Kernels.name
+      (Diagnostic.Engine.to_string engine)
+
+let interp_case kernel () =
+  match kernel.Hir_kernels.Kernels.check () with
+  | Ok result ->
+    check_bool "ran some cycles" true (result.Interp.cycles > 0);
+    check_bool "performed memory traffic" true (result.Interp.reads > 0)
+  | Error msg -> Alcotest.failf "%s: %s" kernel.Hir_kernels.Kernels.name msg
+
+let roundtrip_case kernel () =
+  let m, _ = kernel.Hir_kernels.Kernels.build () in
+  let text1 = Printer.op_to_string m in
+  let reparsed = Parser.parse_string text1 in
+  let text2 = Printer.op_to_string reparsed in
+  Alcotest.(check string) "print/parse fixpoint" text1 text2
+
+(* Latency/II expectations from the explicit schedules. *)
+
+let test_transpose_latency () =
+  match Hir_kernels.Transpose.check_interp () with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    (* 16 outer iterations, each ~ 16 inner II=1 iterations + loop
+       overhead: latency must be in the low 300s, not ~16*16*2. *)
+    check_bool "pipelined latency" true
+      (result.Interp.cycles > 256 && result.Interp.cycles < 350)
+
+let test_histogram_ii2 () =
+  match Hir_kernels.Histogram.check_interp () with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    (* 256 (clear) + 2*256 (II=2 accumulate) + 256 (drain) ≈ 1024. *)
+    check_bool "II=2 accumulate phase" true
+      (result.Interp.cycles >= 1024 && result.Interp.cycles < 1100)
+
+let test_gemm_parallelism () =
+  match Hir_kernels.Gemm.check_interp () with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    (* Load 16 + compute ~20 + drain 256: far below the sequential
+       16^3 = 4096 multiply-accumulate count. *)
+    (* 256 loads + 256 PEs x (16 a-reads + 16 b-reads + 16 acc-reads)
+       + 256 drain reads. *)
+    check_int "read count" (512 + (256 * 48) + 256) result.Interp.reads;
+    check_bool "parallel latency" true (result.Interp.cycles < 350)
+
+let test_task_parallel_overlap () =
+  let overlapped, single = Hir_kernels.Taskparallel.overlap_summary () in
+  (* Two dependent stencils in lock-step cost barely more than one. *)
+  check_bool "overlap saves latency" true (overlapped < (2 * single) - 20);
+  check_bool "overlap close to single" true (overlapped <= single + 16)
+
+let test_fifo_occupancy () =
+  match Hir_kernels.Fifo.check_interp () with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    (* 64 pushes at II=1 with a 3-cycle flow-through latency. *)
+    check_bool "flow-through latency" true
+      (result.Interp.cycles >= 64 && result.Interp.cycles < 80)
+
+let () =
+  let kernels = Hir_kernels.Kernels.all in
+  Alcotest.run "kernels"
+    [
+      ( "verify",
+        List.map
+          (fun k ->
+            Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (verification_case k))
+          kernels );
+      ( "interp vs reference",
+        List.map
+          (fun k ->
+            Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (interp_case k))
+          kernels );
+      ( "text round-trip",
+        List.map
+          (fun k ->
+            Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (roundtrip_case k))
+          kernels );
+      ( "schedule shape",
+        [
+          Alcotest.test_case "transpose pipelined latency" `Quick test_transpose_latency;
+          Alcotest.test_case "histogram II=2" `Quick test_histogram_ii2;
+          Alcotest.test_case "gemm PE parallelism" `Quick test_gemm_parallelism;
+          Alcotest.test_case "task overlap (Listing 3)" `Quick test_task_parallel_overlap;
+          Alcotest.test_case "fifo flow-through" `Quick test_fifo_occupancy;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the analytical FPGA resource model and the hand-written
+   Verilog baselines: per-construct costs, hierarchy accounting, and
+   the structural invariants Table 5 relies on (DSP and BRAM counts are
+   exact, assertions are free). *)
+
+module V = Hir_verilog.Ast
+module Model = Hir_resources.Model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let module_of items =
+  {
+    V.mod_name = "m";
+    ports = [ { V.port_name = "clk"; dir = V.Input; width = 1 } ];
+    items;
+  }
+
+let usage items = Model.design_usage { V.modules = [ module_of items ]; top = "m" }
+
+let wire name width = V.Wire_decl { name; width }
+
+let test_registers () =
+  let u = usage [ V.Reg_decl { name = "r"; width = 32 } ] in
+  check_int "32 FFs" 32 u.Model.ff;
+  check_int "no LUTs" 0 u.Model.lut
+
+let test_adder () =
+  let u =
+    usage
+      [
+        wire "a" 16; wire "b" 16; wire "s" 16;
+        V.Assign { target = "s"; expr = V.Binop (V.Add, V.Ref "a", V.Ref "b") };
+      ]
+  in
+  check_int "16-bit adder = 16 LUTs" 16 u.Model.lut
+
+let test_multiplier_dsps () =
+  let mul w =
+    (usage
+       [
+         wire "a" w; wire "b" w; wire "p" w;
+         V.Assign { target = "p"; expr = V.Binop (V.Mul, V.Ref "a", V.Ref "b") };
+       ])
+      .Model.dsp
+  in
+  check_int "18x18 -> 1 DSP" 1 (mul 18);
+  check_int "25x25 -> 2 DSPs" 2 (mul 25);
+  check_int "32x32 -> 3 DSPs" 3 (mul 32)
+
+let test_shift_costs () =
+  let shift b =
+    (usage
+       [
+         wire "a" 32; wire "s" 32; wire "k" 5;
+         V.Assign { target = "s"; expr = V.Binop (V.Shl, V.Ref "a", b) };
+       ])
+      .Model.lut
+  in
+  check_int "constant shift is wiring" 0 (shift (V.const_int ~width:5 3));
+  check_bool "dynamic shift costs a barrel" true (shift (V.Ref "k") > 0)
+
+let test_memories () =
+  let mem style width depth =
+    usage [ V.Mem_decl { name = "mem"; width; depth; style } ]
+  in
+  check_int "8Kib -> 1 BRAM" 1 (mem V.Style_bram 32 256).Model.bram;
+  check_int "40Kib -> 3 BRAM18" 3 (mem V.Style_bram 32 1600).Model.bram;
+  check_int "lutram 16x32" 32 (mem V.Style_lutram 32 16).Model.lut;
+  check_int "register file = FFs" (32 * 4) (mem V.Style_reg 32 4).Model.ff
+
+let test_assertions_free () =
+  let u =
+    usage
+      [
+        wire "x" 8;
+        V.Always_ff
+          [ V.Assert_stmt { cond = V.Binop (V.Lt, V.Ref "x", V.const_int ~width:8 5); message = "m" } ];
+      ]
+  in
+  check_int "assertions are simulation-only" 0 u.Model.lut
+
+let test_hierarchy_counts_instances () =
+  let child =
+    {
+      V.mod_name = "leaf";
+      ports = [ { V.port_name = "clk"; dir = V.Input; width = 1 } ];
+      items = [ V.Reg_decl { name = "r"; width = 8 } ];
+    }
+  in
+  let top =
+    module_of
+      [
+        V.Instance { module_name = "leaf"; instance_name = "u1"; connections = [] };
+        V.Instance { module_name = "leaf"; instance_name = "u2"; connections = [] };
+      ]
+  in
+  let u = Model.design_usage { V.modules = [ child; top ]; top = "m" } in
+  check_int "two instances = 16 FFs" 16 u.Model.ff
+
+(* Structural facts behind Table 5. *)
+
+let kernel_usage build =
+  let m, f = build () in
+  let emitted = Hir_codegen.Emit.compile ~optimize:true ~module_op:m ~top:f () in
+  Model.design_usage emitted.Hir_codegen.Emit.design
+
+let test_table5_dsp_invariants () =
+  check_int "transpose has no multipliers" 0
+    (kernel_usage Hir_kernels.Transpose.build).Model.dsp;
+  check_int "stencil = 2 x 3 DSPs" 6 (kernel_usage Hir_kernels.Stencil1d.build).Model.dsp;
+  check_int "gemm = 256 x 3 DSPs" 768 (kernel_usage (fun () -> Hir_kernels.Gemm.build ())).Model.dsp;
+  check_int "convolution shifts only" 0
+    (kernel_usage Hir_kernels.Convolution.build).Model.dsp
+
+let test_table5_bram_invariants () =
+  check_int "histogram 1 BRAM" 1 (kernel_usage Hir_kernels.Histogram.build).Model.bram;
+  check_int "fifo 1 BRAM" 1 (kernel_usage Hir_kernels.Fifo.build).Model.bram;
+  check_int "transpose 0 BRAM" 0 (kernel_usage Hir_kernels.Transpose.build).Model.bram
+
+let test_precision_opt_reduces () =
+  let at optimize =
+    let m, f = Hir_kernels.Transpose.build () in
+    let e = Hir_codegen.Emit.compile ~optimize ~module_op:m ~top:f () in
+    Model.design_usage e.Hir_codegen.Emit.design
+  in
+  let before = at false and after = at true in
+  check_bool "LUTs shrink" true (after.Model.lut < before.Model.lut);
+  check_bool "FFs shrink" true (after.Model.ff < before.Model.ff);
+  (* Table 4's headline: roughly a 4x reduction. *)
+  check_bool "at least 2x" true (2 * after.Model.ff <= before.Model.ff)
+
+(* The hand-written FIFO baseline (Table 5's last row). *)
+
+let test_fifo_baseline () =
+  let u = Model.design_usage (Hir_resources.Baselines.sync_fifo_design ()) in
+  check_int "1 BRAM" 1 u.Model.bram;
+  check_bool "pointer logic is small" true (u.Model.lut < 64);
+  let hir = kernel_usage Hir_kernels.Fifo.build in
+  check_bool "HIR FIFO uses more FFs than hand-written Verilog (Table 5)" true
+    (hir.Model.ff > u.Model.ff)
+
+let () =
+  Alcotest.run "resources"
+    [
+      ( "construct costs",
+        [
+          Alcotest.test_case "registers" `Quick test_registers;
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "multiplier DSPs" `Quick test_multiplier_dsps;
+          Alcotest.test_case "shifts" `Quick test_shift_costs;
+          Alcotest.test_case "memories" `Quick test_memories;
+          Alcotest.test_case "assertions free" `Quick test_assertions_free;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy_counts_instances;
+        ] );
+      ( "table 5 invariants",
+        [
+          Alcotest.test_case "DSP counts" `Quick test_table5_dsp_invariants;
+          Alcotest.test_case "BRAM counts" `Quick test_table5_bram_invariants;
+          Alcotest.test_case "precision opt reduces" `Quick test_precision_opt_reduces;
+          Alcotest.test_case "fifo baseline" `Quick test_fifo_baseline;
+        ] );
+    ]

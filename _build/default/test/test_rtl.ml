@@ -1,0 +1,349 @@
+(* Unit tests for the Verilog substrate: the pretty printer, the
+   elaborator (flattening), and the two-phase RTL simulator — width
+   semantics, register/memory timing, hierarchy, assertions, and
+   combinational-loop detection. *)
+
+module V = Hir_verilog.Ast
+module Pretty = Hir_verilog.Pretty
+module Flatten = Hir_rtl.Flatten
+module Sim = Hir_rtl.Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bv w n = Bitvec.of_int ~width:w n
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let simple_module ?(ports = []) items =
+  {
+    V.mod_name = "top";
+    ports = { V.port_name = "clk"; dir = V.Input; width = 1 } :: ports;
+    items;
+  }
+
+let design m = { V.modules = [ m ]; top = "top" }
+
+let sim_of items ~ports = Sim.create (Flatten.flatten (design (simple_module ~ports items)))
+
+(* ------------------------------------------------------------------ *)
+(* Combinational evaluation                                            *)
+
+let test_expr_eval () =
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "x"; dir = V.Input; width = 8 } ]
+      [
+        V.Wire_decl { name = "y"; width = 8 };
+        V.Assign { target = "y"; expr = V.Binop (V.Add, V.Ref "x", V.const_int ~width:8 3) };
+        V.Wire_decl { name = "cmp"; width = 1 };
+        V.Assign
+          { target = "cmp"; expr = V.Binop (V.Lt, V.Ref "x", V.const_int ~width:8 100) };
+        V.Wire_decl { name = "slice"; width = 4 };
+        V.Assign { target = "slice"; expr = V.Slice (V.Ref "x", 7, 4) };
+        V.Wire_decl { name = "mux"; width = 8 };
+        V.Assign
+          {
+            target = "mux";
+            expr = V.Ternary (V.Ref "cmp", V.Ref "y", V.const_int ~width:8 0);
+          };
+      ]
+  in
+  Sim.set_input sim "x" (bv 8 0xAB);
+  Sim.settle_only sim;
+  check_int "add wraps" ((0xAB + 3) land 0xFF) (Bitvec.to_int (Sim.peek sim "y"));
+  check_int "unsigned compare" 0 (Bitvec.to_int (Sim.peek sim "cmp"));
+  check_int "slice" 0xA (Bitvec.to_int (Sim.peek sim "slice"));
+  check_int "mux takes else" 0 (Bitvec.to_int (Sim.peek sim "mux"));
+  Sim.set_input sim "x" (bv 8 5);
+  Sim.settle_only sim;
+  check_int "mux takes then" 8 (Bitvec.to_int (Sim.peek sim "mux"))
+
+let test_mixed_width_context () =
+  (* A narrow wire zero-extends into a wider assignment context. *)
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "a"; dir = V.Input; width = 4 } ]
+      [
+        V.Wire_decl { name = "wide"; width = 12 };
+        V.Assign
+          {
+            target = "wide";
+            expr = V.Binop (V.Add, V.Ref "a", V.const_int ~width:12 0x100);
+          };
+      ]
+  in
+  Sim.set_input sim "a" (bv 4 0xF);
+  Sim.settle_only sim;
+  check_int "zero-extended add" 0x10F (Bitvec.to_int (Sim.peek sim "wide"))
+
+let test_topological_order () =
+  (* Assigns written in reverse dependency order must still settle. *)
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "a"; dir = V.Input; width = 8 } ]
+      [
+        V.Wire_decl { name = "c"; width = 8 };
+        V.Assign { target = "c"; expr = V.Binop (V.Add, V.Ref "b", V.const_int ~width:8 1) };
+        V.Wire_decl { name = "b"; width = 8 };
+        V.Assign { target = "b"; expr = V.Binop (V.Add, V.Ref "a", V.const_int ~width:8 1) };
+      ]
+  in
+  Sim.set_input sim "a" (bv 8 10);
+  Sim.settle_only sim;
+  check_int "chained" 12 (Bitvec.to_int (Sim.peek sim "c"))
+
+let test_combinational_loop_detected () =
+  match
+    sim_of ~ports:[]
+      [
+        V.Wire_decl { name = "a"; width = 1 };
+        V.Wire_decl { name = "b"; width = 1 };
+        V.Assign { target = "a"; expr = V.Unop (V.Not, V.Ref "b") };
+        V.Assign { target = "b"; expr = V.Unop (V.Not, V.Ref "a") };
+      ]
+  with
+  | exception Sim.Sim_error msg -> check_bool "mentions loop" true (contains msg "loop")
+  | _ -> Alcotest.fail "expected combinational loop error"
+
+(* ------------------------------------------------------------------ *)
+(* Sequential behaviour                                                *)
+
+let test_register_timing () =
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "d"; dir = V.Input; width = 8 } ]
+      [
+        V.Reg_decl { name = "q"; width = 8 };
+        V.Always_ff [ V.Nonblocking (V.Lref "q", V.Ref "d") ];
+      ]
+  in
+  Sim.set_input sim "d" (bv 8 42);
+  Sim.settle_only sim;
+  check_int "before edge" 0 (Bitvec.to_int (Sim.peek sim "q"));
+  Sim.clock sim;
+  Sim.settle_only sim;
+  check_int "after edge" 42 (Bitvec.to_int (Sim.peek sim "q"))
+
+let test_nonblocking_swap () =
+  (* The classic: two registers swap atomically with nonblocking
+     assignments. *)
+  let sim =
+    sim_of ~ports:[]
+      [
+        V.Reg_decl { name = "a"; width = 4 };
+        V.Reg_decl { name = "b"; width = 4 };
+        V.Wire_decl { name = "init"; width = 1 };
+        V.Assign { target = "init"; expr = V.Binop (V.Eq, V.Ref "a", V.const_int ~width:4 0) };
+        V.Always_ff
+          [
+            V.If
+              ( V.Ref "init",
+                [
+                  V.Nonblocking (V.Lref "a", V.const_int ~width:4 1);
+                  V.Nonblocking (V.Lref "b", V.const_int ~width:4 2);
+                ],
+                [
+                  V.Nonblocking (V.Lref "a", V.Ref "b");
+                  V.Nonblocking (V.Lref "b", V.Ref "a");
+                ] );
+          ];
+      ]
+  in
+  Sim.step sim;  (* init *)
+  Sim.step sim;  (* swap *)
+  Sim.settle_only sim;
+  check_int "a took b" 2 (Bitvec.to_int (Sim.peek sim "a"));
+  check_int "b took a" 1 (Bitvec.to_int (Sim.peek sim "b"))
+
+let test_memory_read_first () =
+  (* Read and write the same address in the same cycle: the read
+     returns the old value (read-first BRAM). *)
+  let sim =
+    sim_of
+      ~ports:
+        [
+          { V.port_name = "wdata"; dir = V.Input; width = 8 };
+          { V.port_name = "we"; dir = V.Input; width = 1 };
+        ]
+      [
+        V.Mem_decl { name = "mem"; width = 8; depth = 4; style = V.Style_bram };
+        V.Reg_decl { name = "rdata"; width = 8 };
+        V.Always_ff
+          [
+            V.If
+              ( V.Ref "we",
+                [ V.Nonblocking (V.Lindex ("mem", V.const_int ~width:2 1), V.Ref "wdata") ],
+                [] );
+            V.Nonblocking (V.Lref "rdata", V.Index ("mem", V.const_int ~width:2 1));
+          ];
+      ]
+  in
+  Sim.set_input sim "we" (bv 1 1);
+  Sim.set_input sim "wdata" (bv 8 7);
+  Sim.step sim;
+  Sim.settle_only sim;
+  check_int "read got old value" 0 (Bitvec.to_int (Sim.peek sim "rdata"));
+  Sim.set_input sim "wdata" (bv 8 9);
+  Sim.step sim;
+  Sim.settle_only sim;
+  check_int "read got first write" 7 (Bitvec.to_int (Sim.peek sim "rdata"))
+
+let test_assertion_capture () =
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "bad"; dir = V.Input; width = 1 } ]
+      [
+        V.Always_ff
+          [ V.Assert_stmt { cond = V.Unop (V.Not, V.Ref "bad"); message = "boom" } ];
+      ]
+  in
+  Sim.step sim;
+  check_int "no failure yet" 0 (List.length (Sim.failures sim));
+  Sim.set_input sim "bad" (bv 1 1);
+  Sim.settle_only sim;
+  Sim.clock sim;
+  (match Sim.failures sim with
+  | [ f ] ->
+    check_int "cycle recorded" 1 f.Sim.at_cycle;
+    check_bool "message" true (f.Sim.message = "boom")
+  | _ -> Alcotest.fail "expected exactly one failure")
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+
+let test_flatten_hierarchy () =
+  let child =
+    {
+      V.mod_name = "inc";
+      ports =
+        [
+          { V.port_name = "clk"; dir = V.Input; width = 1 };
+          { V.port_name = "x"; dir = V.Input; width = 8 };
+          { V.port_name = "y"; dir = V.Output; width = 8 };
+        ];
+      items =
+        [ V.Assign { target = "y"; expr = V.Binop (V.Add, V.Ref "x", V.const_int ~width:8 1) } ];
+    }
+  in
+  let top =
+    simple_module
+      ~ports:
+        [
+          { V.port_name = "a"; dir = V.Input; width = 8 };
+          { V.port_name = "out"; dir = V.Output; width = 8 };
+        ]
+      [
+        V.Wire_decl { name = "mid"; width = 8 };
+        V.Instance
+          {
+            module_name = "inc";
+            instance_name = "u1";
+            connections =
+              [ ("clk", V.Ref "clk"); ("x", V.Binop (V.Add, V.Ref "a", V.const_int ~width:8 1)); ("y", V.Ref "mid") ];
+          };
+        V.Instance
+          {
+            module_name = "inc";
+            instance_name = "u2";
+            connections = [ ("clk", V.Ref "clk"); ("x", V.Ref "mid"); ("y", V.Ref "out") ];
+          };
+      ]
+  in
+  let sim = Sim.create (Flatten.flatten { V.modules = [ child; top ]; top = "top" }) in
+  Sim.set_input sim "a" (bv 8 10);
+  Sim.settle_only sim;
+  (* a + 1 (expression) + 1 (u1) + 1 (u2) *)
+  check_int "two instances chained" 13 (Bitvec.to_int (Sim.peek sim "out"))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer                                                      *)
+
+let test_pretty_output () =
+  let m =
+    simple_module
+      ~ports:[ { V.port_name = "x"; dir = V.Input; width = 8 } ]
+      [
+        V.Comment "hello";
+        V.Reg_decl { name = "q"; width = 8 };
+        V.Mem_decl { name = "mem"; width = 32; depth = 16; style = V.Style_lutram };
+        V.Assign { target = "q_next"; expr = V.Binop (V.Add, V.Ref "q", V.Ref "x") };
+        V.Always_ff
+          [
+            V.If (V.Ref "x", [ V.Nonblocking (V.Lref "q", V.Ref "x") ], []);
+            V.Assert_stmt { cond = V.Ref "x"; message = "x must hold" };
+          ];
+      ]
+  in
+  let text = Pretty.module_to_string m in
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [
+      "module top (";
+      "input wire clk";
+      "input wire [7:0] x";
+      "// hello";
+      "reg [7:0] q = 0;";
+      "ram_style = \"distributed\"";
+      "reg [31:0] mem [0:15];";
+      "assign q_next = (q + x);";
+      "always @(posedge clk) begin";
+      "q <= x;";
+      "$error(\"x must hold\");";
+      "endmodule";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* VCD dumping                                                         *)
+
+let test_vcd_dump () =
+  let path = Filename.temp_file "hir_test" ".vcd" in
+  let sim =
+    sim_of
+      ~ports:[ { V.port_name = "d"; dir = V.Input; width = 8 } ]
+      [
+        V.Reg_decl { name = "q"; width = 8 };
+        V.Always_ff [ V.Nonblocking (V.Lref "q", V.Ref "d") ];
+      ]
+  in
+  let vcd = Hir_rtl.Vcd.create ~path sim in
+  for c = 0 to 3 do
+    Sim.set_input sim "d" (bv 8 (10 * c));
+    Sim.settle_only sim;
+    Hir_rtl.Vcd.sample vcd sim;
+    Sim.clock sim
+  done;
+  Hir_rtl.Vcd.close vcd;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [ "$timescale"; "$var wire 8"; " d $end"; " q $end"; "#0"; "#1"; "b1010 " ]
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "combinational",
+        [
+          Alcotest.test_case "expression evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "mixed-width context" `Quick test_mixed_width_context;
+          Alcotest.test_case "topological settle" `Quick test_topological_order;
+          Alcotest.test_case "combinational loop" `Quick test_combinational_loop_detected;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "register timing" `Quick test_register_timing;
+          Alcotest.test_case "nonblocking swap" `Quick test_nonblocking_swap;
+          Alcotest.test_case "memory read-first" `Quick test_memory_read_first;
+          Alcotest.test_case "assertion capture" `Quick test_assertion_capture;
+        ] );
+      ( "hierarchy",
+        [ Alcotest.test_case "flatten two levels" `Quick test_flatten_hierarchy ] );
+      ("pretty", [ Alcotest.test_case "verilog text" `Quick test_pretty_output ]);
+      ("vcd", [ Alcotest.test_case "waveform dump" `Quick test_vcd_dump ]);
+    ]
