@@ -1,0 +1,32 @@
+# Convenience targets around dune; `make check` is the tier-1 gate
+# plus a smoke run of the compilation service over examples/ and the
+# built-in kernels.
+
+SMOKE_DESIGNS := examples/designs/transpose.hir examples/designs/stencil_1d.hir \
+                 examples/designs/fifo.hir
+
+.PHONY: all build test check bench-json clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Build + tests + an end-to-end `hirc batch` smoke over the textual
+# example designs and every built-in kernel (4 workers, cached,
+# traced), exercising parse -> verify -> passes -> emit for real.
+check: build test
+	dune exec bin/hirc.exe -- batch $(SMOKE_DESIGNS) --kernels -j 4 \
+	  --cache-dir _build/.hirc-smoke-cache --trace _build/smoke.trace.json \
+	  -o _build/smoke-verilog
+	@echo "make check: OK"
+
+# Machine-readable benchmark results for tracking the perf trajectory.
+bench-json:
+	dune exec bench/main.exe -- --table 6 --json bench-results.json
+
+clean:
+	dune clean

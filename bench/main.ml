@@ -10,6 +10,8 @@
      --figure 3   memref banking layout (Figure 3)
      --check      functional verification of every generated design
      --bechamel   Bechamel micro-benchmarks backing Table 6
+     --stages     per-stage compile-time breakdown through lib/driver
+     --json PATH  additionally dump all recorded numbers as JSON
 
    With no arguments, everything runs.  Absolute resource numbers come
    from the analytical model in [Hir_resources.Model], not Vivado; the
@@ -22,8 +24,30 @@ module Emit = Hir_codegen.Emit
 module Harness = Hir_rtl.Harness
 module Model = Hir_resources.Model
 module Hls = Hir_hls
+module Driver = Hir_driver.Driver
+module Pipeline = Hir_driver.Pipeline
+module Trace = Hir_driver.Trace
 
 let () = Ops.register ()
+
+(* Machine-readable results: every section [record]s its numbers and
+   --json PATH writes them all out, so future PRs can track the perf
+   trajectory without scraping the tables. *)
+let json_results : (string * string * (string * float) list) list ref = ref []
+
+let record ~section ~name fields = json_results := (section, name, fields) :: !json_results
+
+let write_json path =
+  let oc = open_out path in
+  let entry (section, name, fields) =
+    Printf.sprintf "    {\"section\":\"%s\",\"name\":\"%s\",%s}" section name
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%.6f" k v) fields))
+  in
+  Printf.fprintf oc "{\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !json_results)));
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
 
 let line () = print_endline (String.make 78 '-')
 
@@ -220,6 +244,11 @@ let table6 () =
         List.assoc "scheduling" c.Hls.Compiler.phase_seconds
       in
       let p_hir, p_hls = List.assoc name paper_times in
+      record ~section:"table6" ~name
+        [
+          ("hir_s", hir_t); ("hls_s", hls_t); ("sched_s", sched_t);
+          ("speedup", hls_t /. hir_t);
+        ];
       Printf.printf "%-12s %10.4f %10.4f %10.4f %8.1fx   (%.3f / %.0f / %.0fx)\n" name
         hir_t hls_t sched_t (hls_t /. hir_t) p_hir p_hls (p_hls /. p_hir))
     kernels_for_timing;
@@ -227,6 +256,40 @@ let table6 () =
     "\nNote: the baseline here is this repo's HLS compiler, not Vivado HLS;\n\
      the reproduced claim is the ordering and the origin of the gap (the\n\
      scheduling search the HLS flow performs and HIR does not need).\n"
+
+(* Per-stage compile-time breakdown of the HIR flow, measured through
+   the driver's tracing instrumentation — where the totals of Table 6
+   actually go (IR construction, verification, each pass, codegen,
+   printing). *)
+let stages () =
+  header "Table 6 (breakdown): per-stage HIR compile time through lib/driver (ms)";
+  let stage_names = [ "build"; "verify"; "passes"; "emit"; "print" ] in
+  Printf.printf "%-12s %9s %9s %9s %9s %9s %10s\n" "benchmark" "build" "verify"
+    "passes" "emit" "print" "total";
+  List.iter
+    (fun (name, hir_build, _) ->
+      let trace = Trace.create () in
+      let job =
+        Driver.job_of_builder
+          ~pipeline:(Pipeline.default ~optimize:true)
+          ~name
+          (fun () -> hir_build ())
+      in
+      match Driver.compile_job ~trace job with
+      | Error e -> Printf.printf "%-12s FAILED: %s\n" name e
+      | Ok o ->
+        let pass_total =
+          List.fold_left (fun acc (s : Pass.stat) -> acc +. s.Pass.seconds) 0.
+            o.Driver.pass_stats
+        in
+        let stage n = if n = "passes" then pass_total else Trace.total_seconds trace n in
+        record ~section:"stages" ~name
+          (List.map (fun n -> (n ^ "_s", stage n)) stage_names
+          @ [ ("total_s", o.Driver.seconds) ]);
+        Printf.printf "%-12s %9.3f %9.3f %9.3f %9.3f %9.3f %10.3f\n" name
+          (stage "build" *. 1000.) (stage "verify" *. 1000.) (pass_total *. 1000.)
+          (stage "emit" *. 1000.) (stage "print" *. 1000.) (o.Driver.seconds *. 1000.))
+    kernels_for_timing
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
@@ -533,7 +596,15 @@ let () =
     in
     go args
   in
-  let all = List.length args = 1 in
+  let json_path =
+    let rec go = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let all = List.length args = 1 || (List.length args = 3 && json_path <> None) in
   if all || has "--table" "2" then table2 ();
   if all || has "--figure" "1" then figure1 ();
   if all || has "--figure" "2" then figure2 ();
@@ -544,5 +615,7 @@ let () =
   if all || has "--table" "4" then table4 ();
   if all || has "--table" "5" then table5 ();
   if all || has "--table" "6" then table6 ();
+  if all || has "--table" "6" || List.mem "--stages" args then stages ();
   if all || List.mem "--bechamel" args then bechamel ();
+  Option.iter write_json json_path;
   line ()

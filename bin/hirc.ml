@@ -9,10 +9,20 @@
      hirc kernels
          list the built-in benchmark kernels
      hirc demo <kernel> [-o out.v] [--no-opt] [--stats]
-         compile a built-in kernel and report resources *)
+         compile a built-in kernel and report resources
+     hirc pipeline --passes "<spec>" design.hir [-o out.v] [--stats]
+         compile with an explicit textual pass pipeline (--list shows
+         the available passes)
+     hirc batch <files-or-kernels…> [-j N] [--cache-dir D] [--trace t.json]
+         compile many designs concurrently through the compilation
+         service, with optional persistent caching and Chrome tracing
+
+   The end-to-end flow (parse → verify → passes → emit) lives in
+   [Hir_driver.Driver]; this file is only the command-line surface. *)
 
 open Hir_ir
 open Hir_dialect
+open Hir_driver
 open Cmdliner
 
 let () = Ops.register ()
@@ -43,30 +53,24 @@ let output_text out text =
     close_out oc;
     Printf.eprintf "wrote %s (%d bytes)\n" path (String.length text)
 
-let pick_top module_op top =
-  match (top, Ops.module_funcs module_op) with
-  | Some name, _ -> (
-    match Ops.lookup_func module_op name with
-    | Some f -> Ok f
-    | None -> Error (Printf.sprintf "no function @%s in the module" name))
-  | None, [] -> Error "module contains no functions"
-  | None, funcs -> Ok (List.nth funcs (List.length funcs - 1))
-
-let compile_module ~optimize ~top ~out module_op =
-  let engine = run_verifiers module_op in
-  if Diagnostic.Engine.has_errors engine then begin
-    prerr_endline (Diagnostic.Engine.to_string engine);
+(* Run one job through the compilation service and write its output. *)
+let run_job ?cache ?stats ~out job =
+  match Driver.compile_job ?cache job with
+  | Error e ->
+    prerr_endline e;
     1
-  end
-  else
-    match pick_top module_op top with
-    | Error e ->
-      prerr_endline e;
-      1
-    | Ok top_func ->
-      let emitted = Hir_codegen.Emit.compile ~optimize ~module_op ~top:top_func () in
-      output_text out (Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design);
-      0
+  | Ok o ->
+    Option.iter (Printf.eprintf "note: %s\n") o.Driver.note;
+    (match stats with
+    | Some true ->
+      List.iter
+        (fun (s : Pass.stat) ->
+          Printf.eprintf "%-28s %8.3f ms %s\n" s.Pass.pass_name (s.Pass.seconds *. 1000.)
+            (if s.Pass.changed then "(changed)" else ""))
+        o.Driver.pass_stats
+    | _ -> ());
+    output_text out o.Driver.verilog;
+    0
 
 (* ----------------------------- commands --------------------------- *)
 
@@ -82,13 +86,24 @@ let top_arg =
 let no_opt_arg =
   Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the optimization pipeline")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persist compiled output in a content-addressed cache under $(docv)")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:"Write per-stage timing spans as Chrome trace JSON to $(docv)")
+
 let compile_cmd =
   let run file out top no_opt =
-    match load_module file with
-    | Error e ->
-      prerr_endline e;
-      1
-    | Ok m -> compile_module ~optimize:(not no_opt) ~top ~out m
+    let pipeline = Pipeline.default ~optimize:(not no_opt) in
+    run_job ~out (Driver.job_of_file ?top ~pipeline file)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile textual HIR to Verilog")
@@ -144,12 +159,12 @@ let kernels_cmd =
     (Cmd.info "kernels" ~doc:"List the built-in benchmark kernels")
     Term.(const run $ const ())
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-pass statistics / resource estimates")
+
 let demo_cmd =
   let kernel_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name")
-  in
-  let stats_arg =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print resource estimates")
   in
   let run name out no_opt stats =
     match Hir_kernels.Kernels.find name with
@@ -157,23 +172,203 @@ let demo_cmd =
       Printf.eprintf "unknown kernel %s (try `hirc kernels`)\n" name;
       1
     | Some k ->
-      let m, f = k.Hir_kernels.Kernels.build () in
-      let emitted =
-        Hir_codegen.Emit.compile ~optimize:(not no_opt) ~module_op:m ~top:f ()
-      in
-      if stats then begin
-        let u = Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design in
-        Printf.eprintf "%s: %s\n" name
-          (Format.asprintf "%a" Hir_resources.Model.pp u)
-      end;
-      output_text out (Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design);
-      0
+      let pipeline = Pipeline.default ~optimize:(not no_opt) in
+      let job = Driver.job_of_builder ~pipeline ~name k.Hir_kernels.Kernels.build in
+      (match Driver.compile_job job with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok o ->
+        if stats then
+          Printf.eprintf "%s: %s\n" name
+            (Format.asprintf "%a" Hir_resources.Model.pp o.Driver.usage);
+        output_text out o.Driver.verilog;
+        0)
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Compile a built-in kernel")
     Term.(const run $ kernel_arg $ out_arg $ no_opt_arg $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* hirc pipeline                                                       *)
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"SPEC"
+        ~doc:
+          "Comma-separated pass pipeline, e.g. \
+           'canonicalize,precision-opt,unroll,delay-elim'. Stages take options in \
+           braces: 'retime{repeat=2}'.")
+
+let pipeline_cmd =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the available passes and exit")
+  in
+  let file_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .hir file")
+  in
+  let run passes file out top stats cache_dir list =
+    if list then begin
+      List.iter
+        (fun (name, descr) -> Printf.printf "%-20s %s\n" name descr)
+        (Pipeline.available_passes ());
+      0
+    end
+    else
+      match (passes, file) with
+      | None, _ ->
+        prerr_endline "pipeline: --passes SPEC is required (or --list)";
+        1
+      | _, None ->
+        prerr_endline "pipeline: an input FILE is required (or --list)";
+        1
+      | Some spec_src, Some file -> (
+        match Pipeline.parse spec_src with
+        | Error e ->
+          Printf.eprintf "invalid pipeline spec: %s\n" e;
+          1
+        | Ok pipeline ->
+          Printf.eprintf "pipeline: %s\n" (Pipeline.to_string pipeline);
+          let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+          run_job ?cache ~stats ~out (Driver.job_of_file ?top ~pipeline file))
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Compile with an explicit textual pass pipeline")
+    Term.(
+      const run $ passes_arg $ file_opt_arg $ out_arg $ top_arg $ stats_arg
+      $ cache_dir_arg $ list_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hirc batch                                                          *)
+
+let batch_cmd =
+  let inputs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"INPUT"
+          ~doc:"A .hir file or the name of a built-in kernel (see `hirc kernels`)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Scheduler.default_workers ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of worker domains")
+  in
+  let all_kernels_arg =
+    Arg.(value & flag & info [ "kernels" ] ~doc:"Also compile every built-in kernel")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-dir" ] ~docv:"DIR" ~doc:"Write one $(docv)/<name>.v per input")
+  in
+  let run inputs workers all_kernels out_dir cache_dir trace_out no_opt passes =
+    let pipeline_r =
+      match passes with
+      | None -> Ok (Pipeline.default ~optimize:(not no_opt))
+      | Some src -> Pipeline.parse src
+    in
+    match pipeline_r with
+    | Error e ->
+      Printf.eprintf "invalid pipeline spec: %s\n" e;
+      1
+    | Ok pipeline -> (
+      let kernel_job k =
+        Driver.job_of_builder ~pipeline ~name:k.Hir_kernels.Kernels.name
+          k.Hir_kernels.Kernels.build
+      in
+      let job_of_input input =
+        if Sys.file_exists input then Ok (Driver.job_of_file ~pipeline input)
+        else
+          match Hir_kernels.Kernels.find input with
+          | Some k -> Ok (kernel_job k)
+          | None ->
+            Error (Printf.sprintf "%s: neither a file nor a built-in kernel" input)
+      in
+      let jobs_r =
+        List.fold_left
+          (fun acc input ->
+            match (acc, job_of_input input) with
+            | Error e, _ | _, Error e -> Error e
+            | Ok jobs, Ok j -> Ok (j :: jobs))
+          (Ok []) inputs
+        |> Result.map List.rev
+      in
+      match jobs_r with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok file_jobs ->
+        let jobs =
+          file_jobs
+          @ (if all_kernels then List.map kernel_job Hir_kernels.Kernels.all else [])
+        in
+        if jobs = [] then begin
+          prerr_endline "batch: nothing to compile (give files, kernel names or --kernels)";
+          1
+        end
+        else begin
+          let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+          let result = Driver.batch ?cache ~workers (Array.of_list jobs) in
+          let failed = ref 0 in
+          Array.iter
+            (fun outcome ->
+              match outcome with
+              | Error e ->
+                incr failed;
+                Printf.printf "FAIL %s\n" e
+              | Ok o ->
+                Option.iter (Printf.eprintf "note: %s: %s\n" o.Driver.job_name) o.Driver.note;
+                (match out_dir with
+                | Some dir ->
+                  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+                  let base =
+                    Filename.remove_extension (Filename.basename o.Driver.job_name)
+                  in
+                  let path = Filename.concat dir (base ^ ".v") in
+                  let oc = open_out path in
+                  output_string oc o.Driver.verilog;
+                  close_out oc
+                | None -> ());
+                Printf.printf "ok   %-24s top=%-18s %8.2f ms%s\n" o.Driver.job_name
+                  o.Driver.top_name (o.Driver.seconds *. 1000.)
+                  (if o.Driver.from_cache then "  (cached)" else ""))
+            result.Driver.outcomes;
+          let hits, misses =
+            match cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+          in
+          Printf.printf
+            "batch: %d jobs, %d failed, %d workers, %.2f ms wall%s\n"
+            (Array.length result.Driver.outcomes)
+            !failed workers
+            (result.Driver.wall_seconds *. 1000.)
+            (if cache <> None then Printf.sprintf ", cache %d hits / %d misses" hits misses
+             else "");
+          (match trace_out with
+          | Some path ->
+            Trace.write_chrome_json path result.Driver.traces;
+            Printf.eprintf "wrote %s\n" path
+          | None -> ());
+          if !failed > 0 then 1 else 0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile many designs concurrently through the compilation service")
+    Term.(
+      const run $ inputs_arg $ jobs_arg $ all_kernels_arg $ out_dir_arg $ cache_dir_arg
+      $ trace_arg $ no_opt_arg $ passes_arg)
+
 let () =
   let doc = "HIR: an MLIR-style IR for hardware accelerator description" in
   let info = Cmd.info "hirc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
+            batch_cmd;
+          ]))

@@ -1,0 +1,112 @@
+(* Content-addressed compilation cache.
+
+   A cache entry is keyed on
+
+     Digest(driver version ⊕ pipeline spec ⊕ top selector ⊕ source text)
+
+   so editing the source, changing the pass pipeline, picking another
+   top function, or bumping [driver_version] (do this whenever codegen
+   output changes) each invalidate the entry.  An entry persists the
+   emitted Verilog ([<key>.v]) plus a small metadata sidecar
+   ([<key>.meta]: chosen top module and the modeled resource usage), so
+   a warm hit needs no parsing, verification, passes or codegen at all.
+
+   Writes go through a unique temp file followed by [Sys.rename], which
+   is atomic on POSIX: concurrent workers (or concurrent hirc
+   processes) racing to fill the same entry simply last-write-win with
+   identical content, and readers never observe a partial entry.  Hit
+   and miss counters are atomics for the same reason. *)
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+(* Bump whenever the emitted Verilog or the meta format changes. *)
+let driver_version = "hir-driver/1"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let key ~pipeline ~top ~source =
+  let material =
+    String.concat "\x00"
+      [ driver_version; pipeline; Option.value ~default:"" top; source ]
+  in
+  Digest.to_hex (Digest.string material)
+
+type entry = {
+  e_verilog : string;
+  e_top : string;
+  e_usage : Hir_resources.Model.usage;
+}
+
+let verilog_path t k = Filename.concat t.dir (k ^ ".v")
+let meta_path t k = Filename.concat t.dir (k ^ ".meta")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file_atomic ~dir path content =
+  let tmp = Filename.temp_file ~temp_dir:dir ".cache" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let meta_to_string ~top (u : Hir_resources.Model.usage) =
+  Printf.sprintf "top %s\nlut %d\nff %d\ndsp %d\nbram %d\n" top u.lut u.ff u.dsp u.bram
+
+let meta_of_string s =
+  let fields =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i ->
+             Some
+               ( String.sub line 0 i,
+                 String.sub line (i + 1) (String.length line - i - 1) )
+           | None -> None)
+  in
+  let int k = Option.bind (List.assoc_opt k fields) int_of_string_opt in
+  match (List.assoc_opt "top" fields, int "lut", int "ff", int "dsp", int "bram") with
+  | Some top, Some lut, Some ff, Some dsp, Some bram ->
+    Some (top, { Hir_resources.Model.lut; ff; dsp; bram })
+  | _ -> None
+
+let lookup t k =
+  let vp = verilog_path t k and mp = meta_path t k in
+  if Sys.file_exists vp && Sys.file_exists mp then begin
+    match meta_of_string (read_file mp) with
+    | Some (top, usage) ->
+      Atomic.incr t.hits;
+      Some { e_verilog = read_file vp; e_top = top; e_usage = usage }
+    | None ->
+      (* Corrupt sidecar: treat as a miss; the store below repairs it. *)
+      Atomic.incr t.misses;
+      None
+  end
+  else begin
+    Atomic.incr t.misses;
+    None
+  end
+
+let store t k entry =
+  write_file_atomic ~dir:t.dir (verilog_path t k) entry.e_verilog;
+  write_file_atomic ~dir:t.dir (meta_path t k)
+    (meta_to_string ~top:entry.e_top entry.e_usage)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,240 @@
+(* The compilation service: one place that owns the end-to-end compile
+   flow (parse/build → verify → pass pipeline → emit → print), shared
+   by hirc, the benchmark harness and the tests.
+
+   On top of the single-job flow it layers
+     - a content-addressed cache (module [Cache]) consulted before any
+       work is done and filled after a successful compile;
+     - a multicore batch mode (module [Scheduler]) that compiles many
+       jobs concurrently on OCaml 5 domains, with results returned in
+       input order and byte-identical to a sequential run (each job
+       compiles under [Ir.with_isolated_ids], so the id-derived names
+       in the Verilog do not depend on scheduling);
+     - per-stage timing spans and counters (module [Trace]) exportable
+       as Chrome trace JSON. *)
+
+open Hir_ir
+open Hir_dialect
+
+type source =
+  | Text of { src_name : string; text : string }
+  | Builder of { src_name : string; build : unit -> Ir.op * Ir.op }
+
+type job = {
+  src : source;
+  pipeline : Pipeline.spec;
+  top : string option;  (* ignored for [Builder] sources *)
+}
+
+type output = {
+  job_name : string;
+  top_name : string;  (* name of the chosen top-level function *)
+  verilog : string;
+  usage : Hir_resources.Model.usage;
+  from_cache : bool;
+  note : string option;  (* e.g. implicit top-function choice *)
+  pass_stats : Pass.stat list;  (* empty on a cache hit *)
+  seconds : float;  (* total job wall time *)
+}
+
+type outcome = (output, string) result
+
+let source_name = function
+  | Text { src_name; _ } -> src_name
+  | Builder { src_name; _ } -> src_name
+
+let job_of_text ?top ~pipeline ~name text =
+  { src = Text { src_name = name; text }; pipeline; top }
+
+let job_of_file ?top ~pipeline path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  job_of_text ?top ~pipeline ~name:path text
+
+let job_of_builder ~pipeline ~name build =
+  { src = Builder { src_name = name; build }; pipeline; top = None }
+
+(* ------------------------------------------------------------------ *)
+(* Single-job flow                                                     *)
+
+exception Compile_failed of string
+
+let run_verifiers module_op =
+  let engine = Diagnostic.Engine.create () in
+  (match Verify.verify module_op with
+  | Ok () -> ()
+  | Error e -> List.iter (Diagnostic.Engine.emit engine) (Diagnostic.Engine.to_list e));
+  if not (Diagnostic.Engine.has_errors engine) then
+    Verify_schedule.verify_module engine module_op;
+  if Diagnostic.Engine.has_errors engine then
+    raise (Compile_failed (Diagnostic.Engine.to_string engine))
+
+(* Top-function selection, with a note when the choice is implicit:
+   with no [--top] and several functions we keep the historical
+   behaviour (the last, i.e. textually final, function) but say so
+   instead of picking silently. *)
+let pick_top module_op top =
+  let funcs = Ops.module_funcs module_op in
+  match (top, funcs) with
+  | Some name, _ -> (
+    match Ops.lookup_func module_op name with
+    | Some f -> (f, None)
+    | None -> raise (Compile_failed (Printf.sprintf "no function @%s in the module" name)))
+  | None, [] -> raise (Compile_failed "module contains no functions")
+  | None, [ f ] -> (f, None)
+  | None, funcs ->
+    let f = List.nth funcs (List.length funcs - 1) in
+    let note =
+      Printf.sprintf
+        "--top not given; choosing the last of %d functions, @%s (candidates: %s)"
+        (List.length funcs)
+        (Ops.func_name f)
+        (String.concat ", " (List.map (fun g -> "@" ^ Ops.func_name g) funcs))
+    in
+    (f, Some note)
+
+let run_pipeline ~trace spec module_op =
+  let instrument = function
+    | Pass.Pass_begin _ -> ()
+    | Pass.Pass_end { pass_name; seconds; changed; _ } ->
+      let stop = Trace.now () in
+      Trace.add_span trace ~cat:"pass"
+        ~args:[ ("changed", string_of_bool changed) ]
+        ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ()
+  in
+  let mgr = Pass.Manager.create ~instrument (Pipeline.to_passes spec) in
+  let result = Pass.Manager.run mgr module_op in
+  if not result.Pass.succeeded then
+    raise (Compile_failed (Diagnostic.Engine.to_string result.Pass.engine));
+  result.Pass.stats
+
+let compile_job ?cache ?trace job =
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  let name = source_name job.src in
+  let started = Trace.now () in
+  try
+    Ir.with_isolated_ids (fun () ->
+        (* Materialize the source text the cache key is computed from;
+           builder sources print their module so the key tracks the
+           actual IR content. *)
+        let text, built =
+          match job.src with
+          | Text { text; _ } -> (text, None)
+          | Builder { build; _ } ->
+            Trace.span trace ~cat:"frontend" "build" (fun () ->
+                let m, f = build () in
+                (Printer.op_to_string m, Some (m, f)))
+        in
+        let key = Cache.key ~pipeline:(Pipeline.to_string job.pipeline) ~top:job.top ~source:text in
+        let cached =
+          match cache with
+          | None -> None
+          | Some c ->
+            Trace.span trace ~cat:"cache" "cache-lookup" (fun () -> Cache.lookup c key)
+        in
+        match cached with
+        | Some entry ->
+          Trace.incr trace "cache-hit";
+          Ok
+            {
+              job_name = name;
+              top_name = entry.Cache.e_top;
+              verilog = entry.Cache.e_verilog;
+              usage = entry.Cache.e_usage;
+              from_cache = true;
+              note = None;
+              pass_stats = [];
+              seconds = Trace.now () -. started;
+            }
+        | None ->
+          if cache <> None then Trace.incr trace "cache-miss";
+          let module_op, top_func, note =
+            match built with
+            | Some (m, f) -> (m, f, None)
+            | None ->
+              let m =
+                Trace.span trace ~cat:"frontend" "parse" (fun () ->
+                    Parser.parse_string ~file:name text)
+              in
+              let f, note = pick_top m job.top in
+              (m, f, note)
+          in
+          Trace.span trace ~cat:"verify" "verify" (fun () -> run_verifiers module_op);
+          let pass_stats = run_pipeline ~trace job.pipeline module_op in
+          let emitted =
+            Trace.span trace ~cat:"backend" "emit" (fun () ->
+                Hir_codegen.Emit.emit ~module_op ~top:top_func)
+          in
+          let verilog =
+            Trace.span trace ~cat:"backend" "print" (fun () ->
+                Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design)
+          in
+          let usage =
+            Trace.span trace ~cat:"backend" "resource-model" (fun () ->
+                Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design)
+          in
+          let top_name = Ops.func_name top_func in
+          (match cache with
+          | Some c ->
+            Trace.span trace ~cat:"cache" "cache-store" (fun () ->
+                Cache.store c key
+                  { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage })
+          | None -> ());
+          Ok
+            {
+              job_name = name;
+              top_name;
+              verilog;
+              usage;
+              from_cache = false;
+              note;
+              pass_stats;
+              seconds = Trace.now () -. started;
+            })
+  with
+  | Compile_failed msg -> Error (Printf.sprintf "%s: %s" name msg)
+  | Parser.Parse_error (loc, msg) ->
+    Error (Printf.sprintf "%s: parse error: %s" (Location.to_string loc) msg)
+  | Lexer.Lex_error (loc, msg) ->
+    Error (Printf.sprintf "%s: lex error: %s" (Location.to_string loc) msg)
+  | Hir_codegen.Emit.Codegen_error msg -> Error (Printf.sprintf "%s: codegen: %s" name msg)
+  | Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Batch mode                                                          *)
+
+type batch_result = {
+  outcomes : outcome array;  (* in job order *)
+  traces : Trace.t list;  (* one per job, tid = job index + 1 *)
+  wall_seconds : float;
+}
+
+let batch ?cache ?(workers = 1) (jobs : job array) =
+  let epoch = Trace.now () in
+  let traces =
+    Array.init (Array.length jobs) (fun i ->
+        let t = Trace.create ~epoch () in
+        Trace.set_tid t (i + 1);
+        t)
+  in
+  let outcomes =
+    Scheduler.map_ordered ~workers
+      ~f:(fun i job -> compile_job ?cache ~trace:traces.(i) job)
+      jobs
+  in
+  { outcomes; traces = Array.to_list traces; wall_seconds = Trace.now () -. epoch }
+
+(* Per-stage wall-time totals across a set of traces, for compile-time
+   breakdown tables (the shape of the paper's Table 6). *)
+let stage_totals traces =
+  let stages = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (s : Trace.span) ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt stages s.Trace.sp_name) in
+          Hashtbl.replace stages s.Trace.sp_name (prev +. (s.Trace.sp_dur_us /. 1e6)))
+        (Trace.spans t))
+    traces;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stages [] |> List.sort compare

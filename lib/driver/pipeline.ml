@@ -1,0 +1,198 @@
+(* Textual pass-pipeline specifications: pipelines as data.
+
+   Grammar (whitespace-insensitive):
+
+     spec    ::= stage (',' stage)*
+     stage   ::= name | name '{' options '}'
+     options ::= option (',' option)*
+     option  ::= key '=' value
+
+   e.g.  "canonicalize,precision-opt,unroll,delay-elim"
+         "cse,retime{repeat=2},precision-opt"
+
+   A spec parses into a list of named stages resolved against the pass
+   registry below, and prints back in normalized form ([parse] o
+   [to_string] is the identity on normalized specs).  Every stage
+   accepts the generic option [repeat=N] (run the pass N times); any
+   other option is rejected at parse time so typos fail fast rather
+   than silently doing nothing. *)
+
+open Hir_ir
+open Hir_dialect
+
+type stage = {
+  st_name : string;
+  st_options : (string * string) list;  (* normalized: sorted by key *)
+}
+
+type spec = { stages : stage list }
+
+(* ------------------------------------------------------------------ *)
+(* Pass registry                                                       *)
+
+(* The structural verifier as a pass, so "verify" can appear anywhere
+   in a pipeline string. *)
+let verify_pass =
+  Pass.make ~name:"verify" ~description:"Check structural IR invariants"
+    (fun root engine ->
+      (match Verify.verify root with
+      | Ok () -> ()
+      | Error e -> List.iter (Diagnostic.Engine.emit engine) (Diagnostic.Engine.to_list e));
+      false)
+
+let registry : (string * Pass.t) list =
+  [
+    ("verify", verify_pass);
+    ("verify-schedule", Verify_schedule.pass);
+    ("dce", Passes.dce);
+    ("const-fold", Passes.const_fold);
+    ("cse", Passes.cse);
+    ("strength-reduction", Passes.strength_reduction);
+    ("delay-elim", Passes.delay_elim);
+    ("canonicalize", Passes.canonicalize);
+    ("precision-opt", Precision_opt.pass);
+    ("retime", Retime.pass);
+    ("unroll", Unroll.pass);
+  ]
+
+let available_passes () =
+  List.map (fun (name, p) -> (name, p.Pass.description)) registry
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+(* Split [s] on [sep] at brace depth 0. *)
+let split_top sep s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth;
+      if c = '}' then decr depth;
+      if c = sep && !depth = 0 then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let parse_option stage_name s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "stage '%s': option '%s' is not of the form key=value" stage_name s)
+  | Some i ->
+    let key = String.trim (String.sub s 0 i) in
+    let value = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    if key = "" || value = "" then
+      Error (Printf.sprintf "stage '%s': empty option key or value in '%s'" stage_name s)
+    else Ok (key, value)
+
+let validate_options stage_name options =
+  let rec go = function
+    | [] -> Ok ()
+    | ("repeat", v) :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go rest
+      | _ -> Error (Printf.sprintf "stage '%s': repeat=%s is not a positive integer" stage_name v))
+    | (k, _) :: _ ->
+      Error (Printf.sprintf "stage '%s': unknown option '%s' (supported: repeat)" stage_name k)
+  in
+  go options
+
+let parse_stage s =
+  let s = String.trim s in
+  if s = "" then Error "empty pipeline stage"
+  else
+    let name, opts_src =
+      match String.index_opt s '{' with
+      | None -> (s, None)
+      | Some i ->
+        if String.length s = 0 || s.[String.length s - 1] <> '}' then (s, None)
+        else
+          ( String.trim (String.sub s 0 i),
+            Some (String.sub s (i + 1) (String.length s - i - 2)) )
+    in
+    if String.contains name '{' || String.contains name '}' then
+      Error (Printf.sprintf "malformed stage '%s' (unbalanced braces?)" s)
+    else if not (List.mem_assoc name registry) then
+      Error
+        (Printf.sprintf "unknown pass '%s' (available: %s)" name
+           (String.concat ", " (List.map fst registry)))
+    else
+      let options =
+        match opts_src with
+        | None -> Ok []
+        | Some src when String.trim src = "" -> Ok []
+        | Some src ->
+          List.fold_left
+            (fun acc part ->
+              match acc with
+              | Error _ as e -> e
+              | Ok opts -> (
+                match parse_option name (String.trim part) with
+                | Ok o -> Ok (o :: opts)
+                | Error e -> Error e))
+            (Ok []) (split_top ',' src)
+          |> Result.map List.rev
+      in
+      match options with
+      | Error e -> Error e
+      | Ok options -> (
+        let options = List.sort compare options in
+        match validate_options name options with
+        | Error e -> Error e
+        | Ok () -> Ok { st_name = name; st_options = options })
+
+let parse s =
+  if String.trim s = "" then Error "empty pipeline specification"
+  else
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ as e -> e
+        | Ok stages -> (
+          match parse_stage part with
+          | Ok st -> Ok (st :: stages)
+          | Error e -> Error e))
+      (Ok []) (split_top ',' s)
+    |> Result.map (fun stages -> { stages = List.rev stages })
+
+let stage_to_string st =
+  match st.st_options with
+  | [] -> st.st_name
+  | opts ->
+    Printf.sprintf "%s{%s}" st.st_name
+      (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) opts))
+
+let to_string spec = String.concat "," (List.map stage_to_string spec.stages)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering a spec to passes                                           *)
+
+let repeat_of st =
+  match List.assoc_opt "repeat" st.st_options with
+  | Some v -> int_of_string v
+  | None -> 1
+
+let stage_passes st =
+  let pass = List.assoc st.st_name registry in
+  List.init (repeat_of st) (fun _ -> pass)
+
+let to_passes spec = List.concat_map stage_passes spec.stages
+
+(* ------------------------------------------------------------------ *)
+(* Canned pipelines                                                    *)
+
+(* The pipelines [Hir_codegen.Emit.compile] hard-codes, now as data.
+   Scalar optimizations run before unrolling (cheaper on the compact
+   design, inherited by every clone); delay elimination runs after,
+   where it can share the shift registers of replicated bodies. *)
+let default_optimized = "canonicalize,precision-opt,unroll,delay-elim"
+let default_no_opt = "unroll"
+
+let default ~optimize =
+  match parse (if optimize then default_optimized else default_no_opt) with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Pipeline.default: " ^ e)

@@ -1,0 +1,51 @@
+(* A fixed-size multicore worker pool on OCaml 5 domains.
+
+   [map_ordered ~workers ~f jobs] applies [f] to every job and returns
+   the results *in input order*, regardless of which worker finished
+   first: workers pull indices from a shared atomic counter and write
+   into their own slot of a pre-sized results array (each slot has
+   exactly one writer, so no further synchronization is needed).
+
+   [workers = 1] runs inline in the calling domain — this is the
+   reference sequential schedule the batch tests compare parallel runs
+   against.  Exceptions escaping [f] are captured per job and re-raised
+   in the caller after all workers have joined, so one poisoned job
+   cannot leave domains running unjoined. *)
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b slot = Empty | Value of 'b | Raised of exn
+
+let map_ordered ?(workers = 1) ~f jobs =
+  let n = Array.length jobs in
+  let results = Array.make n Empty in
+  let run_one i =
+    results.(i) <- (try Value (f i jobs.(i)) with e -> Raised e)
+  in
+  if workers <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      run_one i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_one i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min workers n) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join domains
+  end;
+  Array.map
+    (function
+      | Value v -> v
+      | Raised e -> raise e
+      | Empty -> assert false)
+    results

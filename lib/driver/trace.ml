@@ -1,0 +1,150 @@
+(* Observability for the compilation service: per-stage timing spans,
+   named counters, and a Chrome-trace-format JSON exporter (load the
+   file in chrome://tracing or https://ui.perfetto.dev).
+
+   A [t] is a single-threaded collector: the batch scheduler gives each
+   compile job its own trace (one Chrome "thread" per job) and merges
+   them in the coordinating domain afterwards, so no locking is needed
+   on the hot path.  All timestamps are relative to a shared [epoch] so
+   merged traces share one timeline. *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_us : float;  (* relative to the trace epoch *)
+  sp_dur_us : float;
+  sp_args : (string * string) list;
+}
+
+type t = {
+  epoch : float;  (* Unix.gettimeofday at timeline origin *)
+  mutable tid : int;  (* Chrome trace "thread" id *)
+  mutable spans : span list;  (* reverse chronological *)
+  counters : (string, int) Hashtbl.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?epoch () =
+  let epoch = match epoch with Some e -> e | None -> now () in
+  { epoch; tid = 0; spans = []; counters = Hashtbl.create 8 }
+
+let epoch t = t.epoch
+let set_tid t tid = t.tid <- tid
+
+let add_span t ?(cat = "compile") ?(args = []) ~name ~start ~stop () =
+  t.spans <-
+    {
+      sp_name = name;
+      sp_cat = cat;
+      sp_start_us = (start -. t.epoch) *. 1e6;
+      sp_dur_us = (stop -. start) *. 1e6;
+      sp_args = args;
+    }
+    :: t.spans
+
+(* Time [f] and record the span; the span is recorded even when [f]
+   raises, so a failing stage still shows up in the trace. *)
+let span t ?cat ?args name f =
+  let start = now () in
+  Fun.protect ~finally:(fun () -> add_span t ?cat ?args ~name ~start ~stop:(now ()) ())
+    f
+
+let incr t ?(by = 1) name =
+  Hashtbl.replace t.counters name
+    (by + Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+
+let spans t = List.rev t.spans
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort compare
+
+(* Total duration in seconds of all spans with the given name. *)
+let total_seconds t name =
+  List.fold_left
+    (fun acc s -> if s.sp_name = name then acc +. (s.sp_dur_us /. 1e6) else acc)
+    0. (spans t)
+
+(* Merge [src] into [dst] (spans and counters); [src]'s timestamps are
+   rebased onto [dst]'s epoch. *)
+let merge ~into:dst src =
+  let shift_us = (src.epoch -. dst.epoch) *. 1e6 in
+  List.iter
+    (fun s -> dst.spans <- { s with sp_start_us = s.sp_start_us +. shift_us } :: dst.spans)
+    src.spans;
+  List.iter (fun (k, v) -> incr dst ~by:v k) (counters src)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace JSON                                                   *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_json ~tid s =
+  let args =
+    s.sp_args
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+    (json_escape s.sp_name) (json_escape s.sp_cat) s.sp_start_us s.sp_dur_us tid args
+
+(* Export one or more traces as a complete Chrome trace document.  Each
+   trace keeps its own tid so concurrent jobs render as parallel rows;
+   counters are summed across traces and attached as Chrome counter
+   ("C"-phase) events at the end of the timeline. *)
+let to_chrome_json traces =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf s
+  in
+  let end_ts = ref 0. in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun s ->
+          end_ts := Float.max !end_ts (s.sp_start_us +. s.sp_dur_us);
+          emit (span_json ~tid:t.tid s))
+        (spans t))
+    traces;
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace totals k (v + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+        (counters t))
+    traces;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+  |> List.sort compare
+  |> List.iter (fun (k, v) ->
+         emit
+           (Printf.sprintf
+              "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.1f,\"pid\":1,\"args\":{\"value\":%d}}"
+              (json_escape k) !end_ts v));
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome_json path traces =
+  let oc = open_out path in
+  output_string oc (to_chrome_json traces);
+  output_char oc '\n';
+  close_out oc

@@ -42,11 +42,27 @@ and region = {
   mutable r_parent : op option;
 }
 
-let next_id = ref 0
+(* Id allocation is domain-local: each OCaml 5 domain owns an
+   independent counter, so concurrent compilation jobs (lib/driver's
+   batch scheduler) never race on it.  Ids are only required to be
+   unique within one IR tree — every compile job builds its module from
+   scratch inside [with_isolated_ids], which also makes the id stream
+   (and therefore the id-derived names in the emitted Verilog)
+   deterministic per job regardless of what ran before or concurrently. *)
+let next_id = Domain.DLS.new_key (fun () -> 0)
 
 let fresh_id () =
-  incr next_id;
-  !next_id
+  let v = Domain.DLS.get next_id + 1 in
+  Domain.DLS.set next_id v;
+  v
+
+(* Run [f] with a fresh id counter, restoring the previous counter
+   afterwards.  IR created inside the scope must not be mixed into IR
+   trees created outside it (ids could collide). *)
+let with_isolated_ids f =
+  let saved = Domain.DLS.get next_id in
+  Domain.DLS.set next_id 0;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set next_id saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)

@@ -4,7 +4,12 @@
    function) and reports whether it changed anything.  The manager runs
    a pipeline, optionally re-verifying between passes, and records
    wall-clock statistics per pass — the infrastructure behind the
-   compile-time evaluation in Table 6. *)
+   compile-time evaluation in Table 6.
+
+   Instrumentation: the manager emits a [Pass_begin]/[Pass_end] event
+   around every pass.  The per-pass stats list handed back in [result]
+   is built from the very same events, so an external tracer (see
+   lib/driver) and [pp_stats] observe identical timings. *)
 
 type t = {
   name : string;
@@ -16,6 +21,10 @@ let make ~name ~description run = { name; description; run }
 
 type stat = { pass_name : string; seconds : float; changed : bool }
 
+type event =
+  | Pass_begin of { pass_name : string; index : int }
+  | Pass_end of { pass_name : string; index : int; seconds : float; changed : bool }
+
 type result = {
   stats : stat list;
   engine : Diagnostic.Engine.t;
@@ -26,33 +35,48 @@ module Manager = struct
   type manager = {
     passes : t list;
     verify_each : bool;
+    instrument : event -> unit;
   }
 
-  let create ?(verify_each = false) passes = { passes; verify_each }
+  let create ?(verify_each = false) ?(instrument = fun _ -> ()) passes =
+    { passes; verify_each; instrument }
 
   let run mgr root =
     let engine = Diagnostic.Engine.create () in
-    let rec go stats = function
-      | [] -> { stats = List.rev stats; engine; succeeded = true }
+    (* Stats are collected by listening to the same event stream the
+       external instrumentation callback sees. *)
+    let collected = ref [] in
+    let emit_event ev =
+      (match ev with
+      | Pass_end { pass_name; seconds; changed; _ } ->
+        collected := { pass_name; seconds; changed } :: !collected
+      | Pass_begin _ -> ());
+      mgr.instrument ev
+    in
+    let finish succeeded =
+      { stats = List.rev !collected; engine; succeeded }
+    in
+    let rec go index = function
+      | [] -> finish true
       | pass :: rest ->
+        emit_event (Pass_begin { pass_name = pass.name; index });
         let t0 = Unix.gettimeofday () in
         let changed = pass.run root engine in
         let seconds = Unix.gettimeofday () -. t0 in
-        let stats = { pass_name = pass.name; seconds; changed } :: stats in
-        if Diagnostic.Engine.has_errors engine then
-          { stats = List.rev stats; engine; succeeded = false }
+        emit_event (Pass_end { pass_name = pass.name; index; seconds; changed });
+        if Diagnostic.Engine.has_errors engine then finish false
         else if mgr.verify_each then begin
           match Verify.verify root with
-          | Ok () -> go stats rest
+          | Ok () -> go (index + 1) rest
           | Error verify_engine ->
             Diagnostic.Engine.errorf engine (Ir.Op.loc root)
               "IR verification failed after pass '%s':\n%s" pass.name
               (Diagnostic.Engine.to_string verify_engine);
-            { stats = List.rev stats; engine; succeeded = false }
+            finish false
         end
-        else go stats rest
+        else go (index + 1) rest
     in
-    go [] mgr.passes
+    go 0 mgr.passes
 
   let pp_stats fmt result =
     List.iter

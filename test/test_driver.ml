@@ -1,0 +1,289 @@
+(* Tests for the lib/driver compilation service: pipeline-spec parsing
+   (round-trip and error cases), the content-addressed cache (hit on
+   identical input, invalidation on source/pipeline edits), the
+   multicore batch scheduler (4-worker output byte-identical to
+   sequential), pass-manager instrumentation and the Chrome trace
+   exporter. *)
+
+open Hir_ir
+open Hir_dialect
+open Hir_driver
+
+let () = Ops.register ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parse_ok spec =
+  match Pipeline.parse spec with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "expected %S to parse, got: %s" spec e
+
+let parse_err spec =
+  match Pipeline.parse spec with
+  | Ok s -> Alcotest.failf "expected %S to be rejected, parsed as %S" spec (Pipeline.to_string s)
+  | Error e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline specs                                                      *)
+
+let test_pipeline_roundtrip () =
+  List.iter
+    (fun spec -> check_string spec spec (Pipeline.to_string (parse_ok spec)))
+    [
+      "unroll";
+      "canonicalize,precision-opt,unroll,delay-elim";
+      "cse,retime{repeat=2},precision-opt";
+      "verify,verify-schedule,dce";
+    ]
+
+let test_pipeline_normalization () =
+  (* Whitespace and empty option braces normalize away. *)
+  check_string "spaces" "cse,delay-elim"
+    (Pipeline.to_string (parse_ok " cse , delay-elim "));
+  check_string "empty-braces" "retime" (Pipeline.to_string (parse_ok "retime{}"));
+  (* Normalized output re-parses to itself (idempotent). *)
+  let s = Pipeline.to_string (parse_ok "retime{ repeat=3 }, cse") in
+  check_string "fixpoint" s (Pipeline.to_string (parse_ok s))
+
+let test_pipeline_errors () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let expect spec fragment =
+    let e = parse_err spec in
+    check_bool (Printf.sprintf "%S error mentions %S (got %S)" spec fragment e) true
+      (contains e fragment)
+  in
+  expect "" "empty";
+  expect "cse,,dce" "empty";
+  expect "frobnicate" "unknown pass";
+  expect "cse{bogus=1}" "unknown option";
+  expect "cse{repeat=0}" "positive";
+  expect "cse{repeat}" "key=value"
+
+let test_pipeline_to_passes () =
+  let passes = Pipeline.to_passes (parse_ok "cse,retime{repeat=3},dce") in
+  check_int "repeat expansion" 5 (List.length passes);
+  Alcotest.(check (list string))
+    "pass order"
+    [ "cse"; "retime"; "retime"; "retime"; "dce" ]
+    (List.map (fun p -> p.Pass.name) passes)
+
+(* ------------------------------------------------------------------ *)
+(* Pass-manager instrumentation                                        *)
+
+let test_instrumentation () =
+  let m, _ = Hir_kernels.Transpose.build () in
+  let events = ref [] in
+  let mgr =
+    Pass.Manager.create
+      ~instrument:(fun ev -> events := ev :: !events)
+      (Pipeline.to_passes (parse_ok "canonicalize,unroll"))
+  in
+  let result = Pass.Manager.run mgr m in
+  check_bool "succeeded" true result.Pass.succeeded;
+  let events = List.rev !events in
+  check_int "begin/end pairs" 4 (List.length events);
+  (* Stats and events report the same passes in the same order. *)
+  let ended =
+    List.filter_map
+      (function
+        | Pass.Pass_end { pass_name; seconds; changed; _ } -> Some (pass_name, seconds, changed)
+        | Pass.Pass_begin _ -> None)
+      events
+  in
+  List.iter2
+    (fun (name, seconds, changed) (s : Pass.stat) ->
+      check_string "event/stat name" s.Pass.pass_name name;
+      check_bool "event/stat changed" s.Pass.changed changed;
+      check_bool "event/stat seconds" true (s.Pass.seconds = seconds))
+    ended result.Pass.stats
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-driver-test-%d-%d" (Unix.getpid ()) !counter)
+
+let transpose_text () =
+  Ir.with_isolated_ids (fun () ->
+      let m, _ = Hir_kernels.Transpose.build () in
+      Printer.op_to_string m)
+
+let compile_text ?cache ~pipeline text =
+  match Driver.compile_job ?cache (Driver.job_of_text ~pipeline ~name:"t.hir" text) with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "compile failed: %s" e
+
+let test_cache_hit_and_invalidation () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let cold = compile_text ~cache ~pipeline text in
+  check_bool "first compile misses" false cold.Driver.from_cache;
+  let warm = compile_text ~cache ~pipeline text in
+  check_bool "second compile hits" true warm.Driver.from_cache;
+  check_string "hit returns identical Verilog" cold.Driver.verilog warm.Driver.verilog;
+  check_bool "hit preserves usage" true (cold.Driver.usage = warm.Driver.usage);
+  check_string "hit preserves top" cold.Driver.top_name warm.Driver.top_name;
+  (* Editing the source invalidates. *)
+  let edited = compile_text ~cache ~pipeline (text ^ "\n// edited\n") in
+  check_bool "edited source misses" false edited.Driver.from_cache;
+  (* Changing the pipeline invalidates. *)
+  let other = compile_text ~cache ~pipeline:(Pipeline.default ~optimize:false) text in
+  check_bool "different pipeline misses" false other.Driver.from_cache;
+  check_int "cache hits" 1 (Cache.hits cache);
+  check_int "cache misses" 3 (Cache.misses cache)
+
+let test_cache_key () =
+  let k ?(pipeline = "unroll") ?top ?(source = "src") () = Cache.key ~pipeline ~top ~source in
+  check_bool "stable" true (k () = k ());
+  check_bool "source-sensitive" false (k () = k ~source:"src2" ());
+  check_bool "pipeline-sensitive" false (k () = k ~pipeline:"unroll,dce" ());
+  check_bool "top-sensitive" false (k () = k ~top:"f" ())
+
+(* ------------------------------------------------------------------ *)
+(* Batch scheduler                                                     *)
+
+let test_scheduler_order () =
+  let jobs = Array.init 64 Fun.id in
+  let out = Scheduler.map_ordered ~workers:4 ~f:(fun i x -> (i, x * 2)) jobs in
+  Array.iteri
+    (fun i (idx, doubled) ->
+      check_int "index" i idx;
+      check_int "value" (i * 2) doubled)
+    out
+
+let test_scheduler_exception () =
+  let jobs = Array.init 8 Fun.id in
+  match
+    Scheduler.map_ordered ~workers:4 ~f:(fun _ x -> if x = 5 then failwith "boom" else x) jobs
+  with
+  | _ -> Alcotest.fail "expected the job exception to re-raise"
+  | exception Failure msg -> check_string "payload" "boom" msg
+
+let kernel_jobs pipeline =
+  Hir_kernels.Kernels.all
+  |> List.map (fun k ->
+         Driver.job_of_builder ~pipeline ~name:k.Hir_kernels.Kernels.name
+           k.Hir_kernels.Kernels.build)
+  |> Array.of_list
+
+let verilog_of = function
+  | Ok o -> o.Driver.verilog
+  | Error e -> Alcotest.failf "batch job failed: %s" e
+
+let test_batch_deterministic () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let sequential = Driver.batch ~workers:1 (kernel_jobs pipeline) in
+  let parallel = Driver.batch ~workers:4 (kernel_jobs pipeline) in
+  check_int "job count" 8 (Array.length parallel.Driver.outcomes);
+  Array.iteri
+    (fun i seq_outcome ->
+      let name = (List.nth Hir_kernels.Kernels.all i).Hir_kernels.Kernels.name in
+      check_string
+        (Printf.sprintf "%s: 4-worker output byte-identical to sequential" name)
+        (verilog_of seq_outcome)
+        (verilog_of parallel.Driver.outcomes.(i)))
+    sequential.Driver.outcomes
+
+let test_batch_warm_cache () =
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let pipeline = Pipeline.default ~optimize:true in
+  let cold = Driver.batch ~cache ~workers:4 (kernel_jobs pipeline) in
+  let warm = Driver.batch ~cache ~workers:4 (kernel_jobs pipeline) in
+  Array.iter
+    (fun o ->
+      match o with
+      | Ok r -> check_bool "cold run misses" false r.Driver.from_cache
+      | Error e -> Alcotest.failf "batch job failed: %s" e)
+    cold.Driver.outcomes;
+  Array.iteri
+    (fun i o ->
+      check_bool "warm run is a hit" true
+        (match o with Ok r -> r.Driver.from_cache | Error _ -> false);
+      check_string "warm output identical"
+        (verilog_of cold.Driver.outcomes.(i))
+        (verilog_of o))
+    warm.Driver.outcomes;
+  check_int "100% hits on the warm run" (Array.length warm.Driver.outcomes)
+    (Cache.hits cache)
+
+(* ------------------------------------------------------------------ *)
+(* Top-function choice note                                            *)
+
+let test_top_note () =
+  (* task_parallel is a multi-function module; compiling its printed
+     form without --top must succeed and say which function was chosen. *)
+  let text =
+    Ir.with_isolated_ids (fun () ->
+        let m, _ = Hir_kernels.Taskparallel.build () in
+        Printer.op_to_string m)
+  in
+  let o = compile_text ~pipeline:(Pipeline.default ~optimize:true) text in
+  check_bool "note present" true (o.Driver.note <> None);
+  check_string "chose the last function" "task_parallel" o.Driver.top_name
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+
+let test_trace_spans_and_json () =
+  let trace = Trace.create () in
+  let pipeline = Pipeline.default ~optimize:true in
+  (match
+     Driver.compile_job ~trace
+       (Driver.job_of_text ~pipeline ~name:"t.hir" (transpose_text ()))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "compile failed: %s" e);
+  let names = List.map (fun (s : Trace.span) -> s.Trace.sp_name) (Trace.spans trace) in
+  List.iter
+    (fun expected ->
+      check_bool (Printf.sprintf "span %s present" expected) true (List.mem expected names))
+    [ "parse"; "verify"; "pass:canonicalize"; "pass:unroll"; "emit"; "print" ];
+  let json = Trace.to_chrome_json [ trace ] in
+  let contains needle =
+    let lh = String.length json and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub json i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has traceEvents" true (contains "\"traceEvents\"");
+  check_bool "has complete-span phase" true (contains "\"ph\":\"X\"");
+  check_bool "has parse span" true (contains "\"name\":\"parse\"")
+
+let () =
+  Alcotest.run "driver"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pipeline_roundtrip;
+          Alcotest.test_case "normalization" `Quick test_pipeline_normalization;
+          Alcotest.test_case "errors" `Quick test_pipeline_errors;
+          Alcotest.test_case "to-passes" `Quick test_pipeline_to_passes;
+        ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "events-match-stats" `Quick test_instrumentation ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit-and-invalidation" `Quick test_cache_hit_and_invalidation;
+          Alcotest.test_case "key" `Quick test_cache_key;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "scheduler-order" `Quick test_scheduler_order;
+          Alcotest.test_case "scheduler-exception" `Quick test_scheduler_exception;
+          Alcotest.test_case "deterministic-4-workers" `Quick test_batch_deterministic;
+          Alcotest.test_case "warm-cache" `Quick test_batch_warm_cache;
+        ] );
+      ("top", [ Alcotest.test_case "implicit-choice-note" `Quick test_top_note ]);
+      ("trace", [ Alcotest.test_case "spans-and-json" `Quick test_trace_spans_and_json ]);
+    ]
