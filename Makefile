@@ -5,7 +5,7 @@
 SMOKE_DESIGNS := examples/designs/transpose.hir examples/designs/stencil_1d.hir \
                  examples/designs/fifo.hir
 
-.PHONY: all build test check bench-json clean
+.PHONY: all build test check fuzz bench-json clean
 
 all: build
 
@@ -17,12 +17,21 @@ test:
 
 # Build + tests + an end-to-end `hirc batch` smoke over the textual
 # example designs and every built-in kernel (4 workers, cached,
-# traced), exercising parse -> verify -> passes -> emit for real.
+# traced), exercising parse -> verify -> passes -> emit for real,
+# plus a bounded deterministic fuzz pass over the frontend.
 check: build test
 	dune exec bin/hirc.exe -- batch $(SMOKE_DESIGNS) --kernels -j 4 \
 	  --cache-dir _build/.hirc-smoke-cache --trace _build/smoke.trace.json \
 	  -o _build/smoke-verilog
+	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
 	@echo "make check: OK"
+
+# The acceptance campaign from the never-crash contract: 10k mutated
+# inputs through the frontend and 10k through the full pipeline, both
+# seeded and deterministic.  Exits nonzero on any non-diagnostic crash.
+fuzz: build
+	dune exec bin/hirc.exe -- fuzz 10000 --seed 1
+	dune exec bin/hirc.exe -- fuzz 10000 --seed 1 --full
 
 # Machine-readable benchmark results for tracking the perf trajectory.
 bench-json:

@@ -276,7 +276,7 @@ let stages () =
           (fun () -> hir_build ())
       in
       match Driver.compile_job ~trace job with
-      | Error e -> Printf.printf "%-12s FAILED: %s\n" name e
+      | Error e -> Printf.printf "%-12s FAILED: %s\n" name (Driver.error_to_string e)
       | Ok o ->
         let pass_total =
           List.fold_left (fun acc (s : Pass.stat) -> acc +. s.Pass.seconds) 0.

@@ -57,7 +57,7 @@ let output_text out text =
 let run_job ?cache ?stats ~out job =
   match Driver.compile_job ?cache job with
   | Error e ->
-    prerr_endline e;
+    prerr_endline (Driver.error_to_string e);
     1
   | Ok o ->
     Option.iter (Printf.eprintf "note: %s\n") o.Driver.note;
@@ -176,7 +176,7 @@ let demo_cmd =
       let job = Driver.job_of_builder ~pipeline ~name k.Hir_kernels.Kernels.build in
       (match Driver.compile_job job with
       | Error e ->
-        prerr_endline e;
+        prerr_endline (Driver.error_to_string e);
         1
       | Ok o ->
         if stats then
@@ -239,6 +239,95 @@ let pipeline_cmd =
     Term.(
       const run $ passes_arg $ file_opt_arg $ out_arg $ top_arg $ stats_arg
       $ cache_dir_arg $ list_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hirc fuzz                                                           *)
+
+let fuzz_cmd =
+  let iterations_arg =
+    Arg.(
+      value & pos 0 int 10000
+      & info [] ~docv:"N" ~doc:"Number of fuzz iterations (default 10000)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed (default 1)")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Also run the pass pipeline, codegen and the Verilog printer on inputs \
+             that verify (slower; default fuzzes parse + verify only)")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Add every .hir file under $(docv) to the seed corpus")
+  in
+  let crash_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-dir" ] ~docv:"DIR"
+          ~doc:"Write each crashing input to $(docv)/crash-<i>.hir")
+  in
+  let dump_last_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-last" ] ~docv:"FILE"
+          ~doc:
+            "Before each iteration, overwrite $(docv) with the input about to run — \
+             if the fuzzer hangs or is killed, $(docv) holds the offending input")
+  in
+  let run iterations seed full corpus_dir crash_dir dump_last =
+    let corpus =
+      Hir_fuzz.Corpus.default ()
+      @ (match corpus_dir with Some d -> Hir_fuzz.Corpus.load_dir d | None -> [])
+    in
+    let mode = if full then Hir_fuzz.Fuzz.Full else Hir_fuzz.Fuzz.Frontend in
+    let on_crash (c : Hir_fuzz.Fuzz.crash) =
+      Printf.eprintf "CRASH at iteration %d: %s\n" c.Hir_fuzz.Fuzz.crash_iteration
+        c.Hir_fuzz.Fuzz.crash_exn;
+      match crash_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "crash-%d.hir" c.Hir_fuzz.Fuzz.crash_iteration)
+        in
+        let oc = open_out_bin path in
+        output_string oc c.Hir_fuzz.Fuzz.crash_input;
+        close_out oc;
+        Printf.eprintf "  input saved to %s\n" path
+    in
+    let on_input ~iteration:_ input =
+      match dump_last with
+      | None -> ()
+      | Some path ->
+        let oc = open_out_bin path in
+        output_string oc input;
+        close_out oc
+    in
+    let stats = Hir_fuzz.Fuzz.run ~mode ~seed ~on_crash ~on_input ~iterations corpus in
+    Printf.printf "fuzz (%s, seed %d): %s\n"
+      (if full then "full" else "frontend")
+      seed
+      (Hir_fuzz.Fuzz.stats_to_string stats);
+    if stats.Hir_fuzz.Fuzz.crashes = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Mutation-fuzz the textual frontend; any input that produces a \
+          non-diagnostic crash is reported (and the run exits 1)")
+    Term.(
+      const run $ iterations_arg $ seed_arg $ full_arg $ corpus_arg $ crash_dir_arg
+      $ dump_last_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc batch                                                          *)
@@ -319,7 +408,8 @@ let batch_cmd =
               match outcome with
               | Error e ->
                 incr failed;
-                Printf.printf "FAIL %s\n" e
+                Printf.printf "FAIL %s\n%s\n" e.Driver.err_job
+                  (Driver.error_to_string e)
               | Ok o ->
                 Option.iter (Printf.eprintf "note: %s: %s\n" o.Driver.job_name) o.Driver.note;
                 (match out_dir with
@@ -370,5 +460,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
-            batch_cmd;
+            fuzz_cmd; batch_cmd;
           ]))

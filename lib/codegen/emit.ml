@@ -108,7 +108,14 @@ let interface_of func =
   let args =
     List.mapi
       (fun i t ->
-        let base = Names.sanitize (List.nth arg_names i) in
+        let base =
+          (* Default positionally if arg_names is shorter than the
+             signature (the verifier flags this, but interfaces are
+             also built for extern declarations it may not have seen). *)
+          match List.nth_opt arg_names i with
+          | Some n -> Names.sanitize n
+          | None -> Printf.sprintf "arg%d" i
+        in
         let delay = List.nth_opt arg_delays i |> Option.value ~default:0 in
         match t with
         | Types.Memref info -> Ifc_mem (mem_iface_of ~base info)
@@ -212,6 +219,8 @@ let operand_natural_width ctx v =
 
 (* The pulse wire for time value [tv] at constant delta [d]; creates
    the shift-register chain on demand. *)
+let max_pulse_stages = 1 lsl 16
+
 let pulse ctx tv d =
   let chain =
     match Hashtbl.find_opt ctx.chains (Ir.Value.id tv) with
@@ -225,10 +234,14 @@ let pulse ctx tv d =
       | _ -> fail "expected a time value")
   in
   if d < 0 then fail "negative pulse delta";
+  (* Each delta stage is one register; the verifier bounds per-op
+     offsets, but unrolling accumulates them, so re-check the total
+     here or a mutated schedule can demand millions of registers. *)
+  if d > max_pulse_stages then
+    fail "schedule offset of %d stages exceeds the limit of %d" d max_pulse_stages;
   if d = 0 then V.Ref chain.ch_base
   else begin
-    let rec extend () =
-      let have = List.length chain.ch_regs in
+    let rec extend have =
       if have < d then begin
         let prev =
           match chain.ch_regs with [] -> chain.ch_base | last :: _ -> last
@@ -237,10 +250,10 @@ let pulse ctx tv d =
         add_item ctx (V.Reg_decl { name; width = 1 });
         add_ff ctx (V.Nonblocking (V.Lref name, V.Ref prev));
         chain.ch_regs <- name :: chain.ch_regs;
-        extend ()
+        extend (have + 1)
       end
     in
-    extend ();
+    extend (List.length chain.ch_regs);
     V.Ref (List.nth chain.ch_regs (List.length chain.ch_regs - d))
   end
 
@@ -261,7 +274,14 @@ let bank_of ctx info indices =
         if d.Types.packed then None
         else
           match lookup ctx idx with
-          | Vconst n -> Some (d.Types.size, n)
+          | Vconst n ->
+            (* Unrolling can materialize any constant (e.g. from a
+               negative loop bound); an out-of-range one must be a
+               codegen diagnostic, not an array-index crash below. *)
+            if n < 0 || n >= d.Types.size then
+              fail "constant index %d out of range for distributed dimension of size %d"
+                n d.Types.size
+            else Some (d.Types.size, n)
           | _ -> fail "distributed dimension indexed by a non-constant")
       (static_indices info indices)
   in
@@ -956,6 +976,8 @@ let rec callees_of ~module_op func acc =
     acc calls
 
 let emit ~module_op ~top =
+  if Ops.is_extern_func top then
+    fail "top function @%s is extern (it has no body to emit)" (Ops.func_name top);
   let callees = callees_of ~module_op top [] in
   let modules = ref [] in
   let ifaces = ref [] in

@@ -54,10 +54,9 @@ let meta_path t k = Filename.concat t.dir (k ^ ".meta")
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let write_file_atomic ~dir path content =
   let tmp = Filename.temp_file ~temp_dir:dir ".cache" ".tmp" in
@@ -88,25 +87,34 @@ let meta_of_string s =
 
 let lookup t k =
   let vp = verilog_path t k and mp = meta_path t k in
-  if Sys.file_exists vp && Sys.file_exists mp then begin
-    match meta_of_string (read_file mp) with
-    | Some (top, usage) ->
-      Atomic.incr t.hits;
-      Some { e_verilog = read_file vp; e_top = top; e_usage = usage }
-    | None ->
-      (* Corrupt sidecar: treat as a miss; the store below repairs it. *)
-      Atomic.incr t.misses;
-      None
-  end
-  else begin
-    Atomic.incr t.misses;
-    None
-  end
+  let entry =
+    (* The entry can be evicted (or be unreadable) between the existence
+       check and the reads — a classic TOCTOU.  Per the contract above,
+       corrupt or vanishing entries degrade to misses, so the [Sys_error]
+       from [read_file] must not escape to the caller. *)
+    try
+      if Sys.file_exists vp && Sys.file_exists mp then
+        match meta_of_string (read_file mp) with
+        | Some (top, usage) ->
+          Some { e_verilog = read_file vp; e_top = top; e_usage = usage }
+        | None -> None
+      else None
+    with Sys_error _ -> None
+  in
+  (match entry with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  entry
 
 let store t k entry =
-  write_file_atomic ~dir:t.dir (verilog_path t k) entry.e_verilog;
-  write_file_atomic ~dir:t.dir (meta_path t k)
-    (meta_to_string ~top:entry.e_top entry.e_usage)
+  (* Filling the cache is best-effort: a full disk, revoked permissions
+     or a squatter at the entry path must not fail a compile that
+     already succeeded.  The next lookup simply misses again. *)
+  try
+    write_file_atomic ~dir:t.dir (verilog_path t k) entry.e_verilog;
+    write_file_atomic ~dir:t.dir (meta_path t k)
+      (meta_to_string ~top:entry.e_top entry.e_usage)
+  with Sys_error _ -> ()
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses

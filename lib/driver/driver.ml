@@ -37,7 +37,20 @@ type output = {
   seconds : float;  (* total job wall time *)
 }
 
-type outcome = (output, string) result
+(* A failed job: every failure mode — lex/parse errors, verifier
+   rejections, pass failures, codegen errors, even unexpected exceptions
+   — is normalized to a list of located [Diagnostic]s, so callers (and
+   the batch scheduler's domains) never see an exception escape
+   [compile_job]. *)
+type error = {
+  err_job : string;  (* the job's source name *)
+  err_diags : Diagnostic.t list;  (* at least one *)
+}
+
+type outcome = (output, error) result
+
+let error_to_string e =
+  String.concat "\n" (List.map Diagnostic.to_string e.err_diags)
 
 let source_name = function
   | Text { src_name; _ } -> src_name
@@ -58,7 +71,9 @@ let job_of_builder ~pipeline ~name build =
 (* ------------------------------------------------------------------ *)
 (* Single-job flow                                                     *)
 
-exception Compile_failed of string
+exception Compile_failed of Diagnostic.t list
+
+let fail_msg msg = raise (Compile_failed [ Diagnostic.error Location.unknown msg ])
 
 let run_verifiers module_op =
   let engine = Diagnostic.Engine.create () in
@@ -68,20 +83,24 @@ let run_verifiers module_op =
   if not (Diagnostic.Engine.has_errors engine) then
     Verify_schedule.verify_module engine module_op;
   if Diagnostic.Engine.has_errors engine then
-    raise (Compile_failed (Diagnostic.Engine.to_string engine))
+    raise (Compile_failed (Diagnostic.Engine.to_list engine))
 
 (* Top-function selection, with a note when the choice is implicit:
    with no [--top] and several functions we keep the historical
    behaviour (the last, i.e. textually final, function) but say so
    instead of picking silently. *)
 let pick_top module_op top =
-  let funcs = Ops.module_funcs module_op in
+  (* Extern declarations have no body, so they are never an implicit
+     top choice (naming one explicitly is reported by codegen). *)
+  let funcs =
+    List.filter (fun f -> not (Ops.is_extern_func f)) (Ops.module_funcs module_op)
+  in
   match (top, funcs) with
   | Some name, _ -> (
     match Ops.lookup_func module_op name with
     | Some f -> (f, None)
-    | None -> raise (Compile_failed (Printf.sprintf "no function @%s in the module" name)))
-  | None, [] -> raise (Compile_failed "module contains no functions")
+    | None -> fail_msg (Printf.sprintf "no function @%s in the module" name))
+  | None, [] -> fail_msg "module contains no (non-extern) functions"
   | None, [ f ] -> (f, None)
   | None, funcs ->
     let f = List.nth funcs (List.length funcs - 1) in
@@ -105,8 +124,11 @@ let run_pipeline ~trace spec module_op =
   in
   let mgr = Pass.Manager.create ~instrument (Pipeline.to_passes spec) in
   let result = Pass.Manager.run mgr module_op in
-  if not result.Pass.succeeded then
-    raise (Compile_failed (Diagnostic.Engine.to_string result.Pass.engine));
+  if not result.Pass.succeeded then begin
+    match Diagnostic.Engine.to_list result.Pass.engine with
+    | [] -> fail_msg "pass pipeline failed"
+    | diags -> raise (Compile_failed diags)
+  end;
   result.Pass.stats
 
 let compile_job ?cache ?trace job =
@@ -193,13 +215,40 @@ let compile_job ?cache ?trace job =
               seconds = Trace.now () -. started;
             })
   with
-  | Compile_failed msg -> Error (Printf.sprintf "%s: %s" name msg)
+  | Compile_failed diags ->
+    (* Diagnostics with no location of their own are attributed to the
+       job, so batch output still says which input failed. *)
+    let diags =
+      List.map
+        (fun (d : Diagnostic.t) ->
+          if Location.is_unknown d.Diagnostic.loc then
+            { d with Diagnostic.loc = Location.name name }
+          else d)
+        diags
+    in
+    Error { err_job = name; err_diags = diags }
   | Parser.Parse_error (loc, msg) ->
-    Error (Printf.sprintf "%s: parse error: %s" (Location.to_string loc) msg)
+    Error { err_job = name; err_diags = [ Diagnostic.error loc ("parse error: " ^ msg) ] }
   | Lexer.Lex_error (loc, msg) ->
-    Error (Printf.sprintf "%s: lex error: %s" (Location.to_string loc) msg)
-  | Hir_codegen.Emit.Codegen_error msg -> Error (Printf.sprintf "%s: codegen: %s" name msg)
-  | Sys_error msg -> Error msg
+    Error { err_job = name; err_diags = [ Diagnostic.error loc ("lex error: " ^ msg) ] }
+  | Hir_codegen.Emit.Codegen_error msg ->
+    Error
+      { err_job = name;
+        err_diags = [ Diagnostic.error (Location.name name) ("codegen: " ^ msg) ] }
+  | Sys_error msg ->
+    Error { err_job = name; err_diags = [ Diagnostic.error (Location.name name) msg ] }
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | exn ->
+    (* Backstop: a bug anywhere in the stack (an uncaught [Failure], an
+       [Invalid_argument], …) must not escape across the scheduler's
+       domains; surface it as an internal-error diagnostic instead.
+       `hirc fuzz` bypasses this by driving the stages directly, so the
+       fuzzer still sees such bugs as crashes. *)
+    Error
+      { err_job = name;
+        err_diags =
+          [ Diagnostic.error (Location.name name)
+              ("internal error: " ^ Printexc.to_string exn) ] }
 
 (* ------------------------------------------------------------------ *)
 (* Batch mode                                                          *)

@@ -1,0 +1,71 @@
+(* Seed corpus for the mutation fuzzer.
+
+   Seeds are *valid* textual modules — the printed form of every
+   built-in kernel plus a few handwritten designs covering syntax the
+   kernels do not exercise (extern functions, unroll_for with negative
+   bounds, multi-function modules).  Mutation then walks outward from
+   the valid language into near-miss inputs, which is where frontend
+   crashes live. *)
+
+open Hir_ir
+
+let handwritten =
+  [
+    (* Smallest complete module. *)
+    {|"builtin.module"() ({
+  ^bb():
+  "hir.func"() ({
+    ^bb(%t: !hir.time):
+    "hir.return"() : () -> ()
+  }) {arg_delays = [], arg_names = [], arg_types = [], result_delays = [], result_types = [], sym_name = @nop} : () -> ()
+}) : () -> ()|};
+    (* Extern function (no body) next to a caller. *)
+    {|"builtin.module"() ({
+  ^bb():
+  "hir.func"() {arg_delays = [0, 0], arg_names = ["a", "b"], arg_types = [!ty<i16>, !ty<i16>], extern = true, result_delays = [2], result_types = [!ty<i32>], sym_name = @mul2stage} : () -> ()
+  "hir.func"() ({
+    ^bb(%x: i16, %t: !hir.time):
+    %y = "hir.call"(%x, %x, %t) {arg_delays = [0, 0], callee = @mul2stage, offset = 0, result_delays = [2]} : (i16, i16, !hir.time) -> (i32)
+    "hir.return"(%y) : (i32) -> ()
+  }) {arg_delays = [0], arg_names = ["x"], arg_types = [!ty<i16>], result_delays = [2], result_types = [!ty<i32>], sym_name = @square} : () -> ()
+}) : () -> ()|};
+    (* unroll_for with a negative step, string escapes in a loc. *)
+    {|"builtin.module"() ({
+  ^bb():
+  "hir.func"() ({
+    ^bb(%t: !hir.time):
+    %tu = "hir.unroll_for"(%t) ({
+      ^bb(%i: !hir.const, %ti: !hir.time):
+      "hir.yield"(%ti) {offset = 0} : (!hir.time) -> ()
+    }) {lb = 4, offset = 0, step = -1, ub = 0} : (!hir.time) -> (!hir.time)
+    "hir.return"() : () -> () loc("count\ndown":1:2)
+  }) {arg_delays = [], arg_names = [], arg_types = [], result_delays = [], result_types = [], sym_name = @countdown} : () -> ()
+}) : () -> ()|};
+  ]
+
+(* Printed form of every built-in kernel.  [with_isolated_ids] keeps the
+   id-derived value names (and therefore the seed bytes) independent of
+   whatever the host program allocated before. *)
+let kernel_seeds () =
+  List.map
+    (fun k ->
+      Ir.with_isolated_ids (fun () ->
+          let m, _ = k.Hir_kernels.Kernels.build () in
+          Printer.op_to_string m))
+    Hir_kernels.Kernels.all
+
+let default () = handwritten @ kernel_seeds ()
+
+(* Extra seeds from a directory of .hir files (sorted, so the corpus
+   order — and hence the fuzz run — is deterministic). *)
+let load_dir dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.to_list entries
+  |> List.filter (fun f -> Filename.check_suffix f ".hir")
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> really_input_string ic (in_channel_length ic)))

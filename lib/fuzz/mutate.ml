@@ -1,0 +1,174 @@
+(* Mutators over textual HIR modules.
+
+   Two families, stacked 1–4 deep per generated input:
+
+   - byte-level: flip / insert / delete / duplicate spans, truncate,
+     splice two corpus entries.  These explore the lexer: unterminated
+     strings, stray bytes, token boundaries.
+   - token-level: splice dialect keywords, attribute keys, extreme
+     integer literals and malformed type spellings from a dictionary;
+     delete, duplicate or swap whole lines.  These keep enough
+     structure to get past the lexer and stress the parser and the
+     verifiers.
+
+   Inputs are capped at [max_len] so a run of duplicating mutations
+   cannot grow an input without bound across iterations. *)
+
+let max_len = 1 lsl 14
+
+(* Tokens chosen to hit known-delicate spots: attribute keys the
+   verifiers read through typed accessors, extreme and malformed
+   integer literals, type spellings with oversized widths, strings
+   with embedded newlines and escapes. *)
+let dictionary =
+  [|
+    "%"; "@"; "^"; "!"; "\""; "{"; "}"; "("; ")"; "["; "]"; "<"; ">"; ":";
+    ","; "="; "->"; "*"; "hir.func"; "hir.for"; "hir.unroll_for"; "hir.yield";
+    "hir.return"; "hir.call"; "hir.constant"; "hir.delay"; "hir.mem_read";
+    "hir.mem_write"; "hir.alloc"; "hir.add"; "builtin.module"; "!hir.time";
+    "!hir.const"; "!hir.memref<4*i32, r>"; "!hir.memref<2*2*i8, packing=[0], rw>";
+    "i32"; "i1"; "i0"; "i99999999999999999999"; "f16"; "none"; "offset";
+    "value"; "latency"; "by"; "mem_kind"; "sym_name"; "callee"; "arg_types";
+    "arg_names"; "arg_delays"; "result_types"; "result_delays"; "extern";
+    "lb"; "ub"; "step"; "packing"; "loc("; "unit"; "true"; "false";
+    "\"reg\""; "\"lutram\""; "\"bogus\""; "!ty<i32>"; "0"; "1"; "-1";
+    "123abc"; "9223372036854775807"; "-9223372036854775808";
+    "9223372036854775808"; "99999999999999999999999"; "4194305";
+    "\"a\nb\""; "\"\\\"\""; "^bb():";
+  |]
+
+let insert_at s pos frag =
+  String.sub s 0 pos ^ frag ^ String.sub s pos (String.length s - pos)
+
+(* ---------------------------- byte level --------------------------- *)
+
+let byte_flip rng s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    Bytes.to_string b
+  end
+
+let byte_insert rng s =
+  let c = Char.chr (Rng.int rng 256) in
+  insert_at s (Rng.int rng (String.length s + 1)) (String.make 1 c)
+
+let span rng s =
+  let len = String.length s in
+  let start = Rng.int rng len in
+  let n = 1 + Rng.int rng (min 64 (len - start)) in
+  (start, n)
+
+let delete_span rng s =
+  if s = "" then s
+  else begin
+    let start, n = span rng s in
+    String.sub s 0 start ^ String.sub s (start + n) (String.length s - start - n)
+  end
+
+let duplicate_span rng s =
+  if s = "" then s
+  else begin
+    let start, n = span rng s in
+    insert_at s (start + n) (String.sub s start n)
+  end
+
+let truncate rng s = if s = "" then s else String.sub s 0 (Rng.int rng (String.length s))
+
+let splice rng corpus s =
+  match corpus with
+  | [||] -> s
+  | _ ->
+    let other = Rng.choose rng corpus in
+    if s = "" || other = "" then s ^ other
+    else begin
+      let cut1 = Rng.int rng (String.length s) in
+      let cut2 = Rng.int rng (String.length other) in
+      String.sub s 0 cut1 ^ String.sub other cut2 (String.length other - cut2)
+    end
+
+(* --------------------------- token level --------------------------- *)
+
+let insert_token rng s =
+  insert_at s (Rng.int rng (String.length s + 1)) (Rng.choose rng dictionary)
+
+(* Replace one run of digits with an extreme literal — the cheapest way
+   to reach integer-overflow paths in the lexer and the verifiers. *)
+let extreme_ints =
+  [| "9223372036854775808"; "-9223372036854775808"; "123abc"; "0"; "-1";
+     "4611686018427387904"; "65537"; "99999999999999999999" |]
+
+let replace_int rng s =
+  let digit_runs = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] >= '0' && s.[!i] <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      digit_runs := (start, !i - start) :: !digit_runs
+    end
+    else incr i
+  done;
+  match !digit_runs with
+  | [] -> s
+  | runs ->
+    let runs = Array.of_list runs in
+    let start, len = Rng.choose rng runs in
+    String.sub s 0 start
+    ^ Rng.choose rng extreme_ints
+    ^ String.sub s (start + len) (n - start - len)
+
+let lines s = String.split_on_char '\n' s
+
+let on_lines rng s f =
+  let ls = Array.of_list (lines s) in
+  if Array.length ls < 2 then s else String.concat "\n" (f rng ls)
+
+let delete_line rng s =
+  on_lines rng s (fun rng ls ->
+      let i = Rng.int rng (Array.length ls) in
+      Array.to_list ls |> List.filteri (fun j _ -> j <> i))
+
+let duplicate_line rng s =
+  on_lines rng s (fun rng ls ->
+      let i = Rng.int rng (Array.length ls) in
+      Array.to_list ls
+      |> List.mapi (fun j l -> if j = i then [ l; l ] else [ l ])
+      |> List.concat)
+
+let swap_lines rng s =
+  on_lines rng s (fun rng ls ->
+      let i = Rng.int rng (Array.length ls) and j = Rng.int rng (Array.length ls) in
+      let tmp = ls.(i) in
+      ls.(i) <- ls.(j);
+      ls.(j) <- tmp;
+      Array.to_list ls)
+
+(* ------------------------------ driver ----------------------------- *)
+
+let mutators =
+  [|
+    byte_flip; byte_insert; delete_span; duplicate_span; truncate; insert_token;
+    replace_int; delete_line; duplicate_line; swap_lines;
+  |]
+
+let cap s = if String.length s > max_len then String.sub s 0 max_len else s
+
+(* One fuzz input: a corpus seed with 1–4 stacked mutations (or, one
+   time in eight, a splice of two seeds plus one mutation). *)
+let generate rng corpus =
+  let base = Rng.choose rng corpus in
+  let s =
+    if Rng.int rng 8 = 0 then splice rng corpus base else base
+  in
+  let rounds = 1 + Rng.int rng 4 in
+  let s = ref s in
+  for _ = 1 to rounds do
+    s := cap ((Rng.choose rng mutators) rng !s)
+  done;
+  !s

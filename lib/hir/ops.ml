@@ -20,8 +20,77 @@ let is_int_or_const v = is_int v || is_const v
 let err engine op fmt =
   Diagnostic.Engine.errorf engine (Ir.Op.loc op) fmt
 
+let constant_value op =
+  match Ir.Op.attr op "value" with
+  | Some (Attribute.Int n) -> n
+  | _ -> failwith "hir.constant: missing value"
+
+(* If [v] is produced by hir.constant, its integer value.  Total even
+   on a malformed constant (missing or non-integer 'value'): verifiers
+   walk sibling ops before the constant's own verifier has rejected
+   it, so this must not raise. *)
+let as_constant v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = "hir.constant" -> (
+    match Ir.Op.attr op "value" with Some (Attribute.Int n) -> Some n | _ -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Structural verifiers                                                *)
+
+(* The parser accepts any attribute value for any key, so verifiers must
+   pin down attribute *kinds* before the schedule verifier, the passes
+   or codegen read them through [Attribute.as_*] — otherwise a textual
+   module with, say, [{offset = "x"}] verifies structurally and then
+   kills the compiler with an uncaught [Failure]. *)
+let verify_attr_kind ?(required = true) ~kind ~describe op key engine =
+  match Ir.Op.attr op key with
+  | Some a ->
+    if not (kind a) then
+      err engine op "'%s' attribute '%s' must be %s, got %s" (Ir.Op.name op) key
+        describe (Attribute.to_string a)
+  | None ->
+    if required then
+      err engine op "'%s' requires '%s' (%s)" (Ir.Op.name op) key describe
+
+let is_int_a = function Attribute.Int _ -> true | _ -> false
+let is_array_of p = function Attribute.Array l -> List.for_all p l | _ -> false
+
+let verify_int_attr ?required op key engine =
+  verify_attr_kind ?required ~kind:is_int_a ~describe:"an integer" op key engine
+
+(* Codegen materializes one pulse register per schedule-offset stage,
+   so an unbounded "offset" attribute is a resource explosion reachable
+   straight from parsed text (and unrolling multiplies it further —
+   emit has its own accumulated-stage backstop). *)
+let max_schedule_offset = 4096
+
+let verify_offset_attr op key engine =
+  verify_int_attr op key engine;
+  match Ir.Op.attr op key with
+  | Some (Attribute.Int n) when n < 0 || n > max_schedule_offset ->
+    err engine op "'%s' attribute '%s' must be in 0..%d, got %d" (Ir.Op.name op)
+      key max_schedule_offset n
+  | _ -> ()
+
+let verify_symbol_attr ?required op key engine =
+  verify_attr_kind ?required
+    ~kind:(function Attribute.Symbol _ -> true | _ -> false)
+    ~describe:"a @symbol" op key engine
+
+let verify_int_array_attr ?required op key engine =
+  verify_attr_kind ?required ~kind:(is_array_of is_int_a)
+    ~describe:"an array of integers" op key engine
+
+let verify_type_array_attr ?required op key engine =
+  verify_attr_kind ?required
+    ~kind:(is_array_of (function Attribute.Type _ -> true | _ -> false))
+    ~describe:"an array of !ty<..> types" op key engine
+
+let verify_string_array_attr ?required op key engine =
+  verify_attr_kind ?required
+    ~kind:(is_array_of (function Attribute.String _ -> true | _ -> false))
+    ~describe:"an array of strings" op key engine
 
 let verify_operand_count ~n op engine =
   if Ir.Op.num_operands op <> n then
@@ -33,9 +102,7 @@ let verify_time_last op engine =
   if n = 0 || not (is_time (Ir.Op.operand op (n - 1))) then
     err engine op "'%s' expects its last operand to be a !hir.time value"
       (Ir.Op.name op)
-  else if not (Ir.Op.has_attr op "offset") then
-    err engine op "'%s' is a scheduled op and requires an 'offset' attribute"
-      (Ir.Op.name op)
+  else verify_offset_attr op "offset" engine
 
 let single_block_region op engine =
   match Ir.Op.regions op with
@@ -111,7 +178,34 @@ let func_data_args op =
 
 let verify_func op engine =
   verify_operand_count ~n:0 op engine;
-  if Ir.Op.attr op "sym_name" = None then err engine op "hir.func requires sym_name";
+  verify_symbol_attr op "sym_name" engine;
+  verify_type_array_attr op "arg_types" engine;
+  verify_type_array_attr ~required:false op "result_types" engine;
+  verify_string_array_attr ~required:false op "arg_names" engine;
+  verify_int_array_attr ~required:false op "arg_delays" engine;
+  verify_int_array_attr ~required:false op "result_delays" engine;
+  (* Only read the typed accessors once the kinds above hold — they
+     [failwith] on malformed attributes. *)
+  let arg_types_ok =
+    match Ir.Op.attr op "arg_types" with
+    | Some (Attribute.Array l) ->
+      List.for_all (function Attribute.Type _ -> true | _ -> false) l
+    | _ -> false
+  in
+  (* Sibling attribute arrays must be as long as the signature they
+     annotate — codegen indexes them positionally. *)
+  let attr_len key =
+    match Ir.Op.attr op key with Some (Attribute.Array l) -> Some (List.length l) | _ -> None
+  in
+  let check_len key ~against =
+    match (attr_len key, attr_len against) with
+    | Some n, Some m when n <> m ->
+      err engine op "hir.func '%s' has %d entries but '%s' has %d" key n against m
+    | _ -> ()
+  in
+  check_len "arg_names" ~against:"arg_types";
+  check_len "arg_delays" ~against:"arg_types";
+  check_len "result_delays" ~against:"result_types";
   if is_extern_func op then begin
     if Ir.Op.regions op <> [] && single_block_region op engine <> None then ()
   end
@@ -122,10 +216,12 @@ let verify_func op engine =
       let n = Ir.Block.num_args b in
       if n = 0 || not (is_time (Ir.Block.arg b (n - 1))) then
         err engine op "hir.func body's last block argument must be !hir.time";
-      let arg_types = func_arg_types op in
-      if List.length arg_types <> n - 1 then
-        err engine op "hir.func arg_types length (%d) does not match body args (%d)"
-          (List.length arg_types) (n - 1);
+      if arg_types_ok then begin
+        let arg_types = func_arg_types op in
+        if List.length arg_types <> n - 1 then
+          err engine op "hir.func arg_types length (%d) does not match body args (%d)"
+            (List.length arg_types) (n - 1)
+      end;
       let returns =
         List.filter (fun o -> Ir.Op.name o = "hir.return") (Ir.Block.ops b)
       in
@@ -136,7 +232,7 @@ let verify_constant op engine =
   verify_operand_count ~n:0 op engine;
   if Ir.Op.num_results op <> 1 || not (is_const (Ir.Op.result op 0)) then
     err engine op "hir.constant produces a single !hir.const result";
-  if Ir.Op.attr op "value" = None then err engine op "hir.constant requires 'value'"
+  verify_int_attr op "value" engine
 
 let for_lb op = Ir.Op.operand op 0
 let for_ub op = Ir.Op.operand op 1
@@ -169,7 +265,7 @@ let verify_for op engine =
     if not (is_time (for_time op)) then
       err engine op "hir.for operand 3 must be the start !hir.time"
   end;
-  if Ir.Op.attr op "offset" = None then err engine op "hir.for requires 'offset'";
+  verify_offset_attr op "offset" engine;
   if Ir.Op.num_results op <> 1 || not (is_time (Ir.Op.result op 0)) then
     err engine op "hir.for produces a single !hir.time result";
   match single_block_region op engine with
@@ -187,6 +283,8 @@ let verify_for op engine =
     if List.length yields <> 1 then
       err engine op "hir.for body must contain exactly one hir.yield"
 
+let max_unroll_trips = 4096
+
 let unroll_for_lb op = Ir.Op.int_attr op "lb"
 let unroll_for_ub op = Ir.Op.int_attr op "ub"
 let unroll_for_step op = Ir.Op.int_attr op "step"
@@ -197,13 +295,24 @@ let verify_unroll_for op engine =
   verify_operand_count ~n:1 op engine;
   if Ir.Op.num_operands op = 1 && not (is_time (unroll_for_time op)) then
     err engine op "hir.unroll_for operand must be the start !hir.time";
-  List.iter
-    (fun key ->
-      if Ir.Op.attr op key = None then
-        err engine op "hir.unroll_for requires '%s' attribute" key)
-    [ "lb"; "ub"; "step"; "offset" ];
-  (match Ir.Op.int_attr_opt op "step" with
-  | Some 0 -> err engine op "hir.unroll_for step must be nonzero"
+  List.iter (fun key -> verify_int_attr op key engine) [ "lb"; "ub"; "step" ];
+  verify_offset_attr op "offset" engine;
+  (* The unroll pass replicates the body per iteration ([while k < ub;
+     k += step]), so the verifier must reject bound/step combinations
+     that never terminate or that would expand into an absurd number of
+     ops.  Trip count is computed in float: [ub - lb] can overflow int
+     for fuzzer-supplied extremes. *)
+  (match (Ir.Op.attr op "lb", Ir.Op.attr op "ub", Ir.Op.attr op "step") with
+  | _, _, Some (Attribute.Int 0) -> err engine op "hir.unroll_for step must be nonzero"
+  | Some (Attribute.Int lb), Some (Attribute.Int ub), Some (Attribute.Int step) ->
+    if lb < ub && step < 0 then
+      err engine op "hir.unroll_for with lb < ub and a negative step never terminates"
+    else begin
+      let trips = ceil ((float_of_int ub -. float_of_int lb) /. float_of_int step) in
+      if trips > float_of_int max_unroll_trips then
+        err engine op "hir.unroll_for trip count exceeds the limit of %d"
+          max_unroll_trips
+    end
   | _ -> ());
   if Ir.Op.num_results op <> 1 || not (is_time (Ir.Op.result op 0)) then
     err engine op "hir.unroll_for produces a single !hir.time result";
@@ -225,7 +334,7 @@ let verify_yield op engine =
   verify_operand_count ~n:1 op engine;
   if Ir.Op.num_operands op = 1 && not (is_time (yield_time op)) then
     err engine op "hir.yield operand must be a !hir.time value";
-  if Ir.Op.attr op "offset" = None then err engine op "hir.yield requires 'offset'"
+  verify_offset_attr op "offset" engine
 
 let verify_return op engine =
   List.iteri
@@ -254,8 +363,12 @@ let call_result_delays op =
   | _ -> List.map (fun _ -> 0) (Ir.Op.results op)
 
 let verify_call op engine =
-  if Ir.Op.attr op "callee" = None then err engine op "hir.call requires 'callee'";
+  verify_symbol_attr op "callee" engine;
+  verify_int_array_attr ~required:false op "arg_delays" engine;
+  verify_int_array_attr ~required:false op "result_delays" engine;
   verify_time_last op engine
+
+let max_delay_stages = 4096
 
 let delay_input op = Ir.Op.operand op 0
 let delay_time op = Ir.Op.operand op 1
@@ -265,9 +378,13 @@ let delay_offset op = Ir.Op.int_attr op "offset"
 let verify_delay op engine =
   verify_operand_count ~n:2 op engine;
   verify_time_last op engine;
-  if Ir.Op.attr op "by" = None then err engine op "hir.delay requires 'by'";
-  (match Ir.Op.int_attr_opt op "by" with
-  | Some n when n < 0 -> err engine op "hir.delay 'by' must be non-negative"
+  verify_int_attr op "by" engine;
+  (match Ir.Op.attr op "by" with
+  | Some (Attribute.Int n) when n < 0 ->
+    err engine op "hir.delay 'by' must be non-negative"
+  | Some (Attribute.Int n) when n > max_delay_stages ->
+    (* Codegen materializes one register per stage. *)
+    err engine op "hir.delay 'by' exceeds the limit of %d stages" max_delay_stages
   | _ -> ());
   if Ir.Op.num_results op = 1 && Ir.Op.num_operands op = 2 then begin
     if not (Typ.equal (Ir.Value.typ (delay_input op)) (Ir.Value.typ (Ir.Op.result op 0)))
@@ -291,6 +408,7 @@ let verify_mem_access ~is_read op engine =
     err engine op "'%s' is missing operands" name
   else begin
     verify_time_last op engine;
+    if is_read then verify_int_attr ~required:false op "latency" engine;
     let mem = Ir.Op.operand op mem_pos in
     match Ir.Value.typ mem with
     | Types.Memref info ->
@@ -298,14 +416,22 @@ let verify_mem_access ~is_read op engine =
       if n_indices <> List.length info.dims then
         err engine op "'%s' has %d indices for a rank-%d memref" name n_indices
           (List.length info.dims);
-      (* Distributed dims may only be indexed by compile-time consts. *)
+      (* Distributed dims may only be indexed by compile-time consts.
+         When an index is a literal constant, check its range too — a
+         mutated or hand-written module indexing bank -1 must die here,
+         not inside codegen's bank arrays. *)
       List.iteri
         (fun i d ->
-          if (not d.Types.packed) && i < n_indices then begin
+          if i < n_indices then begin
             let idx = Ir.Op.operand op (mem_pos + 1 + i) in
-            if not (is_const idx) then
+            if (not d.Types.packed) && not (is_const idx) then
               err engine op
-                "'%s': distributed dimension %d must be indexed by a !hir.const" name i
+                "'%s': distributed dimension %d must be indexed by a !hir.const" name i;
+            match as_constant idx with
+            | Some v when v < 0 || v >= d.Types.size ->
+              err engine op "'%s': constant index %d out of range for dimension %d (size %d)"
+                name v i d.Types.size
+            | _ -> ()
           end)
         info.dims;
       (match info.port with
@@ -357,7 +483,11 @@ let mem_kind_latency = function Reg -> 0 | Lut_ram | Block_ram -> 1
 
 let verify_alloc op engine =
   verify_operand_count ~n:0 op engine;
-  if Ir.Op.attr op "mem_kind" = None then err engine op "hir.alloc requires 'mem_kind'";
+  verify_attr_kind
+    ~kind:(function
+      | Attribute.String ("reg" | "lutram" | "bram") -> true
+      | _ -> false)
+    ~describe:"one of \"reg\", \"lutram\", \"bram\"" op "mem_kind" engine;
   let results = Ir.Op.results op in
   if results = [] then err engine op "hir.alloc must produce at least one memref port";
   let infos =
@@ -495,14 +625,3 @@ let module_funcs module_op =
 
 let lookup_func module_op name =
   List.find_opt (fun f -> func_name f = name) (module_funcs module_op)
-
-let constant_value op =
-  match Ir.Op.attr op "value" with
-  | Some (Attribute.Int n) -> n
-  | _ -> failwith "hir.constant: missing value"
-
-(* If [v] is produced by hir.constant, its integer value. *)
-let as_constant v =
-  match Ir.Value.defining_op v with
-  | Some op when Ir.Op.name op = "hir.constant" -> Some (constant_value op)
-  | _ -> None

@@ -235,7 +235,15 @@ let run_strength_reduction module_op =
         let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
         let with_const x c =
           match c with
-          | 0 -> (match mk_const 0 with Some z -> replace_with_value z | None -> ())
+          | 0 ->
+            (* x*0 -> 0 only helps when the forwarded zero's type is
+               accepted by [replace_with_value] (the result must itself
+               be !hir.const).  Creating the constant unconditionally
+               litters the block with a dead op that CSE/DCE then
+               remove while reporting "changed" — which kept the
+               canonicalize fixpoint loop spinning forever. *)
+            if Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) Types.Const then (
+              match mk_const 0 with Some z -> replace_with_value z | None -> ())
           | 1 -> replace_with_value x
           | c -> (
             match log2_exact c with
@@ -345,6 +353,11 @@ let delay_elim =
 (* ------------------------------------------------------------------ *)
 (* Canonicalization pipeline                                           *)
 
+(* Backstop against a non-convergent rewrite combination: real modules
+   reach fixpoint in a handful of rounds, so hitting the bound means a
+   rewrite bug — degrade to "stop canonicalizing" rather than hang. *)
+let max_canonicalize_rounds = 64
+
 let run_canonicalize module_op =
   let changed = ref false in
   let step () =
@@ -354,7 +367,9 @@ let run_canonicalize module_op =
     let c4 = run_dce module_op in
     c1 || c2 || c3 || c4
   in
-  while step () do
+  let rounds = ref 0 in
+  while !rounds < max_canonicalize_rounds && step () do
+    incr rounds;
     changed := true
   done;
   !changed

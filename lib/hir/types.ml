@@ -143,13 +143,27 @@ let parse_type mnemonic lex =
   | "time" -> Time
   | "memref" ->
     L.expect lex L.LANGLE;
-    (* dims: INT STAR ... then element type *)
+    (* dims: INT STAR ... then element type.  Sizes must be positive and
+       the tensor bounded: a parsed [!hir.memref<-3*i32>] or a
+       billion-element dimension would otherwise crash or hang bank
+       layout and codegen far from any source location. *)
+    let max_elements = 1 lsl 22 in
     let rec dims acc =
-      match L.peek_token lex with
-      | L.INT n ->
+      match L.peek lex with
+      | L.INT n, dim_loc ->
         ignore (L.next lex);
+        if n < 1 then
+          raise (L.Lex_error (dim_loc, "memref dimension size must be positive"));
         L.expect lex L.STAR;
-        dims (n :: acc)
+        let acc = n :: acc in
+        (* Each accepted size is <= max_elements, so the running product
+           of at most 22-bit factors cannot overflow before the check. *)
+        if n > max_elements || List.fold_left ( * ) 1 acc > max_elements then
+          raise
+            (L.Lex_error
+               ( dim_loc,
+                 Printf.sprintf "memref has more than %d elements" max_elements ));
+        dims acc
       | _ -> List.rev acc
     in
     let sizes = dims [] in
@@ -182,7 +196,19 @@ let parse_type mnemonic lex =
       L.expect lex L.RANGLE
     in
     parse_tail ();
-    memref ~packing:!packing ~dims:sizes ~elem ~port:!port ()
+    let t = memref ~packing:!packing ~dims:sizes ~elem ~port:!port () in
+    (* Every bank becomes its own storage block in codegen, so a parsed
+       type whose packing leaves millions of dims distributed must be
+       rejected here, with the other textual bounds. *)
+    let max_banks = 4096 in
+    (match t with
+    | Memref info when num_banks info > max_banks ->
+      raise
+        (L.Lex_error
+           ( Hir_ir.Location.unknown,
+             Printf.sprintf "memref has more than %d banks" max_banks ))
+    | _ -> ());
+    t
   | m ->
     raise
       (L.Lex_error (Hir_ir.Location.unknown, "unknown hir type mnemonic '" ^ m ^ "'"))

@@ -96,6 +96,20 @@ let read_ident t =
   done;
   String.sub t.src start (t.pos - start)
 
+(* An integer literal is a maximal ident-char run that must be all
+   digits and fit in an OCaml [int]; anything else ([123abc], a literal
+   beyond max_int) is a lex error at the token's location — never an
+   uncaught [Failure] from [int_of_string]. *)
+let read_int t loc ~negative =
+  let digits = read_ident t in
+  let text = if negative then "-" ^ digits else digits in
+  if not (String.for_all (fun c -> c >= '0' && c <= '9') digits) then
+    raise (Lex_error (loc, Printf.sprintf "malformed integer literal '%s'" text));
+  match int_of_string_opt text with
+  | Some n -> n
+  | None ->
+    raise (Lex_error (loc, Printf.sprintf "integer literal '%s' out of range" text))
+
 let read_token t =
   skip_ws t;
   let loc = location t in
@@ -131,8 +145,7 @@ let read_token t =
               && t.src.[t.pos + 1] <= '9'
       then begin
         t.pos <- t.pos + 1;
-        let digits = read_ident t in
-        (INT (-int_of_string digits), loc)
+        (INT (read_int t loc ~negative:true), loc)
       end
       else raise (Lex_error (loc, "unexpected '-'"))
     | '%' ->
@@ -147,6 +160,13 @@ let read_token t =
     | '"' ->
       t.pos <- t.pos + 1;
       let buf = Buffer.create 16 in
+      (* Newlines inside the literal (raw or escaped) must advance the
+         line counter, or every location after a multi-line string
+         points at the wrong line. *)
+      let saw_newline () =
+        t.line <- t.line + 1;
+        t.bol <- t.pos
+      in
       let rec go () =
         if t.pos >= String.length t.src then
           raise (Lex_error (loc, "unterminated string literal"))
@@ -154,20 +174,23 @@ let read_token t =
           match t.src.[t.pos] with
           | '"' -> t.pos <- t.pos + 1
           | '\\' when t.pos + 1 < String.length t.src ->
-            (match t.src.[t.pos + 1] with
+            let c = t.src.[t.pos + 1] in
+            (match c with
             | 'n' -> Buffer.add_char buf '\n'
             | 't' -> Buffer.add_char buf '\t'
             | c -> Buffer.add_char buf c);
             t.pos <- t.pos + 2;
+            if c = '\n' then saw_newline ();
             go ()
           | c ->
             Buffer.add_char buf c;
             t.pos <- t.pos + 1;
+            if c = '\n' then saw_newline ();
             go ()
       in
       go ();
       (STRING (Buffer.contents buf), loc)
-    | '0' .. '9' -> (INT (int_of_string (read_ident t)), loc)
+    | '0' .. '9' -> (INT (read_int t loc ~negative:false), loc)
     | c when is_ident_char c -> (IDENT (read_ident t), loc)
     | c -> raise (Lex_error (loc, Printf.sprintf "unexpected character %C" c))
   end

@@ -9,15 +9,31 @@ let fail loc msg = raise (Parse_error (loc, msg))
 
 type state = {
   lex : Lexer.t;
-  scope : (string, Ir.value) Hashtbl.t;  (* SSA name -> value *)
+  scope : (string, Ir.value * Location.t) Hashtbl.t;
+      (* SSA name -> value and the location that defined it *)
+  mutable depth : int;  (* current region-nesting depth *)
 }
+
+(* The parser is recursive-descent, so region nesting consumes OCaml
+   stack; bound it so a pathological input is a parse error rather
+   than a [Stack_overflow].  Real designs nest a handful of levels. *)
+let max_region_depth = 64
 
 let lookup_value st name loc =
   match Hashtbl.find_opt st.scope name with
-  | Some v -> v
+  | Some (v, _) -> v
   | None -> fail loc (Printf.sprintf "use of undefined value %%%s" name)
 
-let define_value st name v = Hashtbl.replace st.scope name v
+(* A second definition of the same SSA name is an error reported with
+   both locations — [Hashtbl.replace] would silently shadow the first
+   binding and rewire every later use. *)
+let define_value st name v loc =
+  match Hashtbl.find_opt st.scope name with
+  | Some (_, prior_loc) ->
+    fail loc
+      (Printf.sprintf "redefinition of value %%%s (previously defined at %s)" name
+         (Location.to_string prior_loc))
+  | None -> Hashtbl.replace st.scope name (v, loc)
 
 let rec parse_attr_value st =
   match Lexer.next st.lex with
@@ -27,7 +43,12 @@ let rec parse_attr_value st =
   | Lexer.IDENT "true", _ -> Attribute.Bool true
   | Lexer.IDENT "false", _ -> Attribute.Bool false
   | Lexer.IDENT "unit", _ -> Attribute.Unit
-  | Lexer.LBRACKET, _ ->
+  | Lexer.LBRACKET, loc ->
+    (* Arrays and dicts recurse, so they count against the same nesting
+       bound as regions. *)
+    if st.depth >= max_region_depth then
+      fail loc (Printf.sprintf "attributes nested deeper than %d levels" max_region_depth);
+    st.depth <- st.depth + 1;
     let rec go acc =
       if Lexer.accept st.lex Lexer.RBRACKET then List.rev acc
       else begin
@@ -39,8 +60,16 @@ let rec parse_attr_value st =
         end
       end
     in
-    Attribute.Array (go [])
-  | Lexer.LBRACE, _ -> Attribute.Dict (parse_attr_entries st)
+    let a = Attribute.Array (go []) in
+    st.depth <- st.depth - 1;
+    a
+  | Lexer.LBRACE, loc ->
+    if st.depth >= max_region_depth then
+      fail loc (Printf.sprintf "attributes nested deeper than %d levels" max_region_depth);
+    st.depth <- st.depth + 1;
+    let d = Attribute.Dict (parse_attr_entries st) in
+    st.depth <- st.depth - 1;
+    d
   | Lexer.BANG, loc ->
     let kind = Lexer.expect_ident st.lex in
     if kind <> "ty" then fail loc "expected !ty<...> attribute"
@@ -102,11 +131,11 @@ let rec parse_op st =
     | Lexer.PERCENT _ ->
       let rec go acc =
         match Lexer.next st.lex with
-        | Lexer.PERCENT name, _ ->
-          if Lexer.accept st.lex Lexer.COMMA then go (name :: acc)
+        | Lexer.PERCENT name, name_loc ->
+          if Lexer.accept st.lex Lexer.COMMA then go ((name, name_loc) :: acc)
           else begin
             Lexer.expect st.lex Lexer.EQUAL;
-            List.rev (name :: acc)
+            List.rev ((name, name_loc) :: acc)
           end
         | got, loc -> fail loc ("expected %result, found " ^ Lexer.token_to_string got)
       in
@@ -207,13 +236,20 @@ let rec parse_op st =
     operands operand_types;
   let op =
     Ir.Op.create ~attrs ~regions ~loc name ~operands ~result_types
-      ~result_hints:(List.map (fun n -> Some n) results)
+      ~result_hints:(List.map (fun (n, _) -> Some n) results)
   in
-  List.iteri (fun i n -> define_value st n (Ir.Op.result op i)) results;
+  List.iteri
+    (fun i (n, name_loc) -> define_value st n (Ir.Op.result op i) name_loc)
+    results;
   op
 
 and parse_region st =
+  (match Lexer.peek st.lex with
+  | Lexer.LBRACE, loc when st.depth >= max_region_depth ->
+    fail loc (Printf.sprintf "regions nested deeper than %d levels" max_region_depth)
+  | _ -> ());
   Lexer.expect st.lex Lexer.LBRACE;
+  st.depth <- st.depth + 1;
   let rec go acc =
     match Lexer.peek_token st.lex with
     | Lexer.RBRACE ->
@@ -222,6 +258,7 @@ and parse_region st =
     | _ -> go (parse_block st :: acc)
   in
   let blocks = go [] in
+  st.depth <- st.depth - 1;
   Ir.Region.create ~blocks ()
 
 and parse_block st =
@@ -234,10 +271,10 @@ and parse_block st =
       if Lexer.accept st.lex Lexer.RPAREN then List.rev acc
       else begin
         match Lexer.next st.lex with
-        | Lexer.PERCENT n, _ ->
+        | Lexer.PERCENT n, name_loc ->
           Lexer.expect st.lex Lexer.COLON;
           let t = Type_parser.parse st.lex in
-          let acc = (n, t) :: acc in
+          let acc = (n, name_loc, t) :: acc in
           if Lexer.accept st.lex Lexer.COMMA then go acc
           else begin
             Lexer.expect st.lex Lexer.RPAREN;
@@ -251,10 +288,12 @@ and parse_block st =
   Lexer.expect st.lex Lexer.COLON;
   let block =
     Ir.Block.create
-      ~arg_hints:(List.map (fun (n, _) -> Some n) args)
-      (List.map snd args)
+      ~arg_hints:(List.map (fun (n, _, _) -> Some n) args)
+      (List.map (fun (_, _, t) -> t) args)
   in
-  List.iteri (fun i (n, _) -> define_value st n (Ir.Block.arg block i)) args;
+  List.iteri
+    (fun i (n, name_loc, _) -> define_value st n (Ir.Block.arg block i) name_loc)
+    args;
   let rec go () =
     match Lexer.peek_token st.lex with
     | Lexer.RBRACE | Lexer.CARET _ -> ()
@@ -266,7 +305,7 @@ and parse_block st =
   block
 
 let parse_string ?(file = "<input>") src =
-  let st = { lex = Lexer.create ~file src; scope = Hashtbl.create 64 } in
+  let st = { lex = Lexer.create ~file src; scope = Hashtbl.create 64; depth = 0 } in
   let op = parse_op st in
   (match Lexer.peek st.lex with
   | Lexer.EOF, _ -> ()
@@ -275,7 +314,10 @@ let parse_string ?(file = "<input>") src =
 
 let parse_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
+  let src =
+    (* [Fun.protect] so a read error cannot leak the channel. *)
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string ~file:path src

@@ -9,12 +9,26 @@ let hooks : (string, string -> Lexer.t -> Typ.t) Hashtbl.t = Hashtbl.create 8
 
 let register_dialect ~dialect f = Hashtbl.replace hooks dialect f
 
+(* Widths are bounded so a literal like [i99999999999999999999] is a
+   located diagnostic, not an [int_of_string] failure (or an absurd
+   allocation downstream). *)
+let max_type_width = 65536
+
 let parse_builtin_ident loc s =
   let len = String.length s in
-  let num_suffix () = int_of_string (String.sub s 1 (len - 1)) in
   let is_num_suffix () =
     len > 1
     && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (len - 1))
+  in
+  let num_suffix () =
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some n when n >= 1 && n <= max_type_width -> n
+    | _ ->
+      raise
+        (Lexer.Lex_error
+           ( loc,
+             Printf.sprintf "type width in '%s' must be between 1 and %d" s
+               max_type_width ))
   in
   match s.[0] with
   | 'i' when is_num_suffix () -> Typ.Int (num_suffix ())

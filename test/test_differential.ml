@@ -1,9 +1,11 @@
 (* Property-based differential testing of the whole backend.
 
-   A generator produces random *well-scheduled* straight-line HIR
-   designs (reads, combinational arithmetic, delays, writes — with all
-   operand births kept aligned by construction), and for each design we
-   check three properties:
+   Two generators produce random *well-scheduled* HIR designs: one
+   emits straight-line code (reads, combinational arithmetic, delays,
+   writes — with all operand births kept aligned by construction), the
+   other scheduled [hir.for] loops pipelined at initiation intervals
+   1..3 with a random combinational chain and extra pipeline stages in
+   the body.  For each design we check three properties:
 
      1. the structural and schedule verifiers accept it;
      2. the textual round-trip is a fixpoint;
@@ -179,6 +181,78 @@ let agree a b =
 
 let arb_recipe = QCheck.make ~print:recipe_to_string gen_recipe
 
+(* ------------------------------------------------------------------ *)
+(* Loop recipes: a pipelined hir.for at a chosen initiation interval.
+
+   Body shape: read inp[i] (1-cycle latency), feed it through a random
+   chain of constant binops, optionally add [lr_extra] pipeline stages
+   of delay, and write to out[i] at the matching stage.  The yield
+   offset IS the initiation interval, so II ∈ 1..3 pipelines iterations
+   at different overlaps against the multi-stage body. *)
+
+type loop_recipe = {
+  lr_ii : int;  (* initiation interval, 1..3 *)
+  lr_chain : (string * int) list;  (* constant binop chain on the read value *)
+  lr_extra : int;  (* extra delay stages before the write, 0..2 *)
+}
+
+let loop_recipe_to_string r =
+  Printf.sprintf "ii=%d chain=[%s] extra=%d" r.lr_ii
+    (String.concat "; " (List.map (fun (op, c) -> Printf.sprintf "%s %d" op c) r.lr_chain))
+    r.lr_extra
+
+let gen_loop_recipe : loop_recipe QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* lr_ii = int_range 1 3 in
+  let* n_chain = int_range 0 4 in
+  let* lr_chain = list_repeat n_chain (pair (oneofl ops_pool) (int_range (-100) 1000)) in
+  let* lr_extra = int_range 0 2 in
+  return { lr_ii; lr_chain; lr_extra }
+
+let build_loop_design r =
+  let m = Builder.create_module () in
+  let f =
+    Builder.func m ~name:"loopfuzz"
+      ~args:
+        [
+          Builder.arg "inp"
+            (Types.memref ~dims:[ input_size ] ~elem:Typ.i32 ~port:Types.Read ());
+          Builder.arg "out"
+            (Types.memref ~dims:[ input_size ] ~elem:Typ.i32 ~port:Types.Write ());
+        ]
+      (fun b args t ->
+        match args with
+        | [ inp; out ] ->
+          let c0 = Builder.constant b 0 in
+          let c1 = Builder.constant b 1 in
+          let cn = Builder.constant b input_size in
+          let _tf =
+            Builder.for_loop b ~iv_hint:"i" ~lb:c0 ~ub:cn ~step:c1
+              ~at:Builder.(t @>> 1)
+              (fun b ~iv:i ~ti ->
+                Builder.yield b ~at:Builder.(ti @>> r.lr_ii);
+                (* The read value is born at ti@1 (1-cycle latency). *)
+                let v = Builder.mem_read b inp [ i ] ~at:Builder.(ti @>> 0) in
+                let v =
+                  List.fold_left
+                    (fun v (op, c) -> Builder.binop op b v (Builder.constant b c))
+                    v r.lr_chain
+                in
+                let stage = 1 + r.lr_extra in
+                let v =
+                  if r.lr_extra = 0 then v
+                  else Builder.delay b v ~by:r.lr_extra ~at:Builder.(ti @>> 1)
+                in
+                let addr = Builder.delay b i ~by:stage ~at:Builder.(ti @>> 0) in
+                Builder.mem_write b v out [ addr ] ~at:Builder.(ti @>> stage))
+          in
+          Builder.return_ b []
+        | _ -> assert false)
+  in
+  (m, f)
+
+let arb_loop_recipe = QCheck.make ~print:loop_recipe_to_string gen_loop_recipe
+
 let prop_differential =
   QCheck.Test.make ~count:120 ~name:"interp == RTL on random scheduled designs"
     arb_recipe (fun recipe ->
@@ -213,6 +287,52 @@ let prop_optimizer_preserves =
       let after = interp_outputs m2 f2 in
       agree expected after)
 
+let rtl_loop_outputs r m f =
+  let emitted = Emit.emit ~module_op:m ~top:f in
+  let result, agents =
+    Harness.run ~emitted
+      ~inputs:[ Harness.Tensor input_data; Harness.Out_tensor ]
+      ~cycles:((r.lr_ii * input_size) + r.lr_extra + 16)
+      ()
+  in
+  (result.Harness.failures, Harness.nth_tensor agents 1)
+
+let prop_loop_differential =
+  QCheck.Test.make ~count:60 ~name:"interp == RTL on pipelined loops (II 1..3)"
+    arb_loop_recipe (fun recipe ->
+      let m, f = build_loop_design recipe in
+      (* Loop designs are well-scheduled by construction: the verifier
+         must accept every one, so a rejection is itself a bug. *)
+      if not (verifier_accepts m) then
+        QCheck.Test.fail_report "verifier rejected a well-scheduled loop design";
+      let text1 = Printer.op_to_string m in
+      let reparsed = Parser.parse_string text1 in
+      let text2 = Printer.op_to_string reparsed in
+      if text1 <> text2 then QCheck.Test.fail_report "print/parse not a fixpoint";
+      let expected = interp_outputs m f in
+      let m2, f2 = build_loop_design recipe in
+      let failures, actual = rtl_loop_outputs recipe m2 f2 in
+      if failures <> [] then
+        QCheck.Test.fail_report
+          ("UB assertion fired: " ^ (List.hd failures).Hir_rtl.Sim.message);
+      if not (agree expected actual) then QCheck.Test.fail_report "interp != RTL"
+      else true)
+
+let prop_loop_optimizer_preserves =
+  QCheck.Test.make ~count:40 ~name:"optimizer preserves pipelined loops"
+    arb_loop_recipe (fun recipe ->
+      let m, f = build_loop_design recipe in
+      QCheck.assume (verifier_accepts m);
+      let expected = interp_outputs m f in
+      let m2, f2 = build_loop_design recipe in
+      ignore (Passes.run_canonicalize m2);
+      ignore (Precision_opt.run m2);
+      ignore (Passes.run_delay_elim m2);
+      ignore (Retime.run m2);
+      QCheck.assume (verifier_accepts m2);
+      let after = interp_outputs m2 f2 in
+      agree expected after)
+
 (* Guard against vacuous properties: a healthy fraction of generated
    recipes must actually reach the differential check. *)
 let test_acceptance_rate () =
@@ -236,6 +356,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_differential;
           QCheck_alcotest.to_alcotest prop_optimizer_preserves;
+          QCheck_alcotest.to_alcotest prop_loop_differential;
+          QCheck_alcotest.to_alcotest prop_loop_optimizer_preserves;
           Alcotest.test_case "generator acceptance rate" `Quick test_acceptance_rate;
         ] );
     ]

@@ -122,7 +122,7 @@ let transpose_text () =
 let compile_text ?cache ~pipeline text =
   match Driver.compile_job ?cache (Driver.job_of_text ~pipeline ~name:"t.hir" text) with
   | Ok o -> o
-  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Error e -> Alcotest.failf "compile failed: %s" (Driver.error_to_string e)
 
 let test_cache_hit_and_invalidation () =
   let cache = Cache.create ~dir:(fresh_dir ()) in
@@ -143,6 +143,65 @@ let test_cache_hit_and_invalidation () =
   check_bool "different pipeline misses" false other.Driver.from_cache;
   check_int "cache hits" 1 (Cache.hits cache);
   check_int "cache misses" 3 (Cache.misses cache)
+
+(* Regression: a cache entry whose .v payload is unreadable (here: a
+   directory squatting on the path) degraded the whole compile with a
+   [Sys_error]; it must instead count as a miss and recompile. *)
+let test_cache_damaged_entry_degrades_to_miss () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let cold = compile_text ~cache ~pipeline text in
+  (* Smash every payload file into a directory of the same name. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".v" then begin
+        let path = Filename.concat dir f in
+        Sys.remove path;
+        Unix.mkdir path 0o755
+      end)
+    (Sys.readdir dir);
+  let again = compile_text ~cache ~pipeline text in
+  check_bool "damaged entry is a miss" false again.Driver.from_cache;
+  check_string "recompile still correct" cold.Driver.verilog again.Driver.verilog
+
+(* Regression: [compile_job] must return [Error] with diagnostics for
+   any bad input — exceptions crossing the scheduler's domain boundary
+   killed the whole batch. *)
+let test_compile_job_errors_are_diagnostics () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let run text =
+    match Driver.compile_job (Driver.job_of_text ~pipeline ~name:"bad.hir" text) with
+    | Ok _ -> Alcotest.failf "expected a failure for:\n%s" text
+    | Error e ->
+      check_string "error names the job" "bad.hir" e.Driver.err_job;
+      check_bool "has diagnostics" true (e.Driver.err_diags <> []);
+      Driver.error_to_string e
+  in
+  (* Garbage input: a located parse diagnostic, not an exception. *)
+  let msg = run "%%% not hir at all" in
+  check_bool "parse error mentions location" true (String.length msg > 0);
+  (* A wrong attribute kind ({value = "x"} on a constant) used to crash
+     in an [Attribute.as_int] accessor; now it is a verifier error. *)
+  let text =
+    "\"builtin.module\"() ({\n\
+    \  ^bb():\n\
+    \  \"hir.func\"() ({\n\
+    \    ^bb(%t: !hir.time):\n\
+    \    %c = \"hir.constant\"() {value = \"x\"} : () -> (!hir.const)\n\
+    \    \"hir.return\"() : () -> ()\n\
+    \  }) {sym_name = @f, arg_types = [!ty<!hir.time>]} : () -> ()\n\
+     }) : () -> ()"
+  in
+  ignore (run text);
+  (* An empty module has no top function to choose. *)
+  let msg = run "\"builtin.module\"() ({\n  ^bb():\n}) : () -> ()" in
+  check_bool "no-function error is attributed to the job" true
+    (let needle = "bad.hir" in
+     let n = String.length needle and l = String.length msg in
+     let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+     go 0)
 
 let test_cache_key () =
   let k ?(pipeline = "unroll") ?top ?(source = "src") () = Cache.key ~pipeline ~top ~source in
@@ -180,7 +239,7 @@ let kernel_jobs pipeline =
 
 let verilog_of = function
   | Ok o -> o.Driver.verilog
-  | Error e -> Alcotest.failf "batch job failed: %s" e
+  | Error e -> Alcotest.failf "batch job failed: %s" (Driver.error_to_string e)
 
 let test_batch_deterministic () =
   let pipeline = Pipeline.default ~optimize:true in
@@ -205,7 +264,7 @@ let test_batch_warm_cache () =
     (fun o ->
       match o with
       | Ok r -> check_bool "cold run misses" false r.Driver.from_cache
-      | Error e -> Alcotest.failf "batch job failed: %s" e)
+      | Error e -> Alcotest.failf "batch job failed: %s" (Driver.error_to_string e))
     cold.Driver.outcomes;
   Array.iteri
     (fun i o ->
@@ -244,7 +303,7 @@ let test_trace_spans_and_json () =
        (Driver.job_of_text ~pipeline ~name:"t.hir" (transpose_text ()))
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "compile failed: %s" e);
+  | Error e -> Alcotest.failf "compile failed: %s" (Driver.error_to_string e));
   let names = List.map (fun (s : Trace.span) -> s.Trace.sp_name) (Trace.spans trace) in
   List.iter
     (fun expected ->
@@ -276,6 +335,10 @@ let () =
         [
           Alcotest.test_case "hit-and-invalidation" `Quick test_cache_hit_and_invalidation;
           Alcotest.test_case "key" `Quick test_cache_key;
+          Alcotest.test_case "damaged-entry-degrades-to-miss" `Quick
+            test_cache_damaged_entry_degrades_to_miss;
+          Alcotest.test_case "errors-are-diagnostics" `Quick
+            test_compile_job_errors_are_diagnostics;
         ] );
       ( "batch",
         [

@@ -207,6 +207,96 @@ let test_parse_errors () =
   expect_fail "\"hir.constant\"() : () -> (!hir.bogus)";
   expect_fail ""
 
+(* Regressions from the fuzzing campaign: each case crashed (or
+   silently misbehaved) before the frontend hardening. *)
+
+let wrap_op body =
+  Printf.sprintf "\"builtin.module\"() ({\n  ^bb():\n%s\n}) : () -> ()" body
+
+let test_lexer_int_literals () =
+  (* "123abc" used to reach int_of_string and crash with [Failure]. *)
+  (match Parser.parse_string (wrap_op "  \"hir.nop\"() {value = 123abc} : () -> ()") with
+  | exception Lexer.Lex_error (loc, _) ->
+    Alcotest.(check bool) "lex error has a location" false (Location.is_unknown loc)
+  | exception exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected a lex error for 123abc");
+  (* An out-of-range literal is a lex error, not a [Failure]. *)
+  (match
+     Parser.parse_string
+       (wrap_op "  \"hir.nop\"() {value = 99999999999999999999} : () -> ()")
+   with
+  | exception Lexer.Lex_error _ -> ()
+  | exception exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected a lex error for an out-of-range literal");
+  (* min_int has no positive counterpart, so "-4611686018427387904"
+     must parse as one (negative) literal, not overflow. *)
+  let m =
+    Parser.parse_string
+      (wrap_op
+         (Printf.sprintf "  \"hir.nop\"() {value = %d} : () -> ()" min_int))
+  in
+  let nop = List.hd (Ir.Block.ops (Hir_dialect.Builder.module_block m)) in
+  (match Ir.Op.attr nop "value" with
+  | Some (Attribute.Int n) -> Alcotest.(check bool) "min_int survives" true (n = min_int)
+  | _ -> Alcotest.fail "min_int literal lost")
+
+let test_lexer_string_newlines () =
+  (* Newlines inside string literals must advance the line counter so
+     later locations stay accurate. *)
+  let text =
+    "\"builtin.module\"() ({\n\
+    \  ^bb():\n\
+    \  \"hir.nop\"() {tag = \"a\nb\"} : () -> ()\n\
+    \  %x = \"hir.oops\"(\n\
+     }) : () -> ()"
+  in
+  match Parser.parse_string ~file:"t.hir" text with
+  | exception Parser.Parse_error (Location.File { line; _ }, _) ->
+    (* The parser trips on the closing '}' of line 6 once the embedded
+       newline is counted (line 5 if the string's newline were lost). *)
+    Alcotest.(check int) "line tracks string newlines" 6 line
+  | exception exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_duplicate_ssa_definition () =
+  let text =
+    wrap_op
+      "  %c = \"hir.constant\"() {value = 1} : () -> (!hir.const)\n\
+      \  %c = \"hir.constant\"() {value = 2} : () -> (!hir.const)"
+  in
+  let contains hay needle =
+    let n = String.length needle and l = String.length hay in
+    let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  match Parser.parse_string ~file:"dup.hir" text with
+  | exception Parser.Parse_error (loc, msg) ->
+    Alcotest.(check bool) "error is located" false (Location.is_unknown loc);
+    Alcotest.(check bool) "message names the value" true (contains msg "%c")
+  | exception exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected duplicate-definition error"
+
+let test_nesting_depth_limit () =
+  (* Deeply nested attribute brackets used to exhaust the OCaml stack;
+     now the parser reports a diagnostic at its depth limit. *)
+  let deep = String.concat "" (List.init 300 (fun _ -> "[")) in
+  let text = wrap_op ("  \"hir.nop\"() {v = " ^ deep ^ "} : () -> ()") in
+  match Parser.parse_string text with
+  | exception Parser.Parse_error (_, msg) ->
+    Alcotest.(check bool)
+      "mentions nesting" true
+      (String.length msg > 0
+      && (let lower = String.lowercase_ascii msg in
+          let has_sub needle =
+            let n = String.length needle and l = String.length lower in
+            let rec go i = i + n <= l && (String.sub lower i n = needle || go (i + 1)) in
+            go 0
+          in
+          has_sub "nest" || has_sub "deep"))
+  | exception Stack_overflow -> Alcotest.fail "stack overflow: depth limit missing"
+  | exception exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected a depth-limit error"
+
 let test_diagnostics_format () =
   let loc = Location.file ~file:"test/HIR/err_add.mlir" ~line:13 ~col:5 in
   let note_loc = Location.file ~file:"test/HIR/err_add.mlir" ~line:8 ~col:3 in
@@ -280,6 +370,10 @@ let () =
           Alcotest.test_case "print/parse round-trip" `Quick test_print_parse_roundtrip;
           Alcotest.test_case "type parsing" `Quick test_parse_types;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "lexer int literals" `Quick test_lexer_int_literals;
+          Alcotest.test_case "string newline tracking" `Quick test_lexer_string_newlines;
+          Alcotest.test_case "duplicate SSA definition" `Quick test_duplicate_ssa_definition;
+          Alcotest.test_case "nesting depth limit" `Quick test_nesting_depth_limit;
           Alcotest.test_case "diagnostic format" `Quick test_diagnostics_format;
         ] );
       ( "infra",
