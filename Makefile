@@ -24,6 +24,7 @@ check: build test
 	  --cache-dir _build/.hirc-smoke-cache --trace _build/smoke.trace.json \
 	  -o _build/smoke-verilog
 	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
+	dune exec bench/main.exe -- --canonicalize-scaling
 	@echo "make check: OK"
 
 # The acceptance campaign from the never-crash contract: 10k mutated

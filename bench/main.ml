@@ -424,6 +424,86 @@ let scaling () =
     [ 4; 8; 12; 16 ]
 
 (* ------------------------------------------------------------------ *)
+(* Canonicalize scaling: greedy worklist driver vs the legacy loop     *)
+
+(* The legacy canonicalizer re-scans the whole module every round
+   (use-counting is itself a module walk, so each round is quadratic in
+   the op count); the worklist driver touches an op only when it or one
+   of its operands changed.  Fully-unrolled GEMM grids give a family of
+   inputs whose size grows with n², making the asymptotic gap visible.
+   Each sample rebuilds and re-unrolls a fresh module (untimed) so both
+   canonicalizers start from identical IR. *)
+
+let count_all_ops m =
+  let n = ref 0 in
+  Ir.Walk.ops_pre m ~f:(fun _ -> incr n);
+  !n
+
+let median_of samples = List.nth (List.sort compare samples) (List.length samples / 2)
+
+let time_fresh ~runs ~prepare f =
+  median_of
+    (List.init runs (fun _ ->
+         let m = prepare () in
+         let t0 = Unix.gettimeofday () in
+         ignore (Sys.opaque_identity (f m));
+         Unix.gettimeofday () -. t0))
+
+(* Generous wall-clock ceiling for the driver on the fully-unrolled
+   default GEMM (n=16, ~10k ops): far above any healthy run, so the
+   make-check guard only fires on a real complexity regression. *)
+let gemm16_budget_s = 2.0
+
+let canonicalize_scaling () =
+  header "Canonicalize scaling: worklist driver vs legacy pass loop (unrolled GEMM)";
+  Printf.printf "%-8s %8s %12s %12s %9s %10s %7s\n" "n (PEs)" "ops" "driver(s)"
+    "legacy(s)" "speedup" "processed" "rounds";
+  let violation = ref None in
+  List.iter
+    (fun n ->
+      let prepare () =
+        let m, _ = Hir_kernels.Gemm.build ~n () in
+        ignore (Unroll.run m);
+        m
+      in
+      let ops = count_all_ops (prepare ()) in
+      let processed = ref 0 and rounds = ref 0 in
+      let driver_t =
+        time_fresh ~runs:3 ~prepare (fun m ->
+            let stats = Passes.run_canonicalize_stats m in
+            processed := stats.Rewrite.ds_processed;
+            rounds := stats.Rewrite.ds_rounds;
+            stats.Rewrite.ds_changed)
+      in
+      let legacy_t = time_fresh ~runs:3 ~prepare Passes.Legacy.run_canonicalize in
+      let speedup = legacy_t /. driver_t in
+      record ~section:"canonicalize-scaling"
+        ~name:(Printf.sprintf "gemm-%dx%d" n n)
+        [
+          ("ops", float_of_int ops);
+          ("driver_s", driver_t);
+          ("legacy_s", legacy_t);
+          ("speedup", speedup);
+          ("ops_processed", float_of_int !processed);
+          ("rounds", float_of_int !rounds);
+        ];
+      Printf.printf "%-8s %8d %12.4f %12.4f %8.1fx %10d %7d\n"
+        (Printf.sprintf "%dx%d" n n)
+        ops driver_t legacy_t speedup !processed !rounds;
+      if n = 16 && driver_t > gemm16_budget_s then
+        violation :=
+          Some
+            (Printf.sprintf
+               "driver canonicalize on unrolled 16x16 GEMM took %.3fs (budget %.1fs)"
+               driver_t gemm16_budget_s))
+    [ 4; 8; 12; 16 ];
+  match !violation with
+  | None -> Printf.printf "\ntime budget OK (16x16 driver within %.1fs)\n" gemm16_budget_s
+  | Some msg ->
+    Printf.eprintf "\nTIME BUDGET VIOLATION: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 (* Matrix transpose with a configurable inner-loop initiation interval:
@@ -612,6 +692,7 @@ let () =
   if all || List.mem "--check" args then check ();
   if all || List.mem "--ablation" args then ablation ();
   if all || List.mem "--scaling" args then scaling ();
+  if all || List.mem "--canonicalize-scaling" args then canonicalize_scaling ();
   if all || has "--table" "4" then table4 ();
   if all || has "--table" "5" then table5 ();
   if all || has "--table" "6" then table6 ();

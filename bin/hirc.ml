@@ -66,7 +66,10 @@ let run_job ?cache ?stats ~out job =
       List.iter
         (fun (s : Pass.stat) ->
           Printf.eprintf "%-28s %8.3f ms %s\n" s.Pass.pass_name (s.Pass.seconds *. 1000.)
-            (if s.Pass.changed then "(changed)" else ""))
+            (if s.Pass.changed then "(changed)" else "");
+          List.iter
+            (fun (name, n) -> Printf.eprintf "    %-32s %6d\n" name n)
+            s.Pass.counters)
         o.Driver.pass_stats
     | _ -> ());
     output_text out o.Driver.verilog;
@@ -179,9 +182,19 @@ let demo_cmd =
         prerr_endline (Driver.error_to_string e);
         1
       | Ok o ->
-        if stats then
+        if stats then begin
+          List.iter
+            (fun (s : Pass.stat) ->
+              Printf.eprintf "%-28s %8.3f ms %s\n" s.Pass.pass_name
+                (s.Pass.seconds *. 1000.)
+                (if s.Pass.changed then "(changed)" else "");
+              List.iter
+                (fun (cname, n) -> Printf.eprintf "    %-32s %6d\n" cname n)
+                s.Pass.counters)
+            o.Driver.pass_stats;
           Printf.eprintf "%s: %s\n" name
-            (Format.asprintf "%a" Hir_resources.Model.pp o.Driver.usage);
+            (Format.asprintf "%a" Hir_resources.Model.pp o.Driver.usage)
+        end;
         output_text out o.Driver.verilog;
         0)
   in

@@ -116,10 +116,13 @@ let pick_top module_op top =
 let run_pipeline ~trace spec module_op =
   let instrument = function
     | Pass.Pass_begin _ -> ()
-    | Pass.Pass_end { pass_name; seconds; changed; _ } ->
+    | Pass.Pass_end { pass_name; seconds; changed; counters; _ } ->
       let stop = Trace.now () in
+      (* Pattern/fold application counts ride on the pass span, so the
+         Chrome trace shows which rewrites fired and how often. *)
+      let counter_args = List.map (fun (k, n) -> (k, string_of_int n)) counters in
       Trace.add_span trace ~cat:"pass"
-        ~args:[ ("changed", string_of_bool changed) ]
+        ~args:(("changed", string_of_bool changed) :: counter_args)
         ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ()
   in
   let mgr = Pass.Manager.create ~instrument (Pipeline.to_passes spec) in

@@ -515,6 +515,125 @@ let binary_compute_ops =
 
 let comparison_ops = [ "hir.lt"; "hir.le"; "hir.gt"; "hir.ge"; "hir.eq"; "hir.ne" ]
 
+(* ------------------------------------------------------------------ *)
+(* Folding                                                             *)
+
+(* Evaluate a binary op on constant operands.  Shift counts outside
+   [0, Sys.int_size) are unspecified in OCaml (and disagree with the
+   interpreter/RTL semantics, which see fixed-width vectors), so those
+   shifts are not folded. *)
+let fold_binary name a b =
+  let shift_ok = 0 <= b && b < Sys.int_size in
+  match name with
+  | "hir.add" -> Some (a + b)
+  | "hir.sub" -> Some (a - b)
+  | "hir.mult" -> Some (a * b)
+  | "hir.and" -> Some (a land b)
+  | "hir.or" -> Some (a lor b)
+  | "hir.xor" -> Some (a lxor b)
+  | "hir.shl" -> if shift_ok then Some (a lsl b) else None
+  | "hir.shrl" -> if shift_ok then Some (a lsr b) else None
+  | "hir.shra" -> if shift_ok then Some (a asr b) else None
+  | "hir.lt" -> Some (if a < b then 1 else 0)
+  | "hir.le" -> Some (if a <= b then 1 else 0)
+  | "hir.gt" -> Some (if a > b then 1 else 0)
+  | "hir.ge" -> Some (if a >= b then 1 else 0)
+  | "hir.eq" -> Some (if a = b then 1 else 0)
+  | "hir.ne" -> Some (if a <> b then 1 else 0)
+  | _ -> None
+
+(* Fold hook shared by all pure compute ops: with all-constant operands
+   the op folds to a constant attribute, which the rewrite driver
+   materializes through the dialect's constant materializer.  Folding
+   is exact (OCaml int arithmetic): constants are width-polymorphic
+   until they meet a typed wire. *)
+let fold_compute op =
+  let const_operands = List.map as_constant (Ir.Op.operands op) in
+  if List.for_all Option.is_some const_operands then begin
+    let vals = List.map (Option.value ~default:0) const_operands in
+    let folded =
+      match (Ir.Op.name op, vals) with
+      | name, [ a; b ] -> fold_binary name a b
+      | "hir.not", [ a ] -> Some (lnot a)
+      | ("hir.zext" | "hir.sext" | "hir.trunc"), [ a ] -> Some a
+      | "hir.select", [ c; x; y ] -> Some (if c <> 0 then x else y)
+      | _ -> None
+    in
+    Option.map (fun v -> Dialect.Fold_attr (Attribute.Int v)) folded
+  end
+  else None
+
+let log2_exact n =
+  if n <= 0 then None
+  else
+    let rec go k v =
+      if v = 1 then Some k else if v land 1 = 1 then None else go (k + 1) (v / 2)
+    in
+    go 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite patterns (strength reduction, Section 6.2)                  *)
+
+let materialize_const rw ~anchor value =
+  let c =
+    Ir.Op.create ~loc:(Ir.Op.loc anchor)
+      ~attrs:[ ("value", Attribute.Int value) ]
+      "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+  in
+  Rewrite.Rewriter.insert_op_before rw ~anchor c;
+  Ir.Op.result c 0
+
+(* Keep the IR typed: only forward a value with the same type as the
+   replaced result. *)
+let forward_if_typed rw op v =
+  if Typ.equal (Ir.Value.typ v) (Ir.Value.typ (Ir.Op.result op 0)) then begin
+    Rewrite.Rewriter.replace_op_with_value rw op v;
+    true
+  end
+  else false
+
+(* Multiplications by power-of-two constants become shifts; x*1 -> x;
+   x*0 -> 0 (only when the result is itself !hir.const — forwarding a
+   width-polymorphic zero into a typed wire would untie the types, and
+   materializing a dead constant anyway once kept the legacy fixpoint
+   loop spinning forever).  A multiplier costs DSPs or many LUTs, a
+   constant shift costs wires. *)
+let pat_mult_strength rw op =
+  let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+  let with_const x c =
+    match c with
+    | 0 ->
+      if Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) Types.Const then
+        forward_if_typed rw op (materialize_const rw ~anchor:op 0)
+      else false
+    | 1 -> forward_if_typed rw op x
+    | c -> (
+      match log2_exact c with
+      | Some k when 0 <= k && k < Sys.int_size ->
+        let shift = materialize_const rw ~anchor:op k in
+        let shl =
+          Ir.Op.create ~loc:(Ir.Op.loc op) "hir.shl" ~operands:[ x; shift ]
+            ~result_types:[ Ir.Value.typ (Ir.Op.result op 0) ]
+        in
+        Rewrite.Rewriter.replace_op_with_op rw op shl;
+        true
+      | _ -> false)
+  in
+  match (as_constant x, as_constant y) with
+  | _, Some c -> with_const x c
+  | Some c, _ -> with_const y c
+  | None, None -> false
+
+(* x+0 -> x, 0+x -> x, x-0 -> x. *)
+let pat_add_sub_identity rw op =
+  let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+  match as_constant y with
+  | Some 0 -> forward_if_typed rw op x
+  | _ ->
+    if Ir.Op.name op = "hir.add" then
+      match as_constant x with Some 0 -> forward_if_typed rw op y | _ -> false
+    else false
+
 let verify_binary op engine =
   (* Mixed operand widths are legal, as in Verilog: operands are
      implicitly zero-extended to the result width (the precision
@@ -590,23 +709,41 @@ let register () =
     List.iter
       (fun name ->
         register_op name ~summary:"Combinational arithmetic/logic"
-          ~traits:[ Pure ] ~verify:verify_binary)
+          ~traits:[ Pure ] ~verify:verify_binary ~fold:fold_compute)
       binary_compute_ops;
     List.iter
       (fun name ->
         register_op name ~summary:"Combinational comparison" ~traits:[ Pure ]
-          ~verify:verify_comparison)
+          ~verify:verify_comparison ~fold:fold_compute)
       comparison_ops;
     register_op "hir.not" ~summary:"Combinational bitwise negation"
-      ~traits:[ Pure ] ~verify:verify_not;
+      ~traits:[ Pure ] ~verify:verify_not ~fold:fold_compute;
     register_op "hir.select" ~summary:"Combinational 2:1 multiplexer"
-      ~traits:[ Pure ] ~verify:verify_select;
+      ~traits:[ Pure ] ~verify:verify_select ~fold:fold_compute;
     register_op "hir.zext" ~summary:"Zero-extend to a wider integer"
-      ~traits:[ Pure ] ~verify:verify_resize;
+      ~traits:[ Pure ] ~verify:verify_resize ~fold:fold_compute;
     register_op "hir.sext" ~summary:"Sign-extend to a wider integer"
-      ~traits:[ Pure ] ~verify:verify_resize;
+      ~traits:[ Pure ] ~verify:verify_resize ~fold:fold_compute;
     register_op "hir.trunc" ~summary:"Truncate to a narrower integer"
-      ~traits:[ Pure ] ~verify:verify_resize;
+      ~traits:[ Pure ] ~verify:verify_resize ~fold:fold_compute;
+    (* Constants materialized by the rewrite driver for Fold_attr
+       results are always !hir.const: width-polymorphic until they meet
+       a typed wire, exactly like hand-written constants. *)
+    register_constant_materializer ~dialect:"hir" (fun attr _typ loc ->
+        match attr with
+        | Attribute.Int _ ->
+          Some
+            (Ir.Op.create ~loc
+               ~attrs:[ ("value", attr) ]
+               "hir.constant" ~operands:[] ~result_types:[ Types.Const ])
+        | _ -> None);
+    (* Strength-reduction rewrite patterns for the greedy driver. *)
+    Rewrite.register_pattern ~op:"hir.mult" ~name:"sr.mult-to-shift"
+      pat_mult_strength;
+    Rewrite.register_pattern ~op:"hir.add" ~name:"sr.add-identity"
+      pat_add_sub_identity;
+    Rewrite.register_pattern ~op:"hir.sub" ~name:"sr.sub-identity"
+      pat_add_sub_identity;
     (* Behavioural models for the stock extern modules (pipelined
        multipliers), so designs using them are interpretable. *)
     Extern.register_standard ()

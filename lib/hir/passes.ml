@@ -5,44 +5,67 @@
 
    All passes operate on a module op and report whether they changed
    anything.  The precision optimization of Section 6.3 lives in
-   [Precision_opt]. *)
+   [Precision_opt].
+
+   Since the use-def refactor, the passes are thin configurations of
+   the greedy worklist driver in [Hir_ir.Rewrite]: constant folding is
+   the registered fold hooks, strength reduction is the registered
+   rewrite patterns (see [Ops.register]), DCE is use-list-driven
+   erasure, and CSE is a scoped-table sweep.  [canonicalize] is one
+   driver invocation that runs all four to a worklist fixpoint.  The
+   [Legacy] module below keeps the original whole-module fixpoint
+   implementations for the before/after benchmark and the differential
+   test. *)
 
 open Hir_ir
 
 let is_pure op = Dialect.op_has_trait (Ir.Op.name op) Dialect.Pure
 
+(* Re-exported: the (shift-guarded) constant evaluator now lives next
+   to the op definitions. *)
+let fold_binary = Ops.fold_binary
+let log2_exact = Ops.log2_exact
+
 (* ------------------------------------------------------------------ *)
 (* Dead code elimination                                               *)
 
-(* Iteratively removes pure ops (and delays) whose results are unused.
-   hir.delay is not Pure (it is scheduled), but an unused delay drives
-   nothing and can go. *)
+(* Pure ops (and delays) whose results are unused.  hir.delay is not
+   Pure (it is scheduled), but an unused delay drives nothing and can
+   go. *)
 let dce_removable op =
   (is_pure op || Ir.Op.name op = "hir.delay") && Ir.Op.num_results op > 0
 
+(* Use-list-driven erasure: seed with every removable op, erase the
+   unused ones, and re-enqueue the defining ops of erased operands —
+   they may just have lost their last use.  O(ops + erasures), no
+   whole-module rescans. *)
 let run_dce module_op =
   let changed = ref false in
-  let rec fixpoint () =
-    let removed = ref false in
-    let candidates = ref [] in
-    Ir.Walk.ops_post module_op ~f:(fun op ->
-        if dce_removable op then candidates := op :: !candidates);
-    List.iter
-      (fun op ->
-        let used =
-          List.exists
-            (fun r -> Ir.Rewrite.has_uses ~root:module_op r)
-            (Ir.Op.results op)
-        in
-        if not used then begin
-          Ir.Rewrite.erase op;
-          removed := true;
-          changed := true
-        end)
-      !candidates;
-    if !removed then fixpoint ()
+  let worklist = ref [] in
+  Ir.Walk.ops_post module_op ~f:(fun op ->
+      if dce_removable op then worklist := op :: !worklist);
+  let rec go () =
+    match !worklist with
+    | [] -> ()
+    | op :: rest ->
+      worklist := rest;
+      (if Option.is_some (Ir.Op.parent op)
+          && List.for_all (fun r -> not (Ir.Value.has_uses r)) (Ir.Op.results op)
+       then begin
+         let feeders = Ir.Op.operands op in
+         Ir.erase_op op;
+         changed := true;
+         Pass.record_counter "dce";
+         List.iter
+           (fun v ->
+             match Ir.Value.defining_op v with
+             | Some d when dce_removable d -> worklist := d :: !worklist
+             | _ -> ())
+           feeders
+       end);
+      go ()
   in
-  fixpoint ();
+  go ();
   !changed
 
 let dce =
@@ -52,74 +75,29 @@ let dce =
 (* ------------------------------------------------------------------ *)
 (* Constant folding / propagation                                      *)
 
-let fold_binary name a b =
-  match name with
-  | "hir.add" -> Some (a + b)
-  | "hir.sub" -> Some (a - b)
-  | "hir.mult" -> Some (a * b)
-  | "hir.and" -> Some (a land b)
-  | "hir.or" -> Some (a lor b)
-  | "hir.xor" -> Some (a lxor b)
-  | "hir.shl" -> Some (a lsl b)
-  | "hir.shrl" -> Some (a lsr b)
-  | "hir.shra" -> Some (a asr b)
-  | "hir.lt" -> Some (if a < b then 1 else 0)
-  | "hir.le" -> Some (if a <= b then 1 else 0)
-  | "hir.gt" -> Some (if a > b then 1 else 0)
-  | "hir.ge" -> Some (if a >= b then 1 else 0)
-  | "hir.eq" -> Some (if a = b then 1 else 0)
-  | "hir.ne" -> Some (if a <> b then 1 else 0)
-  | _ -> None
+(* One driver drain over the fold hooks only (no patterns, no DCE):
+   folded defs re-enqueue their users, so folds cascade in one pass. *)
+let run_const_fold_stats module_op =
+  Rewrite.run_greedy
+    ~config:{ Rewrite.default_config with patterns = Some [] }
+    module_op
 
-(* Fold ops whose operands are all hir.constant into a fresh
-   hir.constant.  Folding is exact (OCaml int arithmetic): constants
-   are width-polymorphic until they meet a typed wire. *)
-let run_const_fold module_op =
-  let changed = ref false in
-  let worklist = ref [] in
-  Ir.Walk.ops_pre module_op ~f:(fun op ->
-      if is_pure op && Ir.Op.name op <> "hir.constant" then worklist := op :: !worklist);
-  (* Program order, so a folded def feeds folds of its users in the
-     same pass. *)
-  let worklist = ref (List.rev !worklist) in
+let run_const_fold module_op = (run_const_fold_stats module_op).Rewrite.ds_changed
+
+let record_driver_stats (stats : Rewrite.driver_stats) =
   List.iter
-    (fun op ->
-      let const_operands = List.map Ops.as_constant (Ir.Op.operands op) in
-      if List.for_all Option.is_some const_operands then begin
-        let vals = List.map (Option.value ~default:0) const_operands in
-        let folded =
-          match (Ir.Op.name op, vals) with
-          | name, [ a; b ] -> fold_binary name a b
-          | "hir.not", [ a ] -> Some (lnot a)
-          | ("hir.zext" | "hir.sext" | "hir.trunc"), [ a ] -> Some a
-          | "hir.select", [ c; x; y ] -> Some (if c <> 0 then x else y)
-          | _ -> None
-        in
-        match folded with
-        | None -> ()
-        | Some value ->
-          (match Ir.Op.parent op with
-          | None -> ()
-          | Some block ->
-            let new_const =
-              Ir.Op.create ~loc:(Ir.Op.loc op)
-                ~attrs:[ ("value", Attribute.Int value) ]
-                "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
-            in
-            Ir.Block.insert_before block ~anchor:op new_const;
-            Ir.Rewrite.replace_uses ~root:module_op
-              ~old_v:(Ir.Op.result op 0)
-              ~new_v:(Ir.Op.result new_const 0);
-            Ir.Block.remove block op;
-            changed := true)
-      end)
-    !worklist;
-  !changed
+    (fun (name, n) -> Pass.record_counter ~n name)
+    stats.Rewrite.ds_applications;
+  Pass.record_counter ~n:stats.Rewrite.ds_rounds "driver.rounds";
+  Pass.record_counter ~n:stats.Rewrite.ds_processed "driver.ops-processed"
 
 let const_fold =
   Pass.make ~name:"const-fold"
     ~description:"Fold compute ops with constant operands (Section 6.2)"
-    (fun module_op _engine -> run_const_fold module_op)
+    (fun module_op _engine ->
+      let stats = run_const_fold_stats module_op in
+      record_driver_stats stats;
+      stats.Rewrite.ds_changed)
 
 (* ------------------------------------------------------------------ *)
 (* Common sub-expression elimination                                   *)
@@ -133,7 +111,12 @@ let cse_key op =
     List.map Ir.Value.id (Ir.Op.operands op),
     List.sort compare op.Ir.attrs )
 
-let run_cse module_op =
+(* The CSE sweep used both standalone and inside the canonicalize
+   driver.  Duplicates forward their uses to the textually-first
+   equivalent op (the only one guaranteed to dominate them) and are
+   left in place, dead, for DCE — [Rewriter.replace_value] re-enqueues
+   the dead def, so the driver erases it in the next drain. *)
+let cse_sweep rw =
   let changed = ref false in
   let table : (string * int list * (string * Attribute.t) list, Ir.value) Hashtbl.t =
     Hashtbl.create 64
@@ -146,11 +129,11 @@ let run_cse module_op =
           let key = cse_key op in
           match Hashtbl.find_opt table key with
           | Some existing ->
-            Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
-              ~new_v:existing;
-            (* The op itself is now dead; leave removal to DCE so we
-               don't mutate the list we are iterating. *)
-            changed := true
+            if Ir.Value.has_uses (Ir.Op.result op 0) then begin
+              Rewrite.Rewriter.replace_value rw (Ir.Op.result op 0) existing;
+              Rewrite.Rewriter.bump rw "cse";
+              changed := true
+            end
           | None ->
             Hashtbl.add table key (Ir.Op.result op 0);
             added := key :: !added
@@ -163,11 +146,19 @@ let run_cse module_op =
        dominators for siblings. *)
     List.iter (Hashtbl.remove table) !added
   in
-  (match Ir.Op.regions module_op with
+  (match Ir.Op.regions (Rewrite.Rewriter.root rw) with
   | [ r ] -> List.iter walk_block (Ir.Region.blocks r)
   | _ -> ());
-  if !changed then ignore (run_dce module_op);
   !changed
+
+let run_cse module_op =
+  let rw = Rewrite.Rewriter.create ~root:module_op () in
+  let changed = cse_sweep rw in
+  List.iter
+    (fun (name, n) -> Pass.record_counter ~n name)
+    (Rewrite.Rewriter.counters rw);
+  if changed then ignore (run_dce module_op);
+  changed
 
 let cse =
   Pass.make ~name:"cse"
@@ -177,102 +168,27 @@ let cse =
 (* ------------------------------------------------------------------ *)
 (* Strength reduction                                                  *)
 
-let log2_exact n =
-  if n <= 0 then None
-  else
-    let rec go k v = if v = 1 then Some k else if v land 1 = 1 then None else go (k + 1) (v / 2) in
-    go 0 n
+(* The rewrite patterns themselves are registered against the op names
+   in [Ops.register]; this pass is a driver drain over just those
+   patterns (folds off). *)
+let run_strength_reduction_stats module_op =
+  Rewrite.run_greedy
+    ~config:{ Rewrite.default_config with use_folds = false }
+    module_op
 
-(* Multiplications by power-of-two constants become shifts; x*1 -> x;
-   x*0 -> 0; x+0 / x-0 -> x.  (Section 6.2: "replaces multiplication
-   ... with constants" by cheaper ops — a multiplier costs DSPs or many
-   LUTs, a constant shift costs wires.) *)
 let run_strength_reduction module_op =
-  let changed = ref false in
-  let worklist = ref [] in
-  Ir.Walk.ops_pre module_op ~f:(fun op -> worklist := op :: !worklist);
-  List.iter
-    (fun op ->
-      let replace_with_value v =
-        (* Keep the IR typed: only forward a value that has the same
-           type as the result, or a width-polymorphic constant. *)
-        let type_ok = Typ.equal (Ir.Value.typ v) (Ir.Value.typ (Ir.Op.result op 0)) in
-        match Ir.Op.parent op with
-        | Some _ when type_ok ->
-          Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0) ~new_v:v;
-          Ir.Rewrite.erase op;
-          changed := true
-        | _ -> ()
-      in
-      let rewrite_to name operands =
-        match Ir.Op.parent op with
-        | None -> ()
-        | Some block ->
-          let new_op =
-            Ir.Op.create ~loc:(Ir.Op.loc op) name ~operands
-              ~result_types:[ Ir.Value.typ (Ir.Op.result op 0) ]
-          in
-          Ir.Block.insert_before block ~anchor:op new_op;
-          Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
-            ~new_v:(Ir.Op.result new_op 0);
-          Ir.Block.remove block op;
-          changed := true
-      in
-      let mk_const value =
-        match Ir.Op.parent op with
-        | None -> None
-        | Some block ->
-          let c =
-            Ir.Op.create ~loc:(Ir.Op.loc op)
-              ~attrs:[ ("value", Attribute.Int value) ]
-              "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
-          in
-          Ir.Block.insert_before block ~anchor:op c;
-          Some (Ir.Op.result c 0)
-      in
-      match Ir.Op.name op with
-      | "hir.mult" -> (
-        let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
-        let with_const x c =
-          match c with
-          | 0 ->
-            (* x*0 -> 0 only helps when the forwarded zero's type is
-               accepted by [replace_with_value] (the result must itself
-               be !hir.const).  Creating the constant unconditionally
-               litters the block with a dead op that CSE/DCE then
-               remove while reporting "changed" — which kept the
-               canonicalize fixpoint loop spinning forever. *)
-            if Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) Types.Const then (
-              match mk_const 0 with Some z -> replace_with_value z | None -> ())
-          | 1 -> replace_with_value x
-          | c -> (
-            match log2_exact c with
-            | Some k -> (
-              match mk_const k with
-              | Some shift -> rewrite_to "hir.shl" [ x; shift ]
-              | None -> ())
-            | None -> ())
-        in
-        match (Ops.as_constant x, Ops.as_constant y) with
-        | _, Some c -> with_const x c
-        | Some c, _ -> with_const y c
-        | None, None -> ())
-      | "hir.add" | "hir.sub" -> (
-        let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
-        match Ops.as_constant y with
-        | Some 0 -> replace_with_value x
-        | _ ->
-          if Ir.Op.name op = "hir.add" then
-            match Ops.as_constant x with Some 0 -> replace_with_value y | _ -> ())
-      | _ -> ())
-    !worklist;
-  if !changed then ignore (run_dce module_op);
-  !changed
+  let stats = run_strength_reduction_stats module_op in
+  if stats.Rewrite.ds_changed then ignore (run_dce module_op);
+  stats.Rewrite.ds_changed
 
 let strength_reduction =
   Pass.make ~name:"strength-reduction"
     ~description:"Rewrite constant multiplies into shifts (Section 6.2)"
-    (fun module_op _engine -> run_strength_reduction module_op)
+    (fun module_op _engine ->
+      let stats = run_strength_reduction_stats module_op in
+      record_driver_stats stats;
+      if stats.Rewrite.ds_changed then ignore (run_dce module_op);
+      stats.Rewrite.ds_changed)
 
 (* ------------------------------------------------------------------ *)
 (* Delay elimination                                                   *)
@@ -283,8 +199,8 @@ let strength_reduction =
    - a deeper delay of the same (input, time, offset) reuses the
      shallower one as its input:  delay(x, m) = delay(delay(x, k), m-k)
      for the largest available k < m. *)
-let run_delay_elim module_op =
-  let changed = ref false in
+let run_delay_elim_rw rw =
+  let module_op = Rewrite.Rewriter.root rw in
   (* Group delays by (input value, time value, offset). *)
   let groups : (int * int * int, (int * Ir.op) list ref) Hashtbl.t = Hashtbl.create 32 in
   Ir.Walk.ops_pre module_op ~f:(fun op ->
@@ -322,61 +238,303 @@ let run_delay_elim module_op =
             when Option.equal Ir.Block.equal (Ir.Op.parent op) (Ir.Op.parent prev_op) ->
             if by = prev_by then begin
               (* Exact duplicate: forward all uses to the survivor. *)
-              Ir.Rewrite.replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
-                ~new_v:(Ir.Op.result prev_op 0);
-              Ir.Rewrite.erase op;
-              changed := true;
+              Rewrite.Rewriter.replace_op_with_value rw op (Ir.Op.result prev_op 0);
+              Rewrite.Rewriter.bump rw "delay-elim.dedup";
               go prev rest
             end
             else begin
               (* Chain: this delay only needs (by - prev_by) more
                  stages on top of the survivor's output, starting when
                  the survivor's output is valid. *)
-              Ir.Op.set_operand op 0 (Ir.Op.result prev_op 0);
-              Ir.Op.set_attr op "by" (Attribute.Int (by - prev_by));
-              Ir.Op.set_attr op "offset"
+              Rewrite.Rewriter.set_operand rw op 0 (Ir.Op.result prev_op 0);
+              Rewrite.Rewriter.set_attr rw op "by" (Attribute.Int (by - prev_by));
+              Rewrite.Rewriter.set_attr rw op "offset"
                 (Attribute.Int (Ops.delay_offset op + prev_by));
-              changed := true;
+              Rewrite.Rewriter.bump rw "delay-elim.chain";
               go (Some (by, op)) rest
             end
           | _ -> go (Some (by, op)) rest)
       in
       go None sorted)
     groups;
-  !changed
+  Rewrite.Rewriter.changed rw
+
+let run_delay_elim module_op =
+  run_delay_elim_rw (Rewrite.Rewriter.create ~root:module_op ())
 
 let delay_elim =
   Pass.make ~name:"delay-elim"
     ~description:"Share and chain shift registers (Section 6.4)"
-    (fun module_op _engine -> run_delay_elim module_op)
+    (fun module_op _engine ->
+      let rw = Rewrite.Rewriter.create ~root:module_op () in
+      let changed = run_delay_elim_rw rw in
+      List.iter
+        (fun (name, n) -> Pass.record_counter ~n name)
+        (Rewrite.Rewriter.counters rw);
+      changed)
 
 (* ------------------------------------------------------------------ *)
-(* Canonicalization pipeline                                           *)
+(* Canonicalization                                                    *)
 
 (* Backstop against a non-convergent rewrite combination: real modules
-   reach fixpoint in a handful of rounds, so hitting the bound means a
-   rewrite bug — degrade to "stop canonicalizing" rather than hang. *)
+   converge by worklist exhaustion, so hitting the bound means a
+   rewrite bug — degrade to "stop canonicalizing" rather than hang.
+   The driver reports it through [ds_backstop] and a "backstop"
+   counter. *)
 let max_canonicalize_rounds = 64
 
+(* One greedy driver invocation: fold hooks + strength-reduction
+   patterns + trivial-DCE on the worklist, with the scoped CSE sweep
+   between drains.  Replaces the legacy 4-pass x 64-round loop. *)
+let canonicalize_config =
+  {
+    Rewrite.default_config with
+    is_trivially_dead = Some dce_removable;
+    sweeps = [ cse_sweep ];
+    max_rounds = max_canonicalize_rounds;
+  }
+
+let run_canonicalize_stats module_op =
+  Rewrite.run_greedy ~config:canonicalize_config module_op
+
 let run_canonicalize module_op =
-  let changed = ref false in
-  let step () =
-    let c1 = run_const_fold module_op in
-    let c2 = run_strength_reduction module_op in
-    let c3 = run_cse module_op in
-    let c4 = run_dce module_op in
-    c1 || c2 || c3 || c4
-  in
-  let rounds = ref 0 in
-  while !rounds < max_canonicalize_rounds && step () do
-    incr rounds;
-    changed := true
-  done;
-  !changed
+  (run_canonicalize_stats module_op).Rewrite.ds_changed
 
 let canonicalize =
   Pass.make ~name:"canonicalize"
-    ~description:"Fold, reduce, CSE and DCE to fixpoint"
-    (fun module_op _engine -> run_canonicalize module_op)
+    ~description:"Fold, reduce, CSE and DCE to a worklist fixpoint"
+    (fun module_op _engine ->
+      let stats = run_canonicalize_stats module_op in
+      record_driver_stats stats;
+      stats.Rewrite.ds_changed)
 
 let standard_pipeline () = [ canonicalize; delay_elim ]
+
+(* ------------------------------------------------------------------ *)
+(* Legacy whole-module fixpoint implementations                        *)
+
+(* The pre-use-list pass bodies: every query and rewrite re-walks the
+   whole module, and canonicalize loops all four passes to fixpoint.
+   Kept (a) as the baseline for the canonicalize-scaling benchmark and
+   (b) as the reference semantics for the driver-vs-legacy differential
+   test.  Mutations route through [Ir.Op.set_operand] / [Ir.erase_op],
+   so use lists stay consistent even on the legacy path — only the
+   query complexity is legacy. *)
+module Legacy = struct
+  let replace_uses ~root ~old_v ~new_v =
+    Ir.Walk.ops_pre root ~f:(fun op ->
+        Array.iteri
+          (fun i v -> if Ir.Value.equal v old_v then Ir.Op.set_operand op i new_v)
+          op.Ir.operands)
+
+  let count_uses ~root v =
+    let n = ref 0 in
+    Ir.Walk.ops_pre root ~f:(fun op ->
+        Array.iter (fun u -> if Ir.Value.equal u v then incr n) op.Ir.operands);
+    !n
+
+  let has_uses ~root v = count_uses ~root v > 0
+
+  let run_dce module_op =
+    let changed = ref false in
+    let rec fixpoint () =
+      let removed = ref false in
+      let candidates = ref [] in
+      Ir.Walk.ops_post module_op ~f:(fun op ->
+          if dce_removable op then candidates := op :: !candidates);
+      List.iter
+        (fun op ->
+          let used =
+            List.exists (fun r -> has_uses ~root:module_op r) (Ir.Op.results op)
+          in
+          if not used then begin
+            Ir.erase_op op;
+            removed := true;
+            changed := true
+          end)
+        !candidates;
+      if !removed then fixpoint ()
+    in
+    fixpoint ();
+    !changed
+
+  let run_const_fold module_op =
+    let changed = ref false in
+    let worklist = ref [] in
+    Ir.Walk.ops_pre module_op ~f:(fun op ->
+        if is_pure op && Ir.Op.name op <> "hir.constant" then
+          worklist := op :: !worklist);
+    (* Program order, so a folded def feeds folds of its users in the
+       same pass. *)
+    let worklist = ref (List.rev !worklist) in
+    List.iter
+      (fun op ->
+        let const_operands = List.map Ops.as_constant (Ir.Op.operands op) in
+        if List.for_all Option.is_some const_operands then begin
+          let vals = List.map (Option.value ~default:0) const_operands in
+          let folded =
+            match (Ir.Op.name op, vals) with
+            | name, [ a; b ] -> fold_binary name a b
+            | "hir.not", [ a ] -> Some (lnot a)
+            | ("hir.zext" | "hir.sext" | "hir.trunc"), [ a ] -> Some a
+            | "hir.select", [ c; x; y ] -> Some (if c <> 0 then x else y)
+            | _ -> None
+          in
+          match folded with
+          | None -> ()
+          | Some value ->
+            (match Ir.Op.parent op with
+            | None -> ()
+            | Some block ->
+              let new_const =
+                Ir.Op.create ~loc:(Ir.Op.loc op)
+                  ~attrs:[ ("value", Attribute.Int value) ]
+                  "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+              in
+              Ir.Block.insert_before block ~anchor:op new_const;
+              replace_uses ~root:module_op
+                ~old_v:(Ir.Op.result op 0)
+                ~new_v:(Ir.Op.result new_const 0);
+              Ir.erase_op op;
+              changed := true)
+        end)
+      !worklist;
+    !changed
+
+  let run_cse module_op =
+    let changed = ref false in
+    let table : (string * int list * (string * Attribute.t) list, Ir.value) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let rec walk_block block =
+      let added = ref [] in
+      List.iter
+        (fun op ->
+          if is_pure op && Ir.Op.num_results op = 1 then begin
+            let key = cse_key op in
+            match Hashtbl.find_opt table key with
+            | Some existing ->
+              replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
+                ~new_v:existing;
+              (* The op itself is now dead; leave removal to DCE so we
+                 don't mutate the list we are iterating. *)
+              changed := true
+            | None ->
+              Hashtbl.add table key (Ir.Op.result op 0);
+              added := key :: !added
+          end;
+          List.iter
+            (fun r -> List.iter (fun b -> walk_block b) (Ir.Region.blocks r))
+            (Ir.Op.regions op))
+        (Ir.Block.ops block);
+      List.iter (Hashtbl.remove table) !added
+    in
+    (match Ir.Op.regions module_op with
+    | [ r ] -> List.iter walk_block (Ir.Region.blocks r)
+    | _ -> ());
+    if !changed then ignore (run_dce module_op);
+    !changed
+
+  let run_strength_reduction module_op =
+    let changed = ref false in
+    let worklist = ref [] in
+    Ir.Walk.ops_pre module_op ~f:(fun op -> worklist := op :: !worklist);
+    List.iter
+      (fun op ->
+        let replace_with_value v =
+          (* Keep the IR typed: only forward a value that has the same
+             type as the result. *)
+          let type_ok =
+            Typ.equal (Ir.Value.typ v) (Ir.Value.typ (Ir.Op.result op 0))
+          in
+          match Ir.Op.parent op with
+          | Some _ when type_ok ->
+            replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0) ~new_v:v;
+            Ir.erase_op op;
+            changed := true
+          | _ -> ()
+        in
+        let rewrite_to name operands =
+          match Ir.Op.parent op with
+          | None -> ()
+          | Some block ->
+            let new_op =
+              Ir.Op.create ~loc:(Ir.Op.loc op) name ~operands
+                ~result_types:[ Ir.Value.typ (Ir.Op.result op 0) ]
+            in
+            Ir.Block.insert_before block ~anchor:op new_op;
+            replace_uses ~root:module_op ~old_v:(Ir.Op.result op 0)
+              ~new_v:(Ir.Op.result new_op 0);
+            Ir.erase_op op;
+            changed := true
+        in
+        let mk_const value =
+          match Ir.Op.parent op with
+          | None -> None
+          | Some block ->
+            let c =
+              Ir.Op.create ~loc:(Ir.Op.loc op)
+                ~attrs:[ ("value", Attribute.Int value) ]
+                "hir.constant" ~operands:[] ~result_types:[ Types.Const ]
+            in
+            Ir.Block.insert_before block ~anchor:op c;
+            Some (Ir.Op.result c 0)
+        in
+        match Ir.Op.name op with
+        | "hir.mult" -> (
+          let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+          let with_const x c =
+            match c with
+            | 0 ->
+              (* x*0 -> 0 only when the result is itself !hir.const;
+                 see [Ops.pat_mult_strength]. *)
+              if Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) Types.Const then (
+                match mk_const 0 with Some z -> replace_with_value z | None -> ())
+            | 1 -> replace_with_value x
+            | c -> (
+              match log2_exact c with
+              | Some k when 0 <= k && k < Sys.int_size -> (
+                match mk_const k with
+                | Some shift -> rewrite_to "hir.shl" [ x; shift ]
+                | None -> ())
+              | _ -> ())
+          in
+          match (Ops.as_constant x, Ops.as_constant y) with
+          | _, Some c -> with_const x c
+          | Some c, _ -> with_const y c
+          | None, None -> ())
+        | "hir.add" | "hir.sub" -> (
+          let x = Ir.Op.operand op 0 and y = Ir.Op.operand op 1 in
+          match Ops.as_constant y with
+          | Some 0 -> replace_with_value x
+          | _ ->
+            if Ir.Op.name op = "hir.add" then
+              match Ops.as_constant x with
+              | Some 0 -> replace_with_value y
+              | _ -> ())
+        | _ -> ())
+      !worklist;
+    if !changed then ignore (run_dce module_op);
+    !changed
+
+  let run_canonicalize module_op =
+    let changed = ref false in
+    (* DCE runs before CSE within a round (matching the driver, which
+       erases trivially-dead ops as it drains, before its CSE sweep):
+       otherwise a dead op's operand could be chosen as a CSE
+       representative and survive at its early position, yielding a
+       different — though semantically equal — normal form. *)
+    let step () =
+      let c1 = run_const_fold module_op in
+      let c2 = run_strength_reduction module_op in
+      let c3 = run_dce module_op in
+      let c4 = run_cse module_op in
+      c1 || c2 || c3 || c4
+    in
+    let rounds = ref 0 in
+    while !rounds < max_canonicalize_rounds && step () do
+      incr rounds;
+      changed := true
+    done;
+    !changed
+end

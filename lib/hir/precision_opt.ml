@@ -111,16 +111,15 @@ let analyze_ranges func =
 (* ------------------------------------------------------------------ *)
 (* Narrowing                                                           *)
 
-let narrow_func func =
+let narrow_func rw func =
   let ranges = analyze_ranges func in
-  let changed = ref false in
   let narrow v =
     match (Ir.Value.typ v, Hashtbl.find_opt ranges (Ir.Value.id v)) with
     | Typ.Int w, Some { lo; hi } when lo >= 0 ->
       let needed = bits_for hi in
       if needed < w then begin
-        v.Ir.v_type <- Typ.Int needed;
-        changed := true
+        Rewrite.Rewriter.set_value_type rw v (Typ.Int needed);
+        Rewrite.Rewriter.bump rw "precision.narrow"
       end
     | _ -> ()
   in
@@ -135,8 +134,8 @@ let narrow_func func =
          type: it is the same wires, later. *)
       let input_t = Ir.Value.typ (Ops.delay_input op) in
       if not (Typ.equal (Ir.Value.typ (Ir.Op.result op 0)) input_t) then begin
-        (Ir.Op.result op 0).Ir.v_type <- input_t;
-        changed := true
+        Rewrite.Rewriter.set_value_type rw (Ir.Op.result op 0) input_t;
+        Rewrite.Rewriter.bump rw "precision.delay-mirror"
       end
     | name
       when List.mem name Ops.binary_compute_ops
@@ -145,15 +144,23 @@ let narrow_func func =
     | _ -> ());
     List.iter (fun r -> List.iter walk_block (Ir.Region.blocks r)) (Ir.Op.regions op)
   in
-  walk_block (Ops.func_body func);
-  !changed
+  walk_block (Ops.func_body func)
 
-let run module_op =
-  List.fold_left
-    (fun acc f -> if Ops.is_extern_func f then acc else narrow_func f || acc)
-    false (Ops.module_funcs module_op)
+let run_rw rw =
+  List.iter
+    (fun f -> if not (Ops.is_extern_func f) then narrow_func rw f)
+    (Ops.module_funcs (Rewrite.Rewriter.root rw));
+  Rewrite.Rewriter.changed rw
+
+let run module_op = run_rw (Rewrite.Rewriter.create ~root:module_op ())
 
 let pass =
   Pass.make ~name:"precision-opt"
     ~description:"Narrow integer widths from value ranges (Section 6.3)"
-    (fun module_op _engine -> run module_op)
+    (fun module_op _engine ->
+      let rw = Rewrite.Rewriter.create ~root:module_op () in
+      let changed = run_rw rw in
+      List.iter
+        (fun (name, n) -> Pass.record_counter ~n name)
+        (Rewrite.Rewriter.counters rw);
+      changed)

@@ -19,10 +19,9 @@ open Hir_ir
 let is_pure op = Dialect.op_has_trait (Ir.Op.name op) Dialect.Pure
 
 (* The delay feeding [v], if it is single-use and v is not a constant. *)
-let feeding_delay ~root v =
+let feeding_delay v =
   match Ir.Value.defining_op v with
-  | Some d when Ir.Op.name d = "hir.delay" && Ir.Rewrite.count_uses ~root v = 1 ->
-    Some d
+  | Some d when Ir.Op.name d = "hir.delay" && Ir.Value.has_one_use v -> Some d
   | _ -> None
 
 let delay_key d =
@@ -30,8 +29,8 @@ let delay_key d =
     Ops.delay_offset d,
     Ops.delay_by d )
 
-let run module_op =
-  let changed = ref false in
+let run_rw rw =
+  let module_op = Rewrite.Rewriter.root rw in
   let candidates = ref [] in
   Ir.Walk.ops_pre module_op ~f:(fun op ->
       if is_pure op && Ir.Op.name op <> "hir.constant" && Ir.Op.num_results op = 1 then
@@ -44,7 +43,7 @@ let run module_op =
           (fun v ->
             if Ops.is_const v then `Const v
             else
-              match feeding_delay ~root:module_op v with
+              match feeding_delay v with
               | Some d -> `Delayed (v, d)
               | None -> `Other)
           operands
@@ -53,7 +52,7 @@ let run module_op =
         List.filter_map (function `Delayed (_, d) -> Some d | _ -> None) classified
       in
       let all_ok =
-        delays <> []
+        (match delays with [] -> false | _ :: _ -> true)
         && List.for_all (function `Other -> false | _ -> true) classified
         &&
         match delays with
@@ -62,7 +61,7 @@ let run module_op =
       in
       if all_ok then begin
         match (Ir.Op.parent op, delays) with
-        | Some block, first_delay :: _ ->
+        | Some _block, first_delay :: _ ->
           let by = Ops.delay_by first_delay in
           let time = Ops.delay_time first_delay in
           let offset = Ops.delay_offset first_delay in
@@ -70,11 +69,14 @@ let run module_op =
           List.iteri
             (fun i c ->
               match c with
-              | `Delayed (_, d) -> Ir.Op.set_operand op i (Ops.delay_input d)
+              | `Delayed (_, d) -> Rewrite.Rewriter.set_operand rw op i (Ops.delay_input d)
               | `Const _ | `Other -> ())
             classified;
-          (* A single delay now registers the op's (narrower) result. *)
+          (* Snapshot the op's consumers now — the new delay is about
+             to become one more, and must keep reading the raw value. *)
           let result = Ir.Op.result op 0 in
+          let consumers = Ir.Value.uses result in
+          (* A single delay now registers the op's (narrower) result. *)
           let new_delay =
             Ir.Op.create ~loc:(Ir.Op.loc op)
               ~attrs:
@@ -84,30 +86,34 @@ let run module_op =
               ~operands:[ result; time ]
               ~result_types:[ Ir.Value.typ result ]
           in
-          Ir.Block.insert_after block ~anchor:op new_delay;
+          Rewrite.Rewriter.insert_op_after rw ~anchor:op new_delay;
           (* All previous consumers of the op now read the registered
              value; the delay itself keeps the raw one. *)
-          Ir.Walk.ops_pre module_op ~f:(fun user ->
-              if not (Ir.Op.equal user new_delay) then
-                Array.iteri
-                  (fun i v ->
-                    if Ir.Value.equal v result then
-                      Ir.Op.set_operand user i (Ir.Op.result new_delay 0))
-                  user.Ir.operands);
+          List.iter
+            (fun (user, i) ->
+              Rewrite.Rewriter.set_operand rw user i (Ir.Op.result new_delay 0))
+            consumers;
           (* The original input delays are dead now. *)
           List.iter
             (fun d ->
-              if not (Ir.Rewrite.has_uses ~root:module_op (Ir.Op.result d 0)) then begin
-                Ir.Rewrite.erase d
-              end)
+              if not (Ir.Value.has_uses (Ir.Op.result d 0)) then
+                Rewrite.Rewriter.erase_op rw d)
             delays;
-          changed := true
+          Rewrite.Rewriter.bump rw "retime.sink"
         | _ -> ()
       end)
     !candidates;
-  !changed
+  Rewrite.Rewriter.changed rw
+
+let run module_op = run_rw (Rewrite.Rewriter.create ~root:module_op ())
 
 let pass =
   Pass.make ~name:"retime"
     ~description:"Sink registers through combinational ops (Section 7.4)"
-    (fun module_op _engine -> run module_op)
+    (fun module_op _engine ->
+      let rw = Rewrite.Rewriter.create ~root:module_op () in
+      let changed = run_rw rw in
+      List.iter
+        (fun (name, n) -> Pass.record_counter ~n name)
+        (Rewrite.Rewriter.counters rw);
+      changed)

@@ -8,21 +8,19 @@
 
 open Hir_ir
 
-(* Retarget every op under [root] that uses [old_time] as its time
-   operand to use [new_time] instead, adding [delta] to its offset
-   attribute.  Time operands are always of !hir.time type, and each
-   scheduled op has exactly one. *)
-let retarget_time_uses ~root ~old_time ~new_time ~delta =
-  Ir.Walk.ops_pre root ~f:(fun op ->
-      Array.iteri
-        (fun i v ->
-          if Ir.Value.equal v old_time then begin
-            Ir.Op.set_operand op i new_time;
-            match Ir.Op.int_attr_opt op "offset" with
-            | Some off -> Ir.Op.set_attr op "offset" (Attribute.Int (off + delta))
-            | None -> ()
-          end)
-        op.Ir.operands)
+(* Retarget every use of [old_time] as a time operand to [new_time],
+   adding [delta] to the using op's offset attribute.  Time operands
+   are always of !hir.time type, and each scheduled op has exactly one,
+   so walking [old_time]'s use list visits exactly the scheduled ops to
+   bump — no module scan. *)
+let retarget_time_uses ~old_time ~new_time ~delta =
+  List.iter
+    (fun (op, i) ->
+      Ir.Op.set_operand op i new_time;
+      match Ir.Op.int_attr_opt op "offset" with
+      | Some off -> Ir.Op.set_attr op "offset" (Attribute.Int (off + delta))
+      | None -> ())
+    (Ir.Value.uses old_time)
 
 (* The yield of an unroll body defines where the next iteration starts,
    as (time value, constant offset). *)
@@ -30,7 +28,7 @@ let yield_target op =
   let y = Ops.loop_yield op in
   (Ops.yield_time y, Ops.yield_offset y)
 
-let expand_one module_op op =
+let expand_one _module_op op =
   let parent_block =
     match Ir.Op.parent op with Some b -> b | None -> failwith "detached unroll_for"
   in
@@ -62,18 +60,15 @@ let expand_one module_op op =
       | Some v -> v
       | None -> failwith "unroll: iteration time not cloned"
     in
-    (* Detach the cloned ops and splice them before the unroll op. *)
-    let cloned_ops = Ir.Block.ops cloned_block in
-    List.iter (fun o -> Ir.Block.remove cloned_block o) cloned_ops;
-    List.iter (fun o -> Ir.Block.insert_before parent_block ~anchor:op o) cloned_ops;
+    (* Splice the whole cloned body before the unroll op in one move
+       (the ops keep their use links; only their parent changes). *)
+    let cloned_ops = Ir.Block.transfer_before parent_block ~anchor:op cloned_block in
     (* The body-level yield is the only hir.yield at the top level of
        the splice (nested loops keep theirs inside their regions). *)
     let body_yield = List.find (fun o -> Ir.Op.name o = "hir.yield") cloned_ops in
-    (* Retarget schedule references to the cloned ti. *)
-    List.iter
-      (fun o ->
-        retarget_time_uses ~root:o ~old_time:cloned_ti ~new_time:time_v ~delta)
-      cloned_ops;
+    (* Retarget schedule references from the cloned ti: its uses are
+       exactly the scheduled ops of this clone. *)
+    retarget_time_uses ~old_time:cloned_ti ~new_time:time_v ~delta;
     (* Next iteration starts where this clone's yield pointed. *)
     let next_time = Ops.yield_time body_yield in
     let next_off = Ops.yield_offset body_yield in
@@ -85,9 +80,11 @@ let expand_one module_op op =
   (* Uses of the unroll's completion time continue from the final
      start point. *)
   let final_time, final_delta = !current in
-  retarget_time_uses ~root:module_op ~old_time:(Ir.Op.result op 0) ~new_time:final_time
+  retarget_time_uses ~old_time:(Ir.Op.result op 0) ~new_time:final_time
     ~delta:final_delta;
-  Ir.Block.remove parent_block op
+  (* Deep-erase the unroll op: the original (un-cloned) body still
+     hangs off it, and its ops' use links must be dropped with it. *)
+  Ir.erase_op op
 
 let run module_op =
   let changed = ref false in

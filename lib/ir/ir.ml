@@ -5,23 +5,49 @@
 
    Everything is mutable so that passes can rewrite in place; the
    [Builder] module provides the safe construction API and [Verify]
-   checks structural invariants after surgery. *)
+   checks structural invariants after surgery.
+
+   Use-def chains: every operand slot of an op is a [use] node linked
+   into the defining value's intrusive doubly-linked use list, exactly
+   as in MLIR's IROperand.  [Value.replace_all_uses], [Value.has_uses]
+   and [Value.users] are therefore O(uses of the value), not O(module)
+   — the property the worklist rewrite driver ([Rewrite]) is built on.
+
+   Linking discipline: an op's operand slots are linked while the op is
+   *live* — from [Op.create] until it is erased.  [Block.remove]
+   detaches an op and unlinks its slots; re-inserting it links them
+   again.  Moving ops wholesale between blocks ([Block.transfer_before])
+   keeps the links, since a use node does not care which block its
+   owner sits in. *)
 
 type value = {
   v_id : int;
   mutable v_type : Typ.t;
   mutable v_hint : string option;  (* preferred printed name, e.g. "ti" *)
   mutable v_def : def;
+  mutable v_first_use : use option;  (* head of the intrusive use list *)
 }
 
 and def =
   | Op_result of op * int
   | Block_arg of block * int
 
+(* One operand slot of [u_owner]: slot [u_index] currently reads
+   [u_owner.operands.(u_index)], and when linked this node sits in that
+   value's use chain. *)
+and use = {
+  u_owner : op;
+  u_index : int;
+  mutable u_prev : use option;  (* None: head of the chain *)
+  mutable u_next : use option;
+}
+
 and op = {
   op_id : int;
   mutable op_name : string;  (* fully qualified, e.g. "hir.mem_read" *)
   mutable operands : value array;
+  mutable op_slots : use array;  (* parallel to [operands] *)
+  mutable op_linked : bool;  (* are the slots in their values' chains? *)
   mutable results : value array;
   mutable attrs : (string * Attribute.t) list;
   mutable regions : region list;
@@ -29,10 +55,16 @@ and op = {
   mutable op_parent : block option;
 }
 
+(* Blocks keep their ops as a normalized prefix plus a reversed suffix
+   of recent appends, so [append] is O(1) amortized (block construction
+   by the parser, the builder and [Clone] used to be quadratic).  Any
+   operation that needs the full program order first folds the suffix
+   back in. *)
 and block = {
   b_id : int;
   mutable b_args : value array;
-  mutable b_ops : op list;  (* program order *)
+  mutable b_front : op list;  (* program-order prefix *)
+  mutable b_back_rev : op list;  (* appended suffix, most recent first *)
   mutable b_parent : region option;
 }
 
@@ -65,14 +97,48 @@ let with_isolated_ids f =
   Fun.protect ~finally:(fun () -> Domain.DLS.set next_id saved) f
 
 (* ------------------------------------------------------------------ *)
+(* Use-list plumbing.  All comparisons on use nodes are physical: the
+   structure is cyclic, so structural equality must never be used. *)
+
+let link_slot node =
+  let v = node.u_owner.operands.(node.u_index) in
+  node.u_prev <- None;
+  node.u_next <- v.v_first_use;
+  (match v.v_first_use with Some h -> h.u_prev <- Some node | None -> ());
+  v.v_first_use <- Some node
+
+let unlink_slot node =
+  let v = node.u_owner.operands.(node.u_index) in
+  (match node.u_prev with
+  | Some p -> p.u_next <- node.u_next
+  | None -> v.v_first_use <- node.u_next);
+  (match node.u_next with Some n -> n.u_prev <- node.u_prev | None -> ());
+  node.u_prev <- None;
+  node.u_next <- None
+
+let link_op op =
+  if not op.op_linked then begin
+    op.op_linked <- true;
+    Array.iter link_slot op.op_slots
+  end
+
+let unlink_op op =
+  if op.op_linked then begin
+    Array.iter unlink_slot op.op_slots;
+    op.op_linked <- false
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Values                                                              *)
 
 module Value = struct
   type t = value
 
-  let create ?hint typ def = { v_id = fresh_id (); v_type = typ; v_hint = hint; v_def = def }
+  let create ?hint typ def =
+    { v_id = fresh_id (); v_type = typ; v_hint = hint; v_def = def; v_first_use = None }
 
   let typ v = v.v_type
+  let set_type v t = v.v_type <- t
   let hint v = v.v_hint
   let set_hint v h = v.v_hint <- Some h
   let id v = v.v_id
@@ -91,6 +157,65 @@ module Value = struct
 
   let is_block_arg v =
     match v.v_def with Block_arg _ -> true | Op_result _ -> false
+
+  (* O(uses) queries over the intrusive chain.  The (op, operand index)
+     pairs are live slots of live ops; a detached-but-not-erased op
+     (mid-splice) is not in any chain. *)
+
+  let fold_uses v ~init ~f =
+    let rec go acc = function
+      | None -> acc
+      | Some node -> go (f acc node.u_owner node.u_index) node.u_next
+    in
+    go init v.v_first_use
+
+  (* Snapshot of the use slots, in chain order (most recently linked
+     first).  Safe to mutate the IR while iterating the snapshot. *)
+  let uses v = List.rev (fold_uses v ~init:[] ~f:(fun acc op i -> (op, i) :: acc))
+
+  (* Distinct ops reading [v], deduplicated. *)
+  let users v =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (op, _) ->
+        if Hashtbl.mem seen op.op_id then None
+        else begin
+          Hashtbl.add seen op.op_id ();
+          Some op
+        end)
+      (uses v)
+
+  let num_uses v = fold_uses v ~init:0 ~f:(fun n _ _ -> n + 1)
+  let has_uses v = match v.v_first_use with Some _ -> true | None -> false
+
+  let has_one_use v =
+    match v.v_first_use with
+    | Some node -> node.u_next = None
+    | None -> false
+
+  (* The single use slot of [v], if there is exactly one. *)
+  let single_use v =
+    match v.v_first_use with
+    | Some node when node.u_next = None -> Some (node.u_owner, node.u_index)
+    | _ -> None
+
+  (* Redirect every linked use of [old_v] to [new_v]: O(uses of old_v).
+     The whole chain is spliced onto [new_v]'s in one pass. *)
+  let replace_all_uses old_v new_v =
+    if not (equal old_v new_v) then begin
+      match old_v.v_first_use with
+      | None -> ()
+      | Some first ->
+        let rec retarget node =
+          node.u_owner.operands.(node.u_index) <- new_v;
+          match node.u_next with None -> node | Some next -> retarget next
+        in
+        let last = retarget first in
+        last.u_next <- new_v.v_first_use;
+        (match new_v.v_first_use with Some h -> h.u_prev <- Some last | None -> ());
+        new_v.v_first_use <- Some first;
+        old_v.v_first_use <- None
+    end
 end
 
 module Value_map = Map.Make (struct
@@ -143,11 +268,28 @@ module Op = struct
   let symbol_attr op key =
     match attr op key with Some a -> Attribute.as_symbol a | None -> failwith (op.op_name ^ ": missing attr " ^ key)
 
-  let set_operand op i v = op.operands.(i) <- v
-  let set_operands op vs = op.operands <- Array.of_list vs
+  let set_operand op i v =
+    if op.op_linked then begin
+      unlink_slot op.op_slots.(i);
+      op.operands.(i) <- v;
+      link_slot op.op_slots.(i)
+    end
+    else op.operands.(i) <- v
+
+  let make_slots op =
+    Array.init (Array.length op.operands) (fun i ->
+        { u_owner = op; u_index = i; u_prev = None; u_next = None })
+
+  let set_operands op vs =
+    let was_linked = op.op_linked in
+    unlink_op op;
+    op.operands <- Array.of_list vs;
+    op.op_slots <- make_slots op;
+    if was_linked then link_op op
 
   (* Create a detached op.  Result values are created from the given
-     result types. *)
+     result types; operand slots are linked into their values' use
+     chains immediately (a detached-but-live op is still a user). *)
   let create ?(attrs = []) ?(regions = []) ?(loc = Location.unknown)
       ?(result_hints = []) name ~operands ~result_types =
     let rec hint_at i = function
@@ -160,6 +302,8 @@ module Op = struct
         op_id = fresh_id ();
         op_name = name;
         operands = Array.of_list operands;
+        op_slots = [||];
+        op_linked = false;
         results = [||];
         attrs;
         regions;
@@ -167,6 +311,8 @@ module Op = struct
         op_parent = None;
       }
     in
+    op.op_slots <- make_slots op;
+    link_op op;
     op.results <-
       Array.of_list
         (List.mapi
@@ -191,7 +337,9 @@ module Block = struct
   type t = block
 
   let create ?(arg_hints = []) arg_types =
-    let b = { b_id = fresh_id (); b_args = [||]; b_ops = []; b_parent = None } in
+    let b =
+      { b_id = fresh_id (); b_args = [||]; b_front = []; b_back_rev = []; b_parent = None }
+    in
     let rec hint_at i = function
       | [] -> None
       | h :: _ when i = 0 -> h
@@ -207,42 +355,98 @@ module Block = struct
   let args b = Array.to_list b.b_args
   let arg b i = b.b_args.(i)
   let num_args b = Array.length b.b_args
-  let ops b = b.b_ops
+
+  (* Fold the append suffix back into the program-order prefix. *)
+  let normalize b =
+    match b.b_back_rev with
+    | [] -> ()
+    | back ->
+      b.b_front <- b.b_front @ List.rev back;
+      b.b_back_rev <- []
+
+  let ops b =
+    normalize b;
+    b.b_front
+
   let parent b = b.b_parent
   let equal a b = a.b_id = b.b_id
 
   let append b op =
     assert (op.op_parent = None);
     op.op_parent <- Some b;
-    b.b_ops <- b.b_ops @ [ op ]
+    link_op op;
+    b.b_back_rev <- op :: b.b_back_rev
 
   let insert_before b ~anchor op =
     assert (op.op_parent = None);
     op.op_parent <- Some b;
+    link_op op;
+    normalize b;
     let rec go = function
       | [] -> [ op ]  (* anchor not found: append *)
       | o :: rest when Op.equal o anchor -> op :: o :: rest
       | o :: rest -> o :: go rest
     in
-    b.b_ops <- go b.b_ops
+    b.b_front <- go b.b_front
 
   let insert_after b ~anchor op =
     assert (op.op_parent = None);
     op.op_parent <- Some b;
+    link_op op;
+    normalize b;
     let rec go = function
       | [] -> [ op ]
       | o :: rest when Op.equal o anchor -> o :: op :: rest
       | o :: rest -> o :: go rest
     in
-    b.b_ops <- go b.b_ops
+    b.b_front <- go b.b_front
 
+  (* Detach [op]: its operand slots leave their use chains (an erased
+     or parked op must not hold other values alive).  Re-inserting the
+     op links them again. *)
   let remove b op =
-    b.b_ops <- List.filter (fun o -> not (Op.equal o op)) b.b_ops;
-    op.op_parent <- None
+    normalize b;
+    b.b_front <- List.filter (fun o -> not (Op.equal o op)) b.b_front;
+    op.op_parent <- None;
+    unlink_op op
+
+  (* Move every op of [src] into [dst] before [anchor], preserving
+     order, in one splice (O(dst + src), not O(dst * src)).  The moved
+     ops keep their use links — only their parent changes.  Returns the
+     moved ops in order. *)
+  let transfer_before dst ~anchor src =
+    normalize src;
+    let moved = src.b_front in
+    src.b_front <- [];
+    src.b_back_rev <- [];
+    List.iter (fun o -> o.op_parent <- Some dst) moved;
+    normalize dst;
+    let rec go = function
+      | [] -> moved
+      | o :: rest when Op.equal o anchor -> moved @ (o :: rest)
+      | o :: rest -> o :: go rest
+    in
+    dst.b_front <- go dst.b_front;
+    moved
 
   let terminator b =
-    match List.rev b.b_ops with [] -> None | last :: _ -> Some last
+    match b.b_back_rev with
+    | last :: _ -> Some last
+    | [] -> ( match List.rev b.b_front with [] -> None | last :: _ -> Some last)
 end
+
+(* Erase [op] for good: detach it from its block and unlink every
+   operand slot in its whole subtree (ops nested in its regions would
+   otherwise leave stale use nodes on live values). *)
+let erase_op op =
+  let rec unlink_tree o =
+    unlink_op o;
+    List.iter
+      (fun r -> List.iter (fun b -> List.iter unlink_tree (Block.ops b)) r.blocks)
+      o.regions
+  in
+  (match op.op_parent with Some b -> Block.remove b op | None -> ());
+  unlink_tree op
 
 (* ------------------------------------------------------------------ *)
 (* Regions                                                             *)
@@ -286,17 +490,21 @@ module Region = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Traversal and rewriting utilities                                   *)
+(* Traversal utilities                                                 *)
 
 module Walk = struct
   (* Pre-order walk over every op nested under [op], including [op]. *)
   let rec ops_pre op ~f =
     f op;
-    List.iter (fun r -> List.iter (fun b -> List.iter (fun o -> ops_pre o ~f) b.b_ops) r.blocks) op.regions
+    List.iter
+      (fun r -> List.iter (fun b -> List.iter (fun o -> ops_pre o ~f) (Block.ops b)) r.blocks)
+      op.regions
 
   (* Post-order: children first. *)
   let rec ops_post op ~f =
-    List.iter (fun r -> List.iter (fun b -> List.iter (fun o -> ops_post o ~f) b.b_ops) r.blocks) op.regions;
+    List.iter
+      (fun r -> List.iter (fun b -> List.iter (fun o -> ops_post o ~f) (Block.ops b)) r.blocks)
+      op.regions;
     f op
 
   let collect op ~pred =
@@ -307,35 +515,6 @@ module Walk = struct
   let find_all op name = collect op ~pred:(fun o -> o.op_name = name)
 end
 
-module Rewrite = struct
-  (* Replace every use of [old_v] with [new_v] in ops nested under
-     [root] (operand lists only; block args and results are defs, not
-     uses). *)
-  let replace_uses ~root ~old_v ~new_v =
-    Walk.ops_pre root ~f:(fun op ->
-        Array.iteri
-          (fun i v -> if Value.equal v old_v then op.operands.(i) <- new_v)
-          op.operands)
-
-  let replace_op_with_value ~root op new_v =
-    assert (Array.length op.results = 1);
-    replace_uses ~root ~old_v:op.results.(0) ~new_v;
-    match op.op_parent with Some b -> Block.remove b op | None -> ()
-
-  (* Erase an op (must have no remaining uses; not checked here). *)
-  let erase op =
-    match op.op_parent with Some b -> Block.remove b op | None -> ()
-
-  (* Count uses of [v] under [root]. *)
-  let count_uses ~root v =
-    let n = ref 0 in
-    Walk.ops_pre root ~f:(fun op ->
-        Array.iter (fun u -> if Value.equal u v then incr n) op.operands);
-    !n
-
-  let has_uses ~root v = count_uses ~root v > 0
-end
-
 (* ------------------------------------------------------------------ *)
 (* Cloning                                                             *)
 
@@ -343,7 +522,8 @@ module Clone = struct
   (* Deep-clone an op.  [mapping] seeds value substitutions (e.g. to
      substitute a block arg with a constant when unrolling); the
      returned table includes mappings for all cloned results and block
-     args. *)
+     args.  Cloned ops link their operand slots as they are created, so
+     the clone's use lists are consistent from the start. *)
   let rec clone_op ?(mapping = Hashtbl.create 16) op =
     let map_value v =
       match Hashtbl.find_opt mapping v.v_id with Some v' -> v' | None -> v
@@ -375,6 +555,6 @@ module Clone = struct
         if not (Hashtbl.mem mapping a.v_id) then
           Hashtbl.replace mapping a.v_id nb.b_args.(i))
       b.b_args;
-    List.iter (fun op -> Block.append nb (clone_op ~mapping op)) b.b_ops;
+    List.iter (fun op -> Block.append nb (clone_op ~mapping op)) (Block.ops b);
     nb
 end

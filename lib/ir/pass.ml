@@ -9,7 +9,13 @@
    Instrumentation: the manager emits a [Pass_begin]/[Pass_end] event
    around every pass.  The per-pass stats list handed back in [result]
    is built from the very same events, so an external tracer (see
-   lib/driver) and [pp_stats] observe identical timings. *)
+   lib/driver) and [pp_stats] observe identical timings.
+
+   Counters: while a pass runs it may call [record_counter] (directly
+   or through the rewrite driver) to report named application counts —
+   e.g. how often each rewrite pattern fired.  The counts ride on
+   [Pass_end] and [stat], so they reach both the textual stats and the
+   Chrome traces. *)
 
 type t = {
   name : string;
@@ -19,17 +25,56 @@ type t = {
 
 let make ~name ~description run = { name; description; run }
 
-type stat = { pass_name : string; seconds : float; changed : bool }
+type stat = {
+  pass_name : string;
+  seconds : float;
+  changed : bool;
+  counters : (string * int) list;  (* sorted by name *)
+}
 
 type event =
   | Pass_begin of { pass_name : string; index : int }
-  | Pass_end of { pass_name : string; index : int; seconds : float; changed : bool }
+  | Pass_end of {
+      pass_name : string;
+      index : int;
+      seconds : float;
+      changed : bool;
+      counters : (string * int) list;
+    }
 
 type result = {
   stats : stat list;
   engine : Diagnostic.Engine.t;
   succeeded : bool;
 }
+
+(* Domain-local stack of counter collectors: the manager pushes a fresh
+   table around each pass; [record_counter] adds to the innermost one
+   and is a no-op outside any pass (so passes stay runnable standalone).
+   Domain-local because compile jobs run concurrently on domains. *)
+let collector_stack : (string, int) Hashtbl.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record_counter ?(n = 1) name =
+  match !(Domain.DLS.get collector_stack) with
+  | [] -> ()
+  | tbl :: _ ->
+    Hashtbl.replace tbl name (n + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+
+let with_counters f =
+  let stack = Domain.DLS.get collector_stack in
+  let tbl = Hashtbl.create 16 in
+  stack := tbl :: !stack;
+  let pop () =
+    (match !stack with _ :: rest -> stack := rest | [] -> ());
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match f () with
+  | v -> (v, pop ())
+  | exception e ->
+    ignore (pop ());
+    raise e
 
 module Manager = struct
   type manager = {
@@ -48,8 +93,8 @@ module Manager = struct
     let collected = ref [] in
     let emit_event ev =
       (match ev with
-      | Pass_end { pass_name; seconds; changed; _ } ->
-        collected := { pass_name; seconds; changed } :: !collected
+      | Pass_end { pass_name; seconds; changed; counters; _ } ->
+        collected := { pass_name; seconds; changed; counters } :: !collected
       | Pass_begin _ -> ());
       mgr.instrument ev
     in
@@ -61,9 +106,10 @@ module Manager = struct
       | pass :: rest ->
         emit_event (Pass_begin { pass_name = pass.name; index });
         let t0 = Unix.gettimeofday () in
-        let changed = pass.run root engine in
+        let changed, counters = with_counters (fun () -> pass.run root engine) in
         let seconds = Unix.gettimeofday () -. t0 in
-        emit_event (Pass_end { pass_name = pass.name; index; seconds; changed });
+        emit_event
+          (Pass_end { pass_name = pass.name; index; seconds; changed; counters });
         if Diagnostic.Engine.has_errors engine then finish false
         else if mgr.verify_each then begin
           match Verify.verify root with
@@ -82,6 +128,9 @@ module Manager = struct
     List.iter
       (fun s ->
         Format.fprintf fmt "%-28s %8.3f ms %s@\n" s.pass_name (s.seconds *. 1000.)
-          (if s.changed then "(changed)" else ""))
+          (if s.changed then "(changed)" else "");
+        List.iter
+          (fun (name, n) -> Format.fprintf fmt "    %-32s %6d@\n" name n)
+          s.counters)
       result.stats
 end

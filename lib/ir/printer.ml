@@ -10,13 +10,25 @@ open Ir
 type namer = {
   names : (int, string) Hashtbl.t;  (* value id -> printed name *)
   used : (string, int) Hashtbl.t;  (* base name -> next suffix *)
+  canonical : bool;  (* sequential names, ignore hints and ids *)
+  mutable next_seq : int;
 }
 
-let create_namer () = { names = Hashtbl.create 64; used = Hashtbl.create 64 }
+let create_namer ?(canonical = false) () =
+  { names = Hashtbl.create 64; used = Hashtbl.create 64; canonical; next_seq = 0 }
 
 let name_value namer v =
   match Hashtbl.find_opt namer.names v.v_id with
   | Some n -> n
+  | None when namer.canonical ->
+    (* Canonical mode names values 0, 1, 2, … in order of first
+       appearance, so two structurally identical modules print the same
+       text regardless of the hints and ids their construction history
+       left behind. *)
+    let n = Printf.sprintf "%d" namer.next_seq in
+    namer.next_seq <- namer.next_seq + 1;
+    Hashtbl.replace namer.names v.v_id n;
+    n
   | None ->
     let base =
       match v.v_hint with Some h -> h | None -> Printf.sprintf "v%d" v.v_id
@@ -106,12 +118,19 @@ and pp_region ~indent namer fmt r =
         (fun op ->
           Format.fprintf fmt "\n%s" pad;
           pp_op ~indent:(indent + 2) namer fmt op)
-        b.b_ops)
+        (Block.ops b))
     r.blocks;
   Format.fprintf fmt "\n%s}" (String.make indent ' ')
 
 let op_to_string op =
   let namer = create_namer () in
+  Format.asprintf "%a" (pp_op ~indent:0 namer) op
+
+(* Canonical text: identical for structurally identical modules even
+   when value ids / hints differ (e.g. comparing the output of two
+   different optimization pipelines).  Not intended to be parsed back. *)
+let op_to_canonical_string op =
+  let namer = create_namer ~canonical:true () in
   Format.asprintf "%a" (pp_op ~indent:0 namer) op
 
 let pp fmt op =

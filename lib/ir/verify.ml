@@ -11,6 +11,71 @@
 
 open Ir
 
+(* Use-list ↔ operand consistency.  For the tree rooted at [root]:
+
+   - every operand slot of every op in the tree appears exactly once in
+     the use list of the value it currently reads;
+   - every node in a tree value's use list is owned by an op inside the
+     tree (no stale uses from erased or foreign ops), and reads back
+     that same value.
+
+   Rewrites that forget to link/unlink (or erase an op without its
+   nested region ops) corrupt these chains silently — the worklist
+   driver would then miss or resurrect work — so this runs as part of
+   structural verification. *)
+let check_use_lists ~engine root =
+  (* Op ids in the tree, and each value in the tree (results + block args). *)
+  let tree_ops : (int, op) Hashtbl.t = Hashtbl.create 256 in
+  let values = ref [] in
+  Walk.ops_pre root ~f:(fun op ->
+      Hashtbl.replace tree_ops op.op_id op;
+      Array.iter (fun v -> values := v :: !values) op.results;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun b -> Array.iter (fun a -> values := a :: !values) b.b_args)
+            (Region.blocks r))
+        op.regions);
+  let tree_values : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun v -> Hashtbl.replace tree_values v.v_id ()) !values;
+  (* (owner op id, slot index) -> number of chain occurrences. *)
+  let chain_slots : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun v ->
+      Value.fold_uses v ~init:() ~f:(fun () owner idx ->
+          if not (Hashtbl.mem tree_ops owner.op_id) then
+            Diagnostic.Engine.errorf engine owner.loc
+              "stale use: value %%%d has a use-list entry owned by '%s' (op %d), which is not in the IR tree"
+              v.v_id owner.op_name owner.op_id
+          else if not (Value.equal owner.operands.(idx) v) then
+            Diagnostic.Engine.errorf engine owner.loc
+              "use-list corruption: operand %d of '%s' reads %%%d but sits in the use list of %%%d"
+              idx owner.op_name (Value.id owner.operands.(idx)) v.v_id
+          else
+            Hashtbl.replace chain_slots (owner.op_id, idx)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt chain_slots (owner.op_id, idx)))))
+    !values;
+  Hashtbl.iter
+    (fun _ op ->
+      Array.iteri
+        (fun i v ->
+          match Hashtbl.find_opt chain_slots (op.op_id, i) with
+          | Some 1 -> ()
+          | Some n ->
+            Diagnostic.Engine.errorf engine op.loc
+              "use-list corruption: operand %d of '%s' appears %d times in its value's use list"
+              i op.op_name n
+          | None ->
+            (* Values defined outside the tree (verifying a detached
+               fragment) have chains we never scanned; only slots whose
+               value we did scan can be declared missing. *)
+            if Hashtbl.mem tree_values v.v_id then
+              Diagnostic.Engine.errorf engine op.loc
+                "use-list corruption: operand %d of '%s' is missing from the use list of %%%d"
+                i op.op_name v.v_id)
+        op.operands)
+    tree_ops
+
 let verify_op ?(engine = Diagnostic.Engine.create ()) root =
   let visible : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let add v = Hashtbl.replace visible v.v_id () in
@@ -36,16 +101,18 @@ let verify_op ?(engine = Diagnostic.Engine.create ()) root =
       (fun r ->
         List.iter
           (fun b ->
+            let ops = Block.ops b in
             Array.iter add b.b_args;
-            List.iter check_op b.b_ops;
+            List.iter check_op ops;
             (* leaving scope: region-local defs go out of scope *)
-            List.iter (fun o -> Array.iter remove o.results) b.b_ops;
+            List.iter (fun o -> Array.iter remove o.results) ops;
             Array.iter remove b.b_args)
           r.blocks)
       op.regions;
     Array.iter add op.results
   in
   check_op root;
+  check_use_lists ~engine root;
   engine
 
 let verify root =

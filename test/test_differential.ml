@@ -333,6 +333,38 @@ let prop_loop_optimizer_preserves =
       let after = interp_outputs m2 f2 in
       agree expected after)
 
+(* The greedy worklist driver and the legacy whole-module-scan pass
+   loop are two independent implementations of canonicalize; on every
+   accepted random design they must produce IR that prints identically
+   (canonical printing ignores value ids, so two separately-built
+   modules compare structurally), and the driver must converge by
+   draining its worklist, never via the round backstop. *)
+
+let driver_vs_legacy build recipe =
+  let m1, _ = build recipe in
+  QCheck.assume (verifier_accepts m1);
+  let m2, _ = build recipe in
+  let stats = Passes.run_canonicalize_stats m1 in
+  if stats.Rewrite.ds_backstop then
+    QCheck.Test.fail_report "driver hit the round backstop";
+  ignore (Passes.Legacy.run_canonicalize m2);
+  let a = Printer.op_to_canonical_string m1 in
+  let b = Printer.op_to_canonical_string m2 in
+  if a <> b then
+    QCheck.Test.fail_report
+      (Printf.sprintf "driver/legacy diverge:\n--- driver ---\n%s\n--- legacy ---\n%s" a b)
+  else true
+
+let prop_driver_matches_legacy =
+  QCheck.Test.make ~count:80 ~name:"greedy driver == legacy canonicalize"
+    arb_recipe
+    (driver_vs_legacy build_design)
+
+let prop_loop_driver_matches_legacy =
+  QCheck.Test.make ~count:40 ~name:"greedy driver == legacy canonicalize (loops)"
+    arb_loop_recipe
+    (driver_vs_legacy build_loop_design)
+
 (* Guard against vacuous properties: a healthy fraction of generated
    recipes must actually reach the differential check. *)
 let test_acceptance_rate () =
@@ -358,6 +390,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_optimizer_preserves;
           QCheck_alcotest.to_alcotest prop_loop_differential;
           QCheck_alcotest.to_alcotest prop_loop_optimizer_preserves;
+          QCheck_alcotest.to_alcotest prop_driver_matches_legacy;
+          QCheck_alcotest.to_alcotest prop_loop_driver_matches_legacy;
           Alcotest.test_case "generator acceptance rate" `Quick test_acceptance_rate;
         ] );
     ]

@@ -63,10 +63,16 @@ let test_rewrite () =
   let x = Ir.Block.arg body 0 in
   let y = Ir.Block.arg body 1 in
   let add_op = List.hd (Ir.Walk.find_all module_op "hir.add") in
-  check_int "uses of x" 1 (Ir.Rewrite.count_uses ~root:module_op x);
-  Ir.Rewrite.replace_uses ~root:module_op ~old_v:x ~new_v:y;
-  check_int "uses of x after replace" 0 (Ir.Rewrite.count_uses ~root:module_op x);
-  check_int "uses of y after replace" 2 (Ir.Rewrite.count_uses ~root:module_op y);
+  check_int "uses of x" 1 (Ir.Value.num_uses x);
+  check_bool "x has one use" true (Ir.Value.has_one_use x);
+  check_bool "x users is the add" true
+    (match Ir.Value.users x with [ u ] -> Ir.Op.equal u add_op | _ -> false);
+  Ir.Value.replace_all_uses x y;
+  check_int "uses of x after replace" 0 (Ir.Value.num_uses x);
+  check_bool "x unused after replace" false (Ir.Value.has_uses x);
+  check_int "uses of y after replace" 2 (Ir.Value.num_uses y);
+  check_bool "y users dedup to the add" true
+    (match Ir.Value.users y with [ u ] -> Ir.Op.equal u add_op | _ -> false);
   check_bool "add operands now equal" true
     (Ir.Value.equal (Ir.Op.operand add_op 0) (Ir.Op.operand add_op 1))
 

@@ -162,6 +162,38 @@ let test_strength_reduction () =
   check_int "shift amount" 3 (Option.get (Ops.as_constant (Ir.Op.operand shl 1)));
   verify_clean m
 
+let test_shift_fold_guard () =
+  (* The folder must refuse shift counts OCaml's lsl/lsr/asr leave
+     undefined (negative or >= Sys.int_size); hardware semantics for
+     those belong to the RTL, not to an int-level fold. *)
+  check_bool "shl in range folds" true (Passes.fold_binary "hir.shl" 1 3 = Some 8);
+  check_bool "shl count 70" true (Passes.fold_binary "hir.shl" 1 70 = None);
+  check_bool "shl count int_size" true
+    (Passes.fold_binary "hir.shl" 1 Sys.int_size = None);
+  check_bool "shl negative count" true (Passes.fold_binary "hir.shl" 1 (-1) = None);
+  check_bool "shrl out of range" true (Passes.fold_binary "hir.shrl" 4 (-2) = None);
+  check_bool "shra out of range" true (Passes.fold_binary "hir.shra" 4 100 = None);
+  check_bool "shrl in range folds" true (Passes.fold_binary "hir.shrl" 8 2 = Some 2);
+  (* In IR: canonicalize must leave the unfoldable shift alone rather
+     than crash or materialize an undefined value. *)
+  let m = Builder.create_module () in
+  let _ =
+    Builder.func m ~name:"f" ~args:[ Builder.arg "x" Typ.i32 ]
+      ~results:[ (Typ.i32, 0) ]
+      (fun b args _t ->
+        match args with
+        | [ x ] ->
+          let c1 = Builder.constant b 1 in
+          let c70 = Builder.constant b 70 in
+          let s = Builder.shl b c1 c70 in
+          let a = Builder.add b x s in
+          Builder.return_ b [ a ]
+        | _ -> assert false)
+  in
+  ignore (Passes.run_canonicalize m);
+  check_int "unfoldable shl survives" 1 (count_ops m "hir.shl");
+  verify_clean m
+
 (* ------------------------------------------------------------------ *)
 (* Delay elimination                                                   *)
 
@@ -303,6 +335,53 @@ let pipeline_case kernel () =
   ignore (Passes.run_delay_elim m);
   verify_clean m
 
+(* ------------------------------------------------------------------ *)
+(* Use-list invariant: Verify.verify includes a use-chain consistency
+   check (every operand slot appears exactly once in its value's use
+   list, and no chain node points outside the tree), so running the
+   verifier after each IR-producing stage proves the chains survive
+   building, printing/parsing, cloning, and every pass. *)
+
+let use_list_case kernel () =
+  let m, _f = kernel.Hir_kernels.Kernels.build () in
+  verify_clean m;
+  (* A deep clone links its own slots as it is built. *)
+  let clone = Ir.Clone.clone_op m in
+  verify_clean clone;
+  ignore (Unroll.run m);
+  verify_clean m;
+  ignore (Passes.run_canonicalize m);
+  verify_clean m;
+  ignore (Precision_opt.run m);
+  verify_clean m;
+  ignore (Passes.run_delay_elim m);
+  verify_clean m;
+  ignore (Retime.run m);
+  verify_clean m
+
+let test_use_lists_after_parse () =
+  (* Round-trip a kernel through the textual format: the parser builds
+     ops via Op.create, so the reparsed module's chains must verify. *)
+  let m, _f = Hir_kernels.Transpose.build () in
+  let text = Printer.op_to_string m in
+  let reparsed = Parser.parse_string ~file:"reparse.hir" text in
+  verify_clean reparsed
+
+(* ------------------------------------------------------------------ *)
+(* Driver convergence: on every built-in kernel (after full unrolling,
+   the largest IR we produce) the greedy driver must reach a fixpoint
+   by draining its worklist, never by hitting the round backstop. *)
+
+let convergence_case kernel () =
+  let m, _f = kernel.Hir_kernels.Kernels.build () in
+  ignore (Unroll.run m);
+  let stats = Passes.run_canonicalize_stats m in
+  check_bool "no backstop" false stats.Rewrite.ds_backstop;
+  verify_clean m;
+  (* A second run must be a no-op: the first reached a true fixpoint. *)
+  let again = Passes.run_canonicalize_stats m in
+  check_bool "fixpoint" false again.Rewrite.ds_changed
+
 let () =
   Alcotest.run "passes"
     [
@@ -313,6 +392,7 @@ let () =
           Alcotest.test_case "cse" `Quick test_cse;
           Alcotest.test_case "cse scoping" `Quick test_cse_respects_scope;
           Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+          Alcotest.test_case "shift fold guard" `Quick test_shift_fold_guard;
           Alcotest.test_case "delay elimination" `Quick test_delay_elim;
         ] );
       ( "precision (Table 4)",
@@ -330,5 +410,16 @@ let () =
         List.map
           (fun k ->
             Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (pipeline_case k))
+          Hir_kernels.Kernels.all );
+      ( "use-list invariant",
+        Alcotest.test_case "parse round-trip" `Quick test_use_lists_after_parse
+        :: List.map
+             (fun k ->
+               Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (use_list_case k))
+             Hir_kernels.Kernels.all );
+      ( "driver converges without backstop",
+        List.map
+          (fun k ->
+            Alcotest.test_case k.Hir_kernels.Kernels.name `Quick (convergence_case k))
           Hir_kernels.Kernels.all );
     ]
