@@ -25,6 +25,7 @@ check: build test
 	  -o _build/smoke-verilog
 	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
 	dune exec bench/main.exe -- --canonicalize-scaling
+	dune exec bench/main.exe -- --sim-scaling
 	@echo "make check: OK"
 
 # The acceptance campaign from the never-crash contract: 10k mutated

@@ -10,6 +10,7 @@
      --figure 3   memref banking layout (Figure 3)
      --check      functional verification of every generated design
      --bechamel   Bechamel micro-benchmarks backing Table 6
+     --sim-scaling  compiled RTL simulator vs reference tree-walker
      --stages     per-stage compile-time breakdown through lib/driver
      --json PATH  additionally dump all recorded numbers as JSON
 
@@ -504,6 +505,131 @@ let canonicalize_scaling () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sim scaling: compiled engine vs the reference tree-walker           *)
+
+(* The reference simulator re-walks every assign's expression tree on
+   every settle; the compiled engine lowers the flattened netlist once
+   to slot-indexed closures and then re-evaluates only assigns whose
+   inputs changed, on native ints where the width allows.  Cycles per
+   second on the two largest harnesses (GEMM and convolution) is the
+   headline number.  Each timed sample includes elaboration
+   (Sim.create), so the compiled engine is charged for its one-off
+   compile work too.  make check requires the compiled engine to hold
+   a 10x lead on GEMM and to finish inside a generous wall budget. *)
+
+let sim_gemm_budget_s = 2.0
+let sim_gemm_min_speedup = 10.0
+
+let sim_scaling () =
+  header "Sim scaling: compiled simulator vs reference tree-walker (cycles/second)";
+  Printf.printf "%-12s %7s %13s %13s %9s %10s %10s\n" "benchmark" "cycles"
+    "compiled(c/s)" "reference(c/s)" "speedup" "fast-path" "skipped";
+  let gemm_inputs =
+    let a, b = Hir_kernels.Gemm.make_inputs ~seed:34 in
+    [ Harness.Tensor a; Harness.Tensor b; Harness.Out_tensor ]
+  in
+  let conv_inputs =
+    let input = Hir_kernels.Convolution.make_input ~seed:35 in
+    [ Harness.Tensor input; Harness.Out_tensor ]
+  in
+  let transpose_inputs =
+    [ Harness.Tensor (Hir_kernels.Transpose.make_input ~seed:31); Harness.Out_tensor ]
+  in
+  let histogram_inputs =
+    [ Harness.Tensor (Hir_kernels.Histogram.make_input ~seed:33); Harness.Out_tensor ]
+  in
+  let interp_cycles ~m ~f inputs =
+    let result, _ =
+      Interp.run ~module_op:m ~func:f
+        (List.map
+           (function
+             | Harness.Scalar v -> Interp.Scalar v
+             | Harness.Tensor a -> Interp.Tensor a
+             | Harness.Out_tensor -> Interp.Out_tensor)
+           inputs)
+    in
+    result.Interp.cycles
+  in
+  let violation = ref None in
+  List.iter
+    (fun (name, build, inputs) ->
+      let m, f = build () in
+      let cycles = interp_cycles ~m ~f inputs in
+      (* compile mutates the module (unroll etc.), so rebuild fresh. *)
+      let m, f = build () in
+      let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
+      let run engine () = Harness.run ~engine ~emitted ~inputs ~cycles () in
+      let last_stats = ref None in
+      let compiled_t =
+        median_seconds ~runs:5 (fun () ->
+            let result, _ = run `Compiled () in
+            last_stats := Some result.Harness.sim_stats;
+            result)
+      in
+      let reference_t = median_seconds ~runs:3 (fun () -> run `Reference ()) in
+      let stats =
+        match !last_stats with Some s -> s | None -> assert false
+      in
+      let total_cycles = float_of_int stats.Hir_rtl.Sim.st_cycles in
+      let compiled_cps = total_cycles /. compiled_t in
+      let reference_cps = total_cycles /. reference_t in
+      let speedup = reference_t /. compiled_t in
+      let evaluated = stats.Hir_rtl.Sim.st_assigns_evaluated in
+      let skipped = stats.Hir_rtl.Sim.st_assigns_skipped in
+      let fast_rate =
+        if evaluated = 0 then 0.
+        else
+          float_of_int stats.Hir_rtl.Sim.st_fastpath_evaluated
+          /. float_of_int evaluated
+      in
+      let skip_rate =
+        if evaluated + skipped = 0 then 0.
+        else float_of_int skipped /. float_of_int (evaluated + skipped)
+      in
+      record ~section:"sim-scaling" ~name
+        [
+          ("cycles", total_cycles);
+          ("compiled_s", compiled_t);
+          ("reference_s", reference_t);
+          ("compiled_cps", compiled_cps);
+          ("reference_cps", reference_cps);
+          ("speedup", speedup);
+          ("fastpath_rate", fast_rate);
+          ("skip_rate", skip_rate);
+        ];
+      Printf.printf "%-12s %7d %13.0f %13.0f %8.1fx %9.1f%% %9.1f%%\n" name
+        stats.Hir_rtl.Sim.st_cycles compiled_cps reference_cps speedup
+        (100. *. fast_rate) (100. *. skip_rate);
+      if name = "gemm" then begin
+        if speedup < sim_gemm_min_speedup then
+          violation :=
+            Some
+              (Printf.sprintf
+                 "compiled simulator only %.1fx over reference on GEMM (need %.0fx)"
+                 speedup sim_gemm_min_speedup)
+        else if compiled_t > sim_gemm_budget_s then
+          violation :=
+            Some
+              (Printf.sprintf
+                 "compiled GEMM simulation took %.3fs (budget %.1fs)" compiled_t
+                 sim_gemm_budget_s)
+      end)
+    [
+      ("gemm", (fun () -> Hir_kernels.Gemm.build ()), gemm_inputs);
+      ("convolution", Hir_kernels.Convolution.build, conv_inputs);
+      ("transpose", Hir_kernels.Transpose.build, transpose_inputs);
+      ("histogram", Hir_kernels.Histogram.build, histogram_inputs);
+    ];
+  match !violation with
+  | None ->
+    Printf.printf
+      "\nsim budget OK (GEMM compiled >= %.0fx reference, within %.1fs)\n"
+      sim_gemm_min_speedup sim_gemm_budget_s
+  | Some msg ->
+    Printf.eprintf "\nSIM BUDGET VIOLATION: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 (* Matrix transpose with a configurable inner-loop initiation interval:
@@ -693,6 +819,7 @@ let () =
   if all || List.mem "--ablation" args then ablation ();
   if all || List.mem "--scaling" args then scaling ();
   if all || List.mem "--canonicalize-scaling" args then canonicalize_scaling ();
+  if all || List.mem "--sim-scaling" args then sim_scaling ();
   if all || has "--table" "4" then table4 ();
   if all || has "--table" "5" then table5 ();
   if all || has "--table" "6" then table6 ();

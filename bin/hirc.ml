@@ -16,6 +16,11 @@
      hirc batch <files-or-kernels…> [-j N] [--cache-dir D] [--trace t.json]
          compile many designs concurrently through the compilation
          service, with optional persistent caching and Chrome tracing
+     hirc sim <kernel> [--cycles N] [--engine compiled|reference]
+              [--stats] [--vcd out.vcd] [--hls]
+         compile a built-in kernel and run it in the RTL simulator with
+         generic inputs; --stats reports the simulator's own counters
+         (settles, assigns evaluated vs skipped, fast-path hit rate)
 
    The end-to-end flow (parse → verify → passes → emit) lives in
    [Hir_driver.Driver]; this file is only the command-line surface. *)
@@ -343,6 +348,126 @@ let fuzz_cmd =
       $ dump_last_arg)
 
 (* ------------------------------------------------------------------ *)
+(* hirc sim                                                            *)
+
+module Emit = Hir_codegen.Emit
+module Harness = Hir_rtl.Harness
+
+let sim_cmd =
+  let kernel_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"Kernel name (see `hirc kernels`)")
+  in
+  let cycles_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Clock cycles to run (default: the interpreter's latency)")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("compiled", `Compiled); ("reference", `Reference) ]) `Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Simulation engine: $(b,compiled) (default) or $(b,reference)")
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"OUT.vcd" ~doc:"Dump a VCD waveform to $(docv)")
+  in
+  let hls_arg =
+    Arg.(
+      value & flag
+      & info [ "hls" ]
+          ~doc:
+            "Simulate the HLS-compiled variant from the evaluation suite instead of \
+             the native HIR kernel")
+  in
+  let run name cycles engine stats vcd_path use_hls =
+    let build_r =
+      if use_hls then
+        match Hir_hls.Suite.find name with
+        | None ->
+          Error
+            (Printf.sprintf "unknown HLS suite kernel %s (one of: %s)" name
+               (String.concat ", " (List.map fst (Hir_hls.Suite.all ()))))
+        | Some source ->
+          Ok
+            (fun () ->
+              let c = Hir_hls.Compiler.compile source in
+              (c.Hir_hls.Compiler.hls_module, c.Hir_hls.Compiler.hls_func))
+      else
+        match Hir_kernels.Kernels.find name with
+        | None -> Error (Printf.sprintf "unknown kernel %s (try `hirc kernels`)" name)
+        | Some k -> Ok k.Hir_kernels.Kernels.build
+    in
+    match build_r with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok build ->
+      (* Generic inputs derived from the compiled interface: zeroed
+         scalars, zero-filled tensors on readable memref ports, a
+         capture buffer on write-only ports. *)
+      let emitted =
+        let m, f = build () in
+        if use_hls then Emit.compile ~module_op:m ~top:f ()
+        else Emit.compile ~optimize:true ~module_op:m ~top:f ()
+      in
+      let inputs =
+        List.map
+          (fun arg ->
+            match arg with
+            | Emit.Ifc_scalar (_, w, _) -> (Harness.Scalar (Bitvec.zero w), Interp.Scalar (Bitvec.zero w))
+            | Emit.Ifc_mem mi -> (
+              let info = mi.Emit.mi_info in
+              match info.Types.port with
+              | Types.Write -> (Harness.Out_tensor, Interp.Out_tensor)
+              | _ ->
+                let n = Types.num_elements info in
+                let zeros = Array.init n (fun _ -> Bitvec.zero mi.Emit.mi_elem_width) in
+                (Harness.Tensor zeros, Interp.Tensor (Array.copy zeros))))
+          emitted.Emit.top_iface.Emit.ifc_args
+      in
+      let harness_inputs = List.map fst inputs in
+      let cycles =
+        match cycles with
+        | Some n -> n
+        | None ->
+          (* compile mutated the module, so rebuild for the interpreter. *)
+          let m, f = build () in
+          let r, _ = Interp.run ~module_op:m ~func:f (List.map snd inputs) in
+          r.Interp.cycles
+      in
+      let (result, _agents), counters =
+        Pass.with_counters (fun () ->
+            Harness.run ~engine ?vcd_path ~emitted ~inputs:harness_inputs ~cycles ())
+      in
+      Printf.printf "%s: %d cycles on the %s engine, %d assertion failure(s)\n" name
+        result.Harness.cycles_run
+        (match engine with `Compiled -> "compiled" | `Reference -> "reference")
+        (List.length result.Harness.failures);
+      List.iter
+        (fun (fl : Hir_rtl.Sim.assertion_failure) ->
+          Printf.printf "  assertion at cycle %d: %s\n" fl.Hir_rtl.Sim.at_cycle
+            fl.Hir_rtl.Sim.message)
+        result.Harness.failures;
+      List.iter
+        (fun (rname, v) -> Printf.printf "  result %s = %s\n" rname (Bitvec.to_string v))
+        result.Harness.output_values;
+      if stats then
+        List.iter (fun (cname, n) -> Printf.printf "  %-28s %10d\n" cname n) counters;
+      if result.Harness.failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a built-in kernel in the RTL simulator")
+    Term.(const run $ kernel_arg $ cycles_arg $ engine_arg $ stats_arg $ vcd_arg $ hls_arg)
+
+(* ------------------------------------------------------------------ *)
 (* hirc batch                                                          *)
 
 let batch_cmd =
@@ -473,5 +598,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
-            fuzz_cmd; batch_cmd;
+            fuzz_cmd; sim_cmd; batch_cmd;
           ]))

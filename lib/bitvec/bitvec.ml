@@ -109,6 +109,13 @@ let to_int v =
   if min_width v > 62 then failwith "Bitvec.to_int: value too large"
   else Int64.to_int v.chunks.(0)
 
+(* Low 63 bits as a native int (Int64.to_int truncates modulo 2^63);
+   exact for width <= 63 — the masked-int representation of the RTL
+   simulator's unboxed fast path. *)
+let to_int_trunc v = Int64.to_int v.chunks.(0)
+
+let to_int_opt v = if min_width v > 62 then None else Some (Int64.to_int v.chunks.(0))
+
 let same_width name a b =
   if a.w <> b.w then
     invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" name a.w b.w)

@@ -50,6 +50,16 @@ val to_signed_int : t -> int
 val to_int64_trunc : t -> int64
 (** Low 64 bits, unsigned beyond width. *)
 
+val to_int_trunc : t -> int
+(** Low 63 bits as a native [int] (modulo [2^63]); never raises.  For
+    [width v <= 63] this is exact: it is the masked-int representation
+    used by the RTL simulator's unboxed fast path, where bit 62 lands
+    on the OCaml sign bit (so width-63 values may read as negative). *)
+
+val to_int_opt : t -> int option
+(** [Some] of the unsigned value when it fits a non-negative OCaml
+    [int]; [None] otherwise.  Non-raising [to_int]. *)
+
 val bit : t -> int -> bool
 (** [bit v i] is bit [i] (0 = LSB).  Out-of-range indices read as 0. *)
 

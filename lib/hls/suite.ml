@@ -229,3 +229,7 @@ let all () =
     ("gemm", gemm ());
     ("convolution", convolution ());
   ]
+
+(* By-name lookup under the Table 5 benchmark names, for drivers that
+   want to run a single suite kernel (e.g. `hirc sim --hls`). *)
+let find name = List.assoc_opt name (all ())

@@ -36,9 +36,24 @@ type flat = {
 }
 
 let flatten (design : design) =
-  let modules = List.map (fun m -> (m.mod_name, m)) design.modules in
+  (* Index modules and their ports by name once (first declaration
+     wins, as with the assoc-list lookups this replaces). *)
+  let modules = Hashtbl.create 16 in
+  let port_tbls = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem modules m.mod_name) then begin
+        Hashtbl.add modules m.mod_name m;
+        let ports = Hashtbl.create 8 in
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem ports p.port_name) then Hashtbl.add ports p.port_name p)
+          m.ports;
+        Hashtbl.add port_tbls m.mod_name ports
+      end)
+    design.modules;
   let top =
-    match List.assoc_opt design.top modules with
+    match Hashtbl.find_opt modules design.top with
     | Some m -> m
     | None -> fail "top module %s not found" design.top
   in
@@ -48,7 +63,7 @@ let flatten (design : design) =
      are bound via [port_map] to parent-scope global expressions. *)
   let rec inline ~path ~port_map m =
     let local name =
-      match List.assoc_opt name port_map with
+      match Hashtbl.find_opt port_map name with
       | Some (`Alias global) -> global
       | Some (`Expr _) ->
         (* Input ports bound to non-trivial expressions get their own
@@ -60,7 +75,7 @@ let flatten (design : design) =
        binding assigns. *)
     List.iter
       (fun p ->
-        match List.assoc_opt p.port_name port_map with
+        match Hashtbl.find_opt port_map p.port_name with
         | Some (`Expr e) ->
           (match p.dir with
           | Input ->
@@ -84,29 +99,32 @@ let flatten (design : design) =
         | Always_ff stmts -> emit (Always_ff (List.map (rename_stmt local) stmts))
         | Comment c -> emit (Comment c)
         | Instance { module_name; instance_name; connections } -> (
-          match List.assoc_opt module_name modules with
+          match Hashtbl.find_opt modules module_name with
           | None -> fail "instance of unknown module %s" module_name
           | Some child ->
             let child_path = path ^ instance_name ^ "__" in
-            let port_map =
-              List.map
-                (fun (port, actual) ->
-                  let dir =
-                    match List.find_opt (fun p -> p.port_name = port) child.ports with
-                    | Some p -> p.dir
-                    | None -> fail "module %s has no port %s" module_name port
-                  in
-                  let actual = rename_expr local actual in
+            let child_ports = Hashtbl.find port_tbls module_name in
+            let port_map = Hashtbl.create (List.length connections) in
+            List.iter
+              (fun (port, actual) ->
+                let dir =
+                  match Hashtbl.find_opt child_ports port with
+                  | Some p -> p.dir
+                  | None -> fail "module %s has no port %s" module_name port
+                in
+                let actual = rename_expr local actual in
+                let binding =
                   match (dir, actual) with
-                  | _, Ref global -> (port, `Alias global)
-                  | Input, e -> (port, `Expr e)
-                  | Output, _ -> fail "output port %s needs a plain wire" port)
-                connections
-            in
+                  | _, Ref global -> `Alias global
+                  | Input, e -> `Expr e
+                  | Output, _ -> fail "output port %s needs a plain wire" port
+                in
+                if not (Hashtbl.mem port_map port) then Hashtbl.add port_map port binding)
+              connections;
             inline ~path:child_path ~port_map child))
       m.items
   in
-  inline ~path:"" ~port_map:[] top;
+  inline ~path:"" ~port_map:(Hashtbl.create 1) top;
   let inputs =
     List.filter_map
       (fun p -> if p.dir = Input then Some p.port_name else None)

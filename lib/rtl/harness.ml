@@ -90,11 +90,13 @@ type run_result = {
   failures : Sim.assertion_failure list;
   cycles_run : int;
   output_values : (string * Bitvec.t) list;  (* scalar results at the end *)
+  sim_stats : Sim.stats;
 }
 
-let run ?(extra_cycles = 8) ?vcd_path ~(emitted : Emit.emitted) ~inputs ~cycles () =
+let run ?(extra_cycles = 8) ?(engine = `Compiled) ?vcd_path ~(emitted : Emit.emitted)
+    ~inputs ~cycles () =
   let flat = Flatten.flatten emitted.Emit.design in
-  let sim = Sim.create flat in
+  let sim = Sim.create ~engine flat in
   let vcd = Option.map (fun path -> Vcd.create ~path sim) vcd_path in
   let args = emitted.Emit.top_iface.Emit.ifc_args in
   if List.length args <> List.length inputs then
@@ -128,8 +130,14 @@ let run ?(extra_cycles = 8) ?vcd_path ~(emitted : Emit.emitted) ~inputs ~cycles 
       (fun (name, _, _) -> (name, Sim.peek sim name))
       emitted.Emit.top_iface.Emit.ifc_results
   in
+  Sim.record_stats sim;
   let result =
-    { failures = Sim.failures sim; cycles_run = total; output_values }
+    {
+      failures = Sim.failures sim;
+      cycles_run = total;
+      output_values;
+      sim_stats = Sim.stats sim;
+    }
   in
   (result, agents)
 

@@ -6,7 +6,24 @@
               settled state, then commit register and memory updates
 
    Width semantics follow Verilog's context-determined evaluation as
-   documented in [Hir_verilog.Ast]. *)
+   documented in [Hir_verilog.Ast].
+
+   Two engines share the same interface:
+
+   - [Compiled] (the default): a compile-once, run-many engine.  At
+     [create] time every signal name is resolved to an integer slot in
+     a dense state array, every expression is compiled to a closure
+     with its context width precomputed, and always-blocks are compiled
+     with a reusable update buffer.  [settle] is event-driven: the
+     assign dependency graph is built once and per cycle only assigns
+     whose source slots actually changed are re-evaluated (dirty-set
+     propagation in topological order).  Signals of width <= 63 live
+     unboxed on native OCaml ints with masking; wider signals fall back
+     to [Bitvec].
+
+   - [Reference]: the original tree-walking interpreter, kept as the
+     oracle for the compiled engine (see test_sim_equiv) and as the
+     executable specification of the width semantics. *)
 
 open Hir_verilog.Ast
 
@@ -14,37 +31,10 @@ exception Sim_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
-type signal = {
-  mutable value : Bitvec.t;
-  width : int;
-  is_reg : bool;
-}
-
-type memory = { cells : Bitvec.t array; elem_width : int }
-
 type assertion_failure = { at_cycle : int; message : string }
 
-type t = {
-  signals : (string, signal) Hashtbl.t;
-  memories : (string, memory) Hashtbl.t;
-  assigns : (string * expr) list;  (* topologically sorted *)
-  always : stmt list;
-  inputs : string list;
-  outputs : string list;
-  mutable cycle : int;
-  mutable failures : assertion_failure list;
-}
-
 (* ------------------------------------------------------------------ *)
-(* Construction                                                        *)
-
-let signal_width t name =
-  match Hashtbl.find_opt t.signals name with
-  | Some s -> s.width
-  | None -> (
-    match Hashtbl.find_opt t.memories name with
-    | Some m -> m.elem_width
-    | None -> fail "unknown signal %s" name)
+(* Shared netlist analysis                                             *)
 
 (* Wires read by an expression (for the dependency graph); memory reads
    depend on the address expression only — the memory contents are
@@ -60,29 +50,24 @@ let rec wire_deps expr acc =
   | Ternary (c, a, b) -> wire_deps c (wire_deps a (wire_deps b acc))
   | Concat es -> List.fold_left (fun acc e -> wire_deps e acc) acc es
 
-let create (flat : Flatten.flat) =
-  let signals = Hashtbl.create 256 in
-  let memories = Hashtbl.create 16 in
-  let assigns = ref [] in
-  let always = ref [] in
-  List.iter
-    (fun item ->
-      match item with
-      | Wire_decl { name; width } ->
-        Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = false }
-      | Reg_decl { name; width } ->
-        Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = true }
-      | Mem_decl { name; width; depth; _ } ->
-        Hashtbl.replace memories name
-          { cells = Array.make depth (Bitvec.zero width); elem_width = width }
-      | Assign { target; expr } -> assigns := (target, expr) :: !assigns
-      | Always_ff stmts -> always := !always @ stmts
-      | Comment _ -> ()
-      | Instance _ -> fail "simulator requires a flattened design")
-    flat.flat_items;
-  (* Topologically sort the assigns: edge from each dependency that is
-     itself an assign target. *)
-  let assign_list = List.rev !assigns in
+(* Memories read by an expression — the state half of the dependency
+   story that [wire_deps] deliberately excludes.  The compiled engine
+   uses this to re-settle reads of a memory after a write commits. *)
+let rec mem_reads expr acc =
+  match expr with
+  | Const _ | Ref _ -> acc
+  | Index (name, a) -> mem_reads a (name :: acc)
+  | Slice (e, _, _) -> mem_reads e acc
+  | Unop (_, e) -> mem_reads e acc
+  | Binop (_, a, b) -> mem_reads a (mem_reads b acc)
+  | Ternary (c, a, b) -> mem_reads c (mem_reads a (mem_reads b acc))
+  | Concat es -> List.fold_left (fun acc e -> mem_reads e acc) acc es
+
+(* Topologically sort the assigns (edge from each dependency that is
+   itself an assign target).  [is_comb name] says whether [name] is a
+   combinational (non-reg) signal; register reads do not create edges.
+   On a combinational loop the full cycle path is reported. *)
+let topo_sort_assigns ~is_comb assign_list =
   let target_tbl = Hashtbl.create 64 in
   List.iter (fun (t, e) -> Hashtbl.replace target_tbl t e) assign_list;
   let visited = Hashtbl.create 64 in
@@ -91,191 +76,1102 @@ let create (flat : Flatten.flat) =
     match Hashtbl.find_opt visited target with
     | Some `Done -> ()
     | Some `In_progress ->
-      fail "combinational loop through signal %s" target
+      (* [stack] holds the in-progress chain, most recent first; the
+         loop is the suffix starting at [target]. *)
+      let chain = List.rev stack in
+      let rec from_target = function
+        | x :: _ as l when x = target -> l
+        | _ :: tl -> from_target tl
+        | [] -> []
+      in
+      let path = from_target chain @ [ target ] in
+      fail "combinational loop: %s" (String.concat " -> " path)
     | None ->
       Hashtbl.replace visited target `In_progress;
       let expr = Hashtbl.find target_tbl target in
       List.iter
         (fun dep ->
-          match Hashtbl.find_opt signals dep with
-          | Some s when not s.is_reg ->
-            if Hashtbl.mem target_tbl dep then visit ~stack:(target :: stack) dep
-          | _ -> ())
+          if is_comb dep && Hashtbl.mem target_tbl dep then
+            visit ~stack:(target :: stack) dep)
         (wire_deps expr []);
       Hashtbl.replace visited target `Done;
       sorted := (target, expr) :: !sorted
   in
   List.iter (fun (t, _) -> visit ~stack:[] t) assign_list;
-  {
-    signals;
-    memories;
-    assigns = List.rev !sorted;
-    always = !always;
-    inputs = flat.flat_inputs;
-    outputs = flat.flat_outputs;
-    cycle = 0;
-    failures = [];
+  List.rev !sorted
+
+(* Per-run statistics, surfaced through [Pass.record_counter] so
+   [hirc --stats] and the Chrome traces cover simulation too. *)
+type stats = {
+  st_cycles : int;
+  st_settles : int;
+  st_assigns_evaluated : int;
+  st_assigns_skipped : int;
+  st_fastpath_evaluated : int;  (* evaluations whose target is unboxed *)
+  st_narrow_signals : int;  (* width <= 63, native-int representation *)
+  st_wide_signals : int;
+}
+
+(* ================================================================== *)
+(* Reference engine: the original tree walker                          *)
+
+module Reference = struct
+  type signal = {
+    mutable value : Bitvec.t;
+    width : int;
+    is_reg : bool;
   }
 
-(* ------------------------------------------------------------------ *)
-(* Expression evaluation                                               *)
+  type memory = { cells : Bitvec.t array; elem_width : int }
 
-let rec natural t expr = natural_width ~signal_width:(signal_width t) expr
+  type t = {
+    signals : (string, signal) Hashtbl.t;
+    memories : (string, memory) Hashtbl.t;
+    assigns : (string * expr) list;  (* topologically sorted *)
+    always : stmt list;
+    inputs : string list;
+    outputs : string list;
+    mutable cycle : int;
+    mutable failures : assertion_failure list;
+    mutable settles : int;
+  }
 
-and eval t ~width expr : Bitvec.t =
-  match expr with
-  | Const b -> Bitvec.resize ~width b
-  | Ref name -> (
+  (* ---------------------------------------------------------------- *)
+  (* Construction                                                      *)
+
+  let signal_width t name =
     match Hashtbl.find_opt t.signals name with
-    | Some s -> Bitvec.resize ~width s.value
-    | None -> fail "read of unknown signal %s" name)
-  | Index (name, addr) -> (
-    match Hashtbl.find_opt t.memories name with
-    | Some m ->
-      let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
-      if a < Array.length m.cells then Bitvec.resize ~width m.cells.(a)
-      else Bitvec.zero width
-    | None -> fail "indexing non-memory %s" name)
-  | Slice (e, hi, lo) ->
-    let v = eval t ~width:(max (hi + 1) (natural t e)) e in
-    Bitvec.resize ~width (Bitvec.extract ~hi ~lo v)
-  | Unop (Not, e) -> Bitvec.lognot (eval t ~width e)
-  | Unop (Red_or, e) ->
-    let v = eval t ~width:(max 1 (natural t e)) e in
-    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero v)))
-  | Unop (Red_and, e) ->
-    let w = max 1 (natural t e) in
-    let v = eval t ~width:w e in
-    Bitvec.resize ~width (Bitvec.of_bool (Bitvec.equal v (Bitvec.ones w)))
-  | Binop (((Add | Sub | Mul | And | Or | Xor) as op), a, b) ->
-    let x = eval t ~width a and y = eval t ~width b in
-    let f =
-      match op with
-      | Add -> Bitvec.add
-      | Sub -> Bitvec.sub
-      | Mul -> Bitvec.mul
-      | And -> Bitvec.logand
-      | Or -> Bitvec.logor
-      | Xor -> Bitvec.logxor
-      | _ -> assert false
+    | Some s -> s.width
+    | None -> (
+      match Hashtbl.find_opt t.memories name with
+      | Some m -> m.elem_width
+      | None -> fail "unknown signal %s" name)
+
+  let create (flat : Flatten.flat) =
+    let signals = Hashtbl.create 256 in
+    let memories = Hashtbl.create 16 in
+    let assigns = ref [] in
+    let always_rev = ref [] in
+    List.iter
+      (fun item ->
+        match item with
+        | Wire_decl { name; width } ->
+          Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = false }
+        | Reg_decl { name; width } ->
+          Hashtbl.replace signals name { value = Bitvec.zero width; width; is_reg = true }
+        | Mem_decl { name; width; depth; _ } ->
+          Hashtbl.replace memories name
+            { cells = Array.make depth (Bitvec.zero width); elem_width = width }
+        | Assign { target; expr } -> assigns := (target, expr) :: !assigns
+        | Always_ff stmts -> always_rev := stmts :: !always_rev
+        | Comment _ -> ()
+        | Instance _ -> fail "simulator requires a flattened design")
+      flat.flat_items;
+    let assign_list = List.rev !assigns in
+    let is_comb name =
+      match Hashtbl.find_opt signals name with
+      | Some s -> not s.is_reg
+      | None -> false
     in
-    f x y
-  | Binop (Shl, a, b) ->
-    let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
-    Bitvec.shift_left (eval t ~width a) (min shift width)
-  | Binop (Shr, a, b) ->
-    let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
-    Bitvec.shift_right_logical (eval t ~width a) (min shift width)
-  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
-    let w = max 1 (max (natural t a) (natural t b)) in
-    let x = eval t ~width:w a and y = eval t ~width:w b in
-    let c = Bitvec.compare x y in
-    let r =
-      match op with
-      | Lt -> c < 0
-      | Le -> c <= 0
-      | Gt -> c > 0
-      | Ge -> c >= 0
-      | Eq -> c = 0
-      | Ne -> c <> 0
-      | _ -> assert false
+    {
+      signals;
+      memories;
+      assigns = topo_sort_assigns ~is_comb assign_list;
+      always = List.concat (List.rev !always_rev);
+      inputs = flat.flat_inputs;
+      outputs = flat.flat_outputs;
+      cycle = 0;
+      failures = [];
+      settles = 0;
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Expression evaluation                                             *)
+
+  let natural t expr = natural_width ~signal_width:(signal_width t) expr
+
+  let rec eval t ~width expr : Bitvec.t =
+    match expr with
+    | Const b -> Bitvec.resize ~width b
+    | Ref name -> (
+      match Hashtbl.find_opt t.signals name with
+      | Some s -> Bitvec.resize ~width s.value
+      | None -> fail "read of unknown signal %s" name)
+    | Index (name, addr) -> (
+      match Hashtbl.find_opt t.memories name with
+      | Some m ->
+        let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
+        if a < Array.length m.cells then Bitvec.resize ~width m.cells.(a)
+        else Bitvec.zero width
+      | None -> fail "indexing non-memory %s" name)
+    | Slice (e, hi, lo) ->
+      let v = eval t ~width:(max (hi + 1) (natural t e)) e in
+      Bitvec.resize ~width (Bitvec.extract ~hi ~lo v)
+    | Unop (Not, e) -> Bitvec.lognot (eval t ~width e)
+    | Unop (Red_or, e) ->
+      let v = eval t ~width:(max 1 (natural t e)) e in
+      Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero v)))
+    | Unop (Red_and, e) ->
+      let w = max 1 (natural t e) in
+      let v = eval t ~width:w e in
+      Bitvec.resize ~width (Bitvec.of_bool (Bitvec.equal v (Bitvec.ones w)))
+    | Binop (((Add | Sub | Mul | And | Or | Xor) as op), a, b) ->
+      let x = eval t ~width a and y = eval t ~width b in
+      let f =
+        match op with
+        | Add -> Bitvec.add
+        | Sub -> Bitvec.sub
+        | Mul -> Bitvec.mul
+        | And -> Bitvec.logand
+        | Or -> Bitvec.logor
+        | Xor -> Bitvec.logxor
+        | _ -> assert false
+      in
+      f x y
+    | Binop (Shl, a, b) ->
+      let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
+      Bitvec.shift_left (eval t ~width a) (min shift width)
+    | Binop (Shr, a, b) ->
+      let shift = Bitvec.to_int (eval t ~width:(max 1 (natural t b)) b) in
+      Bitvec.shift_right_logical (eval t ~width a) (min shift width)
+    | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+      let w = max 1 (max (natural t a) (natural t b)) in
+      let x = eval t ~width:w a and y = eval t ~width:w b in
+      let c = Bitvec.compare x y in
+      let r =
+        match op with
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | _ -> assert false
+      in
+      Bitvec.resize ~width (Bitvec.of_bool r)
+    | Binop (Log_and, a, b) ->
+      let x = eval t ~width:(max 1 (natural t a)) a in
+      let y = eval t ~width:(max 1 (natural t b)) b in
+      Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) && not (Bitvec.is_zero y)))
+    | Binop (Log_or, a, b) ->
+      let x = eval t ~width:(max 1 (natural t a)) a in
+      let y = eval t ~width:(max 1 (natural t b)) b in
+      Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) || not (Bitvec.is_zero y)))
+    | Ternary (c, a, b) ->
+      let cond = eval t ~width:(max 1 (natural t c)) c in
+      if Bitvec.is_zero cond then eval t ~width b else eval t ~width a
+    | Concat [] -> fail "empty concatenation"
+    | Concat (e0 :: rest) ->
+      let part e = eval t ~width:(max 1 (natural t e)) e in
+      let v = List.fold_left (fun acc e -> Bitvec.concat acc (part e)) (part e0) rest in
+      Bitvec.resize ~width v
+
+  let eval_bool t expr = not (Bitvec.is_zero (eval t ~width:(max 1 (natural t expr)) expr))
+
+  (* ---------------------------------------------------------------- *)
+  (* Cycle execution                                                   *)
+
+  type update =
+    | Set_reg of string * Bitvec.t
+    | Set_mem of string * int * Bitvec.t
+
+  let rec run_stmt t acc stmt =
+    match stmt with
+    | Nonblocking (Lref name, e) ->
+      let w = signal_width t name in
+      Set_reg (name, eval t ~width:w e) :: acc
+    | Nonblocking (Lindex (name, addr), e) -> (
+      match Hashtbl.find_opt t.memories name with
+      | Some m ->
+        let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
+        Set_mem (name, a, eval t ~width:m.elem_width e) :: acc
+      | None -> fail "write to non-memory %s" name)
+    | If (c, then_s, else_s) ->
+      if eval_bool t c then List.fold_left (run_stmt t) acc then_s
+      else List.fold_left (run_stmt t) acc else_s
+    | Assert_stmt { cond; message } ->
+      if not (eval_bool t cond) then
+        t.failures <- { at_cycle = t.cycle; message } :: t.failures;
+      acc
+
+  let settle t =
+    t.settles <- t.settles + 1;
+    List.iter
+      (fun (target, expr) ->
+        let s = Hashtbl.find t.signals target in
+        s.value <- eval t ~width:s.width expr)
+      t.assigns
+
+  let commit t updates =
+    List.iter
+      (fun u ->
+        match u with
+        | Set_reg (name, v) -> (Hashtbl.find t.signals name).value <- v
+        | Set_mem (name, a, v) ->
+          let m = Hashtbl.find t.memories name in
+          if a < Array.length m.cells then m.cells.(a) <- v
+          else
+            t.failures <-
+              { at_cycle = t.cycle; message = Printf.sprintf "write past end of %s" name }
+              :: t.failures)
+      updates
+
+  (* Drive an input signal (before [step]). *)
+  let set_input t name v =
+    match Hashtbl.find_opt t.signals name with
+    | Some s -> s.value <- Bitvec.resize ~width:s.width v
+    | None -> fail "unknown input %s" name
+
+  let peek t name =
+    match Hashtbl.find_opt t.signals name with
+    | Some s -> s.value
+    | None -> fail "unknown signal %s" name
+
+  (* Clock edge against already-settled combinational state. *)
+  let clock t =
+    let updates = List.fold_left (run_stmt t) [] t.always in
+    commit t updates;
+    t.cycle <- t.cycle + 1
+
+  let step t =
+    settle t;
+    clock t
+
+  let settle_only t = settle t
+
+  let failures t = List.rev t.failures
+  let cycle t = t.cycle
+
+  (* All named signals with their widths, for waveform dumping. *)
+  let signal_names t =
+    Hashtbl.fold (fun name s acc -> (name, s.width) :: acc) t.signals []
+    |> List.sort compare
+
+  let stats t =
+    let n_assigns = List.length t.assigns in
+    let narrow, wide =
+      Hashtbl.fold
+        (fun _ s (n, w) -> if s.width <= 63 then (n + 1, w) else (n, w + 1))
+        t.signals (0, 0)
     in
-    Bitvec.resize ~width (Bitvec.of_bool r)
-  | Binop (Log_and, a, b) ->
-    let x = eval t ~width:(max 1 (natural t a)) a in
-    let y = eval t ~width:(max 1 (natural t b)) b in
-    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) && not (Bitvec.is_zero y)))
-  | Binop (Log_or, a, b) ->
-    let x = eval t ~width:(max 1 (natural t a)) a in
-    let y = eval t ~width:(max 1 (natural t b)) b in
-    Bitvec.resize ~width (Bitvec.of_bool (not (Bitvec.is_zero x) || not (Bitvec.is_zero y)))
-  | Ternary (c, a, b) ->
-    let cond = eval t ~width:(max 1 (natural t c)) c in
-    if Bitvec.is_zero cond then eval t ~width b else eval t ~width a
-  | Concat es ->
-    let parts = List.map (fun e -> eval t ~width:(max 1 (natural t e)) e) es in
-    let v = List.fold_left (fun acc p -> Bitvec.concat acc p) (List.hd parts) (List.tl parts) in
-    Bitvec.resize ~width v
+    {
+      st_cycles = t.cycle;
+      st_settles = t.settles;
+      st_assigns_evaluated = t.settles * n_assigns;
+      st_assigns_skipped = 0;
+      st_fastpath_evaluated = 0;
+      st_narrow_signals = narrow;
+      st_wide_signals = wide;
+    }
+end
 
-let eval_bool t expr = not (Bitvec.is_zero (eval t ~width:(max 1 (natural t expr)) expr))
+(* ================================================================== *)
+(* Compiled engine                                                     *)
 
-(* ------------------------------------------------------------------ *)
-(* Cycle execution                                                     *)
+module Compiled = struct
+  (* Low [w] bits of a native int; [mask 63] is all 63 OCaml int bits
+     (-1), so width-63 values use bit 62 as the OCaml sign bit.  Every
+     arithmetic case below stays exact on that representation because
+     OCaml ints wrap modulo 2^63 and [land] masks bit patterns. *)
+  let mask w = if w >= 63 then -1 else (1 lsl w) - 1
 
-type update =
-  | Set_reg of string * Bitvec.t
-  | Set_mem of string * int * Bitvec.t
+  (* Unsigned comparison of two masked ints: flipping the sign bit maps
+     the unsigned 63-bit order onto the signed order. *)
+  let ucmp a b = Int.compare (a lxor min_int) (b lxor min_int)
 
-let rec run_stmt t acc stmt =
-  match stmt with
-  | Nonblocking (Lref name, e) ->
-    let w = signal_width t name in
-    Set_reg (name, eval t ~width:w e) :: acc
-  | Nonblocking (Lindex (name, addr), e) -> (
-    match Hashtbl.find_opt t.memories name with
-    | Some m ->
-      let a = Bitvec.to_int (eval t ~width:(max 1 (natural t addr)) addr) in
-      Set_mem (name, a, eval t ~width:m.elem_width e) :: acc
-    | None -> fail "write to non-memory %s" name)
-  | If (c, then_s, else_s) ->
-    if eval_bool t c then List.fold_left (run_stmt t) acc then_s
-    else List.fold_left (run_stmt t) acc else_s
-  | Assert_stmt { cond; message } ->
-    if not (eval_bool t cond) then
-      t.failures <- { at_cycle = t.cycle; message } :: t.failures;
-    acc
+  type slot = {
+    sl_name : string;
+    sl_width : int;
+    sl_is_reg : bool;
+    sl_idx : int;  (* index into the narrow or wide value array *)
+    sl_id : int;  (* dense id in the dependency graph *)
+  }
 
-let settle t =
-  List.iter
-    (fun (target, expr) ->
-      let s = Hashtbl.find t.signals target in
-      s.value <- eval t ~width:s.width expr)
-    t.assigns
+  type mem_store = M_narrow of int array | M_wide of Bitvec.t array
 
-let commit t updates =
-  List.iter
-    (fun u ->
-      match u with
-      | Set_reg (name, v) -> (Hashtbl.find t.signals name).value <- v
-      | Set_mem (name, a, v) ->
-        let m = Hashtbl.find t.memories name in
-        if a < Array.length m.cells then m.cells.(a) <- v
+  type mem = {
+    m_name : string;
+    m_elem_width : int;
+    m_store : mem_store;
+    m_id : int;  (* dependency-graph id: memory contents are a source *)
+    m_pos : int;  (* index into the [mems] array, for update records *)
+  }
+
+  (* Compilation environment: name resolution plus the live state
+     arrays the compiled closures read and write. *)
+  type cenv = {
+    ce_signals : (string, slot) Hashtbl.t;
+    ce_mems : (string, mem) Hashtbl.t;
+    ce_narrow : int array;
+    ce_wide : Bitvec.t array;
+  }
+
+  (* Reusable nonblocking-update buffer: parallel growable arrays, so a
+     clock edge allocates nothing in steady state.  Kinds: 0 narrow
+     reg, 1 wide reg, 2 narrow mem cell, 3 wide mem cell. *)
+  type ubuf = {
+    mutable u_len : int;
+    mutable u_kind : int array;
+    mutable u_a : int array;  (* reg: value-array index; mem: m_pos *)
+    mutable u_b : int array;  (* reg: slot id; mem: cell address *)
+    mutable u_iv : int array;
+    mutable u_bv : Bitvec.t array;
+  }
+
+  let dummy_bv = Bitvec.zero 1
+
+  let push buf kind a b iv bv =
+    let n = buf.u_len in
+    if n = Array.length buf.u_kind then begin
+      let grow ar z =
+        let nar = Array.make (2 * n) z in
+        Array.blit ar 0 nar 0 n;
+        nar
+      in
+      buf.u_kind <- grow buf.u_kind 0;
+      buf.u_a <- grow buf.u_a 0;
+      buf.u_b <- grow buf.u_b 0;
+      buf.u_iv <- grow buf.u_iv 0;
+      buf.u_bv <- grow buf.u_bv dummy_bv
+    end;
+    buf.u_kind.(n) <- kind;
+    buf.u_a.(n) <- a;
+    buf.u_b.(n) <- b;
+    buf.u_iv.(n) <- iv;
+    buf.u_bv.(n) <- bv;
+    buf.u_len <- n + 1
+
+  type rt = {
+    mutable cycle : int;
+    mutable failures : assertion_failure list;
+    mutable settles : int;
+    mutable evaluated : int;
+    mutable skipped : int;
+    mutable fast_evaluated : int;
+  }
+
+  type t = {
+    env : cenv;
+    rt : rt;
+    buf : ubuf;
+    mems : mem array;
+    assign_eval : (unit -> unit) array;  (* topo order: eval, store, mark *)
+    assign_fast : bool array;  (* target is narrow (unboxed) *)
+    dirty : bool array;  (* per assign, same indexing *)
+    deps : int array array;  (* slot id -> assign indices reading it *)
+    always : (unit -> unit) array;
+    inputs : string list;
+    outputs : string list;
+    n_narrow_signals : int;
+    n_wide_signals : int;
+  }
+
+  (* ---------------------------------------------------------------- *)
+  (* Expression compilation                                            *)
+
+  let sig_width env name =
+    match Hashtbl.find_opt env.ce_signals name with
+    | Some s -> s.sl_width
+    | None -> (
+      match Hashtbl.find_opt env.ce_mems name with
+      | Some m -> m.m_elem_width
+      | None -> fail "unknown signal %s" name)
+
+  let natural env expr = natural_width ~signal_width:(sig_width env) expr
+
+  (* [compile_int env ~width e] compiles [e] to a closure producing its
+     value at context [width] (1 <= width <= 63) as a masked native
+     int.  [compile_bv] is the general boxed path for any width; each
+     evaluation point picks a path by its own evaluation width, so a
+     narrow context can still dive into wide subexpressions and vice
+     versa. *)
+  let rec compile_int env ~width e : unit -> int =
+    let mw = mask width in
+    match e with
+    | Const b ->
+      let v = Bitvec.to_int_trunc (Bitvec.resize ~width b) in
+      fun () -> v
+    | Ref name -> (
+      match Hashtbl.find_opt env.ce_signals name with
+      | None -> fail "read of unknown signal %s" name
+      | Some s ->
+        let narrow = env.ce_narrow and wide = env.ce_wide in
+        let idx = s.sl_idx in
+        if s.sl_width > 63 then fun () -> Bitvec.to_int_trunc wide.(idx) land mw
+        else if s.sl_width <= width then fun () -> narrow.(idx)
+        else fun () -> narrow.(idx) land mw)
+    | Index (name, addr) -> (
+      match Hashtbl.find_opt env.ce_mems name with
+      | None -> fail "indexing non-memory %s" name
+      | Some m ->
+        let fa = compile_addr env addr in
+        (match m.m_store with
+        | M_narrow cells ->
+          let depth = Array.length cells in
+          if m.m_elem_width <= width then
+            fun () ->
+              let a = fa () in
+              if a >= 0 && a < depth then cells.(a) else 0
+          else
+            fun () ->
+              let a = fa () in
+              if a >= 0 && a < depth then cells.(a) land mw else 0
+        | M_wide cells ->
+          let depth = Array.length cells in
+          fun () ->
+            let a = fa () in
+            if a >= 0 && a < depth then Bitvec.to_int_trunc cells.(a) land mw
+            else 0))
+    | Slice (e1, hi, lo) ->
+      let wi = max (hi + 1) (natural env e1) in
+      let m = mask (min (hi - lo + 1) width) in
+      if wi <= 63 then
+        let f = compile_int env ~width:wi e1 in
+        fun () -> (f () lsr lo) land m
+      else
+        let f = compile_bv env ~width:wi e1 in
+        fun () -> Bitvec.to_int_trunc (Bitvec.extract ~hi ~lo (f ())) land m
+    | Unop (Not, e1) ->
+      let f = compile_int env ~width e1 in
+      fun () -> lnot (f ()) land mw
+    | Unop (Red_or, e1) ->
+      let f = compile_nonzero env e1 in
+      fun () -> if f () then 1 else 0
+    | Unop (Red_and, e1) -> (
+      let wn = max 1 (natural env e1) in
+      if wn <= 63 then
+        let f = compile_int env ~width:wn e1 in
+        let all = mask wn in
+        fun () -> if f () = all then 1 else 0
+      else
+        let f = compile_bv env ~width:wn e1 in
+        let all = Bitvec.ones wn in
+        fun () -> if Bitvec.equal (f ()) all then 1 else 0)
+    | Binop (((Add | Sub | Mul | And | Or | Xor) as op), a, b) -> (
+      let fa = compile_int env ~width a and fb = compile_int env ~width b in
+      match op with
+      | Add -> fun () -> (fa () + fb ()) land mw
+      | Sub -> fun () -> (fa () - fb ()) land mw
+      | Mul -> fun () -> fa () * fb () land mw
+      | And -> fun () -> fa () land fb ()
+      | Or -> fun () -> fa () lor fb ()
+      | Xor -> fun () -> fa () lxor fb ()
+      | _ -> assert false)
+    | Binop (Shl, a, b) ->
+      let fa = compile_int env ~width a and fk = compile_shift env b in
+      fun () ->
+        let k = fk () in
+        if k < 0 || k >= width then 0 else (fa () lsl k) land mw
+    | Binop (Shr, a, b) ->
+      let fa = compile_int env ~width a and fk = compile_shift env b in
+      fun () ->
+        let k = fk () in
+        if k < 0 || k >= width then 0 else fa () lsr k
+    | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) -> (
+      let cmp = compile_compare env a b in
+      match op with
+      | Lt -> fun () -> if cmp () < 0 then 1 else 0
+      | Le -> fun () -> if cmp () <= 0 then 1 else 0
+      | Gt -> fun () -> if cmp () > 0 then 1 else 0
+      | Ge -> fun () -> if cmp () >= 0 then 1 else 0
+      | Eq -> fun () -> if cmp () = 0 then 1 else 0
+      | Ne -> fun () -> if cmp () <> 0 then 1 else 0
+      | _ -> assert false)
+    | Binop (Log_and, a, b) ->
+      let fa = compile_nonzero env a and fb = compile_nonzero env b in
+      fun () -> if fa () && fb () then 1 else 0
+    | Binop (Log_or, a, b) ->
+      let fa = compile_nonzero env a and fb = compile_nonzero env b in
+      fun () -> if fa () || fb () then 1 else 0
+    | Ternary (c, a, b) ->
+      let fc = compile_nonzero env c in
+      let fa = compile_int env ~width a and fb = compile_int env ~width b in
+      fun () -> if fc () then fa () else fb ()
+    | Concat [] -> fail "empty concatenation"
+    | Concat es ->
+      let widths = List.map (fun e -> max 1 (natural env e)) es in
+      let total = List.fold_left ( + ) 0 widths in
+      if total <= 63 then begin
+        (* Part i occupies bits [shift_i, shift_i + w_i); a lone
+           width-63 part gets shift 0, so [lsl] stays in range. *)
+        let fs = Array.of_list (List.map2 (fun e w -> compile_int env ~width:w e) es widths) in
+        let ws = Array.of_list widths in
+        let n = Array.length fs in
+        let shifts = Array.make n 0 in
+        let acc = ref 0 in
+        for i = n - 1 downto 0 do
+          shifts.(i) <- !acc;
+          acc := !acc + ws.(i)
+        done;
+        let combine () =
+          let v = ref 0 in
+          for i = 0 to n - 1 do
+            v := !v lor (fs.(i) () lsl shifts.(i))
+          done;
+          !v
+        in
+        if width >= total then combine else fun () -> combine () land mw
+      end
+      else
+        let f = compile_concat_bv env es widths in
+        fun () -> Bitvec.to_int_trunc (f ()) land mw
+
+  and compile_bv env ~width e : unit -> Bitvec.t =
+    match e with
+    | Const b ->
+      let v = Bitvec.resize ~width b in
+      fun () -> v
+    | Ref name -> (
+      match Hashtbl.find_opt env.ce_signals name with
+      | None -> fail "read of unknown signal %s" name
+      | Some s ->
+        let narrow = env.ce_narrow and wide = env.ce_wide in
+        let idx = s.sl_idx in
+        if s.sl_width > 63 then
+          if s.sl_width = width then fun () -> wide.(idx)
+          else fun () -> Bitvec.resize ~width wide.(idx)
         else
-          t.failures <-
-            { at_cycle = t.cycle; message = Printf.sprintf "write past end of %s" name }
-            :: t.failures)
-    updates
+          let sw = s.sl_width in
+          fun () -> Bitvec.resize ~width (Bitvec.of_int ~width:sw narrow.(idx)))
+    | Index (name, addr) -> (
+      match Hashtbl.find_opt env.ce_mems name with
+      | None -> fail "indexing non-memory %s" name
+      | Some m ->
+        let fa = compile_addr env addr in
+        let oob = Bitvec.zero width in
+        (match m.m_store with
+        | M_narrow cells ->
+          let depth = Array.length cells and ew = m.m_elem_width in
+          fun () ->
+            let a = fa () in
+            if a >= 0 && a < depth then
+              Bitvec.resize ~width (Bitvec.of_int ~width:ew cells.(a))
+            else oob
+        | M_wide cells ->
+          let depth = Array.length cells in
+          fun () ->
+            let a = fa () in
+            if a >= 0 && a < depth then Bitvec.resize ~width cells.(a) else oob))
+    | Slice (e1, hi, lo) ->
+      let wi = max (hi + 1) (natural env e1) in
+      if wi <= 63 then
+        let f = compile_int env ~width:wi e1 in
+        let sw = hi - lo + 1 in
+        let m = mask sw in
+        fun () -> Bitvec.resize ~width (Bitvec.of_int ~width:sw ((f () lsr lo) land m))
+      else
+        let f = compile_bv env ~width:wi e1 in
+        fun () -> Bitvec.resize ~width (Bitvec.extract ~hi ~lo (f ()))
+    | Unop (Not, e1) ->
+      let f = compile_bv env ~width e1 in
+      fun () -> Bitvec.lognot (f ())
+    | Unop (Red_or, e1) ->
+      let f = compile_nonzero env e1 in
+      let tru = Bitvec.resize ~width (Bitvec.of_bool true) and fls = Bitvec.zero width in
+      fun () -> if f () then tru else fls
+    | Unop (Red_and, e1) -> (
+      let wn = max 1 (natural env e1) in
+      let tru = Bitvec.resize ~width (Bitvec.of_bool true) and fls = Bitvec.zero width in
+      if wn <= 63 then
+        let f = compile_int env ~width:wn e1 in
+        let all = mask wn in
+        fun () -> if f () = all then tru else fls
+      else
+        let f = compile_bv env ~width:wn e1 in
+        let all = Bitvec.ones wn in
+        fun () -> if Bitvec.equal (f ()) all then tru else fls)
+    | Binop (((Add | Sub | Mul | And | Or | Xor) as op), a, b) ->
+      let fa = compile_bv env ~width a and fb = compile_bv env ~width b in
+      let g =
+        match op with
+        | Add -> Bitvec.add
+        | Sub -> Bitvec.sub
+        | Mul -> Bitvec.mul
+        | And -> Bitvec.logand
+        | Or -> Bitvec.logor
+        | Xor -> Bitvec.logxor
+        | _ -> assert false
+      in
+      fun () -> g (fa ()) (fb ())
+    | Binop (Shl, a, b) ->
+      let fa = compile_bv env ~width a and fk = compile_shift env b in
+      fun () ->
+        let k = fk () in
+        let k = if k < 0 || k > width then width else k in
+        Bitvec.shift_left (fa ()) k
+    | Binop (Shr, a, b) ->
+      let fa = compile_bv env ~width a and fk = compile_shift env b in
+      fun () ->
+        let k = fk () in
+        let k = if k < 0 || k > width then width else k in
+        Bitvec.shift_right_logical (fa ()) k
+    | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+      let cmp = compile_compare env a b in
+      let tru = Bitvec.resize ~width (Bitvec.of_bool true) and fls = Bitvec.zero width in
+      let test =
+        match op with
+        | Lt -> fun c -> c < 0
+        | Le -> fun c -> c <= 0
+        | Gt -> fun c -> c > 0
+        | Ge -> fun c -> c >= 0
+        | Eq -> fun c -> c = 0
+        | Ne -> fun c -> c <> 0
+        | _ -> assert false
+      in
+      fun () -> if test (cmp ()) then tru else fls
+    | Binop (Log_and, a, b) ->
+      let fa = compile_nonzero env a and fb = compile_nonzero env b in
+      let tru = Bitvec.resize ~width (Bitvec.of_bool true) and fls = Bitvec.zero width in
+      fun () -> if fa () && fb () then tru else fls
+    | Binop (Log_or, a, b) ->
+      let fa = compile_nonzero env a and fb = compile_nonzero env b in
+      let tru = Bitvec.resize ~width (Bitvec.of_bool true) and fls = Bitvec.zero width in
+      fun () -> if fa () || fb () then tru else fls
+    | Ternary (c, a, b) ->
+      let fc = compile_nonzero env c in
+      let fa = compile_bv env ~width a and fb = compile_bv env ~width b in
+      fun () -> if fc () then fa () else fb ()
+    | Concat [] -> fail "empty concatenation"
+    | Concat es ->
+      let widths = List.map (fun e -> max 1 (natural env e)) es in
+      let total = List.fold_left ( + ) 0 widths in
+      let f = compile_concat_bv env es widths in
+      if total = width then f else fun () -> Bitvec.resize ~width (f ())
 
-(* Drive an input signal (before [step]). *)
+  (* Concatenation as a [Bitvec] of width = sum of part widths; the
+     first part occupies the high bits. *)
+  and compile_concat_bv env es widths =
+    let fs =
+      List.map2
+        (fun e w ->
+          if w <= 63 then
+            let f = compile_int env ~width:w e in
+            fun () -> Bitvec.of_int ~width:w (f ())
+          else compile_bv env ~width:w e)
+        es widths
+    in
+    match fs with
+    | [] -> fail "empty concatenation"
+    | f0 :: rest -> fun () -> List.fold_left (fun acc f -> Bitvec.concat acc (f ())) (f0 ()) rest
+
+  (* Nonzero test at the expression's natural width. *)
+  and compile_nonzero env e =
+    let wn = max 1 (natural env e) in
+    if wn <= 63 then
+      let f = compile_int env ~width:wn e in
+      fun () -> f () <> 0
+    else
+      let f = compile_bv env ~width:wn e in
+      fun () -> not (Bitvec.is_zero (f ()))
+
+  (* Unsigned comparison at the wider operand's natural width. *)
+  and compile_compare env a b =
+    let w0 = max 1 (max (natural env a) (natural env b)) in
+    if w0 <= 63 then
+      let fa = compile_int env ~width:w0 a and fb = compile_int env ~width:w0 b in
+      fun () -> ucmp (fa ()) (fb ())
+    else
+      let fa = compile_bv env ~width:w0 a and fb = compile_bv env ~width:w0 b in
+      fun () -> Bitvec.compare (fa ()) (fb ())
+
+  (* Shift amount / memory address as a non-negative int; a negative
+     result means "too large to represent" and is treated as
+     out-of-range by the callers (the reference walker raises on such
+     values instead — they are unreachable from generated designs). *)
+  and compile_shift env b =
+    let wb = max 1 (natural env b) in
+    if wb <= 63 then compile_int env ~width:wb b
+    else
+      let f = compile_bv env ~width:wb b in
+      fun () -> ( match Bitvec.to_int_opt (f ()) with Some k -> k | None -> -1)
+
+  and compile_addr env addr = compile_shift env addr
+
+  (* ---------------------------------------------------------------- *)
+  (* Statement compilation (always @(posedge clk) bodies)              *)
+
+  let rec compile_stmt env ~rt ~buf stmt : unit -> unit =
+    match stmt with
+    | Nonblocking (Lref name, e) -> (
+      match Hashtbl.find_opt env.ce_signals name with
+      | None -> fail "unknown signal %s" name
+      | Some s ->
+        let idx = s.sl_idx and id = s.sl_id in
+        if s.sl_width <= 63 then
+          let f = compile_int env ~width:s.sl_width e in
+          fun () -> push buf 0 idx id (f ()) dummy_bv
+        else
+          let f = compile_bv env ~width:s.sl_width e in
+          fun () -> push buf 1 idx id 0 (f ()))
+    | Nonblocking (Lindex (name, addr), e) -> (
+      match Hashtbl.find_opt env.ce_mems name with
+      | None -> fail "write to non-memory %s" name
+      | Some m -> (
+        let fa = compile_addr env addr in
+        let pos = m.m_pos in
+        match m.m_store with
+        | M_narrow _ ->
+          let f = compile_int env ~width:m.m_elem_width e in
+          fun () ->
+            let a = fa () in
+            push buf 2 pos a (f ()) dummy_bv
+        | M_wide _ ->
+          let f = compile_bv env ~width:m.m_elem_width e in
+          fun () ->
+            let a = fa () in
+            push buf 3 pos a 0 (f ())))
+    | If (c, then_s, else_s) ->
+      let fc = compile_nonzero env c in
+      let ft = Array.of_list (List.map (compile_stmt env ~rt ~buf) then_s) in
+      let fe = Array.of_list (List.map (compile_stmt env ~rt ~buf) else_s) in
+      fun () ->
+        let arm = if fc () then ft else fe in
+        for i = 0 to Array.length arm - 1 do
+          arm.(i) ()
+        done
+    | Assert_stmt { cond; message } ->
+      let fc = compile_nonzero env cond in
+      fun () ->
+        if not (fc ()) then
+          rt.failures <- { at_cycle = rt.cycle; message } :: rt.failures
+
+  (* ---------------------------------------------------------------- *)
+  (* Construction                                                      *)
+
+  let create (flat : Flatten.flat) =
+    let sig_tbl = Hashtbl.create 256 in
+    let mem_tbl = Hashtbl.create 16 in
+    let decls = ref [] in
+    let mem_decls = ref [] in
+    let assigns_rev = ref [] in
+    let always_rev = ref [] in
+    List.iter
+      (fun item ->
+        match item with
+        | Wire_decl { name; width } -> decls := (name, width, false) :: !decls
+        | Reg_decl { name; width } -> decls := (name, width, true) :: !decls
+        | Mem_decl { name; width; depth; _ } -> mem_decls := (name, width, depth) :: !mem_decls
+        | Assign { target; expr } -> assigns_rev := (target, expr) :: !assigns_rev
+        | Always_ff stmts -> always_rev := stmts :: !always_rev
+        | Comment _ -> ()
+        | Instance _ -> fail "simulator requires a flattened design")
+      flat.flat_items;
+    let decls = List.rev !decls in
+    let mem_decls = List.rev !mem_decls in
+    let assign_list = List.rev !assigns_rev in
+    let always_stmts = List.concat (List.rev !always_rev) in
+    (* Slot allocation: narrow signals share one int array, wide ones a
+       Bitvec array; every signal and memory also gets a dense id in
+       the dependency graph. *)
+    let n_narrow = ref 0 and n_wide = ref 0 and n_ids = ref 0 in
+    let wide_widths = ref [] in
+    List.iter
+      (fun (name, width, is_reg) ->
+        let idx =
+          if width <= 63 then (
+            let i = !n_narrow in
+            incr n_narrow;
+            i)
+          else (
+            let i = !n_wide in
+            incr n_wide;
+            wide_widths := width :: !wide_widths;
+            i)
+        in
+        let id = !n_ids in
+        incr n_ids;
+        Hashtbl.replace sig_tbl name
+          { sl_name = name; sl_width = width; sl_is_reg = is_reg; sl_idx = idx; sl_id = id })
+      decls;
+    let mems =
+      Array.of_list
+        (List.mapi
+           (fun pos (name, width, depth) ->
+             let id = !n_ids in
+             incr n_ids;
+             let store =
+               if width <= 63 then M_narrow (Array.make depth 0)
+               else M_wide (Array.make depth (Bitvec.zero width))
+             in
+             let m = { m_name = name; m_elem_width = width; m_store = store; m_id = id; m_pos = pos } in
+             Hashtbl.replace mem_tbl name m;
+             m)
+           mem_decls)
+    in
+    let narrow = Array.make (max 1 !n_narrow) 0 in
+    let wide = Array.of_list (List.rev_map (fun w -> Bitvec.zero w) !wide_widths) in
+    let env = { ce_signals = sig_tbl; ce_mems = mem_tbl; ce_narrow = narrow; ce_wide = wide } in
+    let is_comb name =
+      match Hashtbl.find_opt sig_tbl name with
+      | Some s -> not s.sl_is_reg
+      | None -> false
+    in
+    let sorted = Array.of_list (topo_sort_assigns ~is_comb assign_list) in
+    let n_assigns = Array.length sorted in
+    (* Dependency graph: which assigns (by topo index) read each slot.
+       Dependents of an assign's own target always sit later in topo
+       order, so one forward pass over the dirty set per settle is a
+       fixpoint. *)
+    let dep_lists = Array.make (max 1 !n_ids) [] in
+    Array.iteri
+      (fun j (_, expr) ->
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt sig_tbl name with
+            | Some s -> dep_lists.(s.sl_id) <- j :: dep_lists.(s.sl_id)
+            | None -> ())
+          (wire_deps expr []);
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt mem_tbl name with
+            | Some m -> dep_lists.(m.m_id) <- j :: dep_lists.(m.m_id)
+            | None -> ())
+          (mem_reads expr []))
+      sorted;
+    let deps = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) dep_lists in
+    let dirty = Array.make (max 1 n_assigns) true in
+    let rt = { cycle = 0; failures = []; settles = 0; evaluated = 0; skipped = 0; fast_evaluated = 0 } in
+    let buf =
+      {
+        u_len = 0;
+        u_kind = Array.make 64 0;
+        u_a = Array.make 64 0;
+        u_b = Array.make 64 0;
+        u_iv = Array.make 64 0;
+        u_bv = Array.make 64 dummy_bv;
+      }
+    in
+    let assign_fast =
+      Array.map
+        (fun (target, _) ->
+          match Hashtbl.find_opt sig_tbl target with
+          | Some s -> s.sl_width <= 63
+          | None -> false)
+        sorted
+    in
+    let assign_eval =
+      Array.map
+        (fun (target, expr) ->
+          match Hashtbl.find_opt sig_tbl target with
+          | None -> fail "assign to undeclared signal %s" target
+          | Some s ->
+            let succs = deps.(s.sl_id) in
+            let idx = s.sl_idx in
+            if s.sl_width <= 63 then begin
+              let f = compile_int env ~width:s.sl_width expr in
+              fun () ->
+                let v = f () in
+                if narrow.(idx) <> v then begin
+                  narrow.(idx) <- v;
+                  Array.iter (fun j -> dirty.(j) <- true) succs
+                end
+            end
+            else begin
+              let f = compile_bv env ~width:s.sl_width expr in
+              fun () ->
+                let v = f () in
+                if not (Bitvec.equal wide.(idx) v) then begin
+                  wide.(idx) <- v;
+                  Array.iter (fun j -> dirty.(j) <- true) succs
+                end
+            end)
+        sorted
+    in
+    let always = Array.of_list (List.map (compile_stmt env ~rt ~buf) always_stmts) in
+    {
+      env;
+      rt;
+      buf;
+      mems;
+      assign_eval;
+      assign_fast;
+      dirty;
+      deps;
+      always;
+      inputs = flat.flat_inputs;
+      outputs = flat.flat_outputs;
+      n_narrow_signals = !n_narrow;
+      n_wide_signals = !n_wide;
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Cycle execution                                                   *)
+
+  let settle t =
+    let rt = t.rt in
+    rt.settles <- rt.settles + 1;
+    let dirty = t.dirty and evalf = t.assign_eval and fast = t.assign_fast in
+    for i = 0 to Array.length evalf - 1 do
+      if dirty.(i) then begin
+        dirty.(i) <- false;
+        rt.evaluated <- rt.evaluated + 1;
+        if fast.(i) then rt.fast_evaluated <- rt.fast_evaluated + 1;
+        evalf.(i) ()
+      end
+      else rt.skipped <- rt.skipped + 1
+    done
+
+  let mark_slot t id = Array.iter (fun j -> t.dirty.(j) <- true) t.deps.(id)
+
+  (* Commit in reverse push order, replicating the reference walker's
+     list-accumulated semantics exactly: with several updates to one
+     target in a cycle, the first statement executed wins, and
+     out-of-range memory writes report in that same order. *)
+  let commit t =
+    let b = t.buf and narrow = t.env.ce_narrow and wide = t.env.ce_wide in
+    for i = b.u_len - 1 downto 0 do
+      match b.u_kind.(i) with
+      | 0 ->
+        let idx = b.u_a.(i) and v = b.u_iv.(i) in
+        if narrow.(idx) <> v then begin
+          narrow.(idx) <- v;
+          mark_slot t b.u_b.(i)
+        end
+      | 1 ->
+        let idx = b.u_a.(i) and v = b.u_bv.(i) in
+        if not (Bitvec.equal wide.(idx) v) then begin
+          wide.(idx) <- v;
+          mark_slot t b.u_b.(i)
+        end
+      | k -> (
+        let m = t.mems.(b.u_a.(i)) and a = b.u_b.(i) in
+        let oob depth =
+          if a >= 0 && a < depth then false
+          else begin
+            t.rt.failures <-
+              { at_cycle = t.rt.cycle; message = Printf.sprintf "write past end of %s" m.m_name }
+              :: t.rt.failures;
+            true
+          end
+        in
+        match m.m_store with
+        | M_narrow cells ->
+          assert (k = 2);
+          let v = b.u_iv.(i) in
+          if (not (oob (Array.length cells))) && cells.(a) <> v then begin
+            cells.(a) <- v;
+            mark_slot t m.m_id
+          end
+        | M_wide cells ->
+          let v = b.u_bv.(i) in
+          if (not (oob (Array.length cells))) && not (Bitvec.equal cells.(a) v) then begin
+            cells.(a) <- v;
+            mark_slot t m.m_id
+          end)
+    done;
+    b.u_len <- 0
+
+  let clock t =
+    t.buf.u_len <- 0;
+    let always = t.always in
+    for i = 0 to Array.length always - 1 do
+      always.(i) ()
+    done;
+    commit t;
+    t.rt.cycle <- t.rt.cycle + 1
+
+  let step t =
+    settle t;
+    clock t
+
+  let settle_only t = settle t
+
+  let set_input t name v =
+    match Hashtbl.find_opt t.env.ce_signals name with
+    | None -> fail "unknown input %s" name
+    | Some s ->
+      if s.sl_width <= 63 then begin
+        let v = Bitvec.to_int_trunc (Bitvec.resize ~width:s.sl_width v) in
+        if t.env.ce_narrow.(s.sl_idx) <> v then begin
+          t.env.ce_narrow.(s.sl_idx) <- v;
+          mark_slot t s.sl_id
+        end
+      end
+      else begin
+        let v = Bitvec.resize ~width:s.sl_width v in
+        if not (Bitvec.equal t.env.ce_wide.(s.sl_idx) v) then begin
+          t.env.ce_wide.(s.sl_idx) <- v;
+          mark_slot t s.sl_id
+        end
+      end
+
+  let peek t name =
+    match Hashtbl.find_opt t.env.ce_signals name with
+    | Some s ->
+      if s.sl_width <= 63 then Bitvec.of_int ~width:s.sl_width t.env.ce_narrow.(s.sl_idx)
+      else t.env.ce_wide.(s.sl_idx)
+    | None -> fail "unknown signal %s" name
+
+  let signal_width t name = sig_width t.env name
+
+  let failures t = List.rev t.rt.failures
+  let cycle t = t.rt.cycle
+
+  let signal_names t =
+    Hashtbl.fold (fun name s acc -> (name, s.sl_width) :: acc) t.env.ce_signals []
+    |> List.sort compare
+
+  let eval_bool t expr = compile_nonzero t.env expr ()
+
+  let stats t =
+    {
+      st_cycles = t.rt.cycle;
+      st_settles = t.rt.settles;
+      st_assigns_evaluated = t.rt.evaluated;
+      st_assigns_skipped = t.rt.skipped;
+      st_fastpath_evaluated = t.rt.fast_evaluated;
+      st_narrow_signals = t.n_narrow_signals;
+      st_wide_signals = t.n_wide_signals;
+    }
+end
+
+(* ================================================================== *)
+(* Engine dispatch: the compiled engine is the default; callers pick    *)
+(* the reference walker with [create ~engine:`Reference].               *)
+
+type engine = [ `Compiled | `Reference ]
+
+type t = C of Compiled.t | R of Reference.t
+
+let create ?(engine = `Compiled) flat =
+  match engine with
+  | `Compiled -> C (Compiled.create flat)
+  | `Reference -> R (Reference.create flat)
+
+let signal_width t name =
+  match t with C c -> Compiled.signal_width c name | R r -> Reference.signal_width r name
+
 let set_input t name v =
-  match Hashtbl.find_opt t.signals name with
-  | Some s -> s.value <- Bitvec.resize ~width:s.width v
-  | None -> fail "unknown input %s" name
+  match t with C c -> Compiled.set_input c name v | R r -> Reference.set_input r name v
 
-let peek t name =
-  match Hashtbl.find_opt t.signals name with
-  | Some s -> s.value
-  | None -> fail "unknown signal %s" name
+let peek t name = match t with C c -> Compiled.peek c name | R r -> Reference.peek r name
+let clock t = match t with C c -> Compiled.clock c | R r -> Reference.clock r
+let step t = match t with C c -> Compiled.step c | R r -> Reference.step r
 
-(* Clock edge against already-settled combinational state. *)
-let clock t =
-  let updates = List.fold_left (run_stmt t) [] t.always in
-  commit t updates;
-  t.cycle <- t.cycle + 1
+let settle_only t =
+  match t with C c -> Compiled.settle_only c | R r -> Reference.settle_only r
 
-(* One full clock cycle: settle combinational logic, then clock all
-   registers/memories.  Callers that need to observe settled outputs
-   (e.g. memory agents) use [settle_only] + [clock] separately. *)
-let step t =
-  settle t;
-  clock t
+let failures t = match t with C c -> Compiled.failures c | R r -> Reference.failures r
+let cycle t = match t with C c -> Compiled.cycle c | R r -> Reference.cycle r
 
-let settle_only t = settle t
-
-let failures t = List.rev t.failures
-let cycle t = t.cycle
-
-(* All named signals with their widths, for waveform dumping. *)
 let signal_names t =
-  Hashtbl.fold (fun name s acc -> (name, s.width) :: acc) t.signals []
-  |> List.sort compare
+  match t with C c -> Compiled.signal_names c | R r -> Reference.signal_names r
+
+let eval_bool t expr =
+  match t with C c -> Compiled.eval_bool c expr | R r -> Reference.eval_bool r expr
+
+let stats t = match t with C c -> Compiled.stats c | R r -> Reference.stats r
+
+(* Report this run's statistics into the innermost [Pass.with_counters]
+   collector (a no-op outside one), so `hirc --stats` and the Chrome
+   traces cover simulation alongside the compiler passes. *)
+let record_stats t =
+  let s = stats t in
+  let c n v = Hir_ir.Pass.record_counter ~n:v ("sim." ^ n) in
+  c "cycles" s.st_cycles;
+  c "settles" s.st_settles;
+  c "assigns_evaluated" s.st_assigns_evaluated;
+  c "assigns_skipped" s.st_assigns_skipped;
+  c "fastpath_evaluated" s.st_fastpath_evaluated;
+  c "narrow_signals" s.st_narrow_signals;
+  c "wide_signals" s.st_wide_signals

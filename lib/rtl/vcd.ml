@@ -9,8 +9,8 @@
 
 type t = {
   oc : out_channel;
-  ids : (string * string * int) list;  (* signal, vcd id, width *)
-  last : (string, Bitvec.t) Hashtbl.t;
+  ids : (string * string * int) array;  (* signal, vcd id, width *)
+  last : Bitvec.t option array;  (* previous sample, parallel to [ids] *)
   mutable time : int;
 }
 
@@ -33,16 +33,16 @@ let create ?signals ~path sim =
     | Some wanted -> List.filter (fun (n, _) -> List.mem n wanted) all
   in
   let ids =
-    List.mapi (fun i (name, width) -> (name, id_of_index i, width)) selected
+    Array.of_list (List.mapi (fun i (name, width) -> (name, id_of_index i, width)) selected)
   in
   output_string oc "$timescale 1ns $end\n";
   output_string oc "$scope module top $end\n";
-  List.iter
+  Array.iter
     (fun (name, id, width) ->
       Printf.fprintf oc "$var wire %d %s %s $end\n" width id name)
     ids;
   output_string oc "$upscope $end\n$enddefinitions $end\n";
-  { oc; ids; last = Hashtbl.create 64; time = 0 }
+  { oc; ids; last = Array.make (Array.length ids) None; time = 0 }
 
 let emit_value t id width v =
   if width = 1 then
@@ -62,21 +62,23 @@ let emit_value t id width v =
 (* Record the current settled state as one timestep; only changed
    signals are written, per the VCD format. *)
 let sample t sim =
-  let changes =
-    List.filter_map
-      (fun (name, id, width) ->
-        let v = Sim.peek sim name in
-        match Hashtbl.find_opt t.last name with
-        | Some prev when Bitvec.equal prev v -> None
-        | _ ->
-          Hashtbl.replace t.last name v;
-          Some (id, width, v))
-      t.ids
-  in
-  if changes <> [] || t.time = 0 then begin
-    Printf.fprintf t.oc "#%d\n" t.time;
-    List.iter (fun (id, width, v) -> emit_value t id width v) changes
-  end;
+  let any = ref false in
+  Array.iteri
+    (fun i (name, id, width) ->
+      let v = Sim.peek sim name in
+      let changed =
+        match t.last.(i) with Some prev -> not (Bitvec.equal prev v) | None -> true
+      in
+      if changed then begin
+        t.last.(i) <- Some v;
+        if not !any then begin
+          Printf.fprintf t.oc "#%d\n" t.time;
+          any := true
+        end;
+        emit_value t id width v
+      end)
+    t.ids;
+  if (not !any) && t.time = 0 then Printf.fprintf t.oc "#%d\n" t.time;
   t.time <- t.time + 1
 
 let close t =

@@ -109,6 +109,180 @@ let test_combinational_loop_detected () =
   | exception Sim.Sim_error msg -> check_bool "mentions loop" true (contains msg "loop")
   | _ -> Alcotest.fail "expected combinational loop error"
 
+let test_loop_path_reported () =
+  (* A 3-signal loop must report the full cycle path, not just one
+     participant. *)
+  match
+    sim_of ~ports:[]
+      [
+        V.Wire_decl { name = "a"; width = 1 };
+        V.Wire_decl { name = "b"; width = 1 };
+        V.Wire_decl { name = "c"; width = 1 };
+        V.Assign { target = "a"; expr = V.Unop (V.Not, V.Ref "b") };
+        V.Assign { target = "b"; expr = V.Unop (V.Not, V.Ref "c") };
+        V.Assign { target = "c"; expr = V.Unop (V.Not, V.Ref "a") };
+      ]
+  with
+  | exception Sim.Sim_error msg ->
+    check_bool "mentions loop" true (contains msg "loop");
+    check_bool ("full path in: " ^ msg) true (contains msg "a -> b -> c -> a")
+  | _ -> Alcotest.fail "expected combinational loop error"
+
+let test_empty_concat_rejected () =
+  (* An empty concatenation is a [Sim_error], not a [Failure _] crash
+     out of [List.hd] — on both engines. *)
+  let items =
+    [
+      V.Wire_decl { name = "y"; width = 4 };
+      V.Assign { target = "y"; expr = V.Concat [] };
+    ]
+  in
+  (match sim_of ~ports:[] items with
+  | exception Sim.Sim_error msg ->
+    check_bool "compiled names concat" true (contains msg "concatenation")
+  | sim -> (
+    (* The compiled engine may defer to the first settle. *)
+    match Sim.settle_only sim with
+    | exception Sim.Sim_error msg ->
+      check_bool "compiled names concat" true (contains msg "concatenation")
+    | () -> Alcotest.fail "compiled engine accepted an empty concat"));
+  let flat = Flatten.flatten (design (simple_module ~ports:[] items)) in
+  let r = Sim.create ~engine:`Reference flat in
+  match Sim.settle_only r with
+  | exception Sim.Sim_error msg ->
+    check_bool "reference names concat" true (contains msg "concatenation")
+  | () -> Alcotest.fail "reference engine accepted an empty concat"
+
+(* ------------------------------------------------------------------ *)
+(* Compiled engine vs reference at word-width boundaries               *)
+
+(* One design exercising every operator class at width [w], run in
+   lockstep on both engines with the same inputs; every named signal
+   must agree every cycle, and the failure lists must be identical.
+   Widths 1, 63, 64, 65 straddle the unboxed native-int fast path. *)
+let boundary_items w =
+  let wire name expr = [ V.Wire_decl { name; width = w }; V.Assign { target = name; expr } ] in
+  let bit name expr = [ V.Wire_decl { name; width = 1 }; V.Assign { target = name; expr } ] in
+  let a = V.Ref "a" and b = V.Ref "b" in
+  List.concat
+    [
+      wire "sum" (V.Binop (V.Add, a, b));
+      wire "diff" (V.Binop (V.Sub, a, b));
+      wire "prod" (V.Binop (V.Mul, a, b));
+      wire "band" (V.Binop (V.And, a, b));
+      wire "bor" (V.Binop (V.Or, a, b));
+      wire "bxor" (V.Binop (V.Xor, a, b));
+      wire "bnot" (V.Unop (V.Not, a));
+      wire "shl" (V.Binop (V.Shl, a, V.Ref "k"));
+      wire "shr" (V.Binop (V.Shr, a, V.Ref "k"));
+      wire "mux" (V.Ternary (V.Binop (V.Lt, a, b), a, b));
+      bit "lt" (V.Binop (V.Lt, a, b));
+      bit "le" (V.Binop (V.Le, a, b));
+      bit "eq" (V.Binop (V.Eq, a, b));
+      bit "redor" (V.Unop (V.Red_or, a));
+      bit "redand" (V.Unop (V.Red_and, a));
+      bit "landor" (V.Binop (V.Log_or, V.Binop (V.Log_and, a, b), V.Ref "k"));
+      (if w > 1 then wire "sliced" (V.Slice (a, w - 1, 1)) else wire "sliced" a);
+      [
+        (* Concatenation doubles the width: crosses into the boxed
+           representation exactly at w = 32..63. *)
+        V.Wire_decl { name = "cat"; width = 2 * w };
+        V.Assign { target = "cat"; expr = V.Concat [ a; b ] };
+        V.Wire_decl { name = "cat_lo"; width = w };
+        V.Assign { target = "cat_lo"; expr = V.Slice (V.Ref "cat", w - 1, 0) };
+        (* Sequential state at width w, plus a memory. *)
+        V.Reg_decl { name = "acc"; width = w };
+        V.Mem_decl { name = "mem"; width = w; depth = 4; style = V.Style_bram };
+        V.Reg_decl { name = "rd"; width = w };
+        V.Always_ff
+          [
+            V.Nonblocking (V.Lref "acc", V.Binop (V.Add, V.Ref "acc", a));
+            V.Nonblocking (V.Lindex ("mem", V.Slice (V.Ref "k", 1, 0)), V.Ref "acc");
+            V.Nonblocking (V.Lref "rd", V.Index ("mem", V.const_int ~width:2 1));
+            V.Assert_stmt { cond = V.Binop (V.Ne, a, b); message = "a = b" };
+          ];
+      ];
+    ]
+
+let boundary_values w =
+  let ones = Bitvec.ones w in
+  let top_bit = Bitvec.shift_left (Bitvec.one w) (w - 1) in
+  let alt =
+    (* 0101... pattern *)
+    Bitvec.of_bin_string (String.init w (fun i -> if i mod 2 = 0 then '0' else '1'))
+  in
+  [| Bitvec.zero w; Bitvec.one w; ones; top_bit; alt; Bitvec.sub ones (Bitvec.one w) |]
+
+let lockstep_boundary w () =
+  let ports =
+    [
+      { V.port_name = "a"; dir = V.Input; width = w };
+      { V.port_name = "b"; dir = V.Input; width = w };
+      { V.port_name = "k"; dir = V.Input; width = 7 };
+    ]
+  in
+  let flat = Flatten.flatten (design (simple_module ~ports (boundary_items w))) in
+  let c = Sim.create ~engine:`Compiled flat in
+  let r = Sim.create ~engine:`Reference flat in
+  let names = Sim.signal_names c in
+  let values = boundary_values w in
+  let n = Array.length values in
+  for cyc = 0 to (n * n) - 1 do
+    let va = values.(cyc mod n)
+    and vb = values.(cyc / n mod n)
+    and vk = Bitvec.of_int ~width:7 (cyc * 13 mod 80) in
+    List.iter
+      (fun (name, v) ->
+        Sim.set_input c name v;
+        Sim.set_input r name v)
+      [ ("a", va); ("b", vb); ("k", vk) ];
+    Sim.settle_only c;
+    Sim.settle_only r;
+    List.iter
+      (fun (name, _) ->
+        let vc = Sim.peek c name and vr = Sim.peek r name in
+        if not (Bitvec.equal vc vr) then
+          Alcotest.failf "width %d, cycle %d, signal %s: compiled %s <> reference %s" w cyc
+            name (Bitvec.to_hex_string vc) (Bitvec.to_hex_string vr))
+      names;
+    Sim.clock c;
+    Sim.clock r
+  done;
+  let fc = Sim.failures c and fr = Sim.failures r in
+  check_int "same failure count" (List.length fr) (List.length fc);
+  List.iter2
+    (fun (a : Sim.assertion_failure) (b : Sim.assertion_failure) ->
+      check_int "failure cycle" b.Sim.at_cycle a.Sim.at_cycle;
+      check_bool "failure message" true (String.equal a.Sim.message b.Sim.message))
+    fc fr
+
+let test_fastpath_stats () =
+  (* Narrow signals take the unboxed path; wide ones do not.  The
+     event-driven settle must also actually skip quiescent assigns. *)
+  let ports = [ { V.port_name = "a"; dir = V.Input; width = 8 } ] in
+  let sim =
+    sim_of ~ports
+      [
+        V.Wire_decl { name = "narrow"; width = 63 };
+        V.Assign { target = "narrow"; expr = V.Ref "a" };
+        V.Wire_decl { name = "wide"; width = 64 };
+        V.Assign { target = "wide"; expr = V.Concat [ V.Ref "a"; V.Ref "a" ] };
+        V.Wire_decl { name = "quiet"; width = 4 };
+        V.Assign { target = "quiet"; expr = V.const_int ~width:4 9 };
+      ]
+  in
+  Sim.set_input sim "a" (bv 8 1);
+  Sim.settle_only sim;
+  (* Second settle with nothing changed: everything should be skipped. *)
+  Sim.settle_only sim;
+  let s = Sim.stats sim in
+  check_bool "some fast-path evals" true (s.Sim.st_fastpath_evaluated > 0);
+  check_bool "some skips" true (s.Sim.st_assigns_skipped >= 3);
+  (* clk + a + narrow + quiet are narrow; wide is not. *)
+  check_int "narrow signals" 4 s.Sim.st_narrow_signals;
+  check_int "wide signals" 1 s.Sim.st_wide_signals;
+  check_int "settles" 2 s.Sim.st_settles
+
 (* ------------------------------------------------------------------ *)
 (* Sequential behaviour                                                *)
 
@@ -334,6 +508,16 @@ let () =
           Alcotest.test_case "mixed-width context" `Quick test_mixed_width_context;
           Alcotest.test_case "topological settle" `Quick test_topological_order;
           Alcotest.test_case "combinational loop" `Quick test_combinational_loop_detected;
+          Alcotest.test_case "loop path reported" `Quick test_loop_path_reported;
+          Alcotest.test_case "empty concat rejected" `Quick test_empty_concat_rejected;
+        ] );
+      ( "engine boundary widths",
+        [
+          Alcotest.test_case "width 1" `Quick (lockstep_boundary 1);
+          Alcotest.test_case "width 63" `Quick (lockstep_boundary 63);
+          Alcotest.test_case "width 64" `Quick (lockstep_boundary 64);
+          Alcotest.test_case "width 65" `Quick (lockstep_boundary 65);
+          Alcotest.test_case "fast-path stats" `Quick test_fastpath_stats;
         ] );
       ( "sequential",
         [

@@ -1,0 +1,283 @@
+(* Equivalence of the two RTL simulation engines: the compiled
+   slot-indexed engine (the default) must produce bit-identical peek
+   traces and assertion-failure lists to the [Sim.Reference] tree
+   walker — the executable specification of the Verilog width
+   semantics.
+
+   Two layers:
+   - a qcheck property over randomly generated flat netlists (every
+     operator class, widths straddling the 63-bit unboxed fast path,
+     registers, memories with out-of-range writes, assertions),
+     driven for many cycles with random inputs;
+   - lockstep runs of real compiled kernels (via the harness) on both
+     engines, comparing scalar outputs, tensors, and failures. *)
+
+open Hir_dialect
+module V = Hir_verilog.Ast
+module Flatten = Hir_rtl.Flatten
+module Sim = Hir_rtl.Sim
+module Harness = Hir_rtl.Harness
+module Emit = Hir_codegen.Emit
+
+let () = Ops.register ()
+
+(* ------------------------------------------------------------------ *)
+(* Random netlist generation                                           *)
+
+(* Widths chosen to straddle the unboxed boundary. *)
+let width_pool = [| 1; 2; 3; 5; 8; 16; 17; 31; 32; 33; 48; 62; 63; 64; 65; 80; 100 |]
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+let pick_list st l = List.nth l (Random.State.int st (List.length l))
+
+let random_bv st w =
+  let rec go acc remaining =
+    if remaining <= 0 then acc
+    else
+      let k = min 29 remaining in
+      let c = Bitvec.of_int ~width:k (Random.State.int st (1 lsl k)) in
+      go (Bitvec.concat acc c) (remaining - k)
+  in
+  let k = min 29 w in
+  go (Bitvec.of_int ~width:k (Random.State.int st (1 lsl k))) (w - k)
+
+(* [leaves] are all readable signals; [small] those of width <= 8, safe
+   as shift amounts and memory addresses (the reference walker calls
+   [Bitvec.to_int] on those and raises above 2^62, so the generator
+   stays below that). *)
+type genv = {
+  st : Random.State.t;
+  leaves : (string * int) list;
+  small : (string * int) list;
+  mems : string list;
+}
+
+let gen_leaf g =
+  if Random.State.bool g.st && g.leaves <> [] then V.Ref (fst (pick_list g.st g.leaves))
+  else V.Const (random_bv g.st (pick g.st width_pool))
+
+let gen_amount g =
+  if Random.State.bool g.st && g.small <> [] then V.Ref (fst (pick_list g.st g.small))
+  else V.Const (Bitvec.of_int ~width:7 (Random.State.int g.st 80))
+
+let rec gen_expr g ~depth =
+  if depth = 0 || Random.State.int g.st 4 = 0 then gen_leaf g
+  else
+    let sub () = gen_expr g ~depth:(depth - 1) in
+    match Random.State.int g.st 10 with
+    | 0 -> V.Unop (pick g.st [| V.Not; V.Red_or; V.Red_and |], sub ())
+    | 1 | 2 ->
+      V.Binop
+        (pick g.st [| V.Add; V.Sub; V.Mul; V.And; V.Or; V.Xor |], sub (), sub ())
+    | 3 ->
+      V.Binop (pick g.st [| V.Lt; V.Le; V.Gt; V.Ge; V.Eq; V.Ne |], sub (), sub ())
+    | 4 -> V.Binop (pick g.st [| V.Log_and; V.Log_or |], sub (), sub ())
+    | 5 -> V.Binop ((if Random.State.bool g.st then V.Shl else V.Shr), sub (), gen_amount g)
+    | 6 -> V.Ternary (sub (), sub (), sub ())
+    | 7 ->
+      let lo = Random.State.int g.st 8 in
+      let hi = lo + Random.State.int g.st 24 in
+      V.Slice (sub (), hi, lo)
+    | 8 when g.mems <> [] -> V.Index (pick_list g.st g.mems, gen_amount g)
+    | _ ->
+      let n = 1 + Random.State.int g.st 3 in
+      V.Concat (List.init n (fun _ -> gen_expr g ~depth:(depth - 1)))
+
+(* A random flat module: input ports, a chain of assigns (acyclic by
+   construction — each wire reads only previously declared signals),
+   registers updated in an always block with conditionals, a memory
+   written through a 4-bit address against depth 8 (so out-of-range
+   writes and their failure messages are exercised), and an assertion
+   that fires data-dependently. *)
+let gen_design seed =
+  let st = Random.State.make [| seed; 0x9e3779b9 |] in
+  let n_inputs = 2 + Random.State.int st 3 in
+  let inputs = List.init n_inputs (fun i -> (Printf.sprintf "in%d" i, pick st width_pool)) in
+  let ports =
+    { V.port_name = "clk"; dir = V.Input; width = 1 }
+    :: List.map (fun (n, w) -> { V.port_name = n; dir = V.Input; width = w }) inputs
+  in
+  let regs = List.init (1 + Random.State.int st 3) (fun i -> (Printf.sprintf "r%d" i, pick st width_pool)) in
+  let mem_width = pick st width_pool in
+  let base_leaves = inputs @ regs in
+  let items = ref [] in
+  let emit i = items := i :: !items in
+  List.iter (fun (n, w) -> emit (V.Reg_decl { name = n; width = w })) regs;
+  emit (V.Mem_decl { name = "m0"; width = mem_width; depth = 8; style = V.Style_bram });
+  (* Assign chain; each new wire becomes a leaf for the next. *)
+  let n_wires = 3 + Random.State.int st 6 in
+  let leaves = ref base_leaves in
+  for i = 0 to n_wires - 1 do
+    let g =
+      {
+        st;
+        leaves = !leaves;
+        small = List.filter (fun (_, w) -> w <= 8) !leaves;
+        mems = [ "m0" ];
+      }
+    in
+    let w = pick st width_pool in
+    let name = Printf.sprintf "w%d" i in
+    emit (V.Wire_decl { name; width = w });
+    emit (V.Assign { target = name; expr = gen_expr g ~depth:3 });
+    leaves := (name, w) :: !leaves
+  done;
+  let g =
+    {
+      st;
+      leaves = !leaves;
+      small = List.filter (fun (_, w) -> w <= 8) !leaves;
+      mems = [ "m0" ];
+    }
+  in
+  let reg_stmts =
+    List.concat_map
+      (fun (rname, _) ->
+        let s = V.Nonblocking (V.Lref rname, gen_expr g ~depth:3) in
+        if Random.State.int st 3 = 0 then
+          [ V.If (gen_expr g ~depth:2, [ s ], [ V.Nonblocking (V.Lref rname, gen_leaf g) ]) ]
+        else [ s ])
+      regs
+  in
+  let mem_stmt =
+    V.If
+      ( gen_expr g ~depth:2,
+        [ V.Nonblocking (V.Lindex ("m0", gen_amount g), gen_expr g ~depth:2) ],
+        [] )
+  in
+  let assert_stmt = V.Assert_stmt { cond = gen_expr g ~depth:2; message = "prop" } in
+  emit (V.Always_ff (reg_stmts @ [ mem_stmt; assert_stmt ]));
+  let m = { V.mod_name = "top"; ports; items = List.rev !items } in
+  (Flatten.flatten { V.modules = [ m ]; top = "top" }, inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep driving                                                    *)
+
+let compare_failures ctx fc fr =
+  if List.length fc <> List.length fr then
+    QCheck.Test.fail_reportf "%s: %d compiled failures vs %d reference" ctx
+      (List.length fc) (List.length fr);
+  List.iter2
+    (fun (a : Sim.assertion_failure) (b : Sim.assertion_failure) ->
+      if a.Sim.at_cycle <> b.Sim.at_cycle || not (String.equal a.Sim.message b.Sim.message)
+      then
+        QCheck.Test.fail_reportf "%s: failure mismatch (%d,%s) vs (%d,%s)" ctx
+          a.Sim.at_cycle a.Sim.message b.Sim.at_cycle b.Sim.message)
+    fc fr
+
+let lockstep_netlist (dseed, iseed) =
+  let flat, inputs = gen_design dseed in
+  let c = Sim.create ~engine:`Compiled flat in
+  let r = Sim.create ~engine:`Reference flat in
+  let names = Sim.signal_names c in
+  let st = Random.State.make [| iseed; 0x51ed270b |] in
+  for cyc = 0 to 29 do
+    List.iter
+      (fun (name, w) ->
+        let v = random_bv st w in
+        Sim.set_input c name v;
+        Sim.set_input r name v)
+      inputs;
+    Sim.settle_only c;
+    Sim.settle_only r;
+    List.iter
+      (fun (name, _) ->
+        let vc = Sim.peek c name and vr = Sim.peek r name in
+        if not (Bitvec.equal vc vr) then
+          QCheck.Test.fail_reportf
+            "seed (%d,%d) cycle %d signal %s: compiled %s <> reference %s" dseed iseed
+            cyc name (Bitvec.to_hex_string vc) (Bitvec.to_hex_string vr))
+      names;
+    Sim.clock c;
+    Sim.clock r
+  done;
+  compare_failures (Printf.sprintf "seed (%d,%d)" dseed iseed) (Sim.failures c)
+    (Sim.failures r);
+  true
+
+let netlist_equiv =
+  QCheck.Test.make ~count:80 ~name:"compiled == reference on random netlists"
+    QCheck.(pair small_nat small_nat)
+    lockstep_netlist
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-level lockstep through the harness                           *)
+
+let interp_cycles ~m ~f inputs =
+  let result, _ =
+    Interp.run ~module_op:m ~func:f
+      (List.map
+         (function
+           | Harness.Scalar v -> Interp.Scalar v
+           | Harness.Tensor a -> Interp.Tensor a
+           | Harness.Out_tensor -> Interp.Out_tensor)
+         inputs)
+  in
+  result.Interp.cycles
+
+let run_engine ~engine ~build inputs =
+  let m, f = build () in
+  let cycles = interp_cycles ~m ~f inputs in
+  let m, f = build () in
+  let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
+  Harness.run ~engine ~emitted ~inputs ~cycles ()
+
+let kernel_lockstep name build inputs ~out_arg () =
+  let rc, ac = run_engine ~engine:`Compiled ~build inputs in
+  let rr, ar = run_engine ~engine:`Reference ~build inputs in
+  Alcotest.(check int) "same cycle count" rr.Harness.cycles_run rc.Harness.cycles_run;
+  (match (rc.Harness.failures, rr.Harness.failures) with
+  | [], [] -> ()
+  | fc, fr ->
+    Alcotest.(check int) "same failure count" (List.length fr) (List.length fc);
+    List.iter2
+      (fun (a : Sim.assertion_failure) (b : Sim.assertion_failure) ->
+        Alcotest.(check int) "failure cycle" b.Sim.at_cycle a.Sim.at_cycle;
+        Alcotest.(check string) "failure message" b.Sim.message a.Sim.message)
+      fc fr);
+  List.iter2
+    (fun (n, vc) (n', vr) ->
+      Alcotest.(check string) "output name" n' n;
+      if not (Bitvec.equal vc vr) then
+        Alcotest.failf "%s output %s: compiled %s <> reference %s" name n
+          (Bitvec.to_string vc) (Bitvec.to_string vr))
+    rc.Harness.output_values rr.Harness.output_values;
+  let tc = Harness.nth_tensor ac out_arg and tr = Harness.nth_tensor ar out_arg in
+  Array.iteri
+    (fun i vc ->
+      match (vc, tr.(i)) with
+      | None, None -> ()
+      | Some a, Some b when Bitvec.equal a b -> ()
+      | _ -> Alcotest.failf "%s tensor[%d] differs between engines" name i)
+    tc
+
+let transpose_lockstep () =
+  let input = Hir_kernels.Transpose.make_input ~seed:91 in
+  kernel_lockstep "transpose" Hir_kernels.Transpose.build
+    [ Harness.Tensor input; Harness.Out_tensor ]
+    ~out_arg:1 ()
+
+let convolution_lockstep () =
+  let input = Hir_kernels.Convolution.make_input ~seed:92 in
+  kernel_lockstep "convolution" Hir_kernels.Convolution.build
+    [ Harness.Tensor input; Harness.Out_tensor ]
+    ~out_arg:1 ()
+
+let histogram_lockstep () =
+  let input = Hir_kernels.Histogram.make_input ~seed:93 in
+  kernel_lockstep "histogram" Hir_kernels.Histogram.build
+    [ Harness.Tensor input; Harness.Out_tensor ]
+    ~out_arg:1 ()
+
+let () =
+  Alcotest.run "sim_equiv"
+    [
+      ( "property",
+        [ QCheck_alcotest.to_alcotest ~verbose:false netlist_equiv ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "transpose lockstep" `Quick transpose_lockstep;
+          Alcotest.test_case "convolution lockstep" `Quick convolution_lockstep;
+          Alcotest.test_case "histogram lockstep" `Quick histogram_lockstep;
+        ] );
+    ]
