@@ -5,7 +5,7 @@
 SMOKE_DESIGNS := examples/designs/transpose.hir examples/designs/stencil_1d.hir \
                  examples/designs/fifo.hir
 
-.PHONY: all build test check fuzz bench-json clean
+.PHONY: all build test check faults fuzz bench-json clean
 
 all: build
 
@@ -24,9 +24,33 @@ check: build test
 	  --cache-dir _build/.hirc-smoke-cache --trace _build/smoke.trace.json \
 	  -o _build/smoke-verilog
 	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
+	$(MAKE) faults
 	dune exec bench/main.exe -- --canonicalize-scaling
 	dune exec bench/main.exe -- --sim-scaling
 	@echo "make check: OK"
+
+# Seeded fault-injection sweep over the kernel suite: at a 10% rate on
+# every injection point the batch must terminate within the deadline
+# (timeout(1) is the hang guard), lose no jobs, and exit 0 (all jobs
+# produced output, however degraded) or 2 (some failed after retries)
+# — never crash, never hang.  Three seeds so the sweep actually varies
+# the fault schedule.
+faults: build
+	@rm -rf _build/.hirc-faults-cache
+	@for seed in 1 2 3; do \
+	  echo "faults: seed $$seed, 10% on all points"; \
+	  timeout 120 dune exec bin/hirc.exe -- batch --kernels -j 4 \
+	    --cache-dir _build/.hirc-faults-cache --inject '*=0.1' \
+	    --inject-seed $$seed --deadline 60 \
+	    --json _build/faults-$$seed.json; \
+	  code=$$?; \
+	  if [ $$code -ne 0 ] && [ $$code -ne 2 ]; then \
+	    echo "make faults: FAILED (seed $$seed exited $$code)"; exit 1; \
+	  fi; \
+	  grep -q '"total":8' _build/faults-$$seed.json || \
+	    { echo "make faults: FAILED (seed $$seed lost jobs)"; exit 1; }; \
+	done
+	@echo "make faults: OK"
 
 # The acceptance campaign from the never-crash contract: 10k mutated
 # inputs through the frontend and 10k through the full pipeline, both

@@ -14,10 +14,18 @@
          compile with an explicit textual pass pipeline (--list shows
          the available passes)
      hirc batch <files-or-kernels…> [-j N] [--cache-dir D] [--trace t.json]
+               [--deadline S] [--retries N] [--json OUT.json]
+               [--inject SPEC] [--inject-seed N]
          compile many designs concurrently through the compilation
-         service, with optional persistent caching and Chrome tracing
+         service, with optional persistent caching, Chrome tracing,
+         per-job deadlines, retry of transient failures and seeded
+         fault injection; exits 0 when every job succeeded (possibly
+         degraded), 2 when the batch completed but some jobs failed
+     hirc cache <dir> [--verify] [--prune]
+         check every cache entry against its content digest
+         (quarantining damaged ones) and/or empty the quarantine
      hirc sim <kernel> [--cycles N] [--engine compiled|reference]
-              [--stats] [--vcd out.vcd] [--hls]
+              [--stats] [--vcd out.vcd] [--hls] [--inject SPEC]
          compile a built-in kernel and run it in the RTL simulator with
          generic inputs; --stats reports the simulator's own counters
          (settles, assigns evaluated vs skipped, fast-path hit rate)
@@ -107,6 +115,37 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"OUT.json"
         ~doc:"Write per-stage timing spans as Chrome trace JSON to $(docv)")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection: comma-separated rules \
+           $(i,point)=$(i,prob) (fire each hit with that probability) or \
+           $(i,point)@$(i,n) (fire on exactly the n-th hit per job). Points: \
+           cache.read, cache.write, worker.spawn, job.compile, sim.settle, or \
+           $(b,*) for all.")
+
+let inject_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-seed" ] ~docv:"N"
+        ~doc:"Seed for --inject decisions; the same seed reproduces the same faults")
+
+(* Parse --inject/--inject-seed into a [Faults.config], or None when
+   injection is off.  Shared by `hirc batch` and `hirc sim`. *)
+let fault_config_of inject inject_seed =
+  match inject with
+  | None -> Ok None
+  | Some spec -> (
+    match Faults.parse_spec spec with
+    | Error e -> Error (Printf.sprintf "invalid --inject spec: %s" e)
+    | Ok rules -> Ok (Some { Faults.rules; seed = inject_seed }))
+
+let with_faults cfg f =
+  match cfg with None -> f () | Some cfg -> Faults.with_config cfg f
 
 let compile_cmd =
   let run file out top no_opt =
@@ -387,7 +426,12 @@ let sim_cmd =
             "Simulate the HLS-compiled variant from the evaluation suite instead of \
              the native HIR kernel")
   in
-  let run name cycles engine stats vcd_path use_hls =
+  let run name cycles engine stats vcd_path use_hls inject inject_seed =
+    match fault_config_of inject inject_seed with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok fault_cfg ->
     let build_r =
       if use_hls then
         match Hir_hls.Suite.find name with
@@ -445,11 +489,15 @@ let sim_cmd =
       in
       let (result, _agents), counters =
         Pass.with_counters (fun () ->
-            Harness.run ~engine ?vcd_path ~emitted ~inputs:harness_inputs ~cycles ())
+            with_faults fault_cfg (fun () ->
+                Harness.run ~engine ?vcd_path ~emitted ~inputs:harness_inputs ~cycles ()))
       in
-      Printf.printf "%s: %d cycles on the %s engine, %d assertion failure(s)\n" name
+      Printf.printf "%s: %d cycles on the %s engine%s, %d assertion failure(s)\n" name
         result.Harness.cycles_run
-        (match engine with `Compiled -> "compiled" | `Reference -> "reference")
+        (match result.Harness.engine_used with
+        | `Compiled -> "compiled"
+        | `Reference -> "reference")
+        (if result.Harness.engine_used <> engine then " (degraded from compiled)" else "")
         (List.length result.Harness.failures);
       List.iter
         (fun (fl : Hir_rtl.Sim.assertion_failure) ->
@@ -465,10 +513,125 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a built-in kernel in the RTL simulator")
-    Term.(const run $ kernel_arg $ cycles_arg $ engine_arg $ stats_arg $ vcd_arg $ hls_arg)
+    Term.(
+      const run $ kernel_arg $ cycles_arg $ engine_arg $ stats_arg $ vcd_arg $ hls_arg
+      $ inject_arg $ inject_seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hirc cache                                                          *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Cache directory (as passed to --cache-dir)")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Check every entry against its content digest; damaged entries are \
+             moved to $(i,DIR)/quarantine")
+  in
+  let prune_arg =
+    Arg.(
+      value & flag
+      & info [ "prune" ] ~doc:"Delete quarantined entries and stale temp files")
+  in
+  let run dir verify prune =
+    if not (verify || prune) then begin
+      prerr_endline "cache: nothing to do (pass --verify and/or --prune)";
+      1
+    end
+    else begin
+      let c = Cache.create ~dir in
+      if verify then begin
+        let r = Cache.verify c in
+        Printf.printf "verify: %d entries scanned, %d ok, %d quarantined\n"
+          r.Cache.vr_scanned r.Cache.vr_ok
+          (List.length r.Cache.vr_quarantined);
+        List.iter
+          (fun (k, reason) -> Printf.printf "  quarantined %s: %s\n" k reason)
+          r.Cache.vr_quarantined
+      end;
+      if prune then begin
+        let r = Cache.prune c in
+        Printf.printf "prune: removed %d file%s, %d bytes\n" r.Cache.pr_removed
+          (if r.Cache.pr_removed = 1 then "" else "s")
+          r.Cache.pr_bytes
+      end;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Verify the integrity of a compilation cache, or prune its quarantine")
+    Term.(const run $ dir_arg $ verify_arg $ prune_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc batch                                                          *)
+
+(* Machine-readable per-job outcome summary, the contract scripted
+   consumers rely on (see README): one object per job plus aggregate
+   counts.  Kept deliberately flat — no nested trace data. *)
+let write_batch_json path ~workers (result : Driver.batch_result) =
+  let str s = "\"" ^ Trace.json_escape s ^ "\"" in
+  let arr items = "[" ^ String.concat "," items ^ "]" in
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+  in
+  let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
+  let jobs =
+    Array.to_list result.Driver.reports
+    |> List.map (fun (r : Driver.report) ->
+           let status = Driver.report_status r in
+           (match status with
+           | `Ok -> incr ok
+           | `Degraded -> incr degraded
+           | `Failed -> incr failed);
+           let common =
+             [
+               ("name", str r.Driver.rp_job);
+               ("status", str (Driver.status_to_string status));
+               ("attempts", string_of_int r.Driver.rp_attempts);
+             ]
+           in
+           let rest =
+             match r.Driver.rp_outcome with
+             | Ok o ->
+               [
+                 ("from_cache", string_of_bool o.Driver.from_cache);
+                 ("seconds", Printf.sprintf "%.6f" o.Driver.seconds);
+                 ("degradations", arr (List.map str o.Driver.degradations));
+               ]
+             | Error e ->
+               [
+                 ( "diagnostics",
+                   arr
+                     (List.map
+                        (fun d -> str (Diagnostic.to_string d))
+                        e.Driver.err_diags) );
+               ]
+           in
+           obj (common @ rest))
+  in
+  let summary =
+    obj
+      [
+        ("total", string_of_int (Array.length result.Driver.reports));
+        ("ok", string_of_int !ok);
+        ("degraded", string_of_int !degraded);
+        ("failed", string_of_int !failed);
+        ("wall_seconds", Printf.sprintf "%.6f" result.Driver.wall_seconds);
+        ("workers", string_of_int workers);
+        ("notes", arr (List.map str result.Driver.batch_notes));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (obj [ ("jobs", arr jobs); ("summary", summary) ]);
+  output_string oc "\n";
+  close_out oc
 
 let batch_cmd =
   let inputs_arg =
@@ -492,17 +655,46 @@ let batch_cmd =
       & opt (some string) None
       & info [ "o"; "output-dir" ] ~docv:"DIR" ~doc:"Write one $(docv)/<name>.v per input")
   in
-  let run inputs workers all_kernels out_dir cache_dir trace_out no_opt passes =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Per-job wall-clock deadline; a job that exceeds it fails with a \
+             job-timeout diagnostic, the rest of the batch is unaffected")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Driver.default_retry.Driver.max_attempts
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Total attempts per job for transient failures (default 3); \
+             parse/verify errors and timeouts are never retried")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT.json"
+          ~doc:"Write a machine-readable per-job outcome summary to $(docv)")
+  in
+  let run inputs workers all_kernels out_dir cache_dir trace_out no_opt passes inject
+      inject_seed deadline retries json_out =
     let pipeline_r =
       match passes with
       | None -> Ok (Pipeline.default ~optimize:(not no_opt))
       | Some src -> Pipeline.parse src
     in
-    match pipeline_r with
-    | Error e ->
+    match (pipeline_r, fault_config_of inject inject_seed) with
+    | Error e, _ ->
       Printf.eprintf "invalid pipeline spec: %s\n" e;
       1
-    | Ok pipeline -> (
+    | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok pipeline, Ok fault_cfg -> (
       let kernel_job k =
         Driver.job_of_builder ~pipeline ~name:k.Hir_kernels.Kernels.name
           k.Hir_kernels.Kernels.build
@@ -539,14 +731,28 @@ let batch_cmd =
         end
         else begin
           let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
-          let result = Driver.batch ?cache ~workers (Array.of_list jobs) in
-          let failed = ref 0 in
+          let limits = { Guard.deadline_s = deadline; work_budget = None } in
+          let retry = { Driver.default_retry with Driver.max_attempts = max 1 retries } in
+          let result =
+            with_faults fault_cfg (fun () ->
+                Driver.batch ?cache ~workers ~limits ~retry (Array.of_list jobs))
+          in
+          let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
           Array.iter
-            (fun outcome ->
-              match outcome with
+            (fun (r : Driver.report) ->
+              let status = Driver.report_status r in
+              (match status with
+              | `Ok -> incr ok
+              | `Degraded -> incr degraded
+              | `Failed -> incr failed);
+              let attempts =
+                if r.Driver.rp_attempts > 1 then
+                  Printf.sprintf "  (%d attempts)" r.Driver.rp_attempts
+                else ""
+              in
+              match r.Driver.rp_outcome with
               | Error e ->
-                incr failed;
-                Printf.printf "FAIL %s\n%s\n" e.Driver.err_job
+                Printf.printf "FAIL %s%s\n%s\n" e.Driver.err_job attempts
                   (Driver.error_to_string e)
               | Ok o ->
                 Option.iter (Printf.eprintf "note: %s: %s\n" o.Driver.job_name) o.Driver.note;
@@ -561,26 +767,44 @@ let batch_cmd =
                   output_string oc o.Driver.verilog;
                   close_out oc
                 | None -> ());
-                Printf.printf "ok   %-24s top=%-18s %8.2f ms%s\n" o.Driver.job_name
-                  o.Driver.top_name (o.Driver.seconds *. 1000.)
-                  (if o.Driver.from_cache then "  (cached)" else ""))
-            result.Driver.outcomes;
-          let hits, misses =
-            match cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+                Printf.printf "%-8s %-24s top=%-18s %8.2f ms%s%s\n"
+                  (Driver.status_to_string status)
+                  o.Driver.job_name o.Driver.top_name (o.Driver.seconds *. 1000.)
+                  (if o.Driver.from_cache then "  (cached)" else "")
+                  attempts;
+                List.iter (fun d -> Printf.printf "    - %s\n" d) o.Driver.degradations)
+            result.Driver.reports;
+          List.iter (fun n -> Printf.printf "note: %s\n" n) result.Driver.batch_notes;
+          let cache_line =
+            match cache with
+            | None -> ""
+            | Some c ->
+              Printf.sprintf ", cache %d hits / %d misses" (Cache.hits c) (Cache.misses c)
+              ^ (match (Cache.corrupt_count c, Cache.fault_count c) with
+                | 0, 0 -> ""
+                | corrupt, faults ->
+                  Printf.sprintf " / %d corrupt / %d faults" corrupt faults)
           in
           Printf.printf
-            "batch: %d jobs, %d failed, %d workers, %.2f ms wall%s\n"
-            (Array.length result.Driver.outcomes)
-            !failed workers
+            "batch: %d jobs (%d ok, %d degraded, %d failed), %d workers, %.2f ms wall%s\n"
+            (Array.length result.Driver.reports)
+            !ok !degraded !failed workers
             (result.Driver.wall_seconds *. 1000.)
-            (if cache <> None then Printf.sprintf ", cache %d hits / %d misses" hits misses
-             else "");
+            cache_line;
           (match trace_out with
           | Some path ->
             Trace.write_chrome_json path result.Driver.traces;
             Printf.eprintf "wrote %s\n" path
           | None -> ());
-          if !failed > 0 then 1 else 0
+          (match json_out with
+          | Some path ->
+            write_batch_json path ~workers result;
+            Printf.eprintf "wrote %s\n" path
+          | None -> ());
+          (* Exit contract: 0 = every job produced output (possibly
+             degraded), 2 = the batch completed but some jobs failed.
+             Exit 1 is reserved for not running at all (bad spec). *)
+          if !failed > 0 then 2 else 0
         end)
   in
   Cmd.v
@@ -588,7 +812,8 @@ let batch_cmd =
        ~doc:"Compile many designs concurrently through the compilation service")
     Term.(
       const run $ inputs_arg $ jobs_arg $ all_kernels_arg $ out_dir_arg $ cache_dir_arg
-      $ trace_arg $ no_opt_arg $ passes_arg)
+      $ trace_arg $ no_opt_arg $ passes_arg $ inject_arg $ inject_seed_arg $ deadline_arg
+      $ retries_arg $ json_arg)
 
 let () =
   let doc = "HIR: an MLIR-style IR for hardware accelerator description" in
@@ -598,5 +823,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
-            fuzz_cmd; sim_cmd; batch_cmd;
+            fuzz_cmd; sim_cmd; batch_cmd; cache_cmd;
           ]))

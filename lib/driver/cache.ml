@@ -8,23 +8,37 @@
    top function, or bumping [driver_version] (do this whenever codegen
    output changes) each invalidate the entry.  An entry persists the
    emitted Verilog ([<key>.v]) plus a small metadata sidecar
-   ([<key>.meta]: chosen top module and the modeled resource usage), so
-   a warm hit needs no parsing, verification, passes or codegen at all.
+   ([<key>.meta]: chosen top module, the modeled resource usage, and a
+   content digest of the Verilog payload), so a warm hit needs no
+   parsing, verification, passes or codegen at all.
+
+   Integrity: the cache trusts nothing it reads back.  Every hit
+   re-digests the payload against the digest recorded in the sidecar;
+   a truncated, bit-flipped or unparseable entry is *quarantined*
+   (moved to [<dir>/quarantine/]) and reported as [Corrupt], which the
+   driver treats as a miss-plus-recompile — a damaged cache can cost
+   time, never wrong Verilog.  `hirc cache --verify` runs the same
+   check over every entry offline, and `--prune` empties the
+   quarantine and removes stale temp files.
 
    Writes go through a unique temp file followed by [Sys.rename], which
    is atomic on POSIX: concurrent workers (or concurrent hirc
    processes) racing to fill the same entry simply last-write-win with
-   identical content, and readers never observe a partial entry.  Hit
-   and miss counters are atomics for the same reason. *)
+   identical content, and readers never observe a partial entry.  A
+   write that fails midway unlinks its temp file.  Counters are atomics
+   for the same reason. *)
 
 type t = {
   dir : string;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  corrupt : int Atomic.t;  (* entries quarantined by lookups *)
+  faults : int Atomic.t;  (* read/write IO failures survived *)
 }
 
-(* Bump whenever the emitted Verilog or the meta format changes. *)
-let driver_version = "hir-driver/1"
+(* Bump whenever the emitted Verilog or the meta format changes.
+   (v2: digest line in the sidecar.) *)
+let driver_version = "hir-driver/2"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -34,7 +48,13 @@ let rec mkdir_p dir =
 
 let create ~dir =
   mkdir_p dir;
-  { dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+  {
+    dir;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    corrupt = Atomic.make 0;
+    faults = Atomic.make 0;
+  }
 
 let key ~pipeline ~top ~source =
   let material =
@@ -51,6 +71,7 @@ type entry = {
 
 let verilog_path t k = Filename.concat t.dir (k ^ ".v")
 let meta_path t k = Filename.concat t.dir (k ^ ".meta")
+let quarantine_dir t = Filename.concat t.dir "quarantine"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -58,15 +79,29 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Atomic publish via temp file + rename.  The temp file is unlinked on
+   *any* failure (short write, injected fault, rename onto a squatted
+   path), so failed stores cannot litter the cache directory. *)
 let write_file_atomic ~dir path content =
   let tmp = Filename.temp_file ~temp_dir:dir ".cache" ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc content;
-  close_out oc;
-  Sys.rename tmp path
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc content;
+          close_out oc);
+      Faults.point "cache.write";
+      Sys.rename tmp path)
 
-let meta_to_string ~top (u : Hir_resources.Model.usage) =
-  Printf.sprintf "top %s\nlut %d\nff %d\ndsp %d\nbram %d\n" top u.lut u.ff u.dsp u.bram
+let content_digest verilog = Digest.to_hex (Digest.string verilog)
+
+let meta_to_string ~top ~digest (u : Hir_resources.Model.usage) =
+  Printf.sprintf "top %s\ndigest %s\nlut %d\nff %d\ndsp %d\nbram %d\n" top digest
+    u.lut u.ff u.dsp u.bram
 
 let meta_of_string s =
   let fields =
@@ -80,31 +115,87 @@ let meta_of_string s =
            | None -> None)
   in
   let int k = Option.bind (List.assoc_opt k fields) int_of_string_opt in
-  match (List.assoc_opt "top" fields, int "lut", int "ff", int "dsp", int "bram") with
-  | Some top, Some lut, Some ff, Some dsp, Some bram ->
-    Some (top, { Hir_resources.Model.lut; ff; dsp; bram })
+  match
+    ( List.assoc_opt "top" fields,
+      List.assoc_opt "digest" fields,
+      int "lut",
+      int "ff",
+      int "dsp",
+      int "bram" )
+  with
+  | Some top, Some digest, Some lut, Some ff, Some dsp, Some bram ->
+    Some (top, digest, { Hir_resources.Model.lut; ff; dsp; bram })
   | _ -> None
 
-let lookup t k =
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                          *)
+
+(* Move a damaged entry's files out of the lookup path.  Best-effort
+   throughout: a concurrent worker may have quarantined (or rewritten)
+   the entry already, and quarantining must never fail the compile that
+   discovered the damage. *)
+let quarantine_entry t k =
+  mkdir_p (quarantine_dir t);
+  List.iter
+    (fun path ->
+      if Sys.file_exists path then
+        let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
+        try Sys.rename path dst
+        with Sys_error _ | Unix.Unix_error _ -> (
+          try Sys.remove path with Sys_error _ -> ()))
+    [ verilog_path t k; meta_path t k ]
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+type verdict =
+  | Hit of entry
+  | Miss  (* no entry *)
+  | Read_fault of string  (* transient IO failure; entry left alone *)
+  | Corrupt of string  (* integrity failure; entry quarantined *)
+
+let consult t k =
   let vp = verilog_path t k and mp = meta_path t k in
-  let entry =
+  let verdict =
     (* The entry can be evicted (or be unreadable) between the existence
        check and the reads — a classic TOCTOU.  Per the contract above,
-       corrupt or vanishing entries degrade to misses, so the [Sys_error]
-       from [read_file] must not escape to the caller. *)
+       IO failures degrade to misses, so neither [Sys_error] nor
+       [Unix_error] from the reads may escape to the caller. *)
     try
-      if Sys.file_exists vp && Sys.file_exists mp then
+      Faults.point "cache.read";
+      if not (Sys.file_exists vp && Sys.file_exists mp) then Miss
+      else
         match meta_of_string (read_file mp) with
-        | Some (top, usage) ->
-          Some { e_verilog = read_file vp; e_top = top; e_usage = usage }
-        | None -> None
-      else None
-    with Sys_error _ -> None
+        | None ->
+          quarantine_entry t k;
+          Corrupt (Printf.sprintf "%s: unparseable metadata" (k ^ ".meta"))
+        | Some (top, digest, usage) ->
+          let verilog = read_file vp in
+          if not (String.equal (content_digest verilog) digest) then begin
+            quarantine_entry t k;
+            Corrupt (Printf.sprintf "%s: content digest mismatch" (k ^ ".v"))
+          end
+          else Hit { e_verilog = verilog; e_top = top; e_usage = usage }
+    with
+    | Faults.Injected p -> Read_fault ("injected fault at " ^ p)
+    | Sys_error msg -> Read_fault msg
+    | Unix.Unix_error (e, _, _) -> Read_fault (Unix.error_message e)
   in
-  (match entry with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
-  entry
+  (match verdict with
+  | Hit _ -> Atomic.incr t.hits
+  | Miss -> Atomic.incr t.misses
+  | Read_fault _ ->
+    Atomic.incr t.misses;
+    Atomic.incr t.faults
+  | Corrupt _ ->
+    Atomic.incr t.misses;
+    Atomic.incr t.corrupt);
+  verdict
+
+let lookup t k = match consult t k with Hit e -> Some e | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
 
 let store t k entry =
   (* Filling the cache is best-effort: a full disk, revoked permissions
@@ -113,8 +204,100 @@ let store t k entry =
   try
     write_file_atomic ~dir:t.dir (verilog_path t k) entry.e_verilog;
     write_file_atomic ~dir:t.dir (meta_path t k)
-      (meta_to_string ~top:entry.e_top entry.e_usage)
-  with Sys_error _ -> ()
+      (meta_to_string ~top:entry.e_top ~digest:(content_digest entry.e_verilog)
+         entry.e_usage);
+    Ok ()
+  with
+  | Faults.Injected p ->
+    Atomic.incr t.faults;
+    Error ("injected fault at " ^ p)
+  | Sys_error msg ->
+    Atomic.incr t.faults;
+    Error msg
+  | Unix.Unix_error (e, _, _) ->
+    Atomic.incr t.faults;
+    Error (Unix.error_message e)
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let corrupt_count t = Atomic.get t.corrupt
+let fault_count t = Atomic.get t.faults
+
+(* ------------------------------------------------------------------ *)
+(* Offline maintenance: `hirc cache --verify | --prune`                *)
+
+type verify_report = {
+  vr_scanned : int;  (* entries examined (one per .meta) *)
+  vr_ok : int;
+  vr_quarantined : (string * string) list;  (* key, reason *)
+}
+
+(* Run the hit-path integrity check over every entry on disk.  Damaged
+   entries are quarantined exactly as a lookup would have done, so a
+   verify pass leaves only entries that will actually hit. *)
+let verify t =
+  let entries =
+    Sys.readdir t.dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".meta" then
+             Some (Filename.remove_extension f)
+           else None)
+    |> List.sort compare
+  in
+  let orphans =
+    (* payloads with no sidecar can never hit; quarantine them too *)
+    Sys.readdir t.dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             Filename.check_suffix f ".v"
+             && not (Sys.file_exists (meta_path t (Filename.remove_extension f)))
+           then Some (Filename.remove_extension f)
+           else None)
+    |> List.sort compare
+  in
+  let quarantined = ref [] in
+  let ok = ref 0 in
+  List.iter
+    (fun k ->
+      match consult t k with
+      | Hit _ -> incr ok
+      | Miss ->
+        quarantine_entry t k;
+        quarantined := (k, "missing payload") :: !quarantined
+      | Corrupt reason -> quarantined := (k, reason) :: !quarantined
+      | Read_fault reason -> quarantined := (k, "unreadable: " ^ reason) :: !quarantined)
+    entries;
+  List.iter
+    (fun k ->
+      quarantine_entry t k;
+      quarantined := (k, "orphan payload (no metadata)") :: !quarantined)
+    orphans;
+  {
+    vr_scanned = List.length entries + List.length orphans;
+    vr_ok = !ok;
+    vr_quarantined = List.rev !quarantined;
+  }
+
+type prune_report = { pr_removed : int; pr_bytes : int }
+
+(* Delete quarantined entries and any stale temp files left by killed
+   processes (the in-process writer cleans its own). *)
+let prune t =
+  let removed = ref 0 and bytes = ref 0 in
+  let rm path =
+    (try
+       bytes := !bytes + (Unix.stat path).Unix.st_size;
+       Sys.remove path;
+       incr removed
+     with Sys_error _ | Unix.Unix_error _ -> ())
+  in
+  let qdir = quarantine_dir t in
+  if Sys.file_exists qdir && Sys.is_directory qdir then begin
+    Array.iter (fun f -> rm (Filename.concat qdir f)) (Sys.readdir qdir);
+    (try Unix.rmdir qdir with Unix.Unix_error _ -> ())
+  end;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then rm (Filename.concat t.dir f))
+    (Sys.readdir t.dir);
+  { pr_removed = !removed; pr_bytes = !bytes }

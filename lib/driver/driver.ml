@@ -4,14 +4,21 @@
 
    On top of the single-job flow it layers
      - a content-addressed cache (module [Cache]) consulted before any
-       work is done and filled after a successful compile;
+       work is done and filled after a successful compile, with hit-path
+       integrity verification and quarantine of damaged entries;
      - a multicore batch mode (module [Scheduler]) that compiles many
        jobs concurrently on OCaml 5 domains, with results returned in
        input order and byte-identical to a sequential run (each job
        compiles under [Ir.with_isolated_ids], so the id-derived names
        in the Verilog do not depend on scheduling);
-     - per-stage timing spans and counters (module [Trace]) exportable
-       as Chrome trace JSON. *)
+     - per-job fault tolerance: wall-clock/work guards (module [Guard])
+       that turn runaway compiles into structured timeout diagnostics,
+       retry with capped exponential backoff for transient failures,
+       and quarantine of repeat offenders — a batch always terminates
+       with exactly one outcome per job, and partial results are
+       returned, never discarded;
+     - per-stage timing spans, counters and fault/degradation instants
+       (module [Trace]) exportable as Chrome trace JSON. *)
 
 open Hir_ir
 open Hir_dialect
@@ -33,17 +40,31 @@ type output = {
   usage : Hir_resources.Model.usage;
   from_cache : bool;
   note : string option;  (* e.g. implicit top-function choice *)
+  degradations : string list;
+      (* fallbacks taken while still producing this output: cache
+         faults survived, corrupt entries quarantined, legacy-pass
+         fallbacks, retries.  Empty = clean compile. *)
   pass_stats : Pass.stat list;  (* empty on a cache hit *)
   seconds : float;  (* total job wall time *)
 }
 
+(* How a failure should be treated by the retry machinery:
+   - [Transient]: infrastructure trouble (IO faults, injected faults) —
+     retrying may succeed;
+   - [Timeout]: the job exhausted its deadline/budget — retrying would
+     spend the same budget again, so it fails permanently;
+   - [Permanent]: the input is at fault (parse/verify/codegen errors) —
+     no retry can help. *)
+type failure_class = Transient | Timeout | Permanent
+
 (* A failed job: every failure mode — lex/parse errors, verifier
-   rejections, pass failures, codegen errors, even unexpected exceptions
-   — is normalized to a list of located [Diagnostic]s, so callers (and
-   the batch scheduler's domains) never see an exception escape
-   [compile_job]. *)
+   rejections, pass failures, codegen errors, timeouts, injected
+   faults, even unexpected exceptions — is normalized to a list of
+   located [Diagnostic]s, so callers (and the batch scheduler's
+   domains) never see an exception escape [compile_job]. *)
 type error = {
   err_job : string;  (* the job's source name *)
+  err_class : failure_class;
   err_diags : Diagnostic.t list;  (* at least one *)
 }
 
@@ -113,7 +134,7 @@ let pick_top module_op top =
     in
     (f, Some note)
 
-let run_pipeline ~trace spec module_op =
+let run_pipeline ~trace ~guard spec module_op =
   let instrument = function
     | Pass.Pass_begin _ -> ()
     | Pass.Pass_end { pass_name; seconds; changed; counters; _ } ->
@@ -123,7 +144,10 @@ let run_pipeline ~trace spec module_op =
       let counter_args = List.map (fun (k, n) -> (k, string_of_int n)) counters in
       Trace.add_span trace ~cat:"pass"
         ~args:(("changed", string_of_bool changed) :: counter_args)
-        ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ()
+        ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ();
+      (* Guard checkpoint between passes: a pipeline that overruns its
+         deadline stops at the next pass boundary. *)
+      Guard.tick guard
   in
   let mgr = Pass.Manager.create ~instrument (Pipeline.to_passes spec) in
   let result = Pass.Manager.run mgr module_op in
@@ -134,89 +158,150 @@ let run_pipeline ~trace spec module_op =
   end;
   result.Pass.stats
 
-let compile_job ?cache ?trace job =
+(* Degradations a pass reports about itself (e.g. canonicalize falling
+   back to the legacy fixpoint on a backstop trip) surface as counters
+   whose name contains "fallback"; lift them into the job's degradation
+   list so the batch report shows them without trace spelunking. *)
+let fallback_degradations pass_stats =
+  let has_sub hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  List.concat_map
+    (fun (s : Pass.stat) ->
+      List.filter_map
+        (fun (name, n) ->
+          if has_sub name "fallback" then
+            Some (Printf.sprintf "pass %s: %s (x%d)" s.Pass.pass_name name n)
+          else None)
+        s.Pass.counters)
+    pass_stats
+
+let compile_job ?cache ?trace ?(limits = Guard.no_limits) job =
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let name = source_name job.src in
+  let guard = Guard.create ~job:name limits in
   let started = Trace.now () in
+  let degradations = ref [] in
+  let degrade reason =
+    degradations := reason :: !degradations;
+    Trace.instant trace ~cat:"fault" ~args:[ ("job", name) ] reason;
+    Trace.incr trace "degradations"
+  in
   try
-    Ir.with_isolated_ids (fun () ->
-        (* Materialize the source text the cache key is computed from;
-           builder sources print their module so the key tracks the
-           actual IR content. *)
-        let text, built =
-          match job.src with
-          | Text { text; _ } -> (text, None)
-          | Builder { build; _ } ->
-            Trace.span trace ~cat:"frontend" "build" (fun () ->
-                let m, f = build () in
-                (Printer.op_to_string m, Some (m, f)))
-        in
-        let key = Cache.key ~pipeline:(Pipeline.to_string job.pipeline) ~top:job.top ~source:text in
-        let cached =
-          match cache with
-          | None -> None
-          | Some c ->
-            Trace.span trace ~cat:"cache" "cache-lookup" (fun () -> Cache.lookup c key)
-        in
-        match cached with
-        | Some entry ->
-          Trace.incr trace "cache-hit";
-          Ok
-            {
-              job_name = name;
-              top_name = entry.Cache.e_top;
-              verilog = entry.Cache.e_verilog;
-              usage = entry.Cache.e_usage;
-              from_cache = true;
-              note = None;
-              pass_stats = [];
-              seconds = Trace.now () -. started;
-            }
-        | None ->
-          if cache <> None then Trace.incr trace "cache-miss";
-          let module_op, top_func, note =
-            match built with
-            | Some (m, f) -> (m, f, None)
+    Faults.with_scope name (fun () ->
+        Ir.with_isolated_ids (fun () ->
+            (* Materialize the source text the cache key is computed from;
+               builder sources print their module so the key tracks the
+               actual IR content. *)
+            let text, built =
+              match job.src with
+              | Text { text; _ } -> (text, None)
+              | Builder { build; _ } ->
+                Trace.span trace ~cat:"frontend" "build" (fun () ->
+                    let m, f = build () in
+                    (Printer.op_to_string m, Some (m, f)))
+            in
+            let key =
+              Cache.key ~pipeline:(Pipeline.to_string job.pipeline) ~top:job.top
+                ~source:text
+            in
+            Guard.tick guard;
+            let cached =
+              match cache with
+              | None -> None
+              | Some c -> (
+                match
+                  Trace.span trace ~cat:"cache" "cache-lookup" (fun () ->
+                      Cache.consult c key)
+                with
+                | Cache.Hit entry -> Some entry
+                | Cache.Miss -> None
+                | Cache.Read_fault reason ->
+                  degrade ("cache read fault, recompiling: " ^ reason);
+                  Trace.incr trace "cache-read-fault";
+                  None
+                | Cache.Corrupt reason ->
+                  degrade ("corrupt cache entry quarantined, recompiling: " ^ reason);
+                  Trace.incr trace "cache-quarantined";
+                  None)
+            in
+            match cached with
+            | Some entry ->
+              Trace.incr trace "cache-hit";
+              Ok
+                {
+                  job_name = name;
+                  top_name = entry.Cache.e_top;
+                  verilog = entry.Cache.e_verilog;
+                  usage = entry.Cache.e_usage;
+                  from_cache = true;
+                  note = None;
+                  degradations = List.rev !degradations;
+                  pass_stats = [];
+                  seconds = Trace.now () -. started;
+                }
             | None ->
-              let m =
-                Trace.span trace ~cat:"frontend" "parse" (fun () ->
-                    Parser.parse_string ~file:name text)
+              if cache <> None then Trace.incr trace "cache-miss";
+              (* The compile itself as an injection point: models a
+                 worker crashing mid-job. *)
+              Faults.point "job.compile";
+              let module_op, top_func, note =
+                match built with
+                | Some (m, f) -> (m, f, None)
+                | None ->
+                  let m =
+                    Trace.span trace ~cat:"frontend" "parse" (fun () ->
+                        Parser.parse_string ~file:name text)
+                  in
+                  let f, note = pick_top m job.top in
+                  (m, f, note)
               in
-              let f, note = pick_top m job.top in
-              (m, f, note)
-          in
-          Trace.span trace ~cat:"verify" "verify" (fun () -> run_verifiers module_op);
-          let pass_stats = run_pipeline ~trace job.pipeline module_op in
-          let emitted =
-            Trace.span trace ~cat:"backend" "emit" (fun () ->
-                Hir_codegen.Emit.emit ~module_op ~top:top_func)
-          in
-          let verilog =
-            Trace.span trace ~cat:"backend" "print" (fun () ->
-                Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design)
-          in
-          let usage =
-            Trace.span trace ~cat:"backend" "resource-model" (fun () ->
-                Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design)
-          in
-          let top_name = Ops.func_name top_func in
-          (match cache with
-          | Some c ->
-            Trace.span trace ~cat:"cache" "cache-store" (fun () ->
-                Cache.store c key
-                  { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage })
-          | None -> ());
-          Ok
-            {
-              job_name = name;
-              top_name;
-              verilog;
-              usage;
-              from_cache = false;
-              note;
-              pass_stats;
-              seconds = Trace.now () -. started;
-            })
+              Guard.tick guard;
+              Trace.span trace ~cat:"verify" "verify" (fun () -> run_verifiers module_op);
+              Guard.tick guard;
+              let pass_stats = run_pipeline ~trace ~guard job.pipeline module_op in
+              List.iter degrade (fallback_degradations pass_stats);
+              let emitted =
+                Trace.span trace ~cat:"backend" "emit" (fun () ->
+                    Hir_codegen.Emit.emit ~module_op ~top:top_func)
+              in
+              Guard.tick guard;
+              let verilog =
+                Trace.span trace ~cat:"backend" "print" (fun () ->
+                    Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design)
+              in
+              let usage =
+                Trace.span trace ~cat:"backend" "resource-model" (fun () ->
+                    Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design)
+              in
+              Guard.tick guard;
+              let top_name = Ops.func_name top_func in
+              (match cache with
+              | Some c ->
+                Trace.span trace ~cat:"cache" "cache-store" (fun () ->
+                    match
+                      Cache.store c key
+                        { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage }
+                    with
+                    | Ok () -> ()
+                    | Error reason ->
+                      degrade ("cache write fault, result not cached: " ^ reason);
+                      Trace.incr trace "cache-write-fault")
+              | None -> ());
+              Ok
+                {
+                  job_name = name;
+                  top_name;
+                  verilog;
+                  usage;
+                  from_cache = false;
+                  note;
+                  degradations = List.rev !degradations;
+                  pass_stats;
+                  seconds = Trace.now () -. started;
+                }))
   with
   | Compile_failed diags ->
     (* Diagnostics with no location of their own are attributed to the
@@ -229,17 +314,41 @@ let compile_job ?cache ?trace job =
           else d)
         diags
     in
-    Error { err_job = name; err_diags = diags }
+    Error { err_job = name; err_class = Permanent; err_diags = diags }
+  | Guard.Exhausted { reason; _ } ->
+    Trace.instant trace ~cat:"fault" ~args:[ ("job", name) ] "job-timeout";
+    Error
+      { err_job = name;
+        err_class = Timeout;
+        err_diags = [ Diagnostic.error (Location.name name) ("job timeout: " ^ reason) ] }
+  | Faults.Injected p ->
+    Trace.instant trace ~cat:"fault" ~args:[ ("job", name); ("point", p) ] "fault-injected";
+    Error
+      { err_job = name;
+        err_class = Transient;
+        err_diags =
+          [ Diagnostic.error (Location.name name) ("injected fault at " ^ p) ] }
   | Parser.Parse_error (loc, msg) ->
-    Error { err_job = name; err_diags = [ Diagnostic.error loc ("parse error: " ^ msg) ] }
+    Error
+      { err_job = name;
+        err_class = Permanent;
+        err_diags = [ Diagnostic.error loc ("parse error: " ^ msg) ] }
   | Lexer.Lex_error (loc, msg) ->
-    Error { err_job = name; err_diags = [ Diagnostic.error loc ("lex error: " ^ msg) ] }
+    Error
+      { err_job = name;
+        err_class = Permanent;
+        err_diags = [ Diagnostic.error loc ("lex error: " ^ msg) ] }
   | Hir_codegen.Emit.Codegen_error msg ->
     Error
       { err_job = name;
+        err_class = Permanent;
         err_diags = [ Diagnostic.error (Location.name name) ("codegen: " ^ msg) ] }
   | Sys_error msg ->
-    Error { err_job = name; err_diags = [ Diagnostic.error (Location.name name) msg ] }
+    (* IO trouble is infrastructure, not input: worth a retry. *)
+    Error
+      { err_job = name;
+        err_class = Transient;
+        err_diags = [ Diagnostic.error (Location.name name) msg ] }
   | (Stack_overflow | Out_of_memory) as e -> raise e
   | exn ->
     (* Backstop: a bug anywhere in the stack (an uncaught [Failure], an
@@ -249,6 +358,7 @@ let compile_job ?cache ?trace job =
        fuzzer still sees such bugs as crashes. *)
     Error
       { err_job = name;
+        err_class = Permanent;
         err_diags =
           [ Diagnostic.error (Location.name name)
               ("internal error: " ^ Printexc.to_string exn) ] }
@@ -256,13 +366,99 @@ let compile_job ?cache ?trace job =
 (* ------------------------------------------------------------------ *)
 (* Batch mode                                                          *)
 
+(* Retry policy for transient failures: capped exponential backoff with
+   seeded jitter (deterministic — see [Faults.uniform]), then
+   quarantine: a job still failing transiently after [max_attempts] is
+   reported as failed and not retried again within the batch. *)
+type retry_policy = {
+  max_attempts : int;  (* total attempts, including the first *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  retry_seed : int;  (* jitter seed *)
+}
+
+let default_retry =
+  { max_attempts = 3; base_backoff_s = 0.002; max_backoff_s = 0.05; retry_seed = 0 }
+
+(* One per job, always: the scheduler invariant the fault-injection
+   tests pin down is that a batch of n jobs yields exactly n reports,
+   whatever faults fired. *)
+type report = {
+  rp_job : string;
+  rp_attempts : int;
+  rp_outcome : outcome;
+}
+
+let report_status r =
+  match r.rp_outcome with
+  | Error _ -> `Failed
+  | Ok o -> if o.degradations = [] then `Ok else `Degraded
+
+let status_to_string = function
+  | `Ok -> "ok"
+  | `Degraded -> "degraded"
+  | `Failed -> "failed"
+
 type batch_result = {
-  outcomes : outcome array;  (* in job order *)
+  reports : report array;  (* in job order *)
+  outcomes : outcome array;  (* = reports' outcomes, in job order *)
+  batch_notes : string list;  (* batch-level degradations (spawn faults) *)
   traces : Trace.t list;  (* one per job, tid = job index + 1 *)
   wall_seconds : float;
 }
 
-let batch ?cache ?(workers = 1) (jobs : job array) =
+let run_with_retry ?cache ~trace ~limits ~retry job =
+  let name = source_name job.src in
+  let rec go attempt retry_notes =
+    match compile_job ?cache ~trace ~limits job with
+    | Ok o ->
+      let o =
+        if retry_notes = [] then o
+        else { o with degradations = o.degradations @ List.rev retry_notes }
+      in
+      { rp_job = name; rp_attempts = attempt; rp_outcome = Ok o }
+    | Error e when e.err_class = Transient && attempt < retry.max_attempts ->
+      let cause =
+        match e.err_diags with
+        | d :: _ -> d.Diagnostic.msg
+        | [] -> "transient failure"
+      in
+      Trace.incr trace "retries";
+      Trace.instant trace ~cat:"fault"
+        ~args:[ ("job", name); ("attempt", string_of_int attempt) ]
+        "retry";
+      (* Capped exponential backoff with seeded jitter in [0.5x, 1.5x]. *)
+      let backoff =
+        Float.min retry.max_backoff_s
+          (retry.base_backoff_s *. (2. ** float_of_int (attempt - 1)))
+      in
+      let jitter =
+        0.5 +. Faults.uniform ~seed:retry.retry_seed ~key:name ~index:attempt
+      in
+      let delay = backoff *. jitter in
+      if delay > 0. then Unix.sleepf delay;
+      go (attempt + 1)
+        (Printf.sprintf "attempt %d failed (%s); retried" attempt cause
+        :: retry_notes)
+    | Error e ->
+      let e =
+        if e.err_class = Transient then
+          (* Retries exhausted: quarantine the repeat offender. *)
+          { e with
+            err_diags =
+              e.err_diags
+              @ [ Diagnostic.error (Location.name name)
+                    (Printf.sprintf
+                       "job quarantined after %d transient failures; giving up"
+                       attempt) ] }
+        else e
+      in
+      { rp_job = name; rp_attempts = attempt; rp_outcome = Error e }
+  in
+  go 1 []
+
+let batch ?cache ?(workers = 1) ?(limits = Guard.no_limits) ?(retry = default_retry)
+    (jobs : job array) =
   let epoch = Trace.now () in
   let traces =
     Array.init (Array.length jobs) (fun i ->
@@ -270,12 +466,28 @@ let batch ?cache ?(workers = 1) (jobs : job array) =
         Trace.set_tid t (i + 1);
         t)
   in
-  let outcomes =
+  let spawn_failures = Atomic.make 0 in
+  let reports =
     Scheduler.map_ordered ~workers
-      ~f:(fun i job -> compile_job ?cache ~trace:traces.(i) job)
+      ~on_spawn_failure:(fun _ -> Atomic.incr spawn_failures)
+      ~f:(fun i job -> run_with_retry ?cache ~trace:traces.(i) ~limits ~retry job)
       jobs
   in
-  { outcomes; traces = Array.to_list traces; wall_seconds = Trace.now () -. epoch }
+  let batch_notes =
+    match Atomic.get spawn_failures with
+    | 0 -> []
+    | n ->
+      [ Printf.sprintf
+          "%d of %d worker spawns failed; batch degraded to the surviving workers" n
+          (min workers (Array.length jobs)) ]
+  in
+  {
+    reports;
+    outcomes = Array.map (fun r -> r.rp_outcome) reports;
+    batch_notes;
+    traces = Array.to_list traces;
+    wall_seconds = Trace.now () -. epoch;
+  }
 
 (* Per-stage wall-time totals across a set of traces, for compile-time
    breakdown tables (the shape of the paper's Table 6). *)

@@ -1,0 +1,64 @@
+(* Per-job guards: wall-clock deadlines and work budgets.
+
+   OCaml domains cannot be interrupted asynchronously, so the guard is
+   cooperative: the driver calls [tick] at stage boundaries (after
+   parse, after each pass, after emit/print), and a job that overruns
+   its limits raises [Exhausted] at the next checkpoint.  That turns a
+   runaway compile into a structured [Job_timeout]-style diagnostic the
+   batch scheduler can report per job, instead of a hung batch.
+
+   Granularity: a single pass that never returns cannot be preempted —
+   the rewrite driver's round/application backstops (lib/ir/rewrite)
+   bound that layer, and the guard bounds everything stitched together
+   above it.  Work budgets count checkpoints (≈ pipeline stages), a
+   scheduling-independent measure for tests that want determinism
+   without wall clocks. *)
+
+type limits = {
+  deadline_s : float option;  (* wall-clock budget for one attempt *)
+  work_budget : int option;  (* max checkpoints for one attempt *)
+}
+
+let no_limits = { deadline_s = None; work_budget = None }
+
+exception Exhausted of { job : string; reason : string }
+
+type t = {
+  g_job : string;
+  g_limits : limits;
+  g_started : float;
+  mutable g_work : int;
+}
+
+let create ~job limits =
+  { g_job = job; g_limits = limits; g_started = Unix.gettimeofday (); g_work = 0 }
+
+let elapsed g = Unix.gettimeofday () -. g.g_started
+
+let check g =
+  (match g.g_limits.deadline_s with
+  | Some limit when elapsed g > limit ->
+    raise
+      (Exhausted
+         {
+           job = g.g_job;
+           reason =
+             Printf.sprintf "deadline of %.3fs exceeded (%.3fs elapsed)" limit
+               (elapsed g);
+         })
+  | _ -> ());
+  match g.g_limits.work_budget with
+  | Some budget when g.g_work > budget ->
+    raise
+      (Exhausted
+         {
+           job = g.g_job;
+           reason =
+             Printf.sprintf "work budget of %d checkpoints exceeded (%d spent)"
+               budget g.g_work;
+         })
+  | _ -> ()
+
+let tick ?(work = 1) g =
+  g.g_work <- g.g_work + work;
+  check g

@@ -8,19 +8,46 @@
 
    [workers = 1] runs inline in the calling domain — this is the
    reference sequential schedule the batch tests compare parallel runs
-   against.  Exceptions escaping [f] are captured per job and re-raised
-   in the caller after all workers have joined, so one poisoned job
-   cannot leave domains running unjoined. *)
+   against.  Exceptions escaping [f] are captured per job (with their
+   backtraces) and re-raised in the caller after all workers have
+   joined, so one poisoned job cannot leave domains running unjoined;
+   when several jobs raise, all of them are reported via
+   [Job_failures] instead of silently keeping only the first slot
+   scanned.
+
+   Degradation: spawning a worker domain can itself fail (resource
+   exhaustion, or an injected "worker.spawn" fault).  A failed spawn is
+   reported through [on_spawn_failure] and the pool simply runs with
+   the domains that did start; if none did, the calling domain runs the
+   whole batch inline.  Jobs are never lost to a spawn failure. *)
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
-type 'b slot = Empty | Value of 'b | Raised of exn
+(* Raised when two or more jobs raised: (job index, exception) pairs in
+   job order.  A single raising job re-raises its own exception with
+   the original backtrace. *)
+exception Job_failures of (int * exn) list
 
-let map_ordered ?(workers = 1) ~f jobs =
+let () =
+  Printexc.register_printer (function
+    | Job_failures failures ->
+      Some
+        (Printf.sprintf "Scheduler.Job_failures [%s]"
+           (String.concat "; "
+              (List.map
+                 (fun (i, e) -> Printf.sprintf "job %d: %s" i (Printexc.to_string e))
+                 failures)))
+    | _ -> None)
+
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map_ordered ?(workers = 1) ?(on_spawn_failure = fun (_ : exn) -> ()) ~f jobs =
   let n = Array.length jobs in
   let results = Array.make n Empty in
   let run_one i =
-    results.(i) <- (try Value (f i jobs.(i)) with e -> Raised e)
+    results.(i) <-
+      (try Value (f i jobs.(i))
+       with e -> Raised (e, Printexc.get_raw_backtrace ()))
   in
   if workers <= 1 || n <= 1 then
     for i = 0 to n - 1 do
@@ -39,13 +66,33 @@ let map_ordered ?(workers = 1) ~f jobs =
       loop ()
     in
     let domains =
-      List.init (min workers n) (fun _ -> Domain.spawn worker)
+      List.filter_map
+        (fun _ ->
+          match
+            Faults.point "worker.spawn";
+            Domain.spawn worker
+          with
+          | d -> Some d
+          | exception e ->
+            on_spawn_failure e;
+            None)
+        (List.init (min workers n) Fun.id)
     in
-    List.iter Domain.join domains
+    (* Last rung of the ladder: no worker could start, so degrade to
+       inline sequential execution rather than dropping the batch. *)
+    if domains = [] then worker () else List.iter Domain.join domains
   end;
-  Array.map
-    (function
-      | Value v -> v
-      | Raised e -> raise e
-      | Empty -> assert false)
-    results
+  let raised = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Raised (e, bt) -> raised := (i, e, bt) :: !raised
+      | Value _ | Empty -> ())
+    results;
+  match List.rev !raised with
+  | [] ->
+    Array.map
+      (function Value v -> v | Raised _ | Empty -> assert false)
+      results
+  | [ (_, e, bt) ] -> Printexc.raise_with_backtrace e bt
+  | many -> raise (Job_failures (List.map (fun (i, e, _) -> (i, e)) many))

@@ -16,10 +16,22 @@ type span = {
   sp_args : (string * string) list;
 }
 
+(* A zero-duration mark on the timeline (Chrome "i"-phase): fault
+   injections, degradations and retries are recorded as instants so a
+   trace shows *when* the service deviated from the happy path, not
+   just that it did. *)
+type instant = {
+  in_name : string;
+  in_cat : string;
+  in_ts_us : float;  (* relative to the trace epoch *)
+  in_args : (string * string) list;
+}
+
 type t = {
   epoch : float;  (* Unix.gettimeofday at timeline origin *)
   mutable tid : int;  (* Chrome trace "thread" id *)
   mutable spans : span list;  (* reverse chronological *)
+  mutable instants : instant list;  (* reverse chronological *)
   counters : (string, int) Hashtbl.t;
 }
 
@@ -27,7 +39,7 @@ let now () = Unix.gettimeofday ()
 
 let create ?epoch () =
   let epoch = match epoch with Some e -> e | None -> now () in
-  { epoch; tid = 0; spans = []; counters = Hashtbl.create 8 }
+  { epoch; tid = 0; spans = []; instants = []; counters = Hashtbl.create 8 }
 
 let epoch t = t.epoch
 let set_tid t tid = t.tid <- tid
@@ -49,6 +61,18 @@ let span t ?cat ?args name f =
   let start = now () in
   Fun.protect ~finally:(fun () -> add_span t ?cat ?args ~name ~start ~stop:(now ()) ())
     f
+
+let instant t ?(cat = "fault") ?(args = []) name =
+  t.instants <-
+    {
+      in_name = name;
+      in_cat = cat;
+      in_ts_us = (now () -. t.epoch) *. 1e6;
+      in_args = args;
+    }
+    :: t.instants
+
+let instants t = List.rev t.instants
 
 let incr t ?(by = 1) name =
   Hashtbl.replace t.counters name
@@ -75,6 +99,9 @@ let merge ~into:dst src =
   List.iter
     (fun s -> dst.spans <- { s with sp_start_us = s.sp_start_us +. shift_us } :: dst.spans)
     src.spans;
+  List.iter
+    (fun i -> dst.instants <- { i with in_ts_us = i.in_ts_us +. shift_us } :: dst.instants)
+    src.instants;
   List.iter (fun (k, v) -> incr dst ~by:v k) (counters src)
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +150,21 @@ let to_chrome_json traces =
         (fun s ->
           end_ts := Float.max !end_ts (s.sp_start_us +. s.sp_dur_us);
           emit (span_json ~tid:t.tid s))
-        (spans t))
+        (spans t);
+      List.iter
+        (fun i ->
+          end_ts := Float.max !end_ts i.in_ts_us;
+          let args =
+            i.in_args
+            |> List.map (fun (k, v) ->
+                   Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+            |> String.concat ","
+          in
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.1f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+               (json_escape i.in_name) (json_escape i.in_cat) i.in_ts_us t.tid args))
+        (instants t))
     traces;
   let totals = Hashtbl.create 8 in
   List.iter

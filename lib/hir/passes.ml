@@ -278,37 +278,38 @@ let delay_elim =
 
 (* Backstop against a non-convergent rewrite combination: real modules
    converge by worklist exhaustion, so hitting the bound means a
-   rewrite bug — degrade to "stop canonicalizing" rather than hang.
-   The driver reports it through [ds_backstop] and a "backstop"
-   counter. *)
+   rewrite bug — degrade rather than hang.  The driver reports it
+   through [ds_backstop] and a "backstop" counter, and the
+   [canonicalize] pass falls back to the [Legacy] fixpoint below (see
+   [canonicalize]). *)
 let max_canonicalize_rounds = 64
+
+(* Mutable so the fault-tolerance tests can trip the backstop on a
+   well-behaved module (set to 0: the driver gives up before its first
+   drain) and observe the legacy fallback; production code never writes
+   it. *)
+let canonicalize_rounds = ref max_canonicalize_rounds
 
 (* One greedy driver invocation: fold hooks + strength-reduction
    patterns + trivial-DCE on the worklist, with the scoped CSE sweep
    between drains.  Replaces the legacy 4-pass x 64-round loop. *)
-let canonicalize_config =
+let canonicalize_config () =
   {
     Rewrite.default_config with
     is_trivially_dead = Some dce_removable;
     sweeps = [ cse_sweep ];
-    max_rounds = max_canonicalize_rounds;
+    max_rounds = !canonicalize_rounds;
   }
 
 let run_canonicalize_stats module_op =
-  Rewrite.run_greedy ~config:canonicalize_config module_op
+  Rewrite.run_greedy ~config:(canonicalize_config ()) module_op
 
 let run_canonicalize module_op =
   (run_canonicalize_stats module_op).Rewrite.ds_changed
 
-let canonicalize =
-  Pass.make ~name:"canonicalize"
-    ~description:"Fold, reduce, CSE and DCE to a worklist fixpoint"
-    (fun module_op _engine ->
-      let stats = run_canonicalize_stats module_op in
-      record_driver_stats stats;
-      stats.Rewrite.ds_changed)
-
-let standard_pipeline () = [ canonicalize; delay_elim ]
+(* The [canonicalize] pass itself is defined at the end of the file,
+   after [Legacy]: its degradation ladder falls back to the legacy
+   whole-module fixpoint when the greedy driver trips its backstop. *)
 
 (* ------------------------------------------------------------------ *)
 (* Legacy whole-module fixpoint implementations                        *)
@@ -538,3 +539,29 @@ module Legacy = struct
     done;
     !changed
 end
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalize, with its degradation ladder                           *)
+
+(* A backstop trip means the greedy driver did not converge (a rewrite
+   bug, not an input property — real modules converge by worklist
+   exhaustion).  Rather than ship a half-rewritten module, fall back to
+   the legacy whole-module fixpoint — the executable specification the
+   driver is differentially tested against (both converge to the same
+   normal form) — and record the fallback through [Pass.record_counter]
+   so it is observable in --stats, Chrome traces and the batch
+   degradation report instead of silent. *)
+let canonicalize =
+  Pass.make ~name:"canonicalize"
+    ~description:"Fold, reduce, CSE and DCE to a worklist fixpoint"
+    (fun module_op _engine ->
+      let stats = run_canonicalize_stats module_op in
+      record_driver_stats stats;
+      if stats.Rewrite.ds_backstop then begin
+        Pass.record_counter "canonicalize.fallback_legacy";
+        let legacy_changed = Legacy.run_canonicalize module_op in
+        stats.Rewrite.ds_changed || legacy_changed
+      end
+      else stats.Rewrite.ds_changed)
+
+let standard_pipeline () = [ canonicalize; delay_elim ]

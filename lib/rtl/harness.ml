@@ -90,10 +90,13 @@ type run_result = {
   failures : Sim.assertion_failure list;
   cycles_run : int;
   output_values : (string * Bitvec.t) list;  (* scalar results at the end *)
+  engine_used : [ `Compiled | `Reference ];
+      (* the engine that actually produced this result — [`Reference]
+         with [~engine:`Compiled] means the degradation ladder fired *)
   sim_stats : Sim.stats;
 }
 
-let run ?(extra_cycles = 8) ?(engine = `Compiled) ?vcd_path ~(emitted : Emit.emitted)
+let run_once ?(extra_cycles = 8) ~engine ?vcd_path ~(emitted : Emit.emitted)
     ~inputs ~cycles () =
   let flat = Flatten.flatten emitted.Emit.design in
   let sim = Sim.create ~engine flat in
@@ -136,10 +139,26 @@ let run ?(extra_cycles = 8) ?(engine = `Compiled) ?vcd_path ~(emitted : Emit.emi
       failures = Sim.failures sim;
       cycles_run = total;
       output_values;
+      engine_used = engine;
       sim_stats = Sim.stats sim;
     }
   in
   (result, agents)
+
+(* Degradation ladder: an internal [Sim_error] from the compiled engine
+   (a compilation bug, or an injected "sim.settle" fault) falls back to
+   a full re-run on the reference tree walker — slower, but the
+   executable specification.  The fallback is recorded through
+   [Pass.record_counter], so `hirc sim --stats` and Chrome traces show
+   "sim.fallback_reference" instead of degrading silently.  A
+   [Sim_error] from the reference engine itself propagates: there is no
+   lower rung. *)
+let run ?extra_cycles ?(engine = `Compiled) ?vcd_path ~emitted ~inputs ~cycles () =
+  match run_once ?extra_cycles ~engine ?vcd_path ~emitted ~inputs ~cycles () with
+  | result -> result
+  | exception Sim.Sim_error _ when engine = `Compiled ->
+    Hir_ir.Pass.record_counter "sim.fallback_reference";
+    run_once ?extra_cycles ~engine:`Reference ?vcd_path ~emitted ~inputs ~cycles ()
 
 (* Snapshot of the [i]-th memref argument after a run (memref args
    only, in interface order). *)

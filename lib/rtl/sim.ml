@@ -31,6 +31,15 @@ exception Sim_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
+(* Fault-injection hook, called once per settle of the *compiled*
+   engine only — the reference walker stays clean because it is the
+   fallback the harness degrades to on [Sim_error].  The driver's fault
+   subsystem (lib/driver/faults.ml, which this library must not depend
+   on) installs a callback that raises [Sim_error] on an injected
+   "sim.settle" fault; the default is a no-op closure, so the cost when
+   disabled is one ref read per settle. *)
+let settle_fault_hook : (unit -> unit) ref = ref (fun () -> ())
+
 type assertion_failure = { at_cycle : int; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -998,6 +1007,7 @@ module Compiled = struct
   (* Cycle execution                                                   *)
 
   let settle t =
+    !settle_fault_hook ();
     let rt = t.rt in
     rt.settles <- rt.settles + 1;
     let dirty = t.dirty and evalf = t.assign_eval and fast = t.assign_fast in

@@ -319,6 +319,431 @@ let test_trace_spans_and_json () =
   check_bool "has complete-span phase" true (contains "\"ph\":\"X\"");
   check_bool "has parse span" true (contains "\"name\":\"parse\"")
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection: spec parsing and seeded decisions                  *)
+
+let test_faults_spec_parsing () =
+  let ok spec =
+    match Faults.parse_spec spec with
+    | Ok rules -> rules
+    | Error e -> Alcotest.failf "expected %S to parse, got: %s" spec e
+  in
+  let err spec =
+    match Faults.parse_spec spec with
+    | Ok rules ->
+      Alcotest.failf "expected %S to be rejected, parsed as %S" spec
+        (Faults.rules_to_string rules)
+    | Error e -> e
+  in
+  (* Round-trip through the printer. *)
+  List.iter
+    (fun spec -> check_string spec spec (Faults.rules_to_string (ok spec)))
+    [ "cache.read=0.5"; "*=0.1"; "job.compile@2"; "cache.read=0.25,worker.spawn@1" ];
+  check_string "whitespace normalizes" "cache.read=0.5,sim.settle@3"
+    (Faults.rules_to_string (ok " cache.read = 0.5 , sim.settle @ 3 "));
+  ignore (err "");
+  ignore (err "bogus=0.5");  (* unknown point *)
+  ignore (err "cache.read=1.5");  (* probability out of range *)
+  ignore (err "cache.read=-0.1");
+  ignore (err "job.compile@0");  (* counts are 1-based *)
+  ignore (err "cache.read");  (* missing trigger *)
+  ignore (err "cache.read=oops")
+
+let test_faults_nth_trigger () =
+  let cfg = { Faults.rules = [ ("job.compile", Faults.Nth 3) ]; seed = 0 } in
+  Faults.with_config cfg (fun () ->
+      Faults.with_scope "job-a" (fun () ->
+          let fired = ref [] in
+          for i = 1 to 6 do
+            match Faults.point "job.compile" with
+            | () -> ()
+            | exception Faults.Injected "job.compile" -> fired := i :: !fired
+          done;
+          Alcotest.(check (list int)) "fires on exactly the 3rd hit" [ 3 ] (List.rev !fired);
+          (* A rule for one point never fires another. *)
+          Faults.point "cache.read"));
+  (* Outside with_config the points are inert. *)
+  Faults.point "job.compile"
+
+let test_faults_determinism () =
+  (* Seeded decisions are a pure function of (seed, scope, point, hit
+     index): two installs with the same seed fire on identical hits,
+     and a different seed gives a different schedule. *)
+  let schedule seed =
+    let cfg = { Faults.rules = [ ("cache.read", Faults.Prob 0.3) ]; seed } in
+    Faults.with_config cfg (fun () ->
+        Faults.with_scope "job-a" (fun () ->
+            List.init 200 (fun i ->
+                match Faults.point "cache.read" with
+                | () -> false
+                | exception Faults.Injected _ -> i = i)))
+  in
+  let s1 = schedule 42 in
+  check_bool "same seed, same schedule" true (s1 = schedule 42);
+  check_bool "some hits fire" true (List.mem true s1);
+  check_bool "some hits pass" true (List.mem false s1);
+  check_bool "different seed, different schedule" false (s1 = schedule 43);
+  (* The raw uniform stream is reproducible too. *)
+  check_bool "uniform is pure" true
+    (Faults.uniform ~seed:7 ~key:"k" ~index:3 = Faults.uniform ~seed:7 ~key:"k" ~index:3);
+  check_bool "uniform in [0,1)" true
+    (List.for_all
+       (fun i ->
+         let u = Faults.uniform ~seed:1 ~key:"k" ~index:i in
+         u >= 0. && u < 1.)
+       (List.init 100 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Guards: deadlines and budgets                                       *)
+
+let test_deadline_timeout () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let limits = { Guard.deadline_s = Some 0.; work_budget = None } in
+  match
+    Driver.compile_job ~limits (Driver.job_of_text ~pipeline ~name:"t.hir" text)
+  with
+  | Ok _ -> Alcotest.fail "expected a zero deadline to time the job out"
+  | Error e ->
+    check_bool "classified as timeout" true (e.Driver.err_class = Driver.Timeout);
+    check_bool "diagnostic mentions the timeout" true
+      (let msg = Driver.error_to_string e in
+       let needle = "timeout" in
+       let n = String.length needle and l = String.length msg in
+       let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+       go 0)
+
+let test_work_budget () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let limits = { Guard.deadline_s = None; work_budget = Some 1 } in
+  match
+    Driver.compile_job ~limits (Driver.job_of_text ~pipeline ~name:"t.hir" text)
+  with
+  | Ok _ -> Alcotest.fail "expected a 1-tick work budget to exhaust"
+  | Error e -> check_bool "classified as timeout" true (e.Driver.err_class = Driver.Timeout)
+
+(* ------------------------------------------------------------------ *)
+(* Cache integrity                                                     *)
+
+let quarantine_files dir =
+  let q = Filename.concat dir "quarantine" in
+  if Sys.file_exists q then Array.to_list (Sys.readdir q) else []
+
+(* A bit-flipped payload must fail the digest check, be quarantined,
+   and recompile to byte-identical Verilog — never serve the damaged
+   bytes. *)
+let test_cache_bitflip_quarantined () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let cold = compile_text ~cache ~pipeline text in
+  (* Flip one byte in every payload. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".v" then begin
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let bytes = really_input_string ic n in
+        close_in ic;
+        let b = Bytes.of_string bytes in
+        Bytes.set b (n / 2) (Char.chr (Char.code (Bytes.get b (n / 2)) lxor 1));
+        let oc = open_out_bin path in
+        output_bytes oc b;
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let again = compile_text ~cache ~pipeline text in
+  check_bool "bit-flipped entry is not served" false again.Driver.from_cache;
+  check_string "recompile is bit-identical to the cold compile" cold.Driver.verilog
+    again.Driver.verilog;
+  check_bool "degradation recorded" true
+    (List.exists
+       (fun d -> String.length d >= 7 && String.sub d 0 7 = "corrupt")
+       again.Driver.degradations);
+  check_int "one corrupt entry counted" 1 (Cache.corrupt_count cache);
+  check_bool "damaged files moved to quarantine" true (quarantine_files dir <> [])
+
+let test_cache_truncated_meta_quarantined () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let cold = compile_text ~cache ~pipeline text in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".meta" then begin
+        let path = Filename.concat dir f in
+        let oc = open_out_bin path in
+        output_string oc "hir-driver/2\n";  (* header only: truncated *)
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let again = compile_text ~cache ~pipeline text in
+  check_bool "truncated meta is not served" false again.Driver.from_cache;
+  check_string "recompile is bit-identical" cold.Driver.verilog again.Driver.verilog;
+  check_bool "quarantined" true (quarantine_files dir <> [])
+
+(* [store] must never throw, and a failed atomic write must not leave
+   temp files behind.  A directory squatting on the payload path makes
+   [Sys.rename] fail reliably. *)
+let test_cache_store_failure_is_clean () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let k = Cache.key ~pipeline:"p" ~top:None ~source:"s" in
+  Unix.mkdir (Filename.concat dir (k ^ ".v")) 0o755;
+  let entry =
+    {
+      Cache.e_top = "f";
+      e_verilog = "module f; endmodule\n";
+      e_usage = Hir_resources.Model.zero;
+    }
+  in
+  (match Cache.store cache k entry with
+  | Ok () -> Alcotest.fail "expected store onto a squatted path to fail"
+  | Error _ -> ());
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no temp files leak from the failed write" [] leftovers
+
+let test_cache_verify_and_prune () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir in
+  let pipeline = Pipeline.default ~optimize:true in
+  ignore (compile_text ~cache ~pipeline (transpose_text ()));
+  ignore
+    (compile_text ~cache ~pipeline (transpose_text () ^ "\n// second entry\n"));
+  let r = Cache.verify cache in
+  check_int "both entries scanned" 2 r.Cache.vr_scanned;
+  check_int "both entries ok" 2 r.Cache.vr_ok;
+  (* Damage one payload, then verify again. *)
+  let victim =
+    Sys.readdir dir |> Array.to_list
+    |> List.find (fun f -> Filename.check_suffix f ".v")
+  in
+  let oc = open_out_bin (Filename.concat dir victim) in
+  output_string oc "garbage";
+  close_out oc;
+  let r = Cache.verify cache in
+  check_int "damaged entry found" 1 (List.length r.Cache.vr_quarantined);
+  check_int "the other entry still ok" 1 r.Cache.vr_ok;
+  check_bool "moved to quarantine" true (quarantine_files dir <> []);
+  (* Prune empties the quarantine; a second prune finds nothing. *)
+  let p = Cache.prune cache in
+  check_bool "prune removed the quarantined files" true (p.Cache.pr_removed > 0);
+  check_bool "prune reports bytes" true (p.Cache.pr_bytes > 0);
+  Alcotest.(check (list string)) "quarantine empty" [] (quarantine_files dir);
+  let p = Cache.prune cache in
+  check_int "second prune is a no-op" 0 p.Cache.pr_removed
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler fault paths                                               *)
+
+let test_scheduler_collects_all_failures () =
+  let jobs = Array.init 8 Fun.id in
+  match
+    Scheduler.map_ordered ~workers:2
+      ~f:(fun _ x -> if x mod 2 = 1 then failwith (string_of_int x) else x)
+      jobs
+  with
+  | _ -> Alcotest.fail "expected the job exceptions to re-raise"
+  | exception Scheduler.Job_failures failures ->
+    check_int "all four raising jobs reported" 4 (List.length failures);
+    List.iter
+      (fun (i, e) ->
+        check_bool "odd index" true (i mod 2 = 1);
+        match e with
+        | Failure msg -> check_string "payload matches index" (string_of_int i) msg
+        | e -> Alcotest.failf "unexpected exception: %s" (Printexc.to_string e))
+      failures
+
+let test_scheduler_spawn_fault_degrades_inline () =
+  (* With every worker spawn failing, the scheduler's last ladder rung
+     runs the jobs inline — nothing is lost. *)
+  let cfg = { Faults.rules = [ ("worker.spawn", Faults.Prob 1.) ]; seed = 0 } in
+  let spawn_failures = ref 0 in
+  let out =
+    Faults.with_config cfg (fun () ->
+        Scheduler.map_ordered ~workers:4
+          ~on_spawn_failure:(fun _ -> incr spawn_failures)
+          ~f:(fun _ x -> x * 2)
+          (Array.init 16 Fun.id))
+  in
+  check_int "all spawns failed" 4 !spawn_failures;
+  Array.iteri (fun i v -> check_int "job ran inline" (i * 2) v) out
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladders                                                 *)
+
+let test_canonicalize_legacy_fallback () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let clean = compile_text ~pipeline text in
+  let degraded =
+    Fun.protect
+      ~finally:(fun () ->
+        Hir_dialect.Passes.canonicalize_rounds := Hir_dialect.Passes.max_canonicalize_rounds)
+      (fun () ->
+        (* Zero rounds trips the greedy driver's backstop before its
+           first drain; the pass must fall back to the legacy fixpoint
+           and still converge. *)
+        Hir_dialect.Passes.canonicalize_rounds := 0;
+        compile_text ~pipeline text)
+  in
+  check_string "legacy fallback produces identical Verilog" clean.Driver.verilog
+    degraded.Driver.verilog;
+  check_bool "fallback surfaced as a degradation" true
+    (List.exists
+       (fun d ->
+         let needle = "fallback" in
+         let n = String.length needle and l = String.length d in
+         let rec go i = i + n <= l && (String.sub d i n = needle || go (i + 1)) in
+         go 0)
+       degraded.Driver.degradations)
+
+let test_sim_settle_fallback () =
+  let module Emit = Hir_codegen.Emit in
+  let module Harness = Hir_rtl.Harness in
+  let input = Hir_kernels.Fifo.make_input ~seed:11 in
+  let run_with ~engine () =
+    Ir.with_isolated_ids (fun () ->
+        let m, f = Hir_kernels.Fifo.build () in
+        let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
+        let inputs = [ Harness.Tensor (Array.copy input); Harness.Out_tensor ] in
+        let r, agents = Harness.run ~engine ~emitted ~inputs ~cycles:80 () in
+        (r, Harness.nth_tensor agents 1))
+  in
+  let clean, clean_out = run_with ~engine:`Reference () in
+  let cfg = { Faults.rules = [ ("sim.settle", Faults.Nth 1) ]; seed = 0 } in
+  let (degraded, degraded_out), counters =
+    Pass.with_counters (fun () ->
+        Faults.with_config cfg (run_with ~engine:`Compiled))
+  in
+  check_bool "ladder fell back to the reference engine" true
+    (degraded.Harness.engine_used = `Reference);
+  check_bool "fallback counter recorded" true
+    (List.mem_assoc "sim.fallback_reference" counters);
+  check_bool "degraded run matches a clean reference run" true
+    (clean.Harness.output_values = degraded.Harness.output_values
+    && clean_out = degraded_out)
+
+(* ------------------------------------------------------------------ *)
+(* Batch robustness under injection                                    *)
+
+(* Fast kernels only: the property below compiles them dozens of times. *)
+let fast_kernel_jobs pipeline =
+  [ "transpose"; "stencil_1d"; "fifo" ]
+  |> List.map (fun name ->
+         let k = Option.get (Hir_kernels.Kernels.find name) in
+         Driver.job_of_builder ~pipeline ~name k.Hir_kernels.Kernels.build)
+  |> Array.of_list
+
+let test_batch_partial_results () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let jobs =
+    [|
+      Driver.job_of_text ~pipeline ~name:"bad.hir" "%%% not hir";
+      Driver.job_of_text ~pipeline ~name:"good.hir" (transpose_text ());
+    |]
+  in
+  let result = Driver.batch ~workers:2 jobs in
+  check_int "one report per job" 2 (Array.length result.Driver.reports);
+  (match result.Driver.reports.(0).Driver.rp_outcome with
+  | Error e -> check_string "bad job failed" "bad.hir" e.Driver.err_job
+  | Ok _ -> Alcotest.fail "expected bad.hir to fail");
+  match result.Driver.reports.(1).Driver.rp_outcome with
+  | Ok o ->
+    check_bool "good job still compiled" true (String.length o.Driver.verilog > 0)
+  | Error e -> Alcotest.failf "good job failed: %s" (Driver.error_to_string e)
+
+(* The central robustness invariant: under ANY injection schedule a
+   batch terminates with exactly one report per job; the schedule is a
+   deterministic function of the seed (same seed = same statuses and
+   attempt counts, whatever the worker count); and every job that
+   reports Ok — degraded or not — carries Verilog bit-identical to a
+   fault-free compile. *)
+let batch_under_injection_prop =
+  let pipeline = Pipeline.default ~optimize:true in
+  let baseline =
+    lazy
+      (Driver.batch ~workers:1 (fast_kernel_jobs pipeline)
+      |> fun r ->
+      Array.to_list r.Driver.reports
+      |> List.map (fun (rp : Driver.report) ->
+             match rp.Driver.rp_outcome with
+             | Ok o -> (rp.Driver.rp_job, o.Driver.verilog)
+             | Error e ->
+               Alcotest.failf "fault-free baseline failed: %s"
+                 (Driver.error_to_string e)))
+  in
+  let gen =
+    QCheck.(
+      quad (int_bound 1000)
+        (oneofl [ 0.0; 0.1; 0.3; 0.6 ])  (* cache.read *)
+        (oneofl [ 0.0; 0.2; 0.5 ])  (* job.compile *)
+        (oneofl [ 0.0; 0.5; 1.0 ]) (* worker.spawn *))
+  in
+  QCheck.Test.make ~count:12 ~name:"batch under injection: no lost jobs, deterministic"
+    gen
+    (fun (seed, p_read, p_compile, p_spawn) ->
+      let spec =
+        Printf.sprintf "cache.read=%g,cache.write=%g,job.compile=%g,worker.spawn=%g"
+          p_read (p_read /. 2.) p_compile p_spawn
+      in
+      let rules =
+        match Faults.parse_spec spec with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "spec %S rejected: %s" spec e
+      in
+      let cfg = { Faults.rules; seed } in
+      (* Zero backoff: retries must not sleep inside a property. *)
+      let retry =
+        { Driver.default_retry with Driver.base_backoff_s = 0.; max_backoff_s = 0. }
+      in
+      let run workers =
+        let cache = Cache.create ~dir:(fresh_dir ()) in
+        Faults.with_config cfg (fun () ->
+            Driver.batch ~cache ~workers ~retry (fast_kernel_jobs pipeline))
+      in
+      let summarize r =
+        Array.to_list r.Driver.reports
+        |> List.map (fun (rp : Driver.report) ->
+               ( rp.Driver.rp_job,
+                 Driver.status_to_string (Driver.report_status rp),
+                 rp.Driver.rp_attempts ))
+      in
+      let r1 = run 1 in
+      let names = List.map (fun (n, _, _) -> n) (summarize r1) in
+      if names <> [ "transpose"; "stencil_1d"; "fifo" ] then
+        QCheck.Test.fail_reportf "lost or reordered jobs: %s" (String.concat "," names);
+      (* Determinism: same seed, same schedule — sequential rerun and a
+         3-worker run must report identical statuses and attempts. *)
+      if summarize (run 1) <> summarize r1 then
+        QCheck.Test.fail_reportf "same seed, different outcome on rerun";
+      if summarize (run 3) <> summarize r1 then
+        QCheck.Test.fail_reportf "worker count changed the fault schedule";
+      (* Integrity: any Ok output is bit-identical to the fault-free
+         baseline, however degraded the path that produced it. *)
+      let base = Lazy.force baseline in
+      Array.iter
+        (fun (rp : Driver.report) ->
+          match rp.Driver.rp_outcome with
+          | Ok o ->
+            if o.Driver.verilog <> List.assoc rp.Driver.rp_job base then
+              QCheck.Test.fail_reportf "%s: degraded output differs from baseline"
+                rp.Driver.rp_job
+          | Error e ->
+            (* Failures are legitimate under injection, but must be
+               classified — never an anonymous crash. *)
+            if e.Driver.err_diags = [] then
+              QCheck.Test.fail_reportf "%s: failure without diagnostics" rp.Driver.rp_job)
+        r1.Driver.reports;
+      true)
+
 let () =
   Alcotest.run "driver"
     [
@@ -349,4 +774,42 @@ let () =
         ] );
       ("top", [ Alcotest.test_case "implicit-choice-note" `Quick test_top_note ]);
       ("trace", [ Alcotest.test_case "spans-and-json" `Quick test_trace_spans_and_json ]);
+      ( "faults",
+        [
+          Alcotest.test_case "spec-parsing" `Quick test_faults_spec_parsing;
+          Alcotest.test_case "nth-trigger" `Quick test_faults_nth_trigger;
+          Alcotest.test_case "seeded-determinism" `Quick test_faults_determinism;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "deadline-timeout" `Quick test_deadline_timeout;
+          Alcotest.test_case "work-budget" `Quick test_work_budget;
+        ] );
+      ( "cache-integrity",
+        [
+          Alcotest.test_case "bitflip-quarantined" `Quick test_cache_bitflip_quarantined;
+          Alcotest.test_case "truncated-meta-quarantined" `Quick
+            test_cache_truncated_meta_quarantined;
+          Alcotest.test_case "store-failure-is-clean" `Quick
+            test_cache_store_failure_is_clean;
+          Alcotest.test_case "verify-and-prune" `Quick test_cache_verify_and_prune;
+        ] );
+      ( "scheduler-faults",
+        [
+          Alcotest.test_case "collects-all-failures" `Quick
+            test_scheduler_collects_all_failures;
+          Alcotest.test_case "spawn-fault-degrades-inline" `Quick
+            test_scheduler_spawn_fault_degrades_inline;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "canonicalize-legacy-fallback" `Quick
+            test_canonicalize_legacy_fallback;
+          Alcotest.test_case "sim-settle-fallback" `Quick test_sim_settle_fallback;
+        ] );
+      ( "batch-robustness",
+        [
+          Alcotest.test_case "partial-results" `Quick test_batch_partial_results;
+          QCheck_alcotest.to_alcotest ~verbose:false batch_under_injection_prop;
+        ] );
     ]
