@@ -5,7 +5,7 @@
 SMOKE_DESIGNS := examples/designs/transpose.hir examples/designs/stencil_1d.hir \
                  examples/designs/fifo.hir
 
-.PHONY: all build test check faults fuzz bench-json clean
+.PHONY: all build test check faults fuzz serve-smoke serve-swarm bench-json clean
 
 all: build
 
@@ -25,6 +25,7 @@ check: build test
 	  -o _build/smoke-verilog
 	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
 	$(MAKE) faults
+	$(MAKE) serve-smoke
 	dune exec bench/main.exe -- --canonicalize-scaling
 	dune exec bench/main.exe -- --sim-scaling
 	@echo "make check: OK"
@@ -51,6 +52,20 @@ faults: build
 	    { echo "make faults: FAILED (seed $$seed lost jobs)"; exit 1; }; \
 	done
 	@echo "make faults: OK"
+
+# End-to-end smoke of the real `hirc serve` binary: start the server,
+# drive compiles / a health probe / an HTTP GET, run the early-closing
+# client SIGPIPE regression, then a clean protocol shutdown.  The
+# whole thing runs under timeout(1) as the hang guard.
+serve-smoke: build
+	timeout 120 dune exec test/serve_smoke.exe -- _build/default/bin/hirc.exe
+
+# The admission-control acceptance run: 8 concurrent clients, mixed
+# kernel sizes, 10% injected faults; zero lost jobs and bounded p99
+# or the bench exits nonzero.  Heavier than serve-smoke, so it is not
+# part of `make check`; run it when touching the server or scheduler.
+serve-swarm: build
+	timeout 300 dune exec bench/main.exe -- --serve-swarm
 
 # The acceptance campaign from the never-crash contract: 10k mutated
 # inputs through the frontend and 10k through the full pipeline, both

@@ -12,6 +12,8 @@
      --bechamel   Bechamel micro-benchmarks backing Table 6
      --sim-scaling  compiled RTL simulator vs reference tree-walker
      --stages     per-stage compile-time breakdown through lib/driver
+     --serve-swarm  client-swarm stress test of `hirc serve` (explicit
+                  only: not part of the no-argument run)
      --json PATH  additionally dump all recorded numbers as JSON
 
    With no arguments, everything runs.  Absolute resource numbers come
@@ -741,6 +743,234 @@ let ablation () =
   Printf.printf "  register bits after  retiming: %d\n" (delay_bits m)
 
 (* ------------------------------------------------------------------ *)
+(* Serve swarm: stress the compilation server                          *)
+
+module Server = Hir_driver.Server
+module Protocol = Hir_driver.Protocol
+module Cache = Hir_driver.Cache
+module Faults = Hir_driver.Faults
+module Scheduler = Hir_driver.Scheduler
+
+(* N concurrent clients hammer one `hirc serve` instance (run
+   in-process on its own domain) over a Unix socket with mixed kernel
+   sizes, mixed priorities, a sprinkling of explicit cancels and 10%
+   injected faults on the cache and compile paths.  The invariant under
+   test is the server's zero-lost-jobs contract: every admitted job
+   produces exactly one terminal response (ok / degraded / failed /
+   cancelled), rejections are explicit, and client-observed p99 latency
+   stays bounded.  The cache is warmed first (`hirc cache --warm`
+   machinery), so steady-state traffic exercises the hit path — and,
+   under injection, the read-fault recompile path. *)
+
+let swarm_clients = 8
+let swarm_jobs_per_client = 12
+let swarm_fault_spec = "cache.read=0.1,cache.write=0.1,job.compile=0.1"
+let swarm_seed = 11
+
+let serve_swarm () =
+  header
+    (Printf.sprintf
+       "Serve swarm: %d clients x %d jobs, mixed kernels, faults %s (seed %d)"
+       swarm_clients swarm_jobs_per_client swarm_fault_spec swarm_seed);
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-swarm-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists tmp) then Unix.mkdir tmp 0o755;
+  let sock = Filename.concat tmp "serve.sock" in
+  let trace_path = Filename.concat tmp "serve-trace.json" in
+  let cache_dir = Filename.concat tmp "cache" in
+  let cache = Cache.create ~dir:cache_dir in
+  (* Warm the cache (cleanly, before faults are installed) with every
+     built-in kernel, the same priming a production deploy would do. *)
+  let kernel_names =
+    List.map (fun k -> k.Hir_kernels.Kernels.name) Hir_kernels.Kernels.all
+  in
+  let warm_jobs =
+    List.map
+      (fun k ->
+        Driver.job_of_builder
+          ~pipeline:(Pipeline.default ~optimize:true)
+          ~name:k.Hir_kernels.Kernels.name k.Hir_kernels.Kernels.build)
+      Hir_kernels.Kernels.all
+    |> Array.of_list
+  in
+  let stored, hits, warm_failures =
+    Driver.warm_cache ~cache ~workers:(Scheduler.default_workers ()) warm_jobs
+  in
+  Printf.printf "warm: %d kernels -> %d stored, %d already cached, %d failed\n%!"
+    (Array.length warm_jobs) stored hits warm_failures;
+  let rules =
+    match Faults.parse_spec swarm_fault_spec with
+    | Ok r -> r
+    | Error e -> failwith ("bad swarm fault spec: " ^ e)
+  in
+  let cfg =
+    {
+      (Server.default_config ~listen:(Server.Unix_path sock) ()) with
+      Server.cfg_workers = max 2 (Scheduler.default_workers ());
+      cfg_max_depth = 48;
+      cfg_cache = Some (Cache.create ~dir:cache_dir);
+      cfg_trace_path = Some trace_path;
+    }
+  in
+  Faults.with_config { Faults.rules; seed = swarm_seed } (fun () ->
+      let server =
+        Domain.spawn (fun () -> Server.run cfg)
+      in
+      (* Wait for the socket to come up. *)
+      let rec wait_sock n =
+        if n = 0 then failwith "server socket never appeared";
+        if not (Sys.file_exists sock) then begin
+          Unix.sleepf 0.05;
+          wait_sock (n - 1)
+        end
+      in
+      wait_sock 200;
+      let client_run idx () =
+        let c = Protocol.Client.connect_unix sock in
+        let terminal = Hashtbl.create 16 in  (* id -> (status, latency) *)
+        let submitted = Hashtbl.create 16 in  (* id -> submit time *)
+        let n = swarm_jobs_per_client in
+        for i = 0 to n - 1 do
+          let id = Printf.sprintf "c%d-j%d" idx i in
+          let kernel = List.nth kernel_names ((idx + (3 * i)) mod List.length kernel_names) in
+          let priority = i mod 3 in
+          Hashtbl.replace submitted id (Unix.gettimeofday ());
+          Protocol.Client.send c
+            (Protocol.Json.Obj
+               [
+                 ("op", Protocol.Json.Str "compile");
+                 ("id", Protocol.Json.Str id);
+                 ("kernel", Protocol.Json.Str kernel);
+                 ("priority", Protocol.Json.Num (float_of_int priority));
+               ]);
+          (* ~10% explicit cancels, racing the compile: any of
+             cancelled / finished is legal, but the job must still get
+             exactly one terminal response. *)
+          if i mod 10 = 9 then
+            Protocol.Client.send c
+              (Protocol.Json.Obj
+                 [
+                   ("op", Protocol.Json.Str "cancel"); ("id", Protocol.Json.Str id);
+                 ])
+        done;
+        (* Read until every id has its terminal response. *)
+        let rec pump () =
+          if Hashtbl.length terminal < n then
+            match Protocol.Client.recv c with
+            | None -> failwith (Printf.sprintf "client %d: server hung up early" idx)
+            | Some j -> (
+              match (Protocol.Json.field_str j "event", Protocol.Json.field_str j "id") with
+              | Some "result", Some id ->
+                if Hashtbl.mem terminal id then
+                  failwith (Printf.sprintf "client %d: duplicate response for %s" idx id);
+                let status =
+                  Option.value ~default:"?" (Protocol.Json.field_str j "status")
+                in
+                let latency =
+                  Unix.gettimeofday () -. Hashtbl.find submitted id
+                in
+                Hashtbl.replace terminal id (status, latency);
+                pump ()
+              | _ -> pump () (* cancel acks, etc. *))
+        in
+        pump ();
+        Protocol.Client.close c;
+        Hashtbl.fold (fun id sl acc -> (id, sl) :: acc) terminal []
+      in
+      let clients =
+        List.init swarm_clients (fun idx -> Domain.spawn (client_run idx))
+      in
+      let per_client = List.map Domain.join clients in
+      let all = List.concat per_client in
+      (* One more client for the probes, then shutdown. *)
+      let probe = Protocol.Client.connect_unix sock in
+      Protocol.Client.send probe
+        (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+      let metrics = Protocol.Client.recv probe in
+      Protocol.Client.send probe
+        (Protocol.Json.Obj [ ("op", Protocol.Json.Str "shutdown") ]);
+      ignore (Protocol.Client.recv probe);
+      Protocol.Client.close probe;
+      let server_exit = Domain.join server in
+      (* ---- verdicts ---- *)
+      let expected = swarm_clients * swarm_jobs_per_client in
+      let count st =
+        List.length (List.filter (fun (_, (s, _)) -> s = st) all)
+      in
+      let ok = count "ok" and degraded = count "degraded" in
+      let failed = count "failed" and cancelled = count "cancelled" in
+      let rejected = count "rejected" in
+      let latencies =
+        List.filter_map
+          (fun (_, (s, l)) -> if s = "rejected" then None else Some l)
+          all
+        |> List.sort compare
+      in
+      let pct q =
+        match latencies with
+        | [] -> 0.
+        | l ->
+          let n = List.length l in
+          List.nth l (min (n - 1) (int_of_float (q *. float_of_int n)))
+      in
+      Printf.printf
+        "swarm: %d responses / %d jobs: %d ok, %d degraded, %d failed, %d \
+         cancelled, %d rejected\n"
+        (List.length all) expected ok degraded failed cancelled rejected;
+      Printf.printf "swarm: latency p50 %.1f ms, p90 %.1f ms, p99 %.1f ms (n=%d)\n"
+        (pct 0.50 *. 1000.) (pct 0.90 *. 1000.) (pct 0.99 *. 1000.)
+        (List.length latencies);
+      (match metrics with
+      | Some m -> Printf.printf "swarm: server metrics: %s\n" (Protocol.Json.to_string m)
+      | None -> ());
+      Printf.printf "swarm: server exit code %d, lifetime trace %s (%d bytes)\n"
+        server_exit trace_path
+        (try (Unix.stat trace_path).Unix.st_size with Unix.Unix_error _ -> 0);
+      record ~section:"serve-swarm" ~name:"swarm"
+        [
+          ("clients", float_of_int swarm_clients);
+          ("jobs", float_of_int expected);
+          ("responses", float_of_int (List.length all));
+          ("ok", float_of_int ok);
+          ("degraded", float_of_int degraded);
+          ("failed", float_of_int failed);
+          ("cancelled", float_of_int cancelled);
+          ("rejected", float_of_int rejected);
+          ("p50_s", pct 0.50);
+          ("p99_s", pct 0.99);
+        ];
+      (* Hard verdicts, enforced by make check: zero lost jobs (exactly
+         one terminal response each), a working trace export, a clean
+         server exit, and a bounded p99. *)
+      let trace_ok =
+        try (Unix.stat trace_path).Unix.st_size > 0 with Unix.Unix_error _ -> false
+      in
+      let p99_budget_s = 30.0 in
+      let violations =
+        (if List.length all <> expected then
+           [ Printf.sprintf "%d responses for %d jobs" (List.length all) expected ]
+         else [])
+        @ (if server_exit <> 0 then
+             [ Printf.sprintf "server exited %d" server_exit ]
+           else [])
+        @ (if not trace_ok then [ "lifetime Chrome trace missing/empty" ] else [])
+        @
+        if pct 0.99 > p99_budget_s then
+          [ Printf.sprintf "p99 %.1fs over %.1fs budget" (pct 0.99) p99_budget_s ]
+        else []
+      in
+      match violations with
+      | [] ->
+        Printf.printf
+          "swarm OK: zero lost jobs, p99 within %.0fs, trace exported, clean exit\n"
+          p99_budget_s
+      | v ->
+        Printf.eprintf "SWARM VIOLATION: %s\n" (String.concat "; " v);
+        exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let bechamel () =
@@ -824,6 +1054,7 @@ let () =
   if all || has "--table" "5" then table5 ();
   if all || has "--table" "6" then table6 ();
   if all || has "--table" "6" || List.mem "--stages" args then stages ();
+  if List.mem "--serve-swarm" args then serve_swarm ();
   if all || List.mem "--bechamel" args then bechamel ();
   Option.iter write_json json_path;
   line ()

@@ -40,6 +40,15 @@ open Cmdliner
 
 let () = Ops.register ()
 
+(* Ignore SIGPIPE process-wide: a client that hangs up mid-response (or
+   a broken pipe on batch stdout) must surface as an [EPIPE]
+   [Unix.Unix_error] on the offending write — a per-connection error the
+   server handles — not kill the process.  Windows has no SIGPIPE. *)
+let () =
+  match Sys.os_type with
+  | "Unix" | "Cygwin" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
 let load_module path =
   try Ok (Parser.parse_file path) with
   | Parser.Parse_error (loc, msg) ->
@@ -84,6 +93,11 @@ let run_job ?cache ?stats ~out job =
             (fun (name, n) -> Printf.eprintf "    %-32s %6d\n" name n)
             s.Pass.counters)
         o.Driver.pass_stats
+    | _ -> ());
+    (match (stats, cache) with
+    | Some true, Some c ->
+      Printf.eprintf "cache: %d hits / %d misses / %d stores\n" (Cache.hits c)
+        (Cache.misses c) (Cache.store_count c)
     | _ -> ());
     output_text out o.Driver.verilog;
     0
@@ -539,9 +553,62 @@ let cache_cmd =
       value & flag
       & info [ "prune" ] ~doc:"Delete quarantined entries and stale temp files")
   in
-  let run dir verify prune =
-    if not (verify || prune) then begin
-      prerr_endline "cache: nothing to do (pass --verify and/or --prune)";
+  let warm_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm" ] ~docv:"KERNELS"
+          ~doc:
+            "Precompile a comma-separated list of built-in kernels (or $(b,all)) \
+             into the cache, priming it for a server or batch run")
+  in
+  let warm_jobs_arg =
+    Arg.(
+      value
+      & opt int (Scheduler.default_workers ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --warm")
+  in
+  let warm c spec workers =
+    let names =
+      if spec = "all" then List.map (fun k -> k.Hir_kernels.Kernels.name) Hir_kernels.Kernels.all
+      else
+        String.split_on_char ',' spec
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+    in
+    let jobs_r =
+      List.fold_left
+        (fun acc name ->
+          match (acc, Hir_kernels.Kernels.find name) with
+          | Error e, _ -> Error e
+          | _, None ->
+            Error (Printf.sprintf "unknown kernel %s (try `hirc kernels`)" name)
+          | Ok jobs, Some k ->
+            Ok
+              (Driver.job_of_builder
+                 ~pipeline:(Pipeline.default ~optimize:true)
+                 ~name k.Hir_kernels.Kernels.build
+              :: jobs))
+        (Ok []) names
+      |> Result.map List.rev
+    in
+    match jobs_r with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok jobs ->
+      let stored, hits, failures =
+        Driver.warm_cache ~cache:c ~workers (Array.of_list jobs)
+      in
+      Printf.printf "warm: %d kernel%s -> %d stored, %d already cached, %d failed\n"
+        (List.length jobs)
+        (if List.length jobs = 1 then "" else "s")
+        stored hits failures;
+      if failures > 0 then 1 else 0
+  in
+  let run dir verify prune warm_spec warm_workers =
+    if not (verify || prune || warm_spec <> None) then begin
+      prerr_endline "cache: nothing to do (pass --verify, --prune and/or --warm)";
       1
     end
     else begin
@@ -561,13 +628,15 @@ let cache_cmd =
           (if r.Cache.pr_removed = 1 then "" else "s")
           r.Cache.pr_bytes
       end;
-      0
+      match warm_spec with Some spec -> warm c spec warm_workers | None -> 0
     end
   in
   Cmd.v
     (Cmd.info "cache"
-       ~doc:"Verify the integrity of a compilation cache, or prune its quarantine")
-    Term.(const run $ dir_arg $ verify_arg $ prune_arg)
+       ~doc:
+         "Verify the integrity of a compilation cache, prune its quarantine, or warm \
+          it by precompiling built-in kernels")
+    Term.(const run $ dir_arg $ verify_arg $ prune_arg $ warm_arg $ warm_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc batch                                                          *)
@@ -589,7 +658,7 @@ let write_batch_json path ~workers (result : Driver.batch_result) =
            (match status with
            | `Ok -> incr ok
            | `Degraded -> incr degraded
-           | `Failed -> incr failed);
+           | `Failed | `Cancelled -> incr failed);
            let common =
              [
                ("name", str r.Driver.rp_job);
@@ -744,7 +813,7 @@ let batch_cmd =
               (match status with
               | `Ok -> incr ok
               | `Degraded -> incr degraded
-              | `Failed -> incr failed);
+              | `Failed | `Cancelled -> incr failed);
               let attempts =
                 if r.Driver.rp_attempts > 1 then
                   Printf.sprintf "  (%d attempts)" r.Driver.rp_attempts
@@ -815,6 +884,98 @@ let batch_cmd =
       $ trace_arg $ no_opt_arg $ passes_arg $ inject_arg $ inject_seed_arg $ deadline_arg
       $ retries_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* hirc serve                                                          *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix domain socket at $(docv)")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP 127.0.0.1:$(docv) (0 picks a free port)")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int (Scheduler.default_workers ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of worker domains")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission limit: compile frames beyond $(docv) queued jobs are \
+             rejected with status $(b,rejected), reason $(b,overloaded)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Default per-job wall-clock deadline (a frame's own wins)")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Driver.default_retry.Driver.max_attempts
+      & info [ "retries" ] ~docv:"N" ~doc:"Total attempts per job for transient failures")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections and admissions to stderr")
+  in
+  let run socket port workers depth cache_dir trace_out deadline retries verbose
+      inject inject_seed =
+    match fault_config_of inject inject_seed with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok fault_cfg -> (
+      let listen =
+        match (socket, port) with
+        | Some path, None -> Ok (Server.Unix_path path)
+        | None, Some port -> Ok (Server.Tcp ("127.0.0.1", port))
+        | None, None -> Error "serve: pass --socket PATH or --port N"
+        | Some _, Some _ -> Error "serve: --socket and --port are exclusive"
+      in
+      match listen with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok listen ->
+        let cfg =
+          {
+            (Server.default_config ~listen ()) with
+            Server.cfg_workers = workers;
+            cfg_max_depth = max 1 depth;
+            cfg_cache = Option.map (fun dir -> Cache.create ~dir) cache_dir;
+            cfg_default_deadline = deadline;
+            cfg_retry =
+              { Driver.default_retry with Driver.max_attempts = max 1 retries };
+            cfg_trace_path = trace_out;
+            cfg_verbose = verbose;
+          }
+        in
+        with_faults fault_cfg (fun () -> Server.run cfg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a persistent compilation server: line-JSON compile/cancel frames and \
+          health/metrics probes over a Unix or TCP socket, with continuous \
+          admission onto the worker pool (see README for the protocol)")
+    Term.(
+      const run $ socket_arg $ port_arg $ workers_arg $ depth_arg $ cache_dir_arg
+      $ trace_arg $ deadline_arg $ retries_arg $ verbose_arg $ inject_arg
+      $ inject_seed_arg)
+
 let () =
   let doc = "HIR: an MLIR-style IR for hardware accelerator description" in
   let info = Cmd.info "hirc" ~version:"1.0.0" ~doc in
@@ -823,5 +984,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
-            fuzz_cmd; sim_cmd; batch_cmd; cache_cmd;
+            fuzz_cmd; sim_cmd; batch_cmd; cache_cmd; serve_cmd;
           ]))

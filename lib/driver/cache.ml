@@ -26,19 +26,26 @@
    processes) racing to fill the same entry simply last-write-win with
    identical content, and readers never observe a partial entry.  A
    write that fails midway unlinks its temp file.  Counters are atomics
-   for the same reason. *)
+   for the same reason.
+
+   Layout: entries are sharded into 256 subdirectories by the first two
+   hex digits of the key ([<dir>/ab/<key>.v]) — a flat directory with
+   thousands of entries makes every lookup and readdir pay for the
+   whole population.  Entries at the root are the pre-shard layout;
+   [verify] retires them to the quarantine. *)
 
 type t = {
   dir : string;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  stores : int Atomic.t;  (* entries successfully written *)
   corrupt : int Atomic.t;  (* entries quarantined by lookups *)
   faults : int Atomic.t;  (* read/write IO failures survived *)
 }
 
 (* Bump whenever the emitted Verilog or the meta format changes.
-   (v2: digest line in the sidecar.) *)
-let driver_version = "hir-driver/2"
+   (v2: digest line in the sidecar; v3: sharded directory layout.) *)
+let driver_version = "hir-driver/3"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -52,6 +59,7 @@ let create ~dir =
     dir;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    stores = Atomic.make 0;
     corrupt = Atomic.make 0;
     faults = Atomic.make 0;
   }
@@ -69,8 +77,13 @@ type entry = {
   e_usage : Hir_resources.Model.usage;
 }
 
-let verilog_path t k = Filename.concat t.dir (k ^ ".v")
-let meta_path t k = Filename.concat t.dir (k ^ ".meta")
+(* The shard a key lives in: its first two hex digits.  Keys are hex
+   digests, so this spreads entries uniformly over 256 directories. *)
+let shard_dir t k =
+  Filename.concat t.dir (if String.length k >= 2 then String.sub k 0 2 else k)
+
+let verilog_path t k = Filename.concat (shard_dir t k) (k ^ ".v")
+let meta_path t k = Filename.concat (shard_dir t k) (k ^ ".meta")
 let quarantine_dir t = Filename.concat t.dir "quarantine"
 
 let read_file path =
@@ -202,10 +215,13 @@ let store t k entry =
      or a squatter at the entry path must not fail a compile that
      already succeeded.  The next lookup simply misses again. *)
   try
-    write_file_atomic ~dir:t.dir (verilog_path t k) entry.e_verilog;
-    write_file_atomic ~dir:t.dir (meta_path t k)
+    let shard = shard_dir t k in
+    mkdir_p shard;
+    write_file_atomic ~dir:shard (verilog_path t k) entry.e_verilog;
+    write_file_atomic ~dir:shard (meta_path t k)
       (meta_to_string ~top:entry.e_top ~digest:(content_digest entry.e_verilog)
          entry.e_usage);
+    Atomic.incr t.stores;
     Ok ()
   with
   | Faults.Injected p ->
@@ -220,6 +236,7 @@ let store t k entry =
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let store_count t = Atomic.get t.stores
 let corrupt_count t = Atomic.get t.corrupt
 let fault_count t = Atomic.get t.faults
 
@@ -232,27 +249,54 @@ type verify_report = {
   vr_quarantined : (string * string) list;  (* key, reason *)
 }
 
+(* The 2-hex shard subdirectories that actually exist. *)
+let shards t =
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f = 2
+         && is_hex f.[0] && is_hex f.[1]
+         && Sys.is_directory (Filename.concat t.dir f))
+  |> List.sort compare
+
 (* Run the hit-path integrity check over every entry on disk.  Damaged
    entries are quarantined exactly as a lookup would have done, so a
    verify pass leaves only entries that will actually hit. *)
 let verify t =
+  let shard_files =
+    List.concat_map
+      (fun s ->
+        Sys.readdir (Filename.concat t.dir s)
+        |> Array.to_list
+        |> List.map (fun f -> (s, f)))
+      (shards t)
+  in
   let entries =
-    Sys.readdir t.dir |> Array.to_list
-    |> List.filter_map (fun f ->
-           if Filename.check_suffix f ".meta" then
-             Some (Filename.remove_extension f)
-           else None)
+    List.filter_map
+      (fun (_, f) ->
+        if Filename.check_suffix f ".meta" then Some (Filename.remove_extension f)
+        else None)
+      shard_files
     |> List.sort compare
   in
   let orphans =
     (* payloads with no sidecar can never hit; quarantine them too *)
+    List.filter_map
+      (fun (_, f) ->
+        if
+          Filename.check_suffix f ".v"
+          && not (Sys.file_exists (meta_path t (Filename.remove_extension f)))
+        then Some (Filename.remove_extension f)
+        else None)
+      shard_files
+    |> List.sort compare
+  in
+  (* Pre-shard flat entries at the root can never hit again; retire
+     them rather than leaving dead weight in the directory. *)
+  let legacy =
     Sys.readdir t.dir |> Array.to_list
-    |> List.filter_map (fun f ->
-           if
-             Filename.check_suffix f ".v"
-             && not (Sys.file_exists (meta_path t (Filename.remove_extension f)))
-           then Some (Filename.remove_extension f)
-           else None)
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".meta" || Filename.check_suffix f ".v")
     |> List.sort compare
   in
   let quarantined = ref [] in
@@ -272,8 +316,18 @@ let verify t =
       quarantine_entry t k;
       quarantined := (k, "orphan payload (no metadata)") :: !quarantined)
     orphans;
+  List.iter
+    (fun f ->
+      mkdir_p (quarantine_dir t);
+      let src = Filename.concat t.dir f in
+      let dst = Filename.concat (quarantine_dir t) f in
+      (try Sys.rename src dst
+       with Sys_error _ | Unix.Unix_error _ -> (
+         try Sys.remove src with Sys_error _ -> ()));
+      quarantined := (f, "legacy flat entry (pre-shard layout)") :: !quarantined)
+    legacy;
   {
-    vr_scanned = List.length entries + List.length orphans;
+    vr_scanned = List.length entries + List.length orphans + List.length legacy;
     vr_ok = !ok;
     vr_quarantined = List.rev !quarantined;
   }
@@ -296,8 +350,11 @@ let prune t =
     Array.iter (fun f -> rm (Filename.concat qdir f)) (Sys.readdir qdir);
     (try Unix.rmdir qdir with Unix.Unix_error _ -> ())
   end;
-  Array.iter
-    (fun f ->
-      if Filename.check_suffix f ".tmp" then rm (Filename.concat t.dir f))
-    (Sys.readdir t.dir);
+  let sweep_tmp dir =
+    Array.iter
+      (fun f -> if Filename.check_suffix f ".tmp" then rm (Filename.concat dir f))
+      (Sys.readdir dir)
+  in
+  sweep_tmp t.dir;
+  List.iter (fun s -> sweep_tmp (Filename.concat t.dir s)) (shards t);
   { pr_removed = !removed; pr_bytes = !bytes }

@@ -54,8 +54,11 @@ type output = {
    - [Timeout]: the job exhausted its deadline/budget — retrying would
      spend the same budget again, so it fails permanently;
    - [Permanent]: the input is at fault (parse/verify/codegen errors) —
-     no retry can help. *)
-type failure_class = Transient | Timeout | Permanent
+     no retry can help;
+   - [Cancelled]: the caller withdrew the job (explicit cancel frame or
+     client disconnect) — never retried, and reported as its own
+     outcome, not as a failure of the input. *)
+type failure_class = Transient | Timeout | Permanent | Cancelled
 
 (* A failed job: every failure mode — lex/parse errors, verifier
    rejections, pass failures, codegen errors, timeouts, injected
@@ -178,10 +181,10 @@ let fallback_degradations pass_stats =
         s.Pass.counters)
     pass_stats
 
-let compile_job ?cache ?trace ?(limits = Guard.no_limits) job =
+let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let name = source_name job.src in
-  let guard = Guard.create ~job:name limits in
+  let guard = Guard.create ~job:name ?cancel limits in
   let started = Trace.now () in
   let degradations = ref [] in
   let degrade reason =
@@ -321,6 +324,12 @@ let compile_job ?cache ?trace ?(limits = Guard.no_limits) job =
       { err_job = name;
         err_class = Timeout;
         err_diags = [ Diagnostic.error (Location.name name) ("job timeout: " ^ reason) ] }
+  | Guard.Cancelled _ ->
+    Trace.instant trace ~cat:"fault" ~args:[ ("job", name) ] "job-cancelled";
+    Error
+      { err_job = name;
+        err_class = Cancelled;
+        err_diags = [ Diagnostic.error (Location.name name) "job cancelled" ] }
   | Faults.Injected p ->
     Trace.instant trace ~cat:"fault" ~args:[ ("job", name); ("point", p) ] "fault-injected";
     Error
@@ -391,13 +400,47 @@ type report = {
 
 let report_status r =
   match r.rp_outcome with
-  | Error _ -> `Failed
+  | Error e -> if e.err_class = Cancelled then `Cancelled else `Failed
   | Ok o -> if o.degradations = [] then `Ok else `Degraded
 
 let status_to_string = function
   | `Ok -> "ok"
   | `Degraded -> "degraded"
   | `Failed -> "failed"
+  | `Cancelled -> "cancelled"
+
+(* A report for a job that was cancelled before any attempt ran (the
+   service core dequeues it without spending a worker on it). *)
+let cancelled_report ~job =
+  {
+    rp_job = job;
+    rp_attempts = 0;
+    rp_outcome =
+      Error
+        {
+          err_job = job;
+          err_class = Cancelled;
+          err_diags = [ Diagnostic.error (Location.name job) "job cancelled" ];
+        };
+  }
+
+(* A report for a job whose runner itself crashed (a bug escaping even
+   [compile_job]'s backstop, or OOM in a worker): the service must
+   still deliver exactly one report. *)
+let crashed_report ~job exn =
+  {
+    rp_job = job;
+    rp_attempts = 1;
+    rp_outcome =
+      Error
+        {
+          err_job = job;
+          err_class = Permanent;
+          err_diags =
+            [ Diagnostic.error (Location.name job)
+                ("internal error: job runner crashed: " ^ Printexc.to_string exn) ];
+        };
+  }
 
 type batch_result = {
   reports : report array;  (* in job order *)
@@ -407,10 +450,10 @@ type batch_result = {
   wall_seconds : float;
 }
 
-let run_with_retry ?cache ~trace ~limits ~retry job =
+let run_with_retry ?cache ?cancel ~trace ~limits ~retry job =
   let name = source_name job.src in
   let rec go attempt retry_notes =
-    match compile_job ?cache ~trace ~limits job with
+    match compile_job ?cache ~trace ~limits ?cancel job with
     | Ok o ->
       let o =
         if retry_notes = [] then o
@@ -457,29 +500,64 @@ let run_with_retry ?cache ~trace ~limits ~retry job =
   in
   go 1 []
 
+(* Batch mode is one-shot use of the service core: submit every job as
+   a single client at equal priority (so scheduling is plain FIFO),
+   shut the pool down to drain it, and collect the per-index reports.
+   Results stay byte-identical to a sequential run — each job compiles
+   under [Ir.with_isolated_ids], so output does not depend on which
+   worker ran it or when. *)
 let batch ?cache ?(workers = 1) ?(limits = Guard.no_limits) ?(retry = default_retry)
     (jobs : job array) =
+  let n = Array.length jobs in
   let epoch = Trace.now () in
   let traces =
-    Array.init (Array.length jobs) (fun i ->
+    Array.init n (fun i ->
         let t = Trace.create ~epoch () in
         Trace.set_tid t (i + 1);
         t)
   in
-  let spawn_failures = Atomic.make 0 in
+  let reports = Array.make n None in
+  let spawned = min (max 0 workers) n in
+  let svc =
+    Service.create ~workers:spawned
+      ~run:(fun h ->
+        let i = Service.data h in
+        run_with_retry ?cache
+          ~cancel:(Service.cancel_flag h)
+          ~trace:traces.(i) ~limits ~retry jobs.(i))
+      ~cancelled:(fun h -> cancelled_report ~job:(source_name jobs.(Service.data h).src))
+      ~crashed:(fun h exn ->
+        crashed_report ~job:(source_name jobs.(Service.data h).src) exn)
+      ~on_complete:(fun c ->
+        reports.(Service.data c.Service.c_handle) <- Some c.Service.c_result)
+      ()
+  in
+  Array.iteri
+    (fun i _ ->
+      match Service.submit svc ~client:0 ~priority:0 i with
+      | Service.Accepted _ -> ()
+      | Service.Overloaded | Service.Stopped ->
+        (* Unbounded depth, not yet stopped: cannot happen. *)
+        assert false)
+    jobs;
+  (* Drain: with zero live workers (all spawns failed, or -j0) shutdown
+     runs the queue inline in this domain, preserving the degradation
+     ladder the spawn-fault tests pin down. *)
+  Service.shutdown svc;
   let reports =
-    Scheduler.map_ordered ~workers
-      ~on_spawn_failure:(fun _ -> Atomic.incr spawn_failures)
-      ~f:(fun i job -> run_with_retry ?cache ~trace:traces.(i) ~limits ~retry job)
-      jobs
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* shutdown delivers every completion *))
+      reports
   in
   let batch_notes =
-    match Atomic.get spawn_failures with
+    match Service.spawn_failure_count svc with
     | 0 -> []
-    | n ->
+    | f ->
       [ Printf.sprintf
-          "%d of %d worker spawns failed; batch degraded to the surviving workers" n
-          (min workers (Array.length jobs)) ]
+          "%d of %d worker spawns failed; batch degraded to the surviving workers" f
+          spawned ]
   in
   {
     reports;
@@ -488,6 +566,22 @@ let batch ?cache ?(workers = 1) ?(limits = Guard.no_limits) ?(retry = default_re
     traces = Array.to_list traces;
     wall_seconds = Trace.now () -. epoch;
   }
+
+(* Prime a cache by compiling a job list through the normal batch
+   machinery (same fault handling, same retries), purely for the side
+   effect of filling [cache].  Returns (stored, hits, failures): jobs
+   newly compiled into the cache, jobs already present, jobs that
+   failed to compile. *)
+let warm_cache ~cache ?(workers = 1) ?(limits = Guard.no_limits)
+    ?(retry = default_retry) (jobs : job array) =
+  let result = batch ~cache ~workers ~limits ~retry jobs in
+  Array.fold_left
+    (fun (stored, hits, failures) r ->
+      match r.rp_outcome with
+      | Ok o when o.from_cache -> (stored, hits + 1, failures)
+      | Ok _ -> (stored + 1, hits, failures)
+      | Error _ -> (stored, hits, failures + 1))
+    (0, 0, 0) result.reports
 
 (* Per-stage wall-time totals across a set of traces, for compile-time
    breakdown tables (the shape of the paper's Table 6). *)

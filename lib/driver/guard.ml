@@ -23,19 +23,35 @@ let no_limits = { deadline_s = None; work_budget = None }
 
 exception Exhausted of { job : string; reason : string }
 
+(* Raised at a checkpoint when the job's cancellation flag was set
+   (client disconnect, explicit cancel frame).  Distinct from
+   [Exhausted] so the driver can report "cancelled" rather than
+   "timeout" — the input was fine, the caller just stopped caring. *)
+exception Cancelled of { job : string }
+
 type t = {
   g_job : string;
   g_limits : limits;
+  g_cancel : bool Atomic.t option;  (* set from another domain *)
   g_started : float;
   mutable g_work : int;
 }
 
-let create ~job limits =
-  { g_job = job; g_limits = limits; g_started = Unix.gettimeofday (); g_work = 0 }
+let create ~job ?cancel limits =
+  {
+    g_job = job;
+    g_limits = limits;
+    g_cancel = cancel;
+    g_started = Unix.gettimeofday ();
+    g_work = 0;
+  }
 
 let elapsed g = Unix.gettimeofday () -. g.g_started
 
 let check g =
+  (match g.g_cancel with
+  | Some flag when Atomic.get flag -> raise (Cancelled { job = g.g_job })
+  | _ -> ());
   (match g.g_limits.deadline_s with
   | Some limit when elapsed g > limit ->
     raise

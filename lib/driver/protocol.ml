@@ -1,0 +1,430 @@
+(* The line-JSON wire protocol for `hirc serve`.
+
+   One request per line, one JSON object per line back; responses to a
+   connection are interleaved in completion order and correlated by the
+   client-chosen job [id].  The codec is hand-rolled (the repo has no
+   JSON dependency and the protocol is deliberately small): a strict
+   recursive-descent parser with a depth limit, and a printer that
+   always emits a single line.
+
+   Request frames (field order free, unknown fields ignored):
+     {"op":"compile","id":ID, "kernel":NAME | "name":N,"source":TEXT,
+      "top":F?, "passes":SPEC?, "priority":INT?, "deadline":SECS?,
+      "verilog":BOOL?}
+     {"op":"cancel","id":ID}
+     {"op":"health"}      {"op":"metrics"}      {"op":"shutdown"}
+
+   Response frames:
+     {"event":"result","id":ID,"status":"ok|degraded|failed|cancelled|rejected",…}
+     {"event":"cancel","id":ID,"state":"cancelled|cancelling|finished|unknown"}
+     {"event":"health",…}  {"event":"metrics",…}  {"event":"shutdown"}
+     {"event":"error","message":…}        (unparseable/invalid frame)
+
+   `GET /health` and `GET /metrics` over the same socket get a one-shot
+   HTTP response (see [Server]), so a plain curl probe works too. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (* ---------------- printing ---------------- *)
+
+  let rec print buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v ->
+      Buffer.add_string buf
+        (if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+         else Printf.sprintf "%.9g" v)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (Trace.json_escape s);
+      Buffer.add_char buf '"'
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf x)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf (Str k);
+          Buffer.add_char buf ':';
+          print buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    print buf j;
+    Buffer.contents buf
+
+  (* A complete frame: the JSON on one line, newline-terminated. *)
+  let to_line j = to_string j ^ "\n"
+
+  (* ---------------- parsing ---------------- *)
+
+  exception Bad of string
+
+  let max_depth = 64
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    (* \uXXXX escapes are re-encoded as UTF-8. *)
+    let utf8_of_code buf c =
+      if c < 0x80 then Buffer.add_char buf (Char.chr c)
+      else if c < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> utf8_of_code buf code
+            | None -> fail "invalid \\u escape")
+          | _ -> fail "invalid escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "invalid number"
+    in
+    let rec parse_value depth =
+      if depth > max_depth then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    try
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  (* ---------------- accessors ---------------- *)
+
+  let mem name = function Obj fields -> List.assoc_opt name fields | _ -> None
+  let str_opt = function Str s -> Some s | _ -> None
+  let num_opt = function Num v -> Some v | _ -> None
+  let bool_opt = function Bool b -> Some b | _ -> None
+  let field_str j name = Option.bind (mem name j) str_opt
+  let field_num j name = Option.bind (mem name j) num_opt
+  let field_bool j name = Option.bind (mem name j) bool_opt
+  let field_int j name = Option.map int_of_float (field_num j name)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type compile_req = {
+  cr_id : string;  (* client-chosen correlation id, unique per conn *)
+  cr_kernel : string option;  (* built-in kernel name … *)
+  cr_name : string option;  (* … or inline source with a display name *)
+  cr_source : string option;
+  cr_top : string option;
+  cr_passes : string option;  (* textual pipeline spec; None = default *)
+  cr_priority : int;  (* higher runs first; default 0 *)
+  cr_deadline : float option;  (* per-job wall-clock limit, seconds *)
+  cr_want_verilog : bool;  (* include the Verilog in the response *)
+}
+
+type request =
+  | Compile of compile_req
+  | Cancel of string
+  | Health
+  | Metrics
+  | Shutdown
+
+let request_of_json j =
+  match Json.field_str j "op" with
+  | None -> Error "missing \"op\" field"
+  | Some "health" -> Ok Health
+  | Some "metrics" -> Ok Metrics
+  | Some "shutdown" -> Ok Shutdown
+  | Some "cancel" -> (
+    match Json.field_str j "id" with
+    | Some id -> Ok (Cancel id)
+    | None -> Error "cancel: missing \"id\"")
+  | Some "compile" -> (
+    match Json.field_str j "id" with
+    | None -> Error "compile: missing \"id\""
+    | Some id ->
+      let kernel = Json.field_str j "kernel" in
+      let source = Json.field_str j "source" in
+      (match (kernel, source) with
+      | None, None -> Error "compile: needs \"kernel\" or \"source\""
+      | Some _, Some _ -> Error "compile: \"kernel\" and \"source\" are exclusive"
+      | _ ->
+        Ok
+          (Compile
+             {
+               cr_id = id;
+               cr_kernel = kernel;
+               cr_name = Json.field_str j "name";
+               cr_source = source;
+               cr_top = Json.field_str j "top";
+               cr_passes = Json.field_str j "passes";
+               cr_priority = Option.value ~default:0 (Json.field_int j "priority");
+               cr_deadline = Json.field_num j "deadline";
+               cr_want_verilog =
+                 Option.value ~default:false (Json.field_bool j "verilog");
+             })))
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+let request_of_line line =
+  match Json.parse line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> request_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let error_frame msg = Json.Obj [ ("event", Json.Str "error"); ("message", Json.Str msg) ]
+
+(* An admission rejection: the job never entered the queue.  Reasons:
+   "overloaded" (queue full), "shutting-down", "duplicate-id". *)
+let rejected_frame ~id reason =
+  Json.Obj
+    [
+      ("event", Json.Str "result");
+      ("id", Json.Str id);
+      ("status", Json.Str "rejected");
+      ("reason", Json.Str reason);
+    ]
+
+let cancel_frame ~id state =
+  Json.Obj
+    [ ("event", Json.Str "cancel"); ("id", Json.Str id); ("state", Json.Str state) ]
+
+(* The terminal frame for an admitted job, built from its report. *)
+let result_frame ~id ~want_verilog (r : Driver.report) =
+  let status = Driver.status_to_string (Driver.report_status r) in
+  let base =
+    [
+      ("event", Json.Str "result");
+      ("id", Json.Str id);
+      ("status", Json.Str status);
+      ("job", Json.Str r.Driver.rp_job);
+      ("attempts", Json.Num (float_of_int r.Driver.rp_attempts));
+    ]
+  in
+  let rest =
+    match r.Driver.rp_outcome with
+    | Ok o ->
+      [
+        ("top", Json.Str o.Driver.top_name);
+        ("from_cache", Json.Bool o.Driver.from_cache);
+        ("seconds", Json.Num o.Driver.seconds);
+        ( "degradations",
+          Json.Arr (List.map (fun d -> Json.Str d) o.Driver.degradations) );
+      ]
+      @ (if want_verilog then [ ("verilog", Json.Str o.Driver.verilog) ] else [])
+    | Error e ->
+      [
+        ( "diagnostics",
+          Json.Arr
+            (List.map
+               (fun d -> Json.Str (Hir_ir.Diagnostic.to_string d))
+               e.Driver.err_diags) );
+      ]
+  in
+  Json.Obj (base @ rest)
+
+(* ------------------------------------------------------------------ *)
+(* Client: blocking line-JSON over a socket, for tests and the swarm
+   bench.  Reads buffer until a newline; [recv] returns None on EOF. *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+  let of_fd fd = { fd; buf = Buffer.create 1024; eof = false }
+
+  let connect_unix path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    of_fd fd
+
+  let connect_tcp host port =
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (addr, port));
+    of_fd fd
+
+  (* Write a whole frame; raises [Unix.Unix_error (EPIPE, _, _)] if the
+     server is gone (SIGPIPE is ignored process-wide). *)
+  let send_line t line =
+    let data = Bytes.of_string line in
+    let len = Bytes.length data in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write t.fd data !off (len - !off)
+    done
+
+  let send t j = send_line t (Json.to_line j)
+
+  let rec recv_line t =
+    let contents = Buffer.contents t.buf in
+    match String.index_opt contents '\n' with
+    | Some i ->
+      let line = String.sub contents 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf
+        (String.sub contents (i + 1) (String.length contents - i - 1));
+      Some line
+    | None ->
+      if t.eof then None
+      else begin
+        let chunk = Bytes.create 65536 in
+        let got = Unix.read t.fd chunk 0 (Bytes.length chunk) in
+        if got = 0 then begin
+          t.eof <- true;
+          (* A final unterminated fragment is dropped: frames end in \n. *)
+          None
+        end
+        else begin
+          Buffer.add_subbytes t.buf chunk 0 got;
+          recv_line t
+        end
+      end
+
+  let recv t =
+    match recv_line t with
+    | None -> None
+    | Some line -> (
+      match Json.parse line with
+      | Ok j -> Some j
+      | Error e -> Some (error_frame ("client: bad frame from server: " ^ e)))
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

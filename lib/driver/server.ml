@@ -1,0 +1,627 @@
+(* `hirc serve` — a persistent compilation server on the service core.
+
+   Architecture: one main-loop thread (the calling domain) owns every
+   socket and does all protocol IO; compile work runs on the service
+   core's worker domains.  The two meet through a completion queue and
+   a self-pipe: [Service]'s on_complete callback (which runs on a
+   worker) enqueues the completion and writes one byte into the pipe,
+   which wakes the main loop's [select] so it can write the response
+   frame from its own thread.  No socket is ever touched from two
+   domains.
+
+   Admission is continuous: a compile frame is submitted to the pool
+   the moment it parses, and starts the moment a worker frees — there
+   are no batch boundaries.  The pool's bounded queue turns saturation
+   into an immediate `status:"rejected", reason:"overloaded"` frame
+   (the client backs off and retries; nothing is silently queued or
+   dropped).  Fair-share scheduling uses the connection id as the
+   service client id, so one greedy connection cannot starve others.
+
+   Cancellation: an explicit cancel frame or a client disconnect
+   cancels that client's jobs — queued jobs are withdrawn without ever
+   occupying a worker; running jobs are flagged and stop at the next
+   guard checkpoint.  Every admitted job still produces exactly one
+   completion (delivered, or counted and dropped if its connection is
+   gone), which is the zero-lost-jobs invariant the swarm bench pins.
+
+   Probes: line-JSON {"op":"health"} / {"op":"metrics"} frames, or
+   plain HTTP `GET /health` / `GET /metrics` on the same socket for
+   curl-style monitoring.  Metrics surface queue depth, worker and
+   cache counters, aggregated per-pass/trace counters, and log-bucket
+   latency histograms (queue wait and end-to-end).  A Chrome trace of
+   every job's spans over the whole server lifetime (bounded by
+   [cfg_max_traces]) is written on shutdown. *)
+
+type listen = Unix_path of string | Tcp of string * int
+
+type config = {
+  cfg_listen : listen;
+  cfg_workers : int;
+  cfg_max_depth : int;  (* bounded queue: admission limit *)
+  cfg_cache : Cache.t option;
+  cfg_default_deadline : float option;  (* per-job, unless the frame says *)
+  cfg_retry : Driver.retry_policy;
+  cfg_trace_path : string option;
+  cfg_max_traces : int;  (* retain at most this many job traces *)
+  cfg_verbose : bool;
+}
+
+let default_config ~listen () =
+  {
+    cfg_listen = listen;
+    cfg_workers = Scheduler.default_workers ();
+    cfg_max_depth = 64;
+    cfg_cache = None;
+    cfg_default_deadline = None;
+    cfg_retry = Driver.default_retry;
+    cfg_trace_path = None;
+    cfg_max_traces = 10_000;
+    cfg_verbose = false;
+  }
+
+(* What a worker needs to run one admitted job. *)
+type job_ctx = {
+  jc_conn : int;
+  jc_id : string;  (* the client's correlation id *)
+  jc_want_verilog : bool;
+  jc_job : Driver.job;
+  jc_limits : Guard.limits;
+  jc_trace : Trace.t;
+}
+
+type conn = {
+  co_id : int;
+  co_fd : Unix.file_descr;
+  co_buf : Buffer.t;  (* bytes read, not yet split into lines *)
+  co_jobs : (string, job_ctx Service.handle) Hashtbl.t;  (* in flight *)
+  mutable co_closed : bool;
+}
+
+type t = {
+  cfg : config;
+  svc : (job_ctx, Driver.report) Service.t;
+  epoch : float;  (* server start; all traces share it *)
+  conns : (int, conn) Hashtbl.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  cq_mu : Mutex.t;
+  cq : (job_ctx, Driver.report) Service.completion Queue.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable stopping : bool;
+  mutable next_conn : int;
+  mutable next_tid : int;
+  (* metrics *)
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable n_ok : int;
+  mutable n_degraded : int;
+  mutable n_failed : int;
+  mutable n_cancelled : int;
+  queue_hist : Service.Histogram.t;  (* admission -> start *)
+  total_hist : Service.Histogram.t;  (* admission -> completion *)
+  agg_counters : (string, int) Hashtbl.t;  (* trace counters, all jobs *)
+  mutable traces : Trace.t list;  (* newest first, capped *)
+  mutable n_traces : int;
+}
+
+let logf t fmt =
+  if t.cfg.cfg_verbose then Printf.eprintf ("serve: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Worker-side: runs on pool domains                                   *)
+
+let wake t =
+  (* Nonblocking: a full pipe already guarantees a pending wakeup. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+let on_complete t c =
+  Mutex.lock t.cq_mu;
+  Queue.push c t.cq;
+  Mutex.unlock t.cq_mu;
+  wake t
+
+(* ------------------------------------------------------------------ *)
+(* Frame IO (main loop only)                                           *)
+
+let disconnect t conn =
+  if not conn.co_closed then begin
+    conn.co_closed <- true;
+    Hashtbl.remove t.conns conn.co_id;
+    (* A gone client no longer wants its jobs: free the slots.  The
+       completions (synthesized or real) still arrive and are counted;
+       delivery is skipped because the conn is gone. *)
+    Hashtbl.iter (fun _ h -> ignore (Service.cancel t.svc h)) conn.co_jobs;
+    (try Unix.close conn.co_fd with Unix.Unix_error _ -> ());
+    logf t "conn %d closed (%d jobs in flight cancelled)" conn.co_id
+      (Hashtbl.length conn.co_jobs)
+  end
+
+let write_all fd s =
+  let data = Bytes.of_string s in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done
+
+(* SIGPIPE is ignored process-wide, so a hung-up client surfaces here
+   as EPIPE/ECONNRESET: a per-connection error, not a dead server. *)
+let send_frame t conn j =
+  if not conn.co_closed then
+    try write_all conn.co_fd (Protocol.Json.to_line j)
+    with Unix.Unix_error _ -> disconnect t conn
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+
+let health_json t =
+  let s = Service.stats t.svc in
+  Protocol.Json.Obj
+    [
+      ("event", Protocol.Json.Str "health");
+      ("status", Protocol.Json.Str (if t.stopping then "stopping" else "ok"));
+      ("uptime_seconds", Protocol.Json.Num (Unix.gettimeofday () -. t.epoch));
+      ("workers", Protocol.Json.Num (float_of_int s.Service.st_workers));
+      ("queue_depth", Protocol.Json.Num (float_of_int s.Service.st_depth));
+      ("running", Protocol.Json.Num (float_of_int s.Service.st_running));
+      ("connections", Protocol.Json.Num (float_of_int (Hashtbl.length t.conns)));
+    ]
+
+let hist_json h =
+  let s = Service.Histogram.summarize h in
+  Protocol.Json.Obj
+    [
+      ("count", Protocol.Json.Num (float_of_int s.Service.Histogram.count));
+      ("mean_s", Protocol.Json.Num s.Service.Histogram.mean);
+      ("p50_s", Protocol.Json.Num s.Service.Histogram.p50);
+      ("p90_s", Protocol.Json.Num s.Service.Histogram.p90);
+      ("p99_s", Protocol.Json.Num s.Service.Histogram.p99);
+      ("max_s", Protocol.Json.Num s.Service.Histogram.max);
+    ]
+
+let metrics_json t =
+  let s = Service.stats t.svc in
+  let num n = Protocol.Json.Num (float_of_int n) in
+  let jobs =
+    Protocol.Json.Obj
+      [
+        ("submitted", num t.submitted);
+        ("rejected", num t.rejected);
+        ("completed", num t.completed);
+        ("ok", num t.n_ok);
+        ("degraded", num t.n_degraded);
+        ("failed", num t.n_failed);
+        ("cancelled", num t.n_cancelled);
+        ("queue_depth", num s.Service.st_depth);
+        ("running", num s.Service.st_running);
+        ("workers", num s.Service.st_workers);
+        ("spawn_failures", num (Service.spawn_failure_count t.svc));
+      ]
+  in
+  let cache =
+    match t.cfg.cfg_cache with
+    | None -> []
+    | Some c ->
+      [
+        ( "cache",
+          Protocol.Json.Obj
+            [
+              ("hits", num (Cache.hits c));
+              ("misses", num (Cache.misses c));
+              ("stores", num (Cache.store_count c));
+              ("corrupt", num (Cache.corrupt_count c));
+              ("faults", num (Cache.fault_count c));
+            ] );
+      ]
+  in
+  (* Aggregated trace counters: pass/pattern/cache/retry/degradation
+     counts summed over every completed job. *)
+  let counters =
+    Hashtbl.fold (fun k v acc -> (k, num v) :: acc) t.agg_counters []
+    |> List.sort compare
+  in
+  Protocol.Json.Obj
+    ([ ("event", Protocol.Json.Str "metrics"); ("jobs", jobs) ]
+    @ cache
+    @ [
+        ("counters", Protocol.Json.Obj counters);
+        ( "latency",
+          Protocol.Json.Obj
+            [ ("queue", hist_json t.queue_hist); ("total", hist_json t.total_hist) ]
+        );
+      ])
+
+(* One-shot HTTP for curl-style probes on the same socket. *)
+let http_response t conn path =
+  let status, body =
+    match path with
+    | "/health" -> ("200 OK", Protocol.Json.to_string (health_json t) ^ "\n")
+    | "/metrics" -> ("200 OK", Protocol.Json.to_string (metrics_json t) ^ "\n")
+    | _ -> ("404 Not Found", "{\"event\":\"error\",\"message\":\"unknown path\"}\n")
+  in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: application/json\r\nContent-Length: \
+       %d\r\nConnection: close\r\n\r\n%s"
+      status (String.length body) body
+  in
+  (try write_all conn.co_fd resp with Unix.Unix_error _ -> ());
+  disconnect t conn
+
+(* ------------------------------------------------------------------ *)
+(* Compile admission                                                   *)
+
+let next_tid t =
+  t.next_tid <- t.next_tid + 1;
+  t.next_tid
+
+(* Resolve a compile frame into a driver job, or the diagnostics that
+   explain why it never will be one.  Bad input is a *failed* result
+   (the job is at fault), not a rejection (admission was fine). *)
+let job_of_req (req : Protocol.compile_req) =
+  let pipeline_r =
+    match req.Protocol.cr_passes with
+    | None -> Ok (Pipeline.default ~optimize:true)
+    | Some spec -> (
+      match Pipeline.parse spec with
+      | Ok p -> Ok p
+      | Error e -> Error (Printf.sprintf "invalid pipeline spec: %s" e))
+  in
+  match pipeline_r with
+  | Error e -> Error e
+  | Ok pipeline -> (
+    match (req.Protocol.cr_kernel, req.Protocol.cr_source) with
+    | Some k, _ -> (
+      match Hir_kernels.Kernels.find k with
+      | Some kernel ->
+        Ok
+          (Driver.job_of_builder ~pipeline ~name:kernel.Hir_kernels.Kernels.name
+             kernel.Hir_kernels.Kernels.build)
+      | None -> Error (Printf.sprintf "unknown kernel %s" k))
+    | None, Some source ->
+      let name = Option.value ~default:"<inline>" req.Protocol.cr_name in
+      Ok (Driver.job_of_text ?top:req.Protocol.cr_top ~pipeline ~name source)
+    | None, None -> Error "compile: needs \"kernel\" or \"source\"")
+
+let failed_frame ~id msg =
+  Protocol.Json.Obj
+    [
+      ("event", Protocol.Json.Str "result");
+      ("id", Protocol.Json.Str id);
+      ("status", Protocol.Json.Str "failed");
+      ("diagnostics", Protocol.Json.Arr [ Protocol.Json.Str msg ]);
+    ]
+
+let handle_compile t conn (req : Protocol.compile_req) =
+  let id = req.Protocol.cr_id in
+  if Hashtbl.mem conn.co_jobs id then begin
+    t.rejected <- t.rejected + 1;
+    send_frame t conn (Protocol.rejected_frame ~id "duplicate-id")
+  end
+  else
+    match job_of_req req with
+    | Error msg ->
+      (* Never admitted: report a failed result directly. *)
+      send_frame t conn (failed_frame ~id msg)
+    | Ok job ->
+      let trace = Trace.create ~epoch:t.epoch () in
+      Trace.set_tid trace (next_tid t);
+      let limits =
+        {
+          Guard.deadline_s =
+            (match req.Protocol.cr_deadline with
+            | Some _ as d -> d
+            | None -> t.cfg.cfg_default_deadline);
+          work_budget = None;
+        }
+      in
+      let ctx =
+        {
+          jc_conn = conn.co_id;
+          jc_id = id;
+          jc_want_verilog = req.Protocol.cr_want_verilog;
+          jc_job = job;
+          jc_limits = limits;
+          jc_trace = trace;
+        }
+      in
+      (match
+         Service.submit t.svc ~client:conn.co_id ~priority:req.Protocol.cr_priority
+           ctx
+       with
+      | Service.Accepted h ->
+        t.submitted <- t.submitted + 1;
+        Hashtbl.replace conn.co_jobs id h;
+        logf t "conn %d: admitted %s (priority %d)" conn.co_id id
+          req.Protocol.cr_priority
+      | Service.Overloaded ->
+        t.rejected <- t.rejected + 1;
+        send_frame t conn (Protocol.rejected_frame ~id "overloaded")
+      | Service.Stopped ->
+        t.rejected <- t.rejected + 1;
+        send_frame t conn (Protocol.rejected_frame ~id "shutting-down"))
+
+let handle_cancel t conn id =
+  match Hashtbl.find_opt conn.co_jobs id with
+  | None -> send_frame t conn (Protocol.cancel_frame ~id "unknown")
+  | Some h ->
+    let state =
+      match Service.cancel t.svc h with
+      | `Cancelled -> "cancelled"  (* withdrawn from the queue *)
+      | `Cancelling -> "cancelling"  (* mid-compile; flag set *)
+      | `Finished -> "finished"  (* too late: real result racing in *)
+    in
+    send_frame t conn (Protocol.cancel_frame ~id state)
+
+(* ------------------------------------------------------------------ *)
+(* Completion delivery (main loop)                                     *)
+
+let record_completion t (c : (job_ctx, Driver.report) Service.completion) =
+  let ctx = Service.data c.Service.c_handle in
+  let r = c.Service.c_result in
+  t.completed <- t.completed + 1;
+  (match Driver.report_status r with
+  | `Ok -> t.n_ok <- t.n_ok + 1
+  | `Degraded -> t.n_degraded <- t.n_degraded + 1
+  | `Failed -> t.n_failed <- t.n_failed + 1
+  | `Cancelled -> t.n_cancelled <- t.n_cancelled + 1);
+  Service.Histogram.record t.queue_hist c.Service.c_queue_seconds;
+  Service.Histogram.record t.total_hist
+    (c.Service.c_queue_seconds +. c.Service.c_run_seconds);
+  let bump k n =
+    Hashtbl.replace t.agg_counters k
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.agg_counters k))
+  in
+  List.iter (fun (k, n) -> bump k n) (Trace.counters ctx.jc_trace);
+  (* Pass counters (pattern/fold application counts) ride on the pass
+     spans as stringified args; lift the numeric ones into the
+     server-lifetime aggregate so /metrics surfaces them. *)
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.sp_cat = "pass" then
+        List.iter
+          (fun (k, v) ->
+            match int_of_string_opt v with
+            | Some n -> bump (s.Trace.sp_name ^ "/" ^ k) n
+            | None -> ())
+          s.Trace.sp_args)
+    (Trace.spans ctx.jc_trace);
+  if t.n_traces < t.cfg.cfg_max_traces then begin
+    t.traces <- ctx.jc_trace :: t.traces;
+    t.n_traces <- t.n_traces + 1
+  end;
+  (* Deliver, unless the client is gone. *)
+  match Hashtbl.find_opt t.conns ctx.jc_conn with
+  | None -> ()
+  | Some conn ->
+    Hashtbl.remove conn.co_jobs ctx.jc_id;
+    send_frame t conn
+      (Protocol.result_frame ~id:ctx.jc_id ~want_verilog:ctx.jc_want_verilog r)
+
+let drain_completions t =
+  let rec pop () =
+    Mutex.lock t.cq_mu;
+    let c = Queue.take_opt t.cq in
+    Mutex.unlock t.cq_mu;
+    match c with
+    | None -> ()
+    | Some c ->
+      record_completion t c;
+      pop ()
+  in
+  pop ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+
+let bind_listener = function
+  | Unix_path path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, "unix:" ^ path)
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen fd 64;
+    let actual =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Printf.sprintf "tcp:%s:%d" host actual)
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if String.length line >= 4 && String.sub line 0 4 = "GET " then begin
+    (* HTTP probe: "GET /path HTTP/1.x". *)
+    let path =
+      match String.split_on_char ' ' line with _ :: p :: _ -> p | _ -> "/"
+    in
+    http_response t conn path
+  end
+  else
+    match Protocol.request_of_line line with
+    | Error msg -> send_frame t conn (Protocol.error_frame msg)
+    | Ok (Protocol.Compile req) -> handle_compile t conn req
+    | Ok (Protocol.Cancel id) -> handle_cancel t conn id
+    | Ok Protocol.Health -> send_frame t conn (health_json t)
+    | Ok Protocol.Metrics -> send_frame t conn (metrics_json t)
+    | Ok Protocol.Shutdown ->
+      send_frame t conn (Protocol.Json.Obj [ ("event", Protocol.Json.Str "shutdown") ]);
+      t.stopping <- true
+
+let handle_readable t conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.co_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> disconnect t conn
+  | got ->
+    Buffer.add_subbytes conn.co_buf chunk 0 got;
+    (* Split off complete lines; a partial tail stays buffered. *)
+    let rec split () =
+      let contents = Buffer.contents conn.co_buf in
+      match String.index_opt contents '\n' with
+      | None -> ()
+      | Some i ->
+        let line = String.sub contents 0 i in
+        Buffer.clear conn.co_buf;
+        Buffer.add_string conn.co_buf
+          (String.sub contents (i + 1) (String.length contents - i - 1));
+        handle_line t conn line;
+        if not conn.co_closed then split ()
+    in
+    split ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    disconnect t conn
+
+let accept_conn t listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+    let conn =
+      {
+        co_id = t.next_conn;
+        co_fd = fd;
+        co_buf = Buffer.create 1024;
+        co_jobs = Hashtbl.create 8;
+        co_closed = false;
+      }
+    in
+    t.next_conn <- t.next_conn + 1;
+    Hashtbl.replace t.conns conn.co_id conn;
+    logf t "conn %d accepted" conn.co_id
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let create cfg =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let rec t =
+    lazy
+      (let svc =
+         Service.create ~workers:cfg.cfg_workers ~max_depth:cfg.cfg_max_depth
+           ~run:(fun h ->
+             let ctx = Service.data h in
+             Driver.run_with_retry ?cache:cfg.cfg_cache
+               ~cancel:(Service.cancel_flag h)
+               ~trace:ctx.jc_trace ~limits:ctx.jc_limits ~retry:cfg.cfg_retry
+               ctx.jc_job)
+           ~cancelled:(fun h ->
+             Driver.cancelled_report
+               ~job:(Driver.source_name (Service.data h).jc_job.Driver.src))
+           ~crashed:(fun h exn ->
+             Driver.crashed_report
+               ~job:(Driver.source_name (Service.data h).jc_job.Driver.src)
+               exn)
+           ~on_complete:(fun c -> on_complete (Lazy.force t) c)
+           ()
+       in
+       {
+         cfg;
+         svc;
+         epoch = Trace.now ();
+         conns = Hashtbl.create 16;
+         wake_r;
+         wake_w;
+         cq_mu = Mutex.create ();
+         cq = Queue.create ();
+         listen_fd = None;
+         stopping = false;
+         next_conn = 0;
+         next_tid = 0;
+         submitted = 0;
+         rejected = 0;
+         completed = 0;
+         n_ok = 0;
+         n_degraded = 0;
+         n_failed = 0;
+         n_cancelled = 0;
+         queue_hist = Service.Histogram.create ();
+         total_hist = Service.Histogram.create ();
+         agg_counters = Hashtbl.create 32;
+         traces = [];
+         n_traces = 0;
+       })
+  in
+  Lazy.force t
+
+let drain_wake t =
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+(* Run to completion: bind, announce, serve until a shutdown frame,
+   then drain the pool, deliver the tail of completions, write the
+   lifetime Chrome trace, and report.  Returns the exit code. *)
+let run cfg =
+  let t = create cfg in
+  let listen_fd, where = bind_listener cfg.cfg_listen in
+  t.listen_fd <- Some listen_fd;
+  (* The announce line is the startup contract: clients (and the smoke
+     test) wait for it before connecting. *)
+  Printf.printf "hirc serve: listening on %s (%d workers, queue depth %d)\n%!"
+    where
+    (Service.worker_count t.svc)
+    cfg.cfg_max_depth;
+  (if Service.spawn_failure_count t.svc > 0 then
+     Printf.eprintf
+       "hirc serve: %d worker spawn(s) failed; continuing with %d worker(s)\n%!"
+       (Service.spawn_failure_count t.svc)
+       (Service.worker_count t.svc));
+  while not t.stopping do
+    let conn_fds = Hashtbl.fold (fun _ c acc -> c.co_fd :: acc) t.conns [] in
+    let read_fds = (listen_fd :: t.wake_r :: conn_fds) in
+    (match Unix.select read_fds [] [] 1.0 with
+    | readable, _, _ ->
+      if List.mem t.wake_r readable then drain_wake t;
+      drain_completions t;
+      (* Snapshot: a conn may be disconnected while handling another. *)
+      let by_fd = Hashtbl.fold (fun _ c acc -> (c.co_fd, c) :: acc) t.conns [] in
+      List.iter
+        (fun fd ->
+          if fd <> listen_fd && fd <> t.wake_r then
+            match List.assoc_opt fd by_fd with
+            | Some conn when not conn.co_closed -> handle_readable t conn
+            | _ -> ())
+        readable;
+      if List.mem listen_fd readable && not t.stopping then accept_conn t listen_fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  (* Shutdown: stop accepting, drain the pool (with zero live workers
+     the queue drains inline right here), deliver the tail. *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match cfg.cfg_listen with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  Service.shutdown t.svc;
+  drain_completions t;
+  Hashtbl.iter (fun _ conn -> disconnect t conn) (Hashtbl.copy t.conns);
+  (match cfg.cfg_trace_path with
+  | Some path ->
+    Trace.write_chrome_json path (List.rev t.traces);
+    Printf.eprintf "wrote %s\n%!" path
+  | None -> ());
+  (try
+     Unix.close t.wake_r;
+     Unix.close t.wake_w
+   with Unix.Unix_error _ -> ());
+  let tot = Service.Histogram.summarize t.total_hist in
+  Printf.printf
+    "hirc serve: done: %d submitted, %d completed (%d ok, %d degraded, %d failed, \
+     %d cancelled), %d rejected, p99 %.1f ms\n%!"
+    t.submitted t.completed t.n_ok t.n_degraded t.n_failed t.n_cancelled t.rejected
+    (tot.Service.Histogram.p99 *. 1000.);
+  if t.completed = t.submitted then 0 else 1

@@ -119,6 +119,23 @@ let transpose_text () =
       let m, _ = Hir_kernels.Transpose.build () in
       Printer.op_to_string m)
 
+(* Payload files live under 2-hex shard subdirectories; walk the root
+   plus one level of shards (skipping the quarantine). *)
+let cache_files dir ~suffix =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun f ->
+         let path = Filename.concat dir f in
+         if Sys.is_directory path then
+           if f = "quarantine" then []
+           else
+             Sys.readdir path |> Array.to_list
+             |> List.filter_map (fun g ->
+                    if Filename.check_suffix g suffix then
+                      Some (Filename.concat path g)
+                    else None)
+         else if Filename.check_suffix f suffix then [ path ]
+         else [])
+
 let compile_text ?cache ~pipeline text =
   match Driver.compile_job ?cache (Driver.job_of_text ~pipeline ~name:"t.hir" text) with
   | Ok o -> o
@@ -154,14 +171,11 @@ let test_cache_damaged_entry_degrades_to_miss () =
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
   (* Smash every payload file into a directory of the same name. *)
-  Array.iter
-    (fun f ->
-      if Filename.check_suffix f ".v" then begin
-        let path = Filename.concat dir f in
-        Sys.remove path;
-        Unix.mkdir path 0o755
-      end)
-    (Sys.readdir dir);
+  List.iter
+    (fun path ->
+      Sys.remove path;
+      Unix.mkdir path 0o755)
+    (cache_files dir ~suffix:".v");
   let again = compile_text ~cache ~pipeline text in
   check_bool "damaged entry is a miss" false again.Driver.from_cache;
   check_string "recompile still correct" cold.Driver.verilog again.Driver.verilog
@@ -440,21 +454,18 @@ let test_cache_bitflip_quarantined () =
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
   (* Flip one byte in every payload. *)
-  Array.iter
-    (fun f ->
-      if Filename.check_suffix f ".v" then begin
-        let path = Filename.concat dir f in
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let bytes = really_input_string ic n in
-        close_in ic;
-        let b = Bytes.of_string bytes in
-        Bytes.set b (n / 2) (Char.chr (Char.code (Bytes.get b (n / 2)) lxor 1));
-        let oc = open_out_bin path in
-        output_bytes oc b;
-        close_out oc
-      end)
-    (Sys.readdir dir);
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let bytes = really_input_string ic n in
+      close_in ic;
+      let b = Bytes.of_string bytes in
+      Bytes.set b (n / 2) (Char.chr (Char.code (Bytes.get b (n / 2)) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc)
+    (cache_files dir ~suffix:".v");
   let again = compile_text ~cache ~pipeline text in
   check_bool "bit-flipped entry is not served" false again.Driver.from_cache;
   check_string "recompile is bit-identical to the cold compile" cold.Driver.verilog
@@ -472,15 +483,12 @@ let test_cache_truncated_meta_quarantined () =
   let pipeline = Pipeline.default ~optimize:true in
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
-  Array.iter
-    (fun f ->
-      if Filename.check_suffix f ".meta" then begin
-        let path = Filename.concat dir f in
-        let oc = open_out_bin path in
-        output_string oc "hir-driver/2\n";  (* header only: truncated *)
-        close_out oc
-      end)
-    (Sys.readdir dir);
+  List.iter
+    (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "hir-driver/2\n";  (* header only: truncated *)
+      close_out oc)
+    (cache_files dir ~suffix:".meta");
   let again = compile_text ~cache ~pipeline text in
   check_bool "truncated meta is not served" false again.Driver.from_cache;
   check_string "recompile is bit-identical" cold.Driver.verilog again.Driver.verilog;
@@ -493,7 +501,10 @@ let test_cache_store_failure_is_clean () =
   let dir = fresh_dir () in
   let cache = Cache.create ~dir in
   let k = Cache.key ~pipeline:"p" ~top:None ~source:"s" in
-  Unix.mkdir (Filename.concat dir (k ^ ".v")) 0o755;
+  let squat = Cache.verilog_path cache k in
+  if not (Sys.file_exists (Filename.dirname squat)) then
+    Unix.mkdir (Filename.dirname squat) 0o755;
+  Unix.mkdir squat 0o755;
   let entry =
     {
       Cache.e_top = "f";
@@ -504,11 +515,8 @@ let test_cache_store_failure_is_clean () =
   (match Cache.store cache k entry with
   | Ok () -> Alcotest.fail "expected store onto a squatted path to fail"
   | Error _ -> ());
-  let leftovers =
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
-  in
-  Alcotest.(check (list string)) "no temp files leak from the failed write" [] leftovers
+  Alcotest.(check (list string)) "no temp files leak from the failed write" []
+    (cache_files dir ~suffix:".tmp")
 
 let test_cache_verify_and_prune () =
   let dir = fresh_dir () in
@@ -521,11 +529,8 @@ let test_cache_verify_and_prune () =
   check_int "both entries scanned" 2 r.Cache.vr_scanned;
   check_int "both entries ok" 2 r.Cache.vr_ok;
   (* Damage one payload, then verify again. *)
-  let victim =
-    Sys.readdir dir |> Array.to_list
-    |> List.find (fun f -> Filename.check_suffix f ".v")
-  in
-  let oc = open_out_bin (Filename.concat dir victim) in
+  let victim = List.hd (cache_files dir ~suffix:".v") in
+  let oc = open_out_bin victim in
   output_string oc "garbage";
   close_out oc;
   let r = Cache.verify cache in

@@ -1,0 +1,477 @@
+(* Tests for the service core's scheduler paths and the line-JSON
+   server: saturation returns `Overloaded` instead of queueing
+   unboundedly, cancellation frees the worker slot (running) or never
+   occupies one (queued), fair-share keeps a greedy client from
+   starving a light one, priorities override FIFO — all deterministic:
+   a single worker plus explicit gates make completion order a pure
+   function of the scheduler's pick rule.  The socket-level tests run
+   a real [Server] on a Unix socket in-process, including the
+   early-closing-client regression for the SIGPIPE/EPIPE path. *)
+
+module Service = Hir_driver.Service
+module Server = Hir_driver.Server
+module Protocol = Hir_driver.Protocol
+module Driver = Hir_driver.Driver
+module Guard = Hir_driver.Guard
+module Pipeline = Hir_driver.Pipeline
+
+let () = Hir_dialect.Ops.register ()
+
+(* Mirror hirc's process-wide ignore: the in-process server tests
+   write to sockets the test deliberately closes. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------------ *)
+(* Harness: a 1-worker pool running string jobs, where jobs named in
+   [gated] busy-wait until the gate opens (or their cancel flag is
+   set), and every completion is recorded in arrival order. *)
+
+type harness = {
+  svc : (string, string) Service.t;
+  completions : (string * string * bool) list ref;  (* job, result, queued-cancel *)
+  mu : Mutex.t;
+  gate : bool Atomic.t;
+  ran : (string, int) Hashtbl.t;  (* job -> times the run fn saw it *)
+  ran_mu : Mutex.t;
+}
+
+let make_harness ?(max_depth = max_int) ?(gated = fun _ -> false) () =
+  let mu = Mutex.create () in
+  let completions = ref [] in
+  let gate = Atomic.make false in
+  let ran = Hashtbl.create 8 in
+  let ran_mu = Mutex.create () in
+  let svc =
+    Service.create ~workers:1 ~max_depth
+      ~run:(fun h ->
+        let job = Service.data h in
+        Mutex.lock ran_mu;
+        Hashtbl.replace ran job (1 + Option.value ~default:0 (Hashtbl.find_opt ran job));
+        Mutex.unlock ran_mu;
+        if gated job then begin
+          let cancel = Service.cancel_flag h in
+          while not (Atomic.get gate) && not (Atomic.get cancel) do
+            Domain.cpu_relax ()
+          done;
+          if Atomic.get cancel then "cancelled" else "done"
+        end
+        else "done")
+      ~cancelled:(fun _ -> "cancelled")
+      ~crashed:(fun _ e -> "crashed: " ^ Printexc.to_string e)
+      ~on_complete:(fun c ->
+        Mutex.lock mu;
+        completions :=
+          (Service.data c.Service.c_handle, c.Service.c_result,
+           c.Service.c_cancelled_queued)
+          :: !completions;
+        Mutex.unlock mu)
+      ()
+  in
+  { svc; completions; mu; gate; ran; ran_mu }
+
+let completion_order h =
+  Mutex.lock h.mu;
+  let l = List.rev_map (fun (job, _, _) -> job) !(h.completions) in
+  Mutex.unlock h.mu;
+  l
+
+let submit_ok h ~client ~priority job =
+  match Service.submit h.svc ~client ~priority job with
+  | Service.Accepted handle -> handle
+  | Service.Overloaded -> Alcotest.failf "unexpected Overloaded for %s" job
+  | Service.Stopped -> Alcotest.failf "unexpected Stopped for %s" job
+
+(* Spin until the pool reports [n] running jobs (the gated job has
+   actually occupied the worker), bounded so a bug fails, not hangs. *)
+let wait_running h n =
+  let rec go i =
+    if i = 0 then Alcotest.failf "worker never reached running=%d" n;
+    if (Service.stats h.svc).Service.st_running <> n then begin
+      Unix.sleepf 0.001;
+      go (i - 1)
+    end
+  in
+  go 10_000
+
+let times_ran h job =
+  Mutex.lock h.ran_mu;
+  let n = Option.value ~default:0 (Hashtbl.find_opt h.ran job) in
+  Mutex.unlock h.ran_mu;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-path tests                                                *)
+
+let test_saturation_overloaded () =
+  let h = make_harness ~max_depth:2 ~gated:(fun j -> j = "A") () in
+  let _ = submit_ok h ~client:0 ~priority:0 "A" in
+  wait_running h 1;
+  let _ = submit_ok h ~client:0 ~priority:0 "B" in
+  let _ = submit_ok h ~client:0 ~priority:0 "C" in
+  (* Depth 2 reached: admission must push back, not queue unboundedly. *)
+  (match Service.submit h.svc ~client:0 ~priority:0 "D" with
+  | Service.Overloaded -> ()
+  | Service.Accepted _ -> Alcotest.fail "D admitted past max_depth"
+  | Service.Stopped -> Alcotest.fail "pool stopped unexpectedly");
+  Atomic.set h.gate true;
+  Service.shutdown h.svc;
+  Alcotest.(check (list string))
+    "admitted jobs all completed, D never entered" [ "A"; "B"; "C" ]
+    (completion_order h);
+  (* After shutdown, admission reports Stopped. *)
+  match Service.submit h.svc ~client:0 ~priority:0 "E" with
+  | Service.Stopped -> ()
+  | _ -> Alcotest.fail "submit after shutdown must report Stopped"
+
+let test_cancel_running_frees_slot () =
+  let h = make_harness ~gated:(fun j -> j = "A") () in
+  let ha = submit_ok h ~client:0 ~priority:0 "A" in
+  wait_running h 1;
+  let _ = submit_ok h ~client:0 ~priority:0 "B" in
+  (* A is mid-"compile": cancel sets the flag; the job observes it at
+     its next checkpoint, returns, and the slot frees for B. *)
+  (match Service.cancel h.svc ha with
+  | `Cancelling -> ()
+  | `Cancelled -> Alcotest.fail "A was running, not queued"
+  | `Finished -> Alcotest.fail "A cannot have finished: gate is closed");
+  Service.shutdown h.svc;
+  Alcotest.(check (list string)) "A unblocked first, then B ran" [ "A"; "B" ]
+    (completion_order h);
+  Mutex.lock h.mu;
+  let a_result = List.assoc "A" (List.map (fun (j, r, _) -> (j, r)) !(h.completions)) in
+  Mutex.unlock h.mu;
+  Alcotest.(check string) "A observed its cancellation" "cancelled" a_result
+
+let test_cancel_queued_never_runs () =
+  let h = make_harness ~gated:(fun j -> j = "A") () in
+  let _ = submit_ok h ~client:0 ~priority:0 "A" in
+  wait_running h 1;
+  let hb = submit_ok h ~client:0 ~priority:0 "B" in
+  (match Service.cancel h.svc hb with
+  | `Cancelled -> ()
+  | `Cancelling | `Finished -> Alcotest.fail "B was queued; cancel must withdraw it");
+  (* The synthesized completion is delivered immediately, before the
+     worker ever sees B. *)
+  Mutex.lock h.mu;
+  let b = List.find (fun (j, _, _) -> j = "B") !(h.completions) in
+  Mutex.unlock h.mu;
+  (match b with
+  | _, "cancelled", true -> ()
+  | _, r, q -> Alcotest.failf "B completion (%s, queued-cancel=%b) wrong" r q);
+  Atomic.set h.gate true;
+  Service.shutdown h.svc;
+  Alcotest.(check int) "B never occupied a worker" 0 (times_ran h "B");
+  (* Cancelling an already-finished job is reported as such. *)
+  match Service.cancel h.svc hb with
+  | `Finished -> ()
+  | _ -> Alcotest.fail "second cancel must report Finished"
+
+let test_fair_share_prevents_starvation () =
+  let h = make_harness ~gated:(fun j -> j = "A1") () in
+  let _ = submit_ok h ~client:1 ~priority:0 "A1" in
+  wait_running h 1;
+  (* Greedy client 1 floods; light client 2 wants two jobs. *)
+  List.iter (fun j -> ignore (submit_ok h ~client:1 ~priority:0 j))
+    [ "A2"; "A3"; "A4"; "A5"; "A6" ];
+  List.iter (fun j -> ignore (submit_ok h ~client:2 ~priority:0 j)) [ "B1"; "B2" ];
+  Atomic.set h.gate true;
+  Service.shutdown h.svc;
+  (* Deficit fairness: the client with fewer served jobs wins ties, so
+     B1/B2 interleave instead of waiting behind all six A's. *)
+  Alcotest.(check (list string)) "light client interleaves with the flood"
+    [ "A1"; "B1"; "A2"; "B2"; "A3"; "A4"; "A5"; "A6" ]
+    (completion_order h)
+
+let test_priority_overrides_fifo () =
+  let h = make_harness ~gated:(fun j -> j = "A") () in
+  let _ = submit_ok h ~client:0 ~priority:0 "A" in
+  wait_running h 1;
+  let _ = submit_ok h ~client:0 ~priority:0 "x" in
+  let _ = submit_ok h ~client:0 ~priority:0 "y" in
+  let _ = submit_ok h ~client:0 ~priority:5 "z" in
+  Atomic.set h.gate true;
+  Service.shutdown h.svc;
+  Alcotest.(check (list string)) "high priority jumps the same client's queue"
+    [ "A"; "z"; "x"; "y" ]
+    (completion_order h)
+
+let test_crashed_run_still_completes () =
+  let completions = ref [] in
+  let mu = Mutex.create () in
+  let svc =
+    Service.create ~workers:1
+      ~run:(fun h ->
+        if Service.data h = "boom" then failwith "kaboom" else "done")
+      ~cancelled:(fun _ -> "cancelled")
+      ~crashed:(fun _ e -> "crashed: " ^ Printexc.to_string e)
+      ~on_complete:(fun c ->
+        Mutex.lock mu;
+        completions := (Service.data c.Service.c_handle, c.Service.c_result) :: !completions;
+        Mutex.unlock mu)
+      ()
+  in
+  ignore (Service.submit svc ~client:0 ~priority:0 "boom");
+  ignore (Service.submit svc ~client:0 ~priority:0 "fine");
+  Service.shutdown svc;
+  let l = List.rev !completions in
+  Alcotest.(check int) "both jobs completed" 2 (List.length l);
+  (match List.assoc_opt "boom" l with
+  | Some r when String.length r >= 7 && String.sub r 0 7 = "crashed" -> ()
+  | r -> Alcotest.failf "boom completion wrong: %s" (Option.value ~default:"missing" r));
+  Alcotest.(check (option string)) "worker survived the crash" (Some "done")
+    (List.assoc_opt "fine" l)
+
+(* ------------------------------------------------------------------ *)
+(* Driver-level cancellation                                           *)
+
+let test_driver_cancel_flag () =
+  let cancel = Atomic.make true in
+  let job =
+    Driver.job_of_builder ~pipeline:(Pipeline.default ~optimize:true) ~name:"fifo"
+      Hir_kernels.Fifo.build
+  in
+  match Driver.compile_job ~cancel job with
+  | Error e ->
+    Alcotest.(check bool) "classified as cancelled" true
+      (e.Driver.err_class = Driver.Cancelled)
+  | Ok _ -> Alcotest.fail "a pre-cancelled job must not produce output"
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram                                                   *)
+
+let test_histogram_percentiles () =
+  let h = Service.Histogram.create () in
+  (* 100 samples: 90 at ~1ms, 9 at ~10ms, 1 at ~100ms. *)
+  for _ = 1 to 90 do Service.Histogram.record h 0.001 done;
+  for _ = 1 to 9 do Service.Histogram.record h 0.010 done;
+  Service.Histogram.record h 0.100;
+  let s = Service.Histogram.summarize h in
+  Alcotest.(check int) "count" 100 s.Service.Histogram.count;
+  let close ~what ~actual v =
+    (* Log buckets have ~30% resolution; accept a factor of 1.5. *)
+    if actual < v /. 1.5 || actual > v *. 1.5 then
+      Alcotest.failf "%s: %g not within 1.5x of %g" what actual v
+  in
+  close ~what:"p50" ~actual:s.Service.Histogram.p50 0.001;
+  (* Rank 99 of 100 lands on the 10ms cohort; only max sees the outlier. *)
+  close ~what:"p99" ~actual:s.Service.Histogram.p99 0.010;
+  close ~what:"max" ~actual:s.Service.Histogram.max 0.100
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+
+let test_json_roundtrip () =
+  let j =
+    Protocol.Json.Obj
+      [
+        ("op", Protocol.Json.Str "compile");
+        ("id", Protocol.Json.Str "j\"1\"\n");
+        ("priority", Protocol.Json.Num 3.);
+        ("deadline", Protocol.Json.Num 0.25);
+        ("verilog", Protocol.Json.Bool true);
+        ("tags", Protocol.Json.Arr [ Protocol.Json.Null; Protocol.Json.Num 42. ]);
+      ]
+  in
+  match Protocol.Json.parse (Protocol.Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_request_parsing () =
+  (match Protocol.request_of_line {|{"op":"compile","id":"a","kernel":"gemm","priority":2}|} with
+  | Ok (Protocol.Compile r) ->
+    Alcotest.(check string) "id" "a" r.Protocol.cr_id;
+    Alcotest.(check (option string)) "kernel" (Some "gemm") r.Protocol.cr_kernel;
+    Alcotest.(check int) "priority" 2 r.Protocol.cr_priority
+  | Ok _ -> Alcotest.fail "wrong request kind"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Protocol.request_of_line {|{"op":"cancel","id":"a"}|} with
+  | Ok (Protocol.Cancel "a") -> ()
+  | _ -> Alcotest.fail "cancel frame");
+  (match Protocol.request_of_line {|{"op":"compile","kernel":"gemm"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "compile without id must be rejected");
+  match Protocol.request_of_line "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level server tests                                           *)
+
+let with_server ?(workers = 2) ?(max_depth = 16) f =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-test-serve-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir tmp 0o755;
+  let sock = Filename.concat tmp "s.sock" in
+  let cfg =
+    {
+      (Server.default_config ~listen:(Server.Unix_path sock) ()) with
+      Server.cfg_workers = workers;
+      cfg_max_depth = max_depth;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists sock) then begin
+      Unix.sleepf 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  let finally () =
+    (* Best-effort shutdown if the test didn't already. *)
+    (try
+       let c = Protocol.Client.connect_unix sock in
+       Protocol.Client.send c (Protocol.Json.Obj [ ("op", Protocol.Json.Str "shutdown") ]);
+       ignore (Protocol.Client.recv c);
+       Protocol.Client.close c
+     with _ -> ());
+    Alcotest.(check int) "server exited cleanly" 0 (Domain.join server)
+  in
+  Fun.protect ~finally (fun () -> f sock)
+
+let field = Protocol.Json.field_str
+
+let test_server_compile_and_probes () =
+  with_server (fun sock ->
+      let c = Protocol.Client.connect_unix sock in
+      Protocol.Client.send c
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("id", Protocol.Json.Str "j1");
+             ("kernel", Protocol.Json.Str "transpose");
+           ]);
+      (match Protocol.Client.recv c with
+      | Some j ->
+        Alcotest.(check (option string)) "result for j1" (Some "j1") (field j "id");
+        Alcotest.(check (option string)) "ok" (Some "ok") (field j "status")
+      | None -> Alcotest.fail "no result");
+      (* Bad input is a failed result, not a rejection or a hang. *)
+      Protocol.Client.send c
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("id", Protocol.Json.Str "j2");
+             ("name", Protocol.Json.Str "bad.hir");
+             ("source", Protocol.Json.Str "func is not hir {");
+           ]);
+      (match Protocol.Client.recv c with
+      | Some j ->
+        Alcotest.(check (option string)) "failed" (Some "failed") (field j "status")
+      | None -> Alcotest.fail "no result for bad source");
+      Protocol.Client.send c (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+      (match Protocol.Client.recv c with
+      | Some j -> (
+        Alcotest.(check (option string)) "metrics event" (Some "metrics")
+          (field j "event");
+        match Protocol.Json.mem "jobs" j with
+        | Some jobs ->
+          Alcotest.(check (option int)) "two jobs submitted" (Some 2)
+            (Protocol.Json.field_int jobs "submitted")
+        | None -> Alcotest.fail "metrics lacks jobs")
+      | None -> Alcotest.fail "no metrics");
+      Protocol.Client.close c)
+
+let test_server_survives_early_close () =
+  with_server (fun sock ->
+      (* The rude client: asks for multi-MB output, hangs up unread. *)
+      let rude = Protocol.Client.connect_unix sock in
+      Protocol.Client.send rude
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("id", Protocol.Json.Str "rude");
+             ("kernel", Protocol.Json.Str "gemm");
+             ("verilog", Protocol.Json.Bool true);
+           ]);
+      Unix.sleepf 1.0;
+      Protocol.Client.close rude;
+      (* A polite client must be unaffected. *)
+      let c = Protocol.Client.connect_unix sock in
+      Protocol.Client.send c
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("id", Protocol.Json.Str "ok1");
+             ("kernel", Protocol.Json.Str "fifo");
+           ]);
+      (match Protocol.Client.recv c with
+      | Some j ->
+        Alcotest.(check (option string)) "server still serving" (Some "ok")
+          (field j "status")
+      | None -> Alcotest.fail "server died after client hangup");
+      Protocol.Client.close c)
+
+let test_server_disconnect_cancels_queued () =
+  (* One worker and a burst of slow jobs from a client that vanishes:
+     the disconnect must withdraw its queued jobs (freeing the queue)
+     and the server must stay healthy.  Every admitted job still gets
+     a completion internally — observable as a clean shutdown (the
+     pool drains) rather than a hang. *)
+  with_server ~workers:1 (fun sock ->
+      let rude = Protocol.Client.connect_unix sock in
+      for i = 1 to 6 do
+        Protocol.Client.send rude
+          (Protocol.Json.Obj
+             [
+               ("op", Protocol.Json.Str "compile");
+               ("id", Protocol.Json.Str (Printf.sprintf "g%d" i));
+               ("kernel", Protocol.Json.Str "gemm");
+             ])
+      done;
+      Protocol.Client.close rude;
+      let c = Protocol.Client.connect_unix sock in
+      Protocol.Client.send c
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("id", Protocol.Json.Str "after");
+             ("kernel", Protocol.Json.Str "fifo");
+           ]);
+      (match Protocol.Client.recv c with
+      | Some j ->
+        Alcotest.(check (option string)) "post-disconnect job ok" (Some "ok")
+          (field j "status")
+      | None -> Alcotest.fail "no result after disconnect");
+      Protocol.Client.close c)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "saturation returns overloaded" `Quick
+            test_saturation_overloaded;
+          Alcotest.test_case "cancel running frees the slot" `Quick
+            test_cancel_running_frees_slot;
+          Alcotest.test_case "cancel queued never runs" `Quick
+            test_cancel_queued_never_runs;
+          Alcotest.test_case "fair share prevents starvation" `Quick
+            test_fair_share_prevents_starvation;
+          Alcotest.test_case "priority overrides fifo" `Quick
+            test_priority_overrides_fifo;
+          Alcotest.test_case "crashed run still completes" `Quick
+            test_crashed_run_still_completes;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "cancel flag pre-set" `Quick test_driver_cancel_flag ] );
+      ( "histogram",
+        [ Alcotest.test_case "log-bucket percentiles" `Quick test_histogram_percentiles ]
+      );
+      ( "protocol",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "request parsing" `Quick test_request_parsing;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "compile and probes" `Quick test_server_compile_and_probes;
+          Alcotest.test_case "survives early close" `Quick
+            test_server_survives_early_close;
+          Alcotest.test_case "disconnect cancels queued" `Quick
+            test_server_disconnect_cancels_queued;
+        ] );
+    ]
