@@ -24,10 +24,14 @@ check: build test
 	  --cache-dir _build/.hirc-smoke-cache --trace _build/smoke.trace.json \
 	  -o _build/smoke-verilog
 	dune exec bin/hirc.exe -- fuzz 2000 --seed 1
+	@_build/default/bin/hirc.exe sim transposee 2>&1 | grep -q "did you mean transpose" \
+	  || { echo "make check: FAILED (sim typo did not suggest a kernel)"; exit 1; }
+	@echo "sim typo suggestion: OK"
 	$(MAKE) faults
 	$(MAKE) serve-smoke
 	dune exec bench/main.exe -- --canonicalize-scaling
 	dune exec bench/main.exe -- --sim-scaling
+	dune exec bench/main.exe -- --incremental
 	@echo "make check: OK"
 
 # Seeded fault-injection sweep over the kernel suite: at a 10% rate on

@@ -123,6 +123,35 @@ let cache_dir_arg =
     & info [ "cache-dir" ] ~docv:"DIR"
         ~doc:"Persist compiled output in a content-addressed cache under $(docv)")
 
+(* "512K" / "64M" / "2G" -> bytes; bare numbers are bytes. *)
+let parse_size s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then Error (`Msg "empty size")
+  else
+    let mult, digits =
+      match Char.uppercase_ascii s.[n - 1] with
+      | 'K' -> (1024, String.sub s 0 (n - 1))
+      | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt (String.trim digits) with
+    | Some v when v > 0 -> Ok (v * mult)
+    | _ ->
+      Error (`Msg (Printf.sprintf "invalid size '%s' (expected e.g. 512K, 64M, 1G)" s))
+
+let size_conv = Arg.conv (parse_size, fun ppf n -> Format.fprintf ppf "%d" n)
+
+let cache_budget_arg =
+  Arg.(
+    value
+    & opt (some size_conv) None
+    & info [ "cache-budget" ] ~docv:"SIZE"
+        ~doc:
+          "Keep the cache under $(docv) bytes (suffixes K, M, G) by evicting \
+           least-recently-used entries after each store")
+
 let trace_arg =
   Arg.(
     value
@@ -223,6 +252,16 @@ let kernels_cmd =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print per-pass statistics / resource estimates")
 
+(* " (did you mean transpose?)" — or "" when nothing is close. *)
+let did_you_mean candidates =
+  match candidates with
+  | [] -> ""
+  | l -> Printf.sprintf " (did you mean %s?)" (String.concat " or " l)
+
+let unknown_kernel name =
+  Printf.sprintf "unknown kernel %s%s (try `hirc kernels`)" name
+    (did_you_mean (Hir_kernels.Kernels.suggest name))
+
 let demo_cmd =
   let kernel_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name")
@@ -230,7 +269,7 @@ let demo_cmd =
   let run name out no_opt stats =
     match Hir_kernels.Kernels.find name with
     | None ->
-      Printf.eprintf "unknown kernel %s (try `hirc kernels`)\n" name;
+      Printf.eprintf "%s\n" (unknown_kernel name);
       1
     | Some k ->
       let pipeline = Pipeline.default ~optimize:(not no_opt) in
@@ -280,7 +319,7 @@ let pipeline_cmd =
   let file_opt_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .hir file")
   in
-  let run passes file out top stats cache_dir list =
+  let run passes file out top stats cache_dir cache_budget list =
     if list then begin
       List.iter
         (fun (name, descr) -> Printf.printf "%-20s %s\n" name descr)
@@ -296,20 +335,24 @@ let pipeline_cmd =
         prerr_endline "pipeline: an input FILE is required (or --list)";
         1
       | Some spec_src, Some file -> (
-        match Pipeline.parse spec_src with
-        | Error e ->
-          Printf.eprintf "invalid pipeline spec: %s\n" e;
+        match Pipeline.parse_located spec_src with
+        | Error d ->
+          Printf.eprintf "%s\n" (Diagnostic.to_string d);
           1
         | Ok pipeline ->
           Printf.eprintf "pipeline: %s\n" (Pipeline.to_string pipeline);
-          let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+          let cache =
+            Option.map
+              (fun dir -> Cache.create ?budget_bytes:cache_budget ~dir ())
+              cache_dir
+          in
           run_job ?cache ~stats ~out (Driver.job_of_file ?top ~pipeline file))
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Compile with an explicit textual pass pipeline")
     Term.(
       const run $ passes_arg $ file_opt_arg $ out_arg $ top_arg $ stats_arg
-      $ cache_dir_arg $ list_arg)
+      $ cache_dir_arg $ cache_budget_arg $ list_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc fuzz                                                           *)
@@ -450,9 +493,11 @@ let sim_cmd =
       if use_hls then
         match Hir_hls.Suite.find name with
         | None ->
+          let names = List.map fst (Hir_hls.Suite.all ()) in
           Error
-            (Printf.sprintf "unknown HLS suite kernel %s (one of: %s)" name
-               (String.concat ", " (List.map fst (Hir_hls.Suite.all ()))))
+            (Printf.sprintf "unknown HLS suite kernel %s%s (one of: %s)" name
+               (did_you_mean (Hir_kernels.Kernels.suggest_from ~candidates:names name))
+               (String.concat ", " names))
         | Some source ->
           Ok
             (fun () ->
@@ -460,7 +505,7 @@ let sim_cmd =
               (c.Hir_hls.Compiler.hls_module, c.Hir_hls.Compiler.hls_func))
       else
         match Hir_kernels.Kernels.find name with
-        | None -> Error (Printf.sprintf "unknown kernel %s (try `hirc kernels`)" name)
+        | None -> Error (unknown_kernel name)
         | Some k -> Ok k.Hir_kernels.Kernels.build
     in
     match build_r with
@@ -568,6 +613,14 @@ let cache_cmd =
       & opt int (Scheduler.default_workers ())
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --warm")
   in
+  let cache_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print on-disk population and size by entry kind (whole-job, linked \
+             design, normalized source, per-function IR, per-function Verilog)")
+  in
   let warm c spec workers =
     let names =
       if spec = "all" then List.map (fun k -> k.Hir_kernels.Kernels.name) Hir_kernels.Kernels.all
@@ -581,8 +634,7 @@ let cache_cmd =
         (fun acc name ->
           match (acc, Hir_kernels.Kernels.find name) with
           | Error e, _ -> Error e
-          | _, None ->
-            Error (Printf.sprintf "unknown kernel %s (try `hirc kernels`)" name)
+          | _, None -> Error (unknown_kernel name)
           | Ok jobs, Some k ->
             Ok
               (Driver.job_of_builder
@@ -606,13 +658,13 @@ let cache_cmd =
         stored hits failures;
       if failures > 0 then 1 else 0
   in
-  let run dir verify prune warm_spec warm_workers =
-    if not (verify || prune || warm_spec <> None) then begin
-      prerr_endline "cache: nothing to do (pass --verify, --prune and/or --warm)";
+  let run dir verify prune warm_spec warm_workers stats budget =
+    if not (verify || prune || stats || warm_spec <> None) then begin
+      prerr_endline "cache: nothing to do (pass --verify, --prune, --stats and/or --warm)";
       1
     end
     else begin
-      let c = Cache.create ~dir in
+      let c = Cache.create ?budget_bytes:budget ~dir () in
       if verify then begin
         let r = Cache.verify c in
         Printf.printf "verify: %d entries scanned, %d ok, %d quarantined\n"
@@ -628,15 +680,32 @@ let cache_cmd =
           (if r.Cache.pr_removed = 1 then "" else "s")
           r.Cache.pr_bytes
       end;
+      if stats then begin
+        let by_kind = Cache.stats_by_kind c in
+        let entries = List.fold_left (fun a (_, n, _) -> a + n) 0 by_kind in
+        let bytes = List.fold_left (fun a (_, _, b) -> a + b) 0 by_kind in
+        Printf.printf "stats: %d entr%s, %d bytes\n" entries
+          (if entries = 1 then "y" else "ies")
+          bytes;
+        List.iter
+          (fun (kind, n, b) ->
+            Printf.printf "  %-5s %6d entr%s %10d bytes\n" (Cache.kind_to_string kind)
+              n
+              (if n = 1 then "y  " else "ies")
+              b)
+          by_kind
+      end;
       match warm_spec with Some spec -> warm c spec warm_workers | None -> 0
     end
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:
-         "Verify the integrity of a compilation cache, prune its quarantine, or warm \
-          it by precompiling built-in kernels")
-    Term.(const run $ dir_arg $ verify_arg $ prune_arg $ warm_arg $ warm_jobs_arg)
+         "Verify the integrity of a compilation cache, prune its quarantine, report \
+          its per-kind population, or warm it by precompiling built-in kernels")
+    Term.(
+      const run $ dir_arg $ verify_arg $ prune_arg $ warm_arg $ warm_jobs_arg
+      $ cache_stats_arg $ cache_budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc batch                                                          *)
@@ -749,16 +818,16 @@ let batch_cmd =
       & info [ "json" ] ~docv:"OUT.json"
           ~doc:"Write a machine-readable per-job outcome summary to $(docv)")
   in
-  let run inputs workers all_kernels out_dir cache_dir trace_out no_opt passes inject
-      inject_seed deadline retries json_out =
+  let run inputs workers all_kernels out_dir cache_dir cache_budget trace_out no_opt
+      passes inject inject_seed deadline retries json_out =
     let pipeline_r =
       match passes with
       | None -> Ok (Pipeline.default ~optimize:(not no_opt))
-      | Some src -> Pipeline.parse src
+      | Some src -> Pipeline.parse_located src
     in
     match (pipeline_r, fault_config_of inject inject_seed) with
-    | Error e, _ ->
-      Printf.eprintf "invalid pipeline spec: %s\n" e;
+    | Error d, _ ->
+      Printf.eprintf "%s\n" (Diagnostic.to_string d);
       1
     | _, Error e ->
       prerr_endline e;
@@ -774,7 +843,9 @@ let batch_cmd =
           match Hir_kernels.Kernels.find input with
           | Some k -> Ok (kernel_job k)
           | None ->
-            Error (Printf.sprintf "%s: neither a file nor a built-in kernel" input)
+            Error
+              (Printf.sprintf "%s: neither a file nor a built-in kernel%s" input
+                 (did_you_mean (Hir_kernels.Kernels.suggest input)))
       in
       let jobs_r =
         List.fold_left
@@ -799,7 +870,11 @@ let batch_cmd =
           1
         end
         else begin
-          let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+          let cache =
+            Option.map
+              (fun dir -> Cache.create ?budget_bytes:cache_budget ~dir ())
+              cache_dir
+          in
           let limits = { Guard.deadline_s = deadline; work_budget = None } in
           let retry = { Driver.default_retry with Driver.max_attempts = max 1 retries } in
           let result =
@@ -881,8 +956,8 @@ let batch_cmd =
        ~doc:"Compile many designs concurrently through the compilation service")
     Term.(
       const run $ inputs_arg $ jobs_arg $ all_kernels_arg $ out_dir_arg $ cache_dir_arg
-      $ trace_arg $ no_opt_arg $ passes_arg $ inject_arg $ inject_seed_arg $ deadline_arg
-      $ retries_arg $ json_arg)
+      $ cache_budget_arg $ trace_arg $ no_opt_arg $ passes_arg $ inject_arg
+      $ inject_seed_arg $ deadline_arg $ retries_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc serve                                                          *)
@@ -931,8 +1006,8 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections and admissions to stderr")
   in
-  let run socket port workers depth cache_dir trace_out deadline retries verbose
-      inject inject_seed =
+  let run socket port workers depth cache_dir cache_budget trace_out deadline retries
+      verbose inject inject_seed =
     match fault_config_of inject inject_seed with
     | Error e ->
       prerr_endline e;
@@ -955,7 +1030,10 @@ let serve_cmd =
             (Server.default_config ~listen ()) with
             Server.cfg_workers = workers;
             cfg_max_depth = max 1 depth;
-            cfg_cache = Option.map (fun dir -> Cache.create ~dir) cache_dir;
+            cfg_cache =
+              Option.map
+                (fun dir -> Cache.create ?budget_bytes:cache_budget ~dir ())
+                cache_dir;
             cfg_default_deadline = deadline;
             cfg_retry =
               { Driver.default_retry with Driver.max_attempts = max 1 retries };
@@ -973,8 +1051,8 @@ let serve_cmd =
           admission onto the worker pool (see README for the protocol)")
     Term.(
       const run $ socket_arg $ port_arg $ workers_arg $ depth_arg $ cache_dir_arg
-      $ trace_arg $ deadline_arg $ retries_arg $ verbose_arg $ inject_arg
-      $ inject_seed_arg)
+      $ cache_budget_arg $ trace_arg $ deadline_arg $ retries_arg $ verbose_arg
+      $ inject_arg $ inject_seed_arg)
 
 let () =
   let doc = "HIR: an MLIR-style IR for hardware accelerator description" in

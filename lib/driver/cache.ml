@@ -1,24 +1,41 @@
-(* Content-addressed compilation cache.
+(* Content-addressed compilation cache with a keyed fingerprint chain.
 
-   A cache entry is keyed on
+   The cache holds five *kinds* of entry, one per memoization boundary
+   of the staged compile flow in [Driver]:
 
-     Digest(driver version ⊕ pipeline spec ⊕ top selector ⊕ source text)
+     - [Job]  — the legacy all-or-nothing entry: the final Verilog of a
+       whole job, keyed on Digest(version ⊕ pipeline ⊕ top selector ⊕
+       raw source text).  The fastest possible hit: no parsing at all.
+     - [Src]  — the *normalized* module text (print∘parse fixed point)
+       keyed on the raw source text.  A hit proves the source parsed
+       and verified before, so the verify stage is skipped.
+     - [Fn]   — one function's optimized IR snapshot, keyed on its
+       *cone hash*: the function's normalized printed form plus the
+       (recursive) hashes of its callees, plus the pass-pipeline spec.
+     - [Vmod] — one function's emitted Verilog module text plus its
+       inclusive resource usage, keyed on the same cone hash.  A hit
+       skips that function's optimize *and* emit stages.
+     - [Link] — the final linked Verilog of a design, keyed on the top
+       function's cone hash.  A hit means every function of the design
+       is unchanged, however much the rest of the source file moved
+       around (comments, sibling kernels): the job is re-linked from
+       cache without optimizing or emitting anything.
 
-   so editing the source, changing the pass pipeline, picking another
-   top function, or bumping [driver_version] (do this whenever codegen
-   output changes) each invalidate the entry.  An entry persists the
-   emitted Verilog ([<key>.v]) plus a small metadata sidecar
-   ([<key>.meta]: chosen top module, the modeled resource usage, and a
-   content digest of the Verilog payload), so a warm hit needs no
-   parsing, verification, passes or codegen at all.
+   Editing one kernel of an 8-kernel module therefore invalidates that
+   kernel's Fn/Vmod/Link tail only; the 7 untouched kernels re-link
+   from their Link entries and the edited one reuses every callee's
+   Fn/Vmod entries below the edit.
 
-   Integrity: the cache trusts nothing it reads back.  Every hit
-   re-digests the payload against the digest recorded in the sidecar;
-   a truncated, bit-flipped or unparseable entry is *quarantined*
-   (moved to [<dir>/quarantine/]) and reported as [Corrupt], which the
-   driver treats as a miss-plus-recompile — a damaged cache can cost
-   time, never wrong Verilog.  `hirc cache --verify` runs the same
-   check over every entry offline, and `--prune` empties the
+   Integrity (unchanged from the single-kind cache): the cache trusts
+   nothing it reads back.  Every hit re-digests the payload against the
+   digest recorded in the sidecar; a truncated, bit-flipped or
+   unparseable entry is *quarantined* (moved to [<dir>/quarantine/],
+   collision-suffixed so forensic copies are never overwritten) and
+   reported as [Corrupt], which the driver treats as a
+   miss-plus-recompute — a damaged cache can cost time, never wrong
+   Verilog.  `hirc cache --verify` runs the same check over every
+   entry offline through a side-effect-free probe (the runtime
+   hit/miss counters are not perturbed), and `--prune` empties the
    quarantine and removes stale temp files.
 
    Writes go through a unique temp file followed by [Sys.rename], which
@@ -28,24 +45,71 @@
    write that fails midway unlinks its temp file.  Counters are atomics
    for the same reason.
 
+   Eviction: with a byte budget ([create ?budget_bytes], `hirc
+   --cache-budget`), the cache evicts least-recently-used entries.
+   Every hit touches the payload's mtime ([Unix.utimes]), so file
+   mtimes *are* the LRU order — no separate index to corrupt, and the
+   order survives across processes.  When a store pushes the estimated
+   population over budget, a sweep walks the shards, sorts entries
+   oldest-first (ties broken by key for determinism) and removes
+   payload+sidecar pairs until the population fits.  The quarantine is
+   never part of the budget or the sweep.
+
    Layout: entries are sharded into 256 subdirectories by the first two
    hex digits of the key ([<dir>/ab/<key>.v]) — a flat directory with
    thousands of entries makes every lookup and readdir pay for the
    whole population.  Entries at the root are the pre-shard layout;
    [verify] retires them to the quarantine. *)
 
+type kind = Job | Link | Src | Fn | Vmod
+
+let kinds = [ Job; Link; Src; Fn; Vmod ]
+
+let kind_to_string = function
+  | Job -> "job"
+  | Link -> "link"
+  | Src -> "src"
+  | Fn -> "fn"
+  | Vmod -> "vmod"
+
+let kind_of_string = function
+  | "job" -> Some Job
+  | "link" -> Some Link
+  | "src" -> Some Src
+  | "fn" -> Some Fn
+  | "vmod" -> Some Vmod
+  | _ -> None
+
+(* Payload file extension per kind.  [Job] keeps the historical [.v]
+   so pre-existing tooling (and the store-failure tests) still point at
+   the right file. *)
+let kind_ext = function
+  | Job -> ".v"
+  | Link -> ".lnk"
+  | Src -> ".src"
+  | Fn -> ".fn"
+  | Vmod -> ".vm"
+
+let kind_index = function Job -> 0 | Link -> 1 | Src -> 2 | Fn -> 3 | Vmod -> 4
+
+type kind_stat = { k_hits : int; k_misses : int; k_stores : int }
+
 type t = {
   dir : string;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  stores : int Atomic.t;  (* entries successfully written *)
-  corrupt : int Atomic.t;  (* entries quarantined by lookups *)
-  faults : int Atomic.t;  (* read/write IO failures survived *)
+  budget_bytes : int option;
+  bytes : int Atomic.t;  (* estimated payload+sidecar population *)
+  khits : int Atomic.t array;  (* per kind, indexed by [kind_index] *)
+  kmisses : int Atomic.t array;
+  kstores : int Atomic.t array;
+  corrupt : int Atomic.t;  (* entries quarantined by lookups, all kinds *)
+  faults : int Atomic.t;  (* read/write IO failures survived, all kinds *)
+  evictions : int Atomic.t;  (* entries removed by the LRU sweep *)
 }
 
 (* Bump whenever the emitted Verilog or the meta format changes.
-   (v2: digest line in the sidecar; v3: sharded directory layout.) *)
-let driver_version = "hir-driver/3"
+   (v2: digest line in the sidecar; v3: sharded directory layout;
+   v4: staged per-function compilation and multi-kind entries.) *)
+let driver_version = "hir-driver/4"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -53,16 +117,50 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ~dir =
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+(* The 2-hex shard subdirectories that actually exist. *)
+let shards t =
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f = 2
+         && is_hex f.[0] && is_hex f.[1]
+         && Sys.is_directory (Filename.concat t.dir f))
+  |> List.sort compare
+
+(* Estimated byte population of the live entries (quarantine excluded),
+   used to seed the budget accounting at [create] and to re-sync it
+   during a sweep so the estimate cannot drift. *)
+let measure_bytes t =
+  List.fold_left
+    (fun total s ->
+      let dir = Filename.concat t.dir s in
+      Array.fold_left
+        (fun total f ->
+          try total + (Unix.stat (Filename.concat dir f)).Unix.st_size
+          with Unix.Unix_error _ | Sys_error _ -> total)
+        total (Sys.readdir dir))
+    0 (shards t)
+
+let create ?budget_bytes ~dir () =
   mkdir_p dir;
-  {
-    dir;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    stores = Atomic.make 0;
-    corrupt = Atomic.make 0;
-    faults = Atomic.make 0;
-  }
+  let t =
+    {
+      dir;
+      budget_bytes;
+      bytes = Atomic.make 0;
+      khits = Array.init 5 (fun _ -> Atomic.make 0);
+      kmisses = Array.init 5 (fun _ -> Atomic.make 0);
+      kstores = Array.init 5 (fun _ -> Atomic.make 0);
+      corrupt = Atomic.make 0;
+      faults = Atomic.make 0;
+      evictions = Atomic.make 0;
+    }
+  in
+  (* Only pay the population scan when a budget will actually use it. *)
+  if budget_bytes <> None then Atomic.set t.bytes (measure_bytes t);
+  t
 
 let key ~pipeline ~top ~source =
   let material =
@@ -71,9 +169,19 @@ let key ~pipeline ~top ~source =
   in
   Digest.to_hex (Digest.string material)
 
+(* A key for the staged entries: the kind joins the material, so the
+   Fn and Vmod entries of one cone hash never collide. *)
+let stage_key ~kind ~parts =
+  let material =
+    String.concat "\x00" (driver_version :: kind_to_string kind :: parts)
+  in
+  Digest.to_hex (Digest.string material)
+
 type entry = {
   e_verilog : string;
-  e_top : string;
+      (* the payload: final Verilog for Job/Link, one module's Verilog
+         for Vmod, normalized/optimized IR text for Src/Fn *)
+  e_top : string;  (* top/function name; "" where not meaningful *)
   e_usage : Hir_resources.Model.usage;
 }
 
@@ -82,9 +190,9 @@ type entry = {
 let shard_dir t k =
   Filename.concat t.dir (if String.length k >= 2 then String.sub k 0 2 else k)
 
-let verilog_path t k = Filename.concat (shard_dir t k) (k ^ ".v")
+let payload_path t kind k = Filename.concat (shard_dir t k) (k ^ kind_ext kind)
+let verilog_path t k = payload_path t Job k
 let meta_path t k = Filename.concat (shard_dir t k) (k ^ ".meta")
-let quarantine_dir t = Filename.concat t.dir "quarantine"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -112,10 +220,12 @@ let write_file_atomic ~dir path content =
 
 let content_digest verilog = Digest.to_hex (Digest.string verilog)
 
-let meta_to_string ~top ~digest (u : Hir_resources.Model.usage) =
-  Printf.sprintf "top %s\ndigest %s\nlut %d\nff %d\ndsp %d\nbram %d\n" top digest
-    u.lut u.ff u.dsp u.bram
+let meta_to_string ~kind ~top ~digest (u : Hir_resources.Model.usage) =
+  Printf.sprintf "kind %s\ntop %s\ndigest %s\nlut %d\nff %d\ndsp %d\nbram %d\n"
+    (kind_to_string kind) top digest u.lut u.ff u.dsp u.bram
 
+(* Sidecars from the single-kind era have no [kind] line; they can only
+   be Job entries. *)
 let meta_of_string s =
   let fields =
     String.split_on_char '\n' s
@@ -128,35 +238,56 @@ let meta_of_string s =
            | None -> None)
   in
   let int k = Option.bind (List.assoc_opt k fields) int_of_string_opt in
+  let kind =
+    match List.assoc_opt "kind" fields with
+    | None -> Some Job
+    | Some s -> kind_of_string s
+  in
   match
-    ( List.assoc_opt "top" fields,
+    ( kind,
+      List.assoc_opt "top" fields,
       List.assoc_opt "digest" fields,
       int "lut",
       int "ff",
       int "dsp",
       int "bram" )
   with
-  | Some top, Some digest, Some lut, Some ff, Some dsp, Some bram ->
-    Some (top, digest, { Hir_resources.Model.lut; ff; dsp; bram })
+  | Some kind, Some top, Some digest, Some lut, Some ff, Some dsp, Some bram ->
+    Some (kind, top, digest, { Hir_resources.Model.lut; ff; dsp; bram })
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine                                                          *)
 
-(* Move a damaged entry's files out of the lookup path.  Best-effort
-   throughout: a concurrent worker may have quarantined (or rewritten)
-   the entry already, and quarantining must never fail the compile that
-   discovered the damage. *)
-let quarantine_entry t k =
+(* Move one damaged file into the quarantine without overwriting any
+   forensic copy already there: on a name collision the new copy gets a
+   numeric suffix ([<name>.1], [.2], …).  Best-effort throughout —
+   quarantining must never fail the compile that found the damage. *)
+let quarantine_file t path =
   mkdir_p (quarantine_dir t);
+  let base = Filename.basename path in
+  let rec dst_for n =
+    let candidate =
+      if n = 0 then Filename.concat (quarantine_dir t) base
+      else Filename.concat (quarantine_dir t) (Printf.sprintf "%s.%d" base n)
+    in
+    if Sys.file_exists candidate then dst_for (n + 1) else candidate
+  in
+  try Sys.rename path (dst_for 0)
+  with Sys_error _ | Unix.Unix_error _ -> (
+    try Sys.remove path with Sys_error _ -> ())
+
+(* Move a damaged entry's files out of the lookup path.  A concurrent
+   worker may have quarantined (or rewritten) the entry already. *)
+let quarantine_entry ?kind t k =
+  let payloads =
+    match kind with
+    | Some kind -> [ payload_path t kind k ]
+    | None -> List.map (fun kind -> payload_path t kind k) kinds
+  in
   List.iter
-    (fun path ->
-      if Sys.file_exists path then
-        let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
-        try Sys.rename path dst
-        with Sys_error _ | Unix.Unix_error _ -> (
-          try Sys.remove path with Sys_error _ -> ()))
-    [ verilog_path t k; meta_path t k ]
+    (fun path -> if Sys.file_exists path then quarantine_file t path)
+    (payloads @ [ meta_path t k ])
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
@@ -167,61 +298,137 @@ type verdict =
   | Read_fault of string  (* transient IO failure; entry left alone *)
   | Corrupt of string  (* integrity failure; entry quarantined *)
 
-let consult t k =
-  let vp = verilog_path t k and mp = meta_path t k in
-  let verdict =
-    (* The entry can be evicted (or be unreadable) between the existence
-       check and the reads — a classic TOCTOU.  Per the contract above,
-       IO failures degrade to misses, so neither [Sys_error] nor
-       [Unix_error] from the reads may escape to the caller. *)
-    try
-      Faults.point "cache.read";
-      if not (Sys.file_exists vp && Sys.file_exists mp) then Miss
-      else
-        match meta_of_string (read_file mp) with
-        | None ->
+(* The integrity check shared by the counting lookup and the
+   side-effect-free [probe]: no counters, no mtime touch, but damaged
+   entries are still quarantined (serving them later is never right). *)
+let probe ?(kind = Job) t k =
+  let vp = payload_path t kind k and mp = meta_path t k in
+  (* The entry can be evicted (or be unreadable) between the existence
+     check and the reads — a classic TOCTOU.  Per the contract above,
+     IO failures degrade to misses, so neither [Sys_error] nor
+     [Unix_error] from the reads may escape to the caller. *)
+  try
+    Faults.point "cache.read";
+    if not (Sys.file_exists vp && Sys.file_exists mp) then Miss
+    else
+      match meta_of_string (read_file mp) with
+      | None ->
+        quarantine_entry ~kind t k;
+        Corrupt (Printf.sprintf "%s: unparseable metadata" (k ^ ".meta"))
+      | Some (meta_kind, top, digest, usage) ->
+        if meta_kind <> kind then begin
           quarantine_entry t k;
-          Corrupt (Printf.sprintf "%s: unparseable metadata" (k ^ ".meta"))
-        | Some (top, digest, usage) ->
+          Corrupt (Printf.sprintf "%s: entry kind mismatch" (k ^ ".meta"))
+        end
+        else
           let verilog = read_file vp in
           if not (String.equal (content_digest verilog) digest) then begin
-            quarantine_entry t k;
-            Corrupt (Printf.sprintf "%s: content digest mismatch" (k ^ ".v"))
+            quarantine_entry ~kind t k;
+            Corrupt
+              (Printf.sprintf "%s: content digest mismatch" (k ^ kind_ext kind))
           end
           else Hit { e_verilog = verilog; e_top = top; e_usage = usage }
-    with
-    | Faults.Injected p -> Read_fault ("injected fault at " ^ p)
-    | Sys_error msg -> Read_fault msg
-    | Unix.Unix_error (e, _, _) -> Read_fault (Unix.error_message e)
-  in
+  with
+  | Faults.Injected p -> Read_fault ("injected fault at " ^ p)
+  | Sys_error msg -> Read_fault msg
+  | Unix.Unix_error (e, _, _) -> Read_fault (Unix.error_message e)
+
+let consult ?(kind = Job) t k =
+  let verdict = probe ~kind t k in
+  let i = kind_index kind in
   (match verdict with
-  | Hit _ -> Atomic.incr t.hits
-  | Miss -> Atomic.incr t.misses
+  | Hit _ ->
+    Atomic.incr t.khits.(i);
+    (* Touch the payload so file mtimes order the LRU sweep; both times
+       0.0 means "set to now".  Best-effort: a concurrent eviction may
+       have removed the file. *)
+    if t.budget_bytes <> None then (
+      try Unix.utimes (payload_path t kind k) 0.0 0.0
+      with Unix.Unix_error _ | Sys_error _ -> ())
+  | Miss -> Atomic.incr t.kmisses.(i)
   | Read_fault _ ->
-    Atomic.incr t.misses;
+    Atomic.incr t.kmisses.(i);
     Atomic.incr t.faults
   | Corrupt _ ->
-    Atomic.incr t.misses;
+    Atomic.incr t.kmisses.(i);
     Atomic.incr t.corrupt);
   verdict
 
 let lookup t k = match consult t k with Hit e -> Some e | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* LRU eviction                                                        *)
+
+(* One sweep: walk the shards, list every entry (payload+sidecar pair)
+   with its payload mtime, and remove oldest-first until the population
+   fits the budget.  Ties (same mtime second) break on the key so
+   concurrent sweepers converge on the same victims.  Best-effort: a
+   racing worker may have removed (or re-stored) an entry already. *)
+let evict_to_budget t budget =
+  let entries = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun s ->
+      let dir = Filename.concat t.dir s in
+      Array.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          match Unix.stat path with
+          | exception (Unix.Unix_error _ | Sys_error _) -> ()
+          | st ->
+            total := !total + st.Unix.st_size;
+            if not (Filename.check_suffix f ".meta") then
+              let k = Filename.remove_extension f in
+              let msize =
+                try (Unix.stat (meta_path t k)).Unix.st_size
+                with Unix.Unix_error _ | Sys_error _ -> 0
+              in
+              entries :=
+                (st.Unix.st_mtime, k, path, st.Unix.st_size + msize) :: !entries)
+        (Sys.readdir dir))
+    (shards t);
+  let victims =
+    List.sort
+      (fun (m1, k1, _, _) (m2, k2, _, _) ->
+        match compare (m1 : float) m2 with 0 -> compare k1 k2 | c -> c)
+      !entries
+  in
+  let remaining = ref !total in
+  List.iter
+    (fun (_, k, payload, size) ->
+      if !remaining > budget then begin
+        (try Sys.remove payload with Sys_error _ -> ());
+        (try Sys.remove (meta_path t k) with Sys_error _ -> ());
+        remaining := !remaining - size;
+        Atomic.incr t.evictions
+      end)
+    victims;
+  Atomic.set t.bytes !remaining
+
+(* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 
-let store t k entry =
+let store ?(kind = Job) t k entry =
   (* Filling the cache is best-effort: a full disk, revoked permissions
      or a squatter at the entry path must not fail a compile that
      already succeeded.  The next lookup simply misses again. *)
   try
     let shard = shard_dir t k in
     mkdir_p shard;
-    write_file_atomic ~dir:shard (verilog_path t k) entry.e_verilog;
-    write_file_atomic ~dir:shard (meta_path t k)
-      (meta_to_string ~top:entry.e_top ~digest:(content_digest entry.e_verilog)
-         entry.e_usage);
-    Atomic.incr t.stores;
+    let meta =
+      meta_to_string ~kind ~top:entry.e_top
+        ~digest:(content_digest entry.e_verilog)
+        entry.e_usage
+    in
+    write_file_atomic ~dir:shard (payload_path t kind k) entry.e_verilog;
+    write_file_atomic ~dir:shard (meta_path t k) meta;
+    Atomic.incr t.kstores.(kind_index kind);
+    (match t.budget_bytes with
+    | None -> ()
+    | Some budget ->
+      let added = String.length entry.e_verilog + String.length meta in
+      if Atomic.fetch_and_add t.bytes added + added > budget then
+        evict_to_budget t budget);
     Ok ()
   with
   | Faults.Injected p ->
@@ -234,14 +441,34 @@ let store t k entry =
     Atomic.incr t.faults;
     Error (Unix.error_message e)
 
-let hits t = Atomic.get t.hits
-let misses t = Atomic.get t.misses
-let store_count t = Atomic.get t.stores
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+(* The headline hit/miss/store counters report the Job kind only — the
+   whole-job fast path — so "8 hits / 0 misses" on a warm batch keeps
+   meaning what it always meant.  The staged kinds are reported
+   separately by [kind_stats]. *)
+let hits t = Atomic.get t.khits.(kind_index Job)
+let misses t = Atomic.get t.kmisses.(kind_index Job)
+let store_count t = Atomic.get t.kstores.(kind_index Job)
 let corrupt_count t = Atomic.get t.corrupt
 let fault_count t = Atomic.get t.faults
+let eviction_count t = Atomic.get t.evictions
+
+let kind_stats t =
+  List.map
+    (fun kind ->
+      let i = kind_index kind in
+      ( kind,
+        {
+          k_hits = Atomic.get t.khits.(i);
+          k_misses = Atomic.get t.kmisses.(i);
+          k_stores = Atomic.get t.kstores.(i);
+        } ))
+    kinds
 
 (* ------------------------------------------------------------------ *)
-(* Offline maintenance: `hirc cache --verify | --prune`                *)
+(* Offline maintenance: `hirc cache --verify | --prune | --stats`      *)
 
 type verify_report = {
   vr_scanned : int;  (* entries examined (one per .meta) *)
@@ -249,19 +476,14 @@ type verify_report = {
   vr_quarantined : (string * string) list;  (* key, reason *)
 }
 
-(* The 2-hex shard subdirectories that actually exist. *)
-let shards t =
-  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
-  Sys.readdir t.dir |> Array.to_list
-  |> List.filter (fun f ->
-         String.length f = 2
-         && is_hex f.[0] && is_hex f.[1]
-         && Sys.is_directory (Filename.concat t.dir f))
-  |> List.sort compare
+let payload_exts = List.map kind_ext kinds
 
-(* Run the hit-path integrity check over every entry on disk.  Damaged
-   entries are quarantined exactly as a lookup would have done, so a
-   verify pass leaves only entries that will actually hit. *)
+let is_payload f = List.exists (fun ext -> Filename.check_suffix f ext) payload_exts
+
+(* Run the hit-path integrity check over every entry on disk through
+   the side-effect-free [probe]: damaged entries are quarantined
+   exactly as a lookup would have done, but the runtime hit/miss
+   counters (`--stats`) are not perturbed and no LRU mtime is touched. *)
 let verify t =
   let shard_files =
     List.concat_map
@@ -283,9 +505,7 @@ let verify t =
     (* payloads with no sidecar can never hit; quarantine them too *)
     List.filter_map
       (fun (_, f) ->
-        if
-          Filename.check_suffix f ".v"
-          && not (Sys.file_exists (meta_path t (Filename.remove_extension f)))
+        if is_payload f && not (Sys.file_exists (meta_path t (Filename.remove_extension f)))
         then Some (Filename.remove_extension f)
         else None)
       shard_files
@@ -295,15 +515,22 @@ let verify t =
      them rather than leaving dead weight in the directory. *)
   let legacy =
     Sys.readdir t.dir |> Array.to_list
-    |> List.filter (fun f ->
-           Filename.check_suffix f ".meta" || Filename.check_suffix f ".v")
+    |> List.filter (fun f -> Filename.check_suffix f ".meta" || is_payload f)
     |> List.sort compare
   in
   let quarantined = ref [] in
   let ok = ref 0 in
   List.iter
     (fun k ->
-      match consult t k with
+      (* The sidecar names the entry's kind; an unreadable or
+         unparseable sidecar probes as the default kind, whose
+         quarantine path sweeps all possible payloads. *)
+      let kind =
+        match meta_of_string (read_file (meta_path t k)) with
+        | Some (kind, _, _, _) -> kind
+        | None | (exception Sys_error _) | (exception Unix.Unix_error _) -> Job
+      in
+      match probe ~kind t k with
       | Hit _ -> incr ok
       | Miss ->
         quarantine_entry t k;
@@ -318,12 +545,7 @@ let verify t =
     orphans;
   List.iter
     (fun f ->
-      mkdir_p (quarantine_dir t);
-      let src = Filename.concat t.dir f in
-      let dst = Filename.concat (quarantine_dir t) f in
-      (try Sys.rename src dst
-       with Sys_error _ | Unix.Unix_error _ -> (
-         try Sys.remove src with Sys_error _ -> ()));
+      quarantine_file t (Filename.concat t.dir f);
       quarantined := (f, "legacy flat entry (pre-shard layout)") :: !quarantined)
     legacy;
   {
@@ -358,3 +580,31 @@ let prune t =
   sweep_tmp t.dir;
   List.iter (fun s -> sweep_tmp (Filename.concat t.dir s)) (shards t);
   { pr_removed = !removed; pr_bytes = !bytes }
+
+(* On-disk population by kind, for `hirc cache DIR --stats`:
+   (kind, entry count, payload+sidecar bytes). *)
+let stats_by_kind t =
+  let counts = Array.make 5 0 and sizes = Array.make 5 0 in
+  List.iter
+    (fun s ->
+      let dir = Filename.concat t.dir s in
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".meta" then begin
+            let k = Filename.remove_extension f in
+            match meta_of_string (read_file (Filename.concat dir f)) with
+            | exception Sys_error _ -> ()
+            | None -> ()
+            | Some (kind, _, _, _) ->
+              let i = kind_index kind in
+              counts.(i) <- counts.(i) + 1;
+              let size path =
+                try (Unix.stat path).Unix.st_size
+                with Unix.Unix_error _ | Sys_error _ -> 0
+              in
+              sizes.(i) <-
+                sizes.(i) + size (Filename.concat dir f) + size (payload_path t kind k)
+          end)
+        (Sys.readdir dir))
+    (shards t);
+  List.map (fun kind -> (kind, counts.(kind_index kind), sizes.(kind_index kind))) kinds

@@ -137,22 +137,27 @@ let pick_top module_op top =
     in
     (f, Some note)
 
+(* The instrument shared by the whole-module pipeline and the staged
+   per-function mini-pipelines: pass spans in the Chrome trace, and a
+   guard checkpoint between passes so a pipeline that overruns its
+   deadline stops at the next pass boundary. *)
+let pass_instrument ~trace ~guard = function
+  | Pass.Pass_begin _ -> ()
+  | Pass.Pass_end { pass_name; seconds; changed; counters; _ } ->
+    let stop = Trace.now () in
+    (* Pattern/fold application counts ride on the pass span, so the
+       Chrome trace shows which rewrites fired and how often. *)
+    let counter_args = List.map (fun (k, n) -> (k, string_of_int n)) counters in
+    Trace.add_span trace ~cat:"pass"
+      ~args:(("changed", string_of_bool changed) :: counter_args)
+      ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ();
+    Guard.tick guard
+
 let run_pipeline ~trace ~guard spec module_op =
-  let instrument = function
-    | Pass.Pass_begin _ -> ()
-    | Pass.Pass_end { pass_name; seconds; changed; counters; _ } ->
-      let stop = Trace.now () in
-      (* Pattern/fold application counts ride on the pass span, so the
-         Chrome trace shows which rewrites fired and how often. *)
-      let counter_args = List.map (fun (k, n) -> (k, string_of_int n)) counters in
-      Trace.add_span trace ~cat:"pass"
-        ~args:(("changed", string_of_bool changed) :: counter_args)
-        ~name:("pass:" ^ pass_name) ~start:(stop -. seconds) ~stop ();
-      (* Guard checkpoint between passes: a pipeline that overruns its
-         deadline stops at the next pass boundary. *)
-      Guard.tick guard
+  let mgr =
+    Pass.Manager.create ~instrument:(pass_instrument ~trace ~guard)
+      (Pipeline.to_passes spec)
   in
-  let mgr = Pass.Manager.create ~instrument (Pipeline.to_passes spec) in
   let result = Pass.Manager.run mgr module_op in
   if not result.Pass.succeeded then begin
     match Diagnostic.Engine.to_list result.Pass.engine with
@@ -181,6 +186,8 @@ let fallback_degradations pass_stats =
         s.Pass.counters)
     pass_stats
 
+let zero_usage = Hir_resources.Model.zero
+
 let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let name = source_name job.src in
@@ -206,105 +213,294 @@ let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
                     let m, f = build () in
                     (Printer.op_to_string m, Some (m, f)))
             in
-            let key =
-              Cache.key ~pipeline:(Pipeline.to_string job.pipeline) ~top:job.top
-                ~source:text
-            in
+            let pipeline_str = Pipeline.to_string job.pipeline in
+            let key = Cache.key ~pipeline:pipeline_str ~top:job.top ~source:text in
             Guard.tick guard;
-            let cached =
+            (* Staged-cache plumbing: every consult degrades IO trouble
+               to a miss (with a note), every store is best-effort.
+               With no cache attached both are inert, and the staged
+               flow below computes exactly the same bytes — the compute
+               path does not depend on the cache being present. *)
+            let consult kind what k =
               match cache with
               | None -> None
               | Some c -> (
                 match
                   Trace.span trace ~cat:"cache" "cache-lookup" (fun () ->
-                      Cache.consult c key)
+                      Cache.consult ~kind c k)
                 with
                 | Cache.Hit entry -> Some entry
                 | Cache.Miss -> None
                 | Cache.Read_fault reason ->
-                  degrade ("cache read fault, recompiling: " ^ reason);
+                  degrade
+                    (Printf.sprintf "%s cache read fault, recompiling: %s" what reason);
                   Trace.incr trace "cache-read-fault";
                   None
                 | Cache.Corrupt reason ->
-                  degrade ("corrupt cache entry quarantined, recompiling: " ^ reason);
+                  degrade
+                    (Printf.sprintf "corrupt %s cache entry quarantined, recompiling: %s"
+                       what reason);
                   Trace.incr trace "cache-quarantined";
                   None)
             in
-            match cached with
-            | Some entry ->
-              Trace.incr trace "cache-hit";
-              Ok
-                {
-                  job_name = name;
-                  top_name = entry.Cache.e_top;
-                  verilog = entry.Cache.e_verilog;
-                  usage = entry.Cache.e_usage;
-                  from_cache = true;
-                  note = None;
-                  degradations = List.rev !degradations;
-                  pass_stats = [];
-                  seconds = Trace.now () -. started;
-                }
-            | None ->
-              if cache <> None then Trace.incr trace "cache-miss";
-              (* The compile itself as an injection point: models a
-                 worker crashing mid-job. *)
-              Faults.point "job.compile";
-              let module_op, top_func, note =
-                match built with
-                | Some (m, f) -> (m, f, None)
-                | None ->
-                  let m =
-                    Trace.span trace ~cat:"frontend" "parse" (fun () ->
-                        Parser.parse_string ~file:name text)
-                  in
-                  let f, note = pick_top m job.top in
-                  (m, f, note)
-              in
-              Guard.tick guard;
-              Trace.span trace ~cat:"verify" "verify" (fun () -> run_verifiers module_op);
-              Guard.tick guard;
-              let pass_stats = run_pipeline ~trace ~guard job.pipeline module_op in
-              List.iter degrade (fallback_degradations pass_stats);
-              let emitted =
-                Trace.span trace ~cat:"backend" "emit" (fun () ->
-                    Hir_codegen.Emit.emit ~module_op ~top:top_func)
-              in
-              Guard.tick guard;
-              let verilog =
-                Trace.span trace ~cat:"backend" "print" (fun () ->
-                    Hir_verilog.Pretty.design_to_string emitted.Hir_codegen.Emit.design)
-              in
-              let usage =
-                Trace.span trace ~cat:"backend" "resource-model" (fun () ->
-                    Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design)
-              in
-              Guard.tick guard;
-              let top_name = Ops.func_name top_func in
-              (match cache with
+            let store kind what k entry =
+              match cache with
+              | None -> ()
               | Some c ->
                 Trace.span trace ~cat:"cache" "cache-store" (fun () ->
-                    match
-                      Cache.store c key
-                        { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage }
-                    with
+                    match Cache.store ~kind c k entry with
                     | Ok () -> ()
                     | Error reason ->
-                      degrade ("cache write fault, result not cached: " ^ reason);
+                      degrade
+                        (Printf.sprintf "cache write fault, %s not cached: %s" what
+                           reason);
                       Trace.incr trace "cache-write-fault")
-              | None -> ());
+            in
+            let finish ~top_name ~verilog ~usage ~from_cache ~note ~pass_stats =
               Ok
                 {
                   job_name = name;
                   top_name;
                   verilog;
                   usage;
-                  from_cache = false;
+                  from_cache;
                   note;
                   degradations = List.rev !degradations;
                   pass_stats;
                   seconds = Trace.now () -. started;
-                }))
+                }
+            in
+            match consult Cache.Job "job" key with
+            | Some entry ->
+              Trace.incr trace "cache-hit";
+              finish ~top_name:entry.Cache.e_top ~verilog:entry.Cache.e_verilog
+                ~usage:entry.Cache.e_usage ~from_cache:true ~note:None ~pass_stats:[]
+            | None ->
+              if cache <> None then Trace.incr trace "cache-miss";
+              (* The compile itself as an injection point: models a
+                 worker crashing mid-job. *)
+              Faults.point "job.compile";
+              (* The pre-staged whole-module flow, kept as the fallback
+                 for modules the per-function decomposition cannot
+                 represent (see [Incr.Fallback]).  Whether a module
+                 falls back is a deterministic property of its text, so
+                 cold and warm compiles of the same source always take
+                 the same path — and the fallback recompiles from
+                 scratch under an isolated id counter, so its bytes do
+                 not depend on how far the staged attempt got. *)
+              let monolithic () =
+                let compile () =
+                  let module_op, top_func, note =
+                    match built with
+                    | Some (m, f) -> (m, f, None)
+                    | None ->
+                      let m =
+                        Trace.span trace ~cat:"frontend" "parse" (fun () ->
+                            Parser.parse_string ~file:name text)
+                      in
+                      let f, note = pick_top m job.top in
+                      (m, f, note)
+                  in
+                  Guard.tick guard;
+                  Trace.span trace ~cat:"verify" "verify" (fun () ->
+                      run_verifiers module_op);
+                  Guard.tick guard;
+                  let pass_stats = run_pipeline ~trace ~guard job.pipeline module_op in
+                  List.iter degrade (fallback_degradations pass_stats);
+                  let emitted =
+                    Trace.span trace ~cat:"backend" "emit" (fun () ->
+                        Hir_codegen.Emit.emit ~module_op ~top:top_func)
+                  in
+                  Guard.tick guard;
+                  let verilog =
+                    Trace.span trace ~cat:"backend" "print" (fun () ->
+                        Hir_verilog.Pretty.design_to_string
+                          emitted.Hir_codegen.Emit.design)
+                  in
+                  let usage =
+                    Trace.span trace ~cat:"backend" "resource-model" (fun () ->
+                        Hir_resources.Model.design_usage emitted.Hir_codegen.Emit.design)
+                  in
+                  Guard.tick guard;
+                  let top_name = Ops.func_name top_func in
+                  store Cache.Job "result" key
+                    { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage };
+                  finish ~top_name ~verilog ~usage ~from_cache:false ~note ~pass_stats
+                in
+                match built with
+                | Some _ ->
+                  (* Builder modules are used in place: the id counter
+                     state after [build] is the same on every path. *)
+                  compile ()
+                | None ->
+                  (* Text sources re-parse from scratch so the fallback
+                     sees ids 0.. wherever the staged attempt aborted. *)
+                  Ir.with_isolated_ids compile
+              in
+              let staged () =
+                (* Src stage: parse + verify, memoized on the raw source
+                   text.  The payload is the normalized module text (the
+                   print∘parse fixed point), so a hit proves this source
+                   parsed and verified before and skips both. *)
+                let plan, top_name, note =
+                  match built with
+                  | Some (m, f) ->
+                    (* Builder text is print(m): already normalized, and
+                       rebuilt fresh on every compile — not worth a Src
+                       entry. *)
+                    Guard.tick guard;
+                    Trace.span trace ~cat:"verify" "verify" (fun () ->
+                        run_verifiers m);
+                    Guard.tick guard;
+                    (Incr.plan_of_module m, Ops.func_name f, None)
+                  | None ->
+                    let src_key = Cache.stage_key ~kind:Cache.Src ~parts:[ text ] in
+                    let plan =
+                      match consult Cache.Src "source" src_key with
+                      | Some e ->
+                        let m =
+                          Trace.span trace ~cat:"frontend" "parse" (fun () ->
+                              Ir.with_isolated_ids (fun () ->
+                                  Parser.parse_string ~file:name e.Cache.e_verilog))
+                        in
+                        Guard.tick guard;
+                        Incr.plan_of_module m
+                      | None ->
+                        let m =
+                          Trace.span trace ~cat:"frontend" "parse" (fun () ->
+                              Parser.parse_string ~file:name text)
+                        in
+                        Guard.tick guard;
+                        Trace.span trace ~cat:"verify" "verify" (fun () ->
+                            run_verifiers m);
+                        Guard.tick guard;
+                        let plan =
+                          Ir.with_isolated_ids (fun () ->
+                              Incr.normalize ~file:name ~text m)
+                        in
+                        store Cache.Src "normalized source" src_key
+                          {
+                            Cache.e_verilog = plan.Incr.pl_text;
+                            e_top = "";
+                            e_usage = zero_usage;
+                          };
+                        plan
+                    in
+                    let f, note = pick_top plan.Incr.pl_module job.top in
+                    (plan, Ops.func_name f, note)
+                in
+                if (Incr.fn_info plan top_name).Incr.fi_extern then
+                  (* The monolithic emitter reports this as the codegen
+                     error it is; reproduce its exact behaviour. *)
+                  raise (Incr.Fallback "extern top function");
+                let hash = Incr.cone_hashes plan ~pipeline:pipeline_str in
+                let link_key =
+                  Cache.stage_key ~kind:Cache.Link ~parts:[ hash top_name ]
+                in
+                match consult Cache.Link "link" link_key with
+                | Some entry ->
+                  (* Every function of the design is unchanged: re-link
+                     from cache, and promote to a whole-job entry so the
+                     next compile of this exact source skips even the
+                     hashing. *)
+                  Trace.incr trace "cache-link-hit";
+                  store Cache.Job "result" key entry;
+                  finish ~top_name:entry.Cache.e_top ~verilog:entry.Cache.e_verilog
+                    ~usage:entry.Cache.e_usage ~from_cache:true ~note ~pass_stats:[]
+                | None ->
+                  let passes = Pipeline.to_passes job.pipeline in
+                  (* Per-function Verilog texts (by function name) and
+                     inclusive usages (by *emitted module* name, the key
+                     instances carry), filled bottom-up so every
+                     instance resolves to an already-computed usage. *)
+                  let texts = Hashtbl.create 16 in
+                  let usages = Hashtbl.create 16 in
+                  let all_stats = ref [] in
+                  List.iter
+                    (fun fn ->
+                      Guard.tick guard;
+                      let h = hash fn in
+                      let vmod_key = Cache.stage_key ~kind:Cache.Vmod ~parts:[ h ] in
+                      match consult Cache.Vmod "function-verilog" vmod_key with
+                      | Some e ->
+                        Hashtbl.replace texts fn e.Cache.e_verilog;
+                        Hashtbl.replace usages
+                          (Incr.emitted_module_name fn)
+                          e.Cache.e_usage
+                      | None ->
+                        let fi = Incr.fn_info plan fn in
+                        let opt_text =
+                          if fi.Incr.fi_extern then ""
+                          else
+                            let fn_key =
+                              Cache.stage_key ~kind:Cache.Fn ~parts:[ h ]
+                            in
+                            match consult Cache.Fn "function-ir" fn_key with
+                            | Some e -> e.Cache.e_verilog
+                            | None ->
+                              let opt_text, stats =
+                                Incr.optimize_fn plan ~passes
+                                  ~instrument:(pass_instrument ~trace ~guard)
+                                  fn
+                              in
+                              all_stats := stats :: !all_stats;
+                              store Cache.Fn "optimized function" fn_key
+                                {
+                                  Cache.e_verilog = opt_text;
+                                  e_top = fn;
+                                  e_usage = zero_usage;
+                                };
+                              opt_text
+                        in
+                        let vmodule =
+                          Trace.span trace ~cat:"backend" "emit" (fun () ->
+                              Incr.emit_fn plan ~opt_text fn)
+                        in
+                        let mtext = Hir_verilog.Pretty.module_to_string vmodule in
+                        let usage =
+                          Hir_resources.Model.module_usage
+                            ~instance_usage:(fun mname ->
+                              match Hashtbl.find_opt usages mname with
+                              | Some u -> u
+                              | None ->
+                                raise
+                                  (Incr.Fallback
+                                     ("instance of unknown module " ^ mname)))
+                            vmodule
+                        in
+                        Hashtbl.replace texts fn mtext;
+                        Hashtbl.replace usages (Incr.emitted_module_name fn) usage;
+                        store Cache.Vmod "function Verilog" vmod_key
+                          { Cache.e_verilog = mtext; e_top = fn; e_usage = usage })
+                    (Incr.usage_order plan ~top:top_name);
+                  let verilog =
+                    Trace.span trace ~cat:"backend" "print" (fun () ->
+                        Incr.link_design
+                          (List.map
+                             (fun fn -> Hashtbl.find texts fn)
+                             (Incr.emit_order plan ~top:top_name)))
+                  in
+                  Guard.tick guard;
+                  let usage =
+                    Hashtbl.find usages (Incr.emitted_module_name top_name)
+                  in
+                  let entry =
+                    { Cache.e_verilog = verilog; e_top = top_name; e_usage = usage }
+                  in
+                  store Cache.Link "linked design" link_key entry;
+                  store Cache.Job "result" key entry;
+                  let pass_stats = List.concat (List.rev !all_stats) in
+                  List.iter degrade (fallback_degradations pass_stats);
+                  finish ~top_name ~verilog ~usage ~from_cache:false ~note ~pass_stats
+              in
+              (try staged () with
+              | Incr.Fallback reason ->
+                Trace.instant trace ~cat:"fault"
+                  ~args:[ ("job", name); ("reason", reason) ]
+                  "staged-fallback";
+                Trace.incr trace "staged-fallback";
+                monolithic ()
+              | Incr.Pass_failed diags -> raise (Compile_failed diags))))
   with
   | Compile_failed diags ->
     (* Diagnostics with no location of their own are attributed to the

@@ -1,0 +1,267 @@
+(* Per-function incremental compilation: the pure machinery behind the
+   driver's staged cache chain (see [Cache] for the entry kinds).
+
+   The whole scheme rests on one invariant: every per-function artifact
+   is a *pure function of printed text*.  The module is first
+   normalized to the print∘parse fixed point; each function's
+   normalized printed form (plus the recursive hashes of its callees
+   and the pass-pipeline spec) is its *cone hash*; optimizing or
+   emitting a function happens in a fresh mini-module rebuilt from
+   those texts under an isolated id counter.  Cold compiles and warm
+   recompiles therefore run the exact same construction from the exact
+   same bytes, which is what makes an incremental recompile
+   byte-identical to a cold one — the property the qcheck suite pins.
+
+   Modules that this textual decomposition cannot represent — a
+   function whose printed form does not re-parse standalone (e.g. an
+   SSA value referenced across function boundaries), or a cyclic call
+   graph — raise [Fallback]; the driver then compiles the module
+   monolithically (the pre-incremental whole-module path), which is
+   equally deterministic, just not function-cacheable. *)
+
+open Hir_ir
+open Hir_dialect
+
+(* The staged path cannot decompose this module; compile it whole. *)
+exception Fallback of string
+
+(* A pass pipeline rejected a mini-module: an input failure, not a
+   reason to fall back (the monolithic path would reject it too). *)
+exception Pass_failed of Diagnostic.t list
+
+type fn_info = {
+  fi_func : Ir.op;  (* the function inside [pl_module] *)
+  fi_text : string;  (* normalized per-function printed form *)
+  fi_callees : string list;  (* direct callees, deduped, discovery order *)
+  fi_extern : bool;
+}
+
+type plan = {
+  pl_module : Ir.op;  (* the normalized module *)
+  pl_text : string;  (* its printed form (the print∘parse fixed point) *)
+  pl_fns : (string * fn_info) list;  (* in module order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+
+let direct_callees func =
+  let seen = Hashtbl.create 8 in
+  Ir.Walk.find_all func "hir.call"
+  |> List.filter_map (fun call ->
+         let name = Ops.call_callee call in
+         if Hashtbl.mem seen name then None
+         else begin
+           Hashtbl.replace seen name ();
+           Some name
+         end)
+
+let plan_of_module module_op =
+  let fns =
+    List.map
+      (fun f ->
+        let name = Ops.func_name f in
+        ( name,
+          {
+            fi_func = f;
+            fi_text = Printer.op_to_string f;
+            fi_callees = direct_callees f;
+            fi_extern = Ops.is_extern_func f;
+          } ))
+      (Ops.module_funcs module_op)
+  in
+  { pl_module = module_op; pl_text = Printer.op_to_string module_op; pl_fns = fns }
+
+(* Normalize a parsed module to the print∘parse fixed point.  Printing
+   then re-parsing assigns every value a hint equal to its printed name
+   (module-wide uniquified), after which printing is the identity — so
+   all per-function texts derived from the result agree with each
+   other, whichever parse produced them.  One round suffices; if the
+   module's own print fails to re-parse, the printed form is not a
+   faithful serialization of this IR and the staged path must not be
+   trusted with it. *)
+let normalize ~file ~text module_op =
+  let printed = Printer.op_to_string module_op in
+  if String.equal printed text then plan_of_module module_op
+  else
+    match Parser.parse_string ~file printed with
+    | m -> plan_of_module m
+    | exception (Parser.Parse_error _ | Lexer.Lex_error _) ->
+      raise (Fallback "module print does not re-parse")
+
+let fn_info plan name =
+  match List.assoc_opt name plan.pl_fns with
+  | Some fi -> fi
+  | None -> raise (Fallback (Printf.sprintf "call to unknown function @%s" name))
+
+(* ------------------------------------------------------------------ *)
+(* Cone hashes                                                         *)
+
+(* h(f) = Digest(pipeline ⊕ text(f) ⊕ sorted (callee, h(callee))):
+   changing a function's body, its pipeline, or anything any transitive
+   callee's hash covers changes h(f); editing a sibling function does
+   not.  The version salt lives in [Cache.stage_key], not here.  Call
+   cycles cannot be hashed this way; they fall back. *)
+let cone_hashes plan ~pipeline =
+  let memo = Hashtbl.create 16 in
+  let visiting = Hashtbl.create 8 in
+  let rec hash name =
+    match Hashtbl.find_opt memo name with
+    | Some h -> h
+    | None ->
+      if Hashtbl.mem visiting name then
+        raise (Fallback (Printf.sprintf "call cycle through @%s" name));
+      Hashtbl.replace visiting name ();
+      let fi = fn_info plan name in
+      let callee_part =
+        fi.fi_callees
+        |> List.map (fun c -> (c, hash c))
+        |> List.sort compare
+        |> List.map (fun (c, h) -> c ^ "=" ^ h)
+        |> String.concat ","
+      in
+      let h =
+        Digest.to_hex
+          (Digest.string (String.concat "\x00" [ pipeline; fi.fi_text; callee_part ]))
+      in
+      Hashtbl.remove visiting name;
+      Hashtbl.replace memo name h;
+      h
+  in
+  hash
+
+(* ------------------------------------------------------------------ *)
+(* Cone orders                                                         *)
+
+(* Transitive callees of [top] in the discovery order [Emit.callees_of]
+   uses, so the staged design concatenates its modules in the same
+   order the monolithic emitter would list them: callees first (reverse
+   discovery), top last. *)
+let emit_order plan ~top =
+  let acc = ref [] in
+  let rec go name =
+    let fi = fn_info plan name in
+    List.iter
+      (fun callee ->
+        if not (List.mem callee !acc) then begin
+          acc := callee :: !acc;
+          let cfi = fn_info plan callee in
+          if not cfi.fi_extern then go callee
+        end)
+      fi.fi_callees
+  in
+  go top;
+  List.rev !acc @ [ top ]
+
+(* The same cone in dependency order (every callee before its callers),
+   so inclusive usages can be computed bottom-up. *)
+let usage_order plan ~top =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      let fi = fn_info plan name in
+      List.iter go fi.fi_callees;
+      acc := name :: !acc
+    end
+  in
+  go top;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Mini-modules                                                        *)
+
+(* Parse one function's printed text back into an op.  Each text is a
+   single "hir.func" op, so [Parser.parse_string] consumes it whole;
+   a text that does not re-parse (a value captured across function
+   boundaries, a printer/parser asymmetry) aborts the staged path. *)
+let parse_fn_text ~what text =
+  match Parser.parse_string ~file:what text with
+  | op when Ir.Op.name op = "hir.func" -> op
+  | _ -> raise (Fallback (Printf.sprintf "%s: not a standalone function" what))
+  | exception (Parser.Parse_error _ | Lexer.Lex_error _) ->
+    raise (Fallback (Printf.sprintf "%s does not re-parse standalone" what))
+
+(* A fresh module holding the given function texts, in order, built
+   under an isolated id counter: ids run 0..n in text order, so the
+   construction is a pure function of the texts. *)
+let module_of_texts texts f =
+  Ir.with_isolated_ids (fun () ->
+      let m = Builder.create_module () in
+      let block = Builder.module_block m in
+      List.iter
+        (fun (name, text) ->
+          Ir.Block.append block (parse_fn_text ~what:("@" ^ name) text))
+        texts;
+      f m)
+
+(* The pre-optimization cone texts of [name]: its transitive callees in
+   dependency order, itself last.  This is the mini-module layout both
+   the optimizer and (for interface lookups) the emitter rebuild. *)
+let cone_texts plan name =
+  List.map (fun n -> (n, (fn_info plan n).fi_text)) (usage_order plan ~top:name)
+
+(* ------------------------------------------------------------------ *)
+(* Per-function optimize                                               *)
+
+(* Optimize [name] in a fresh mini-module holding its pre-opt cone and
+   return its optimized printed form plus the pass statistics.  The
+   result depends only on the cone texts and the pipeline — exactly
+   what the cone hash covers. *)
+let optimize_fn plan ~passes ~instrument name =
+  module_of_texts (cone_texts plan name) (fun mini ->
+      let mgr = Pass.Manager.create ~instrument passes in
+      let result = Pass.Manager.run mgr mini in
+      if not result.Pass.succeeded then begin
+        match Diagnostic.Engine.to_list result.Pass.engine with
+        | [] ->
+          raise
+            (Pass_failed [ Diagnostic.error Location.unknown "pass pipeline failed" ])
+        | diags -> raise (Pass_failed diags)
+      end;
+      let f =
+        match Ops.lookup_func mini name with
+        | Some f -> f
+        | None -> raise (Fallback (Printf.sprintf "@%s vanished during optimization" name))
+      in
+      (Printer.op_to_string f, result.Pass.stats))
+
+(* ------------------------------------------------------------------ *)
+(* Per-function emit                                                    *)
+
+(* Emit one function's Verilog module from its optimized printed form.
+   The mini-module holds the *pre-opt* texts of the direct callees
+   (instantiation only reads their interfaces, which optimization
+   never changes) and the optimized text of the function itself —
+   re-parsed even when the in-memory op is at hand, so the emitter
+   always runs on the same bytes the Fn snapshot would reproduce. *)
+let emit_fn plan ~opt_text name =
+  let fi = fn_info plan name in
+  if fi.fi_extern then
+    module_of_texts [ (name, fi.fi_text) ] (fun mini ->
+        let f =
+          match Ops.lookup_func mini name with Some f -> f | None -> assert false
+        in
+        ignore mini;
+        Hir_codegen.Emit.emit_extern_module f)
+  else
+    let texts =
+      List.map (fun c -> (c, (fn_info plan c).fi_text)) fi.fi_callees
+      @ [ (name, opt_text) ]
+    in
+    module_of_texts texts (fun mini ->
+        let f =
+          match Ops.lookup_func mini name with Some f -> f | None -> assert false
+        in
+        let vmodule, _iface = Hir_codegen.Emit.emit_module_for ~module_op:mini f in
+        vmodule)
+
+(* The Verilog module name [name] emits as — the key instances use. *)
+let emitted_module_name name = Hir_codegen.Names.sanitize name
+
+(* Assemble the final design text from per-module texts in emit order,
+   byte-identical to [Hir_verilog.Pretty.design_to_string] of the same
+   modules (pinned by a unit test). *)
+let link_design module_texts =
+  "// Generated by the HIR compiler\n\n" ^ String.concat "\n" module_texts

@@ -61,78 +61,131 @@ let available_passes () =
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 
-(* Split [s] on [sep] at brace depth 0. *)
+(* A parse failure, with the 0-based character offset of the offending
+   stage or option within the spec string — the raw material for the
+   located diagnostic [parse_located] returns. *)
+type parse_error = { pe_offset : int; pe_msg : string }
+
+(* Split [s] on [sep] at brace depth 0, each part tagged with its
+   character offset in [s]. *)
 let split_top sep s =
   let parts = ref [] in
   let buf = Buffer.create 16 in
   let depth = ref 0 in
-  String.iter
-    (fun c ->
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
       if c = '{' then incr depth;
       if c = '}' then decr depth;
       if c = sep && !depth = 0 then begin
-        parts := Buffer.contents buf :: !parts;
-        Buffer.clear buf
+        parts := (!start, Buffer.contents buf) :: !parts;
+        Buffer.clear buf;
+        start := i + 1
       end
       else Buffer.add_char buf c)
     s;
-  parts := Buffer.contents buf :: !parts;
+  parts := (!start, Buffer.contents buf) :: !parts;
   List.rev !parts
 
-let parse_option stage_name s =
+(* The offset of [trimmed]'s first character, given the untrimmed
+   part's offset. *)
+let trim_offset offset part =
+  let n = String.length part in
+  let rec lead i = if i < n && (part.[i] = ' ' || part.[i] = '\t') then lead (i + 1) else i in
+  offset + lead 0
+
+let parse_option ~offset stage_name s =
   match String.index_opt s '=' with
-  | None -> Error (Printf.sprintf "stage '%s': option '%s' is not of the form key=value" stage_name s)
+  | None ->
+    Error
+      {
+        pe_offset = offset;
+        pe_msg =
+          Printf.sprintf "stage '%s': option '%s' is not of the form key=value"
+            stage_name s;
+      }
   | Some i ->
     let key = String.trim (String.sub s 0 i) in
     let value = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
     if key = "" || value = "" then
-      Error (Printf.sprintf "stage '%s': empty option key or value in '%s'" stage_name s)
+      Error
+        {
+          pe_offset = offset;
+          pe_msg =
+            Printf.sprintf "stage '%s': empty option key or value in '%s'" stage_name s;
+        }
     else Ok (key, value)
 
+(* Each option arrives with the offset of its own key, so the error
+   points at the offending option, not merely its stage. *)
 let validate_options stage_name options =
   let rec go = function
     | [] -> Ok ()
-    | ("repeat", v) :: rest -> (
+    | (offset, ("repeat", v)) :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> go rest
-      | _ -> Error (Printf.sprintf "stage '%s': repeat=%s is not a positive integer" stage_name v))
-    | (k, _) :: _ ->
-      Error (Printf.sprintf "stage '%s': unknown option '%s' (supported: repeat)" stage_name k)
+      | _ ->
+        Error
+          {
+            pe_offset = offset;
+            pe_msg =
+              Printf.sprintf "stage '%s': repeat=%s is not a positive integer"
+                stage_name v;
+          })
+    | (offset, (k, _)) :: _ ->
+      Error
+        {
+          pe_offset = offset;
+          pe_msg =
+            Printf.sprintf "stage '%s': unknown option '%s' (supported: repeat)"
+              stage_name k;
+        }
   in
   go options
 
-let parse_stage s =
-  let s = String.trim s in
-  if s = "" then Error "empty pipeline stage"
+let parse_stage ~offset part =
+  let offset = trim_offset offset part in
+  let s = String.trim part in
+  if s = "" then Error { pe_offset = offset; pe_msg = "empty pipeline stage" }
   else
-    let name, opts_src =
+    let name, opts =
       match String.index_opt s '{' with
       | None -> (s, None)
       | Some i ->
         if String.length s = 0 || s.[String.length s - 1] <> '}' then (s, None)
         else
           ( String.trim (String.sub s 0 i),
-            Some (String.sub s (i + 1) (String.length s - i - 2)) )
+            (* options start just past the '{' *)
+            Some (offset + i + 1, String.sub s (i + 1) (String.length s - i - 2)) )
     in
     if String.contains name '{' || String.contains name '}' then
-      Error (Printf.sprintf "malformed stage '%s' (unbalanced braces?)" s)
+      Error
+        {
+          pe_offset = offset;
+          pe_msg = Printf.sprintf "malformed stage '%s' (unbalanced braces?)" s;
+        }
     else if not (List.mem_assoc name registry) then
       Error
-        (Printf.sprintf "unknown pass '%s' (available: %s)" name
-           (String.concat ", " (List.map fst registry)))
+        {
+          pe_offset = offset;
+          pe_msg =
+            Printf.sprintf "unknown pass '%s' (available: %s)" name
+              (String.concat ", " (List.map fst registry));
+        }
     else
       let options =
-        match opts_src with
+        match opts with
         | None -> Ok []
-        | Some src when String.trim src = "" -> Ok []
-        | Some src ->
+        | Some (_, src) when String.trim src = "" -> Ok []
+        | Some (opts_offset, src) ->
           List.fold_left
-            (fun acc part ->
+            (fun acc (po, part) ->
               match acc with
               | Error _ as e -> e
-              | Ok opts -> (
-                match parse_option name (String.trim part) with
-                | Ok o -> Ok (o :: opts)
+              | Ok parsed -> (
+                let po = trim_offset (opts_offset + po) part in
+                match parse_option ~offset:po name (String.trim part) with
+                | Ok o -> Ok ((po, o) :: parsed)
                 | Error e -> Error e))
             (Ok []) (split_top ',' src)
           |> Result.map List.rev
@@ -140,24 +193,40 @@ let parse_stage s =
       match options with
       | Error e -> Error e
       | Ok options -> (
-        let options = List.sort compare options in
+        let options = List.sort (fun (_, a) (_, b) -> compare a b) options in
         match validate_options name options with
         | Error e -> Error e
-        | Ok () -> Ok { st_name = name; st_options = options })
+        | Ok () -> Ok { st_name = name; st_options = List.map snd options })
 
-let parse s =
-  if String.trim s = "" then Error "empty pipeline specification"
+let parse_result s =
+  if String.trim s = "" then
+    Error { pe_offset = 0; pe_msg = "empty pipeline specification" }
   else
     List.fold_left
-      (fun acc part ->
+      (fun acc (offset, part) ->
         match acc with
         | Error _ as e -> e
         | Ok stages -> (
-          match parse_stage part with
+          match parse_stage ~offset part with
           | Ok st -> Ok (st :: stages)
           | Error e -> Error e))
       (Ok []) (split_top ',' s)
     |> Result.map (fun stages -> { stages = List.rev stages })
+
+let parse s = Result.map_error (fun e -> e.pe_msg) (parse_result s)
+
+(* The located flavour of [parse], honouring the frontend's error
+   contract: a malformed spec yields a [Diagnostic.t] whose location
+   points into the (one-line) spec string at the offending stage or
+   option, instead of a bare message — so `hirc --passes
+   'unroll{repeat=x}'` reports where in the argument the typo is. *)
+let parse_located ?(file = "--passes") s =
+  Result.map_error
+    (fun e ->
+      Diagnostic.error
+        (Location.file ~file ~line:1 ~col:(e.pe_offset + 1))
+        ("pipeline: " ^ e.pe_msg))
+    (parse_result s)
 
 let stage_to_string st =
   match st.st_options with
@@ -171,10 +240,14 @@ let to_string spec = String.concat "," (List.map stage_to_string spec.stages)
 (* ------------------------------------------------------------------ *)
 (* Lowering a spec to passes                                           *)
 
+(* Total by construction: [validate_options] rejects malformed repeat
+   values at parse time, so a bad value can only reach here through a
+   hand-built [stage] — run such a stage once rather than raising
+   [Failure] from deep inside a pipeline lowering. *)
 let repeat_of st =
-  match List.assoc_opt "repeat" st.st_options with
-  | Some v -> int_of_string v
-  | None -> 1
+  match Option.bind (List.assoc_opt "repeat" st.st_options) int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 1
 
 let stage_passes st =
   let pass = List.assoc st.st_name registry in

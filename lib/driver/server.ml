@@ -266,9 +266,9 @@ let job_of_req (req : Protocol.compile_req) =
     match req.Protocol.cr_passes with
     | None -> Ok (Pipeline.default ~optimize:true)
     | Some spec -> (
-      match Pipeline.parse spec with
+      match Pipeline.parse_located ~file:"passes" spec with
       | Ok p -> Ok p
-      | Error e -> Error (Printf.sprintf "invalid pipeline spec: %s" e))
+      | Error d -> Error (Printf.sprintf "invalid pipeline spec: %s" (Hir_ir.Diagnostic.to_string d)))
   in
   match pipeline_r with
   | Error e -> Error e

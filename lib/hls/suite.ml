@@ -161,13 +161,16 @@ let convolution () =
     | _ -> v (match r with 0 -> "top" | 1 -> "mid" | _ -> "bot")
   in
   let sum =
-    List.fold_left
-      (fun acc (r, k) ->
-        let term = Int weights.(r).(k) *: tap r k in
-        match acc with None -> Some term | Some a -> Some (a +: term))
-      None
-      (List.concat_map (fun r -> List.map (fun k -> (r, k)) [ 0; 1; 2 ]) [ 0; 1; 2 ])
-    |> Option.get
+    (* Fold the nine taps into a sum tree from an explicit head term:
+       the grid is a literal 3x3, so the term list is non-empty by
+       construction and no partial [Option.get] is needed. *)
+    match
+      List.concat_map
+        (fun r -> List.map (fun k -> Int weights.(r).(k) *: tap r k) [ 0; 1; 2 ])
+        [ 0; 1; 2 ]
+    with
+    | [] -> Int 0
+    | t :: rest -> List.fold_left ( +: ) t rest
   in
   {
     fn_name = "convolution_hls";

@@ -63,3 +63,38 @@ let all =
   ]
 
 let find name = List.find_opt (fun k -> k.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* "did you mean?" suggestions                                         *)
+
+(* Levenshtein distance between [a] and [b], two rows at a time. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (prev.(j) + 1) (cur.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+(* Candidates within a small edit distance of [name], closest first,
+   capped at three — the raw material for "unknown kernel" errors.
+   The threshold scales with the query so short names don't match
+   everything and long names tolerate a couple of typos. *)
+let suggest_from ~candidates name =
+  let limit = max 2 (String.length name / 3) in
+  List.filter_map
+    (fun c ->
+      let d = edit_distance name c in
+      if d <= limit then Some (d, c) else None)
+    candidates
+  |> List.sort compare
+  |> List.filteri (fun i _ -> i < 3)
+  |> List.map snd
+
+let suggest name = suggest_from ~candidates:(List.map (fun k -> k.name) all) name

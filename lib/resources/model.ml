@@ -89,8 +89,39 @@ let mem_cost ~width ~depth = function
   | Style_lutram -> luts (width * max 1 (cdiv depth 64))
   | Style_reg -> ffs (width * depth)
 
-(* Resource usage of one module, with instances resolved against the
-   design (memoized). *)
+(* Inclusive resource usage of one module, with each instance's cost
+   resolved by the caller-supplied [instance_usage] (by instantiated
+   module name).  This is the unit the driver's per-function Verilog
+   cache stores: a module's usage can be computed bottom-up over the
+   call graph without the whole design in hand. *)
+let module_usage ~instance_usage m =
+  let widths = Hashtbl.create 64 in
+  List.iter
+    (fun item ->
+      match item with
+      | Wire_decl { name; width } | Reg_decl { name; width } ->
+        Hashtbl.replace widths name width
+      | Mem_decl { name; width; _ } -> Hashtbl.replace widths name width
+      | _ -> ())
+    m.items;
+  List.iter (fun p -> Hashtbl.replace widths p.port_name p.width) m.ports;
+  let signal_width name =
+    match Hashtbl.find_opt widths name with Some w -> w | None -> 1
+  in
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Wire_decl _ | Comment _ -> acc
+      | Reg_decl { width; _ } -> acc ++ ffs width
+      | Mem_decl { width; depth; style; _ } -> acc ++ mem_cost ~width ~depth style
+      | Assign { expr; _ } -> acc ++ expr_cost ~signal_width expr
+      | Always_ff stmts ->
+        List.fold_left (fun acc s -> acc ++ stmt_cost ~signal_width s) acc stmts
+      | Instance { module_name; _ } -> acc ++ instance_usage module_name)
+    zero m.items
+
+(* Resource usage of the whole design: the top module's inclusive
+   usage, with instances resolved in-design (memoized). *)
 let design_usage (design : design) =
   let table : (string, usage) Hashtbl.t = Hashtbl.create 8 in
   let module_of name = List.find (fun m -> m.mod_name = name) design.modules in
@@ -98,32 +129,7 @@ let design_usage (design : design) =
     match Hashtbl.find_opt table m.mod_name with
     | Some u -> u
     | None ->
-      let widths = Hashtbl.create 64 in
-      List.iter
-        (fun item ->
-          match item with
-          | Wire_decl { name; width } | Reg_decl { name; width } ->
-            Hashtbl.replace widths name width
-          | Mem_decl { name; width; _ } -> Hashtbl.replace widths name width
-          | _ -> ())
-        m.items;
-      List.iter (fun p -> Hashtbl.replace widths p.port_name p.width) m.ports;
-      let signal_width name =
-        match Hashtbl.find_opt widths name with Some w -> w | None -> 1
-      in
-      let u =
-        List.fold_left
-          (fun acc item ->
-            match item with
-            | Wire_decl _ | Comment _ -> acc
-            | Reg_decl { width; _ } -> acc ++ ffs width
-            | Mem_decl { width; depth; style; _ } -> acc ++ mem_cost ~width ~depth style
-            | Assign { expr; _ } -> acc ++ expr_cost ~signal_width expr
-            | Always_ff stmts ->
-              List.fold_left (fun acc s -> acc ++ stmt_cost ~signal_width s) acc stmts
-            | Instance { module_name; _ } -> acc ++ usage_of (module_of module_name))
-          zero m.items
-      in
+      let u = module_usage ~instance_usage:(fun name -> usage_of (module_of name)) m in
       Hashtbl.replace table m.mod_name u;
       u
   in

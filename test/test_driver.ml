@@ -65,6 +65,29 @@ let test_pipeline_errors () =
   expect "cse{repeat=0}" "positive";
   expect "cse{repeat}" "key=value"
 
+(* Malformed specs surface as located diagnostics: the reported column
+   is the 1-based position of the offending stage or option within the
+   spec string, so the CLI can point into the argument itself. *)
+let test_pipeline_located_errors () =
+  let expect spec col =
+    match Pipeline.parse_located spec with
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+    | Error d -> (
+      match d.Diagnostic.loc with
+      | Location.File { file; line; col = c } ->
+        check_string "located in the spec pseudo-file" "--passes" file;
+        check_int "specs are one line" 1 line;
+        check_int (Printf.sprintf "%S column" spec) col c
+      | _ -> Alcotest.failf "expected a file location for %S" spec)
+  in
+  (* col points at "bogus", not at the start of the spec *)
+  expect "canonicalize,bogus" 14;
+  (* ... at the malformed option inside the braces *)
+  expect "canonicalize, unroll{repeat=x}" 22;
+  expect "cse{ repeat=1, depth=2 }" 16;
+  (* ... and at the empty stage between the commas *)
+  expect "cse,,dce" 5
+
 let test_pipeline_to_passes () =
   let passes = Pipeline.to_passes (parse_ok "cse,retime{repeat=3},dce") in
   check_int "repeat expansion" 5 (List.length passes);
@@ -136,13 +159,16 @@ let cache_files dir ~suffix =
          else if Filename.check_suffix f suffix then [ path ]
          else [])
 
+(* One payload extension per cache entry kind (see [Cache.kind_ext]). *)
+let payload_suffixes = [ ".v"; ".lnk"; ".src"; ".fn"; ".vm" ]
+
 let compile_text ?cache ~pipeline text =
   match Driver.compile_job ?cache (Driver.job_of_text ~pipeline ~name:"t.hir" text) with
   | Ok o -> o
   | Error e -> Alcotest.failf "compile failed: %s" (Driver.error_to_string e)
 
 let test_cache_hit_and_invalidation () =
-  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
   let pipeline = Pipeline.default ~optimize:true in
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
@@ -152,30 +178,59 @@ let test_cache_hit_and_invalidation () =
   check_string "hit returns identical Verilog" cold.Driver.verilog warm.Driver.verilog;
   check_bool "hit preserves usage" true (cold.Driver.usage = warm.Driver.usage);
   check_string "hit preserves top" cold.Driver.top_name warm.Driver.top_name;
-  (* Editing the source invalidates. *)
-  let edited = compile_text ~cache ~pipeline (text ^ "\n// edited\n") in
-  check_bool "edited source misses" false edited.Driver.from_cache;
+  (* A comment-only edit misses the whole-job key, but every function's
+     cone hash is unchanged: the design re-links from the staged chain
+     without optimizing or emitting anything. *)
+  let relinked = compile_text ~cache ~pipeline (text ^ "\n// edited\n") in
+  check_bool "comment edit re-links from cache" true relinked.Driver.from_cache;
+  check_string "re-linked Verilog is byte-identical" cold.Driver.verilog
+    relinked.Driver.verilog;
+  (* A semantic edit (function rename) invalidates the whole chain. *)
+  let replace ~needle ~by s =
+    let nl = String.length needle and sl = String.length s in
+    let b = Buffer.create sl in
+    let i = ref 0 in
+    while !i < sl do
+      if !i + nl <= sl && String.sub s !i nl = needle then begin
+        Buffer.add_string b by;
+        i := !i + nl
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let edited =
+    compile_text ~cache ~pipeline (replace ~needle:"@transpose" ~by:"@transposed" text)
+  in
+  check_bool "semantic edit misses" false edited.Driver.from_cache;
   (* Changing the pipeline invalidates. *)
   let other = compile_text ~cache ~pipeline:(Pipeline.default ~optimize:false) text in
   check_bool "different pipeline misses" false other.Driver.from_cache;
   check_int "cache hits" 1 (Cache.hits cache);
-  check_int "cache misses" 3 (Cache.misses cache)
+  check_int "cache misses" 4 (Cache.misses cache)
 
 (* Regression: a cache entry whose .v payload is unreadable (here: a
    directory squatting on the path) degraded the whole compile with a
    [Sys_error]; it must instead count as a miss and recompile. *)
 let test_cache_damaged_entry_degrades_to_miss () =
   let dir = fresh_dir () in
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   let pipeline = Pipeline.default ~optimize:true in
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
-  (* Smash every payload file into a directory of the same name. *)
+  (* Smash every payload file — of every entry kind — into a directory
+     of the same name. *)
   List.iter
-    (fun path ->
-      Sys.remove path;
-      Unix.mkdir path 0o755)
-    (cache_files dir ~suffix:".v");
+    (fun suffix ->
+      List.iter
+        (fun path ->
+          Sys.remove path;
+          Unix.mkdir path 0o755)
+        (cache_files dir ~suffix))
+    payload_suffixes;
   let again = compile_text ~cache ~pipeline text in
   check_bool "damaged entry is a miss" false again.Driver.from_cache;
   check_string "recompile still correct" cold.Driver.verilog again.Driver.verilog
@@ -270,7 +325,7 @@ let test_batch_deterministic () =
     sequential.Driver.outcomes
 
 let test_batch_warm_cache () =
-  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
   let pipeline = Pipeline.default ~optimize:true in
   let cold = Driver.batch ~cache ~workers:4 (kernel_jobs pipeline) in
   let warm = Driver.batch ~cache ~workers:4 (kernel_jobs pipeline) in
@@ -449,11 +504,11 @@ let quarantine_files dir =
    bytes. *)
 let test_cache_bitflip_quarantined () =
   let dir = fresh_dir () in
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   let pipeline = Pipeline.default ~optimize:true in
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
-  (* Flip one byte in every payload. *)
+  (* Flip one byte in every payload, of every entry kind. *)
   List.iter
     (fun path ->
       let ic = open_in_bin path in
@@ -465,7 +520,7 @@ let test_cache_bitflip_quarantined () =
       let oc = open_out_bin path in
       output_bytes oc b;
       close_out oc)
-    (cache_files dir ~suffix:".v");
+    (List.concat_map (fun suffix -> cache_files dir ~suffix) payload_suffixes);
   let again = compile_text ~cache ~pipeline text in
   check_bool "bit-flipped entry is not served" false again.Driver.from_cache;
   check_string "recompile is bit-identical to the cold compile" cold.Driver.verilog
@@ -474,12 +529,13 @@ let test_cache_bitflip_quarantined () =
     (List.exists
        (fun d -> String.length d >= 7 && String.sub d 0 7 = "corrupt")
        again.Driver.degradations);
-  check_int "one corrupt entry counted" 1 (Cache.corrupt_count cache);
+  (* One corrupt entry per kind: job, src, link, vmod, fn. *)
+  check_int "all five damaged entries counted" 5 (Cache.corrupt_count cache);
   check_bool "damaged files moved to quarantine" true (quarantine_files dir <> [])
 
 let test_cache_truncated_meta_quarantined () =
   let dir = fresh_dir () in
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   let pipeline = Pipeline.default ~optimize:true in
   let text = transpose_text () in
   let cold = compile_text ~cache ~pipeline text in
@@ -499,7 +555,7 @@ let test_cache_truncated_meta_quarantined () =
    [Sys.rename] fail reliably. *)
 let test_cache_store_failure_is_clean () =
   let dir = fresh_dir () in
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   let k = Cache.key ~pipeline:"p" ~top:None ~source:"s" in
   let squat = Cache.verilog_path cache k in
   if not (Sys.file_exists (Filename.dirname squat)) then
@@ -520,14 +576,17 @@ let test_cache_store_failure_is_clean () =
 
 let test_cache_verify_and_prune () =
   let dir = fresh_dir () in
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   let pipeline = Pipeline.default ~optimize:true in
   ignore (compile_text ~cache ~pipeline (transpose_text ()));
   ignore
     (compile_text ~cache ~pipeline (transpose_text () ^ "\n// second entry\n"));
+  (* The first compile stores the full chain (job, src, fn, vmod,
+     link); the comment-suffixed second stores its own src entry and a
+     job entry promoted from the link hit: 7 entries in all. *)
   let r = Cache.verify cache in
-  check_int "both entries scanned" 2 r.Cache.vr_scanned;
-  check_int "both entries ok" 2 r.Cache.vr_ok;
+  check_int "all entries scanned" 7 r.Cache.vr_scanned;
+  check_int "all entries ok" 7 r.Cache.vr_ok;
   (* Damage one payload, then verify again. *)
   let victim = List.hd (cache_files dir ~suffix:".v") in
   let oc = open_out_bin victim in
@@ -535,7 +594,7 @@ let test_cache_verify_and_prune () =
   close_out oc;
   let r = Cache.verify cache in
   check_int "damaged entry found" 1 (List.length r.Cache.vr_quarantined);
-  check_int "the other entry still ok" 1 r.Cache.vr_ok;
+  check_int "the other entries still ok" 6 r.Cache.vr_ok;
   check_bool "moved to quarantine" true (quarantine_files dir <> []);
   (* Prune empties the quarantine; a second prune finds nothing. *)
   let p = Cache.prune cache in
@@ -544,6 +603,119 @@ let test_cache_verify_and_prune () =
   Alcotest.(check (list string)) "quarantine empty" [] (quarantine_files dir);
   let p = Cache.prune cache in
   check_int "second prune is a no-op" 0 p.Cache.pr_removed
+
+(* [Cache.verify] is an offline integrity scan: it must not perturb the
+   runtime hit/miss/store counters a monitoring endpoint reports, and a
+   clean entry must still hit afterwards. *)
+let test_cache_verify_preserves_counters () =
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  ignore (compile_text ~cache ~pipeline text);
+  ignore (compile_text ~cache ~pipeline text);
+  let snapshot () =
+    ( Cache.hits cache,
+      Cache.misses cache,
+      Cache.store_count cache,
+      Cache.corrupt_count cache,
+      Cache.fault_count cache,
+      Cache.kind_stats cache )
+  in
+  let before = snapshot () in
+  let r = Cache.verify cache in
+  check_bool "verify scanned the population" true (r.Cache.vr_scanned > 0);
+  check_bool "verify leaves every counter untouched" true (before = snapshot ());
+  let warm = compile_text ~cache ~pipeline text in
+  check_bool "the verified entry still hits" true warm.Driver.from_cache
+
+(* Quarantining the same key twice must not clobber the first capture:
+   the second file lands beside it under a numbered suffix. *)
+let test_cache_quarantine_collision () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let pipeline = Pipeline.default ~optimize:true in
+  let text = transpose_text () in
+  let damage () =
+    let victim = List.hd (cache_files dir ~suffix:".v") in
+    let oc = open_out_bin victim in
+    output_string oc "garbage";
+    close_out oc
+  in
+  ignore (compile_text ~cache ~pipeline text);
+  damage ();
+  ignore (Cache.verify cache);
+  let first = quarantine_files dir in
+  check_bool "first quarantine captured files" true (first <> []);
+  (* Recompiling restores the same key; damaging it again forces a
+     second quarantine of identically-named files. *)
+  ignore (compile_text ~cache ~pipeline text);
+  damage ();
+  ignore (Cache.verify cache);
+  let second = quarantine_files dir in
+  check_bool "no capture was overwritten" true
+    (List.length second > List.length first);
+  check_bool "collision resolved with a numbered suffix" true
+    (List.exists (fun f -> Filename.check_suffix f ".1") second)
+
+(* Under a byte budget the cache evicts least-recently-used entries at
+   store time, where "used" is refreshed by hits: after aging the
+   population, a hit entry survives the sweep that claims the rest, and
+   an evicted entry is simply a clean miss. *)
+let test_cache_budget_eviction () =
+  let pipeline = Pipeline.default ~optimize:true in
+  let text_a = transpose_text () in
+  let text_b =
+    Ir.with_isolated_ids (fun () ->
+        let m, _ = Hir_kernels.Fifo.build () in
+        Printer.op_to_string m)
+  in
+  let all_files dir =
+    List.concat_map (fun s -> cache_files dir ~suffix:s) (".meta" :: payload_suffixes)
+  in
+  let du files =
+    List.fold_left (fun a f -> a + (Unix.stat f).Unix.st_size) 0 files
+  in
+  (* Probe the on-disk footprint of each source's entry chain, so the
+     budget below is sized from measurements, not guesses. *)
+  let probe text =
+    let dir = fresh_dir () in
+    ignore (compile_text ~cache:(Cache.create ~dir ()) ~pipeline text);
+    du (all_files dir)
+  in
+  let bytes_a = probe text_a and bytes_b = probe text_b in
+  let job_a =
+    let dir = fresh_dir () in
+    ignore (compile_text ~cache:(Cache.create ~dir ()) ~pipeline text_a);
+    let jobs = cache_files dir ~suffix:".v" in
+    du jobs + (du (all_files dir) - du jobs) / 5
+  in
+  (* Room for B's whole chain plus A's whole-job entry — but not for
+     both chains, so storing B must trigger a sweep. *)
+  let budget = bytes_b + (2 * job_a) in
+  check_bool "probe: the budget cannot hold both chains" true
+    (budget < bytes_a + bytes_b);
+  let dir = fresh_dir () in
+  let cache = Cache.create ~budget_bytes:budget ~dir () in
+  let cold_a = compile_text ~cache ~pipeline text_a in
+  (* Age everything on disk, then hit A's whole-job entry: the hit
+     refreshes that entry's clock and nothing else's. *)
+  let old = Unix.gettimeofday () -. 3600. in
+  List.iter (fun f -> Unix.utimes f old old) (all_files dir);
+  let warm_a = compile_text ~cache ~pipeline text_a in
+  check_bool "A hits before the sweep" true warm_a.Driver.from_cache;
+  let cold_b = compile_text ~cache ~pipeline text_b in
+  check_bool "B compiles cold" false cold_b.Driver.from_cache;
+  check_bool "storing B over budget evicted the aged entries" true
+    (Cache.eviction_count cache > 0);
+  let again_a = compile_text ~cache ~pipeline text_a in
+  check_bool "A's freshly-hit job entry survived the sweep" true
+    again_a.Driver.from_cache;
+  check_string "A's cached Verilog is intact" cold_a.Driver.verilog
+    again_a.Driver.verilog;
+  (* A recompile of anything evicted is just a cold compile. *)
+  let again_b = compile_text ~cache ~pipeline text_b in
+  check_string "evicted or not, B recompiles to the same bytes"
+    cold_b.Driver.verilog again_b.Driver.verilog
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler fault paths                                               *)
@@ -710,7 +882,7 @@ let batch_under_injection_prop =
         { Driver.default_retry with Driver.base_backoff_s = 0.; max_backoff_s = 0. }
       in
       let run workers =
-        let cache = Cache.create ~dir:(fresh_dir ()) in
+        let cache = Cache.create ~dir:(fresh_dir ()) () in
         Faults.with_config cfg (fun () ->
             Driver.batch ~cache ~workers ~retry (fast_kernel_jobs pipeline))
       in
@@ -757,6 +929,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_pipeline_roundtrip;
           Alcotest.test_case "normalization" `Quick test_pipeline_normalization;
           Alcotest.test_case "errors" `Quick test_pipeline_errors;
+          Alcotest.test_case "errors-located" `Quick test_pipeline_located_errors;
           Alcotest.test_case "to-passes" `Quick test_pipeline_to_passes;
         ] );
       ( "instrumentation",
@@ -798,6 +971,11 @@ let () =
           Alcotest.test_case "store-failure-is-clean" `Quick
             test_cache_store_failure_is_clean;
           Alcotest.test_case "verify-and-prune" `Quick test_cache_verify_and_prune;
+          Alcotest.test_case "verify-preserves-counters" `Quick
+            test_cache_verify_preserves_counters;
+          Alcotest.test_case "quarantine-collision" `Quick
+            test_cache_quarantine_collision;
+          Alcotest.test_case "budget-eviction" `Quick test_cache_budget_eviction;
         ] );
       ( "scheduler-faults",
         [

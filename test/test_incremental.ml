@@ -1,0 +1,220 @@
+(* Tests for the sub-job incremental compilation chain (lib/driver):
+   the correctness bar is byte-identity — a warm recompile after an
+   edit must produce exactly the bytes a cold, cache-less compile of
+   the edited source produces — plus structural reuse: editing one
+   function re-optimizes only the functions whose cone hash changed,
+   and every untouched top re-links from its cached entry.
+
+   The scenarios compile several kernels' functions linked into ONE
+   module, as one job per top against a shared cache, mirroring
+   `bench --incremental` and the DESIGN.md fingerprint chain. *)
+
+open Hir_ir
+open Hir_dialect
+open Hir_driver
+
+let () = Ops.register ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-incr-test-%d-%d" (Unix.getpid ()) !counter)
+
+(* ------------------------------------------------------------------ *)
+(* Source assembly                                                     *)
+
+(* (top, [function name * printed text]) of one built-in kernel. *)
+let kernel_parts name =
+  let k = List.find (fun k -> k.Hir_kernels.Kernels.name = name) Hir_kernels.Kernels.all in
+  let m, f = k.Hir_kernels.Kernels.build () in
+  ( Ops.func_name f,
+    List.map
+      (fun f -> (Ops.func_name f, Printer.op_to_string f))
+      (Ir.Walk.find_all m "hir.func") )
+
+(* One module text holding every listed function, in order. *)
+let combined texts = Incr.module_of_texts texts Printer.op_to_string
+
+(* A real semantic edit confined to one function: decrement the
+   function's largest constant — a loop bound in every kernel.
+   Shrinking a bound keeps the schedule legal (each cycle's access set
+   is a subset of the original's), where shifting a lower bound or
+   growing an unrolled loop could re-align banked accesses into a port
+   conflict. *)
+let shrink_largest_constant text =
+  let tag = "{value = " in
+  let tl = String.length tag in
+  let constants = ref [] in
+  for i = 0 to String.length text - tl do
+    if String.sub text i tl = tag then begin
+      let j = ref (i + tl) in
+      while !j < String.length text && text.[!j] >= '0' && text.[!j] <= '9' do
+        incr j
+      done;
+      if !j > i + tl then
+        constants := (int_of_string (String.sub text (i + tl) (!j - i - tl)), i + tl, !j) :: !constants
+    end
+  done;
+  match List.sort (fun (a, _, _) (b, _, _) -> compare b a) !constants with
+  | (n, i, j) :: _ when n >= 2 ->
+    String.sub text 0 i ^ string_of_int (n - 1) ^ String.sub text j (String.length text - j)
+  | _ -> Alcotest.failf "no constant to edit in %s..." (String.sub text 0 40)
+
+let edit_fn target texts =
+  List.map
+    (fun (n, t) -> if n = target then (n, shrink_largest_constant t) else (n, t))
+    texts
+
+(* ------------------------------------------------------------------ *)
+(* Batch plumbing                                                      *)
+
+let pipeline = Pipeline.default ~optimize:true
+
+let jobs_of ~tops src =
+  Array.of_list
+    (List.map
+       (fun top -> Driver.job_of_text ~top ~pipeline ~name:("incr-" ^ top) src)
+       tops)
+
+(* (top * verilog) list, failing the test on any job error. *)
+let compile_all ?cache ~tops src =
+  let result = Driver.batch ?cache ~workers:1 (jobs_of ~tops src) in
+  Array.to_list result.Driver.outcomes
+  |> List.map (function
+       | Ok (o : Driver.output) -> (o.Driver.top_name, o.Driver.verilog)
+       | Error e -> Alcotest.failf "compile failed: %s" (Driver.error_to_string e))
+
+let kind_stat cache kind = List.assoc kind (Cache.kind_stats cache)
+
+(* Cold batch, edit [target], warm batch; returns the warm outputs, the
+   cache-less baseline of the edited source and the warm-phase deltas
+   of (link hits, fn stores). *)
+let edit_and_recompile ~kernels ~target =
+  let parts = List.map kernel_parts kernels in
+  let tops = List.map fst parts in
+  let texts = List.concat_map snd parts in
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  ignore (compile_all ~cache ~tops (combined texts));
+  let before_link = kind_stat cache Cache.Link in
+  let before_fn = kind_stat cache Cache.Fn in
+  let edited_src = combined (edit_fn target texts) in
+  let warm = compile_all ~cache ~tops edited_src in
+  let baseline = compile_all ~tops edited_src in
+  let link_hits = (kind_stat cache Cache.Link).Cache.k_hits - before_link.Cache.k_hits in
+  let fn_stores = (kind_stat cache Cache.Fn).Cache.k_stores - before_fn.Cache.k_stores in
+  (warm, baseline, link_hits, fn_stores)
+
+(* ------------------------------------------------------------------ *)
+(* Unit: the staged linker matches the monolithic printer              *)
+
+let test_link_design_matches_pretty () =
+  let _, parts = kernel_parts "transpose" in
+  let _, parts2 = kernel_parts "elementwise_max" in
+  Incr.module_of_texts (parts @ parts2) (fun m ->
+      let top =
+        match Ops.lookup_func m "transpose" with
+        | Some f -> f
+        | None -> Alcotest.fail "transpose vanished"
+      in
+      let emitted = Hir_codegen.Emit.emit ~module_op:m ~top in
+      let design = emitted.Hir_codegen.Emit.design in
+      let whole = Hir_verilog.Pretty.design_to_string design in
+      let relinked =
+        Incr.link_design
+          (List.map Hir_verilog.Pretty.module_to_string
+             design.Hir_verilog.Ast.modules)
+      in
+      check_string "link_design = Pretty.design_to_string" whole relinked)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic: leaf edit and call-graph edit                        *)
+
+(* Editing one leaf kernel among three: the two untouched tops re-link,
+   exactly one function is re-optimized. *)
+let test_leaf_edit_relinks_others () =
+  let warm, baseline, link_hits, fn_stores =
+    edit_and_recompile
+      ~kernels:[ "transpose"; "fifo"; "elementwise_max" ]
+      ~target:"elementwise_max"
+  in
+  check_bool "warm outputs byte-identical to a cache-less compile" true
+    (warm = baseline);
+  check_int "both untouched tops re-link" 2 link_hits;
+  check_int "exactly the edited function re-optimizes" 1 fn_stores
+
+(* Editing a callee inside task_parallel's call graph: the edit
+   invalidates the callee's cone AND every caller cone containing it
+   (stencilA -> task_parallel), while sibling subtrees (stencilB) and
+   unrelated kernels keep their entries. *)
+let test_callee_edit_invalidates_cone () =
+  let warm, baseline, link_hits, fn_stores =
+    edit_and_recompile
+      ~kernels:[ "transpose"; "fifo"; "task_parallel" ]
+      ~target:"stencilA"
+  in
+  check_bool "warm outputs byte-identical to a cache-less compile" true
+    (warm = baseline);
+  check_int "the two kernels outside the cone re-link" 2 link_hits;
+  check_int "edited callee + its caller re-optimize, nothing else" 2 fn_stores
+
+(* ------------------------------------------------------------------ *)
+(* Property: byte-identity and minimal recompute on random edits       *)
+
+(* Fast single-function kernels, so the property stays cheap. *)
+let property_pool = [ "transpose"; "histogram"; "convolution"; "fifo"; "elementwise_max" ]
+
+let incremental_reuse_prop =
+  let gen =
+    QCheck.(
+      pair
+        (int_bound (List.length property_pool - 1))  (* edited kernel *)
+        (int_bound ((1 lsl List.length property_pool) - 1)) (* subset mask *))
+  in
+  QCheck.Test.make ~count:15
+    ~name:"random single-function edit: byte-identical warm recompile, minimal recompute"
+    gen
+    (fun (edit_idx, mask) ->
+      (* The chosen subset, forced to include the edited kernel. *)
+      let kernels =
+        List.filteri
+          (fun i _ -> i = edit_idx || (mask lsr i) land 1 = 1)
+          property_pool
+      in
+      let target = List.nth property_pool edit_idx in
+      let warm, baseline, link_hits, fn_stores =
+        edit_and_recompile ~kernels ~target
+      in
+      if warm <> baseline then
+        QCheck.Test.fail_reportf "warm recompile differs from cold compile";
+      if link_hits <> List.length kernels - 1 then
+        QCheck.Test.fail_reportf "expected %d link hits, saw %d"
+          (List.length kernels - 1) link_hits;
+      if fn_stores <> 1 then
+        QCheck.Test.fail_reportf "expected 1 fn store, saw %d" fn_stores;
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "link",
+        [ Alcotest.test_case "matches-monolithic-printer" `Quick
+            test_link_design_matches_pretty ] );
+      ( "edit",
+        [
+          Alcotest.test_case "leaf-edit-relinks-others" `Quick
+            test_leaf_edit_relinks_others;
+          Alcotest.test_case "callee-edit-invalidates-cone" `Quick
+            test_callee_edit_invalidates_cone;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest ~verbose:false incremental_reuse_prop ] );
+    ]

@@ -83,10 +83,28 @@ let test_fifo_occupancy () =
     check_bool "flow-through latency" true
       (result.Interp.cycles >= 64 && result.Interp.cycles < 80)
 
+(* The "did you mean?" helper behind `hirc sim <typo>` and friends:
+   close typos surface the intended kernel, garbage surfaces nothing,
+   and an exact name is its own best suggestion. *)
+let test_suggest () =
+  let open Hir_kernels.Kernels in
+  Alcotest.(check (list string)) "one-letter typo" [ "transpose" ] (suggest "transposee");
+  Alcotest.(check (list string)) "dropped letter" [ "gemm" ] (suggest "gem");
+  Alcotest.(check (list string)) "garbage suggests nothing" [] (suggest "qzxv");
+  Alcotest.(check (list string)) "exact name ranks first" [ "fifo" ]
+    (List.filteri (fun i _ -> i < 1) (suggest "fifo"));
+  (* the helper generalizes to any candidate list, e.g. the HLS suite *)
+  Alcotest.(check (list string))
+    "suite names via suggest_from" [ "stencil_1d" ]
+    (suggest_from
+       ~candidates:(List.map fst (Hir_hls.Suite.all ()))
+       "stencil1d")
+
 let () =
   let kernels = Hir_kernels.Kernels.all in
   Alcotest.run "kernels"
     [
+      ("suggest", [ Alcotest.test_case "typo suggestions" `Quick test_suggest ]);
       ( "verify",
         List.map
           (fun k ->
