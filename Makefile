@@ -32,6 +32,7 @@ check: build test
 	dune exec bench/main.exe -- --canonicalize-scaling
 	dune exec bench/main.exe -- --sim-scaling
 	dune exec bench/main.exe -- --incremental
+	dune exec bench/main.exe -- --emit-scaling
 	@echo "make check: OK"
 
 # Seeded fault-injection sweep over the kernel suite: at a 10% rate on
@@ -52,7 +53,7 @@ faults: build
 	  if [ $$code -ne 0 ] && [ $$code -ne 2 ]; then \
 	    echo "make faults: FAILED (seed $$seed exited $$code)"; exit 1; \
 	  fi; \
-	  grep -q '"total":8' _build/faults-$$seed.json || \
+	  grep -q '"total":9' _build/faults-$$seed.json || \
 	    { echo "make faults: FAILED (seed $$seed lost jobs)"; exit 1; }; \
 	done
 	@echo "make faults: OK"

@@ -8,8 +8,9 @@
          parse and re-print (round-trip check)
      hirc kernels
          list the built-in benchmark kernels
-     hirc demo <kernel> [-o out.v] [--no-opt] [--stats]
-         compile a built-in kernel and report resources
+     hirc demo <kernel> [-o out.v] [--no-opt] [--stats] [--no-share]
+         compile a built-in kernel and report resources (--stats shows
+         the per-definition hierarchy breakdown; --no-share flattens it)
      hirc pipeline --passes "<spec>" design.hir [-o out.v] [--stats]
          compile with an explicit textual pass pipeline (--list shows
          the available passes)
@@ -262,11 +263,19 @@ let unknown_kernel name =
   Printf.sprintf "unknown kernel %s%s (try `hirc kernels`)" name
     (did_you_mean (Hir_kernels.Kernels.suggest name))
 
+let no_share_arg =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:
+          "With --stats, report flat (inclusive) resource numbers instead of the \
+           hierarchy-aware per-definition breakdown")
+
 let demo_cmd =
   let kernel_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name")
   in
-  let run name out no_opt stats =
+  let run name out no_opt stats no_share =
     match Hir_kernels.Kernels.find name with
     | None ->
       Printf.eprintf "%s\n" (unknown_kernel name);
@@ -289,15 +298,30 @@ let demo_cmd =
                 (fun (cname, n) -> Printf.eprintf "    %-32s %6d\n" cname n)
                 s.Pass.counters)
             o.Driver.pass_stats;
-          Printf.eprintf "%s: %s\n" name
-            (Format.asprintf "%a" Hir_resources.Model.pp o.Driver.usage)
+          if no_share then
+            (* Flat accounting: every instance charged in full. *)
+            Printf.eprintf "%s: %s\n" name
+              (Format.asprintf "%a" Hir_resources.Model.pp o.Driver.usage)
+          else begin
+            (* Hierarchy-aware accounting needs the design AST, which
+               the driver's cached text path does not keep; re-emit. *)
+            let module_op, top = k.Hir_kernels.Kernels.build () in
+            let emitted =
+              Hir_codegen.Emit.compile ~optimize:(not no_opt) ~module_op ~top ()
+            in
+            let report =
+              Hir_resources.Model.shared_report emitted.Hir_codegen.Emit.design
+            in
+            Printf.eprintf "%s:\n%s\n" name
+              (Format.asprintf "%a" Hir_resources.Model.pp_shared report)
+          end
         end;
         output_text out o.Driver.verilog;
         0)
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Compile a built-in kernel")
-    Term.(const run $ kernel_arg $ out_arg $ no_opt_arg $ stats_arg)
+    Term.(const run $ kernel_arg $ out_arg $ no_opt_arg $ stats_arg $ no_share_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc pipeline                                                       *)

@@ -163,18 +163,35 @@ type chain = {
 type ctx = {
   names : Names.t;
   module_op : Ir.op;
+  hier : bool;  (* hierarchy-preserving emission (outlining + arbiter chains) *)
+  registry : Outline.registry;  (* shared module definitions of this emission *)
   mutable ports : V.port list;  (* reverse *)
-  mutable items : V.item list;  (* reverse *)
-  mutable ff : V.stmt list;  (* reverse; body of the single always block *)
+  mutable items : (int option * V.item) list;  (* reverse; tagged by emission group *)
+  mutable ff : (int option * V.stmt) list;  (* reverse; body of the single always block *)
+  mutable group_stack : int list;  (* innermost emission group first *)
+  mutable force_shared : bool;  (* route items to the shared (None) group *)
   binds : (int, vbind) Hashtbl.t;
   chains : (int, chain) Hashtbl.t;
   mutable instance_count : int;
   mutable emitted_callees : string list;
 }
 
+let cur_group ctx =
+  if ctx.force_shared then None
+  else match ctx.group_stack with [] -> None | g :: _ -> Some g
+
 let add_port ctx p = ctx.ports <- p :: ctx.ports
-let add_item ctx i = ctx.items <- i :: ctx.items
-let add_ff ctx s = ctx.ff <- s :: ctx.ff
+let add_item ctx i = ctx.items <- (cur_group ctx, i) :: ctx.items
+let add_ff ctx s = ctx.ff <- (cur_group ctx, s) :: ctx.ff
+
+(* Run [f] with items routed to the shared group: infrastructure that
+   is lazily extended across group boundaries (pulse chains) or cannot
+   move into a definition (storage arrays) must not be captured by the
+   group being emitted. *)
+let shared ctx f =
+  let saved = ctx.force_shared in
+  ctx.force_shared <- true;
+  Fun.protect ~finally:(fun () -> ctx.force_shared <- saved) f
 
 let bind ctx v b = Hashtbl.replace ctx.binds (Ir.Value.id v) b
 
@@ -253,7 +270,11 @@ let pulse ctx tv d =
         extend (have + 1)
       end
     in
-    extend (List.length chain.ch_regs);
+    (* Chains are extended lazily by whichever op first demands a
+       stage and reused by every later one, so their registers belong
+       to the shared group, never to the group that happened to demand
+       them first. *)
+    shared ctx (fun () -> extend (List.length chain.ch_regs));
     V.Ref (List.nth chain.ch_regs (List.length chain.ch_regs - d))
   end
 
@@ -347,7 +368,19 @@ let loc_comment ctx op =
 
 let rec emit_block ctx block = List.iter (emit_op ctx) (Ir.Block.ops block)
 
+(* Ops tagged with an emission group (by [Unroll] or [Builder.group])
+   push it for the duration of their emission, so nested untagged ops
+   (loop bodies, generator helpers) inherit the innermost group. *)
 and emit_op ctx op =
+  match Ir.Op.int_attr_opt op Unroll.group_attr with
+  | Some g when cur_group ctx <> Some g && not ctx.force_shared ->
+    ctx.group_stack <- g :: ctx.group_stack;
+    Fun.protect
+      ~finally:(fun () -> ctx.group_stack <- List.tl ctx.group_stack)
+      (fun () -> emit_op_inner ctx op)
+  | _ -> emit_op_inner ctx op
+
+and emit_op_inner ctx op =
   match Ir.Op.name op with
   | "hir.constant" -> bind ctx (Ir.Op.result op 0) (Vconst (Ops.constant_value op))
   | "hir.alloc" -> emit_alloc ctx op
@@ -464,7 +497,12 @@ and emit_delay ctx op =
     | _ -> assert false
   end
 
-and emit_alloc ctx op =
+(* Storage arrays and their port buses stay in the shared group: a
+   [Mem_decl] cannot move into an outlined definition, and the bus
+   wires are driven by the shared finalization pass. *)
+and emit_alloc ctx op = shared ctx (fun () -> emit_alloc_inner ctx op)
+
+and emit_alloc_inner ctx op =
   let kind = Ops.alloc_kind op in
   let latency = Ops.mem_kind_latency kind in
   let first_info = Types.memref_info (Ir.Value.typ (Ir.Op.result op 0)) in
@@ -706,6 +744,92 @@ and emit_call ctx op =
 (* ------------------------------------------------------------------ *)
 (* Memref finalization: bus muxes, tie-offs, UB assertions             *)
 
+(* Above this many accessors on one bank port, hierarchical emission
+   replaces the flat or-tree + priority mux + O(n^2) pairwise conflict
+   assertions with a linear chain of structurally identical arbiter
+   stages (one shared definition, n instances).  Each stage overrides
+   the accumulated grant when its own accessor fires, so the chain is
+   folded from the end of the accessor list: the final outputs carry
+   the FIRST enabled accessor — exactly the priority-mux semantics of
+   the flat form.  Each stage asserts that it agrees with the winner
+   among the later accessors; equality is transitive, so any pairwise
+   conflict among enabled accessors trips some stage. *)
+let arb_threshold = 8
+
+(* The stage definition, shared via the definition registry.  [dw] = 0
+   omits the data channel (read ports arbitrate en/addr only). *)
+let arb_stage_def ~aw ~dw =
+  let inp n w = { V.port_name = n; dir = V.Input; width = w } in
+  let outp n w = { V.port_name = n; dir = V.Output; width = w } in
+  let data l = if dw > 0 then l else [] in
+  let ports =
+    [ inp "clk" 1; inp "sel" 1; inp "addr" aw ]
+    @ data [ inp "data" dw ]
+    @ [ inp "busy_in" 1; inp "addr_in" aw ]
+    @ data [ inp "data_in" dw ]
+    @ [ outp "busy_out" 1; outp "addr_out" aw ]
+    @ data [ outp "data_out" dw ]
+  in
+  let items =
+    [
+      V.Assign { target = "busy_out"; expr = V.bor (V.Ref "busy_in") (V.Ref "sel") };
+      V.Assign
+        { target = "addr_out"; expr = V.Ternary (V.Ref "sel", V.Ref "addr", V.Ref "addr_in") };
+    ]
+    @ data
+        [
+          V.Assign
+            {
+              target = "data_out";
+              expr = V.Ternary (V.Ref "sel", V.Ref "data", V.Ref "data_in");
+            };
+        ]
+    @ [
+        V.Always_ff
+          [
+            V.Assert_stmt
+              {
+                cond =
+                  V.bor
+                    (V.bnot (V.band (V.Ref "busy_in") (V.Ref "sel")))
+                    (V.Binop (V.Eq, V.Ref "addr_in", V.Ref "addr"));
+                message = "conflicting accesses on a shared memory port";
+              };
+          ];
+      ]
+  in
+  { V.mod_name = Outline.placeholder; ports; items }
+
+(* Fold the accessor list (first = highest priority) into a stage
+   chain; returns the final (busy, addr, data) grant expressions. *)
+let emit_arb_chain ctx ~base ~aw ~dw accessors =
+  let def_name = Outline.register ctx.registry (arb_stage_def ~aw ~dw) in
+  let rec build = function
+    | [] ->
+      ( V.zero1,
+        V.const_int ~width:aw 0,
+        if dw > 0 then V.const_int ~width:dw 0 else V.zero1 )
+    | (sel, a, d) :: rest ->
+      let b_in, a_in, d_in = build rest in
+      let busy = fresh_wire ctx (base ^ "_arb_busy") 1 in
+      let addr_w = fresh_wire ctx (base ^ "_arb_addr") aw in
+      let data_w = if dw > 0 then fresh_wire ctx (base ^ "_arb_data") dw else "" in
+      let dconn l = if dw > 0 then l else [] in
+      let connections =
+        [ ("clk", V.Ref "clk"); ("sel", sel); ("addr", a) ]
+        @ dconn [ ("data", d) ]
+        @ [ ("busy_in", b_in); ("addr_in", a_in) ]
+        @ dconn [ ("data_in", d_in) ]
+        @ [ ("busy_out", V.Ref busy); ("addr_out", V.Ref addr_w) ]
+        @ dconn [ ("data_out", V.Ref data_w) ]
+      in
+      let inst = Names.fresh ctx.names (base ^ "_arb") in
+      add_item ctx
+        (V.Instance { module_name = def_name; instance_name = inst; connections });
+      (V.Ref busy, V.Ref addr_w, if dw > 0 then V.Ref data_w else V.zero1)
+  in
+  build accessors
+
 let finalize_mem ctx mb =
   let iface = mb.mb_iface in
   let aw = iface.mi_addr_width in
@@ -716,39 +840,49 @@ let finalize_mem ctx mb =
       let writers = List.filter (fun (bk, _, _, _) -> bk = b) mb.mb_writers in
       (match names.bn_rd with
       | Some (en, addr, _data) when not mb.mb_call_bound ->
-        let pulses = List.map (fun (_, p, _) -> p) readers in
-        add_item ctx (V.Assign { target = en; expr = V.or_list pulses });
-        add_item ctx
-          (V.Assign
-             {
-               target = addr;
-               expr =
-                 V.priority_mux
-                   ~default:(V.const_int ~width:aw 0)
-                   (List.map (fun (_, p, a) -> (p, a)) readers);
-             });
-        (* UB §4.5: concurrent reads on one port must agree on the
-           address. *)
-        let rec pairs = function
-          | [] -> ()
-          | (_, p1, a1) :: rest ->
-            List.iter
-              (fun (_, p2, a2) ->
-                add_ff ctx
-                  (V.Assert_stmt
-                     {
-                       cond =
-                         V.bor
-                           (V.bnot (V.band p1 p2))
-                           (V.Binop (V.Eq, a1, a2));
-                       message =
-                         Printf.sprintf
-                           "conflicting reads on port %s bank %d" iface.mi_base b;
-                     }))
-              rest;
-            pairs rest
-        in
-        pairs readers;
+        if ctx.hier && List.length readers >= arb_threshold then begin
+          let busy, grant_addr, _ =
+            emit_arb_chain ctx ~base:en ~aw ~dw:0
+              (List.map (fun (_, p, a) -> (p, a, V.zero1)) readers)
+          in
+          add_item ctx (V.Assign { target = en; expr = busy });
+          add_item ctx (V.Assign { target = addr; expr = grant_addr })
+        end
+        else begin
+          let pulses = List.map (fun (_, p, _) -> p) readers in
+          add_item ctx (V.Assign { target = en; expr = V.or_list pulses });
+          add_item ctx
+            (V.Assign
+               {
+                 target = addr;
+                 expr =
+                   V.priority_mux
+                     ~default:(V.const_int ~width:aw 0)
+                     (List.map (fun (_, p, a) -> (p, a)) readers);
+               });
+          (* UB §4.5: concurrent reads on one port must agree on the
+             address. *)
+          let rec pairs = function
+            | [] -> ()
+            | (_, p1, a1) :: rest ->
+              List.iter
+                (fun (_, p2, a2) ->
+                  add_ff ctx
+                    (V.Assert_stmt
+                       {
+                         cond =
+                           V.bor
+                             (V.bnot (V.band p1 p2))
+                             (V.Binop (V.Eq, a1, a2));
+                         message =
+                           Printf.sprintf
+                             "conflicting reads on port %s bank %d" iface.mi_base b;
+                       }))
+                rest;
+              pairs rest
+          in
+          pairs readers
+        end;
         (* Bounds assertion when the depth is not a power of two. *)
         if depth < 1 lsl aw then
           add_ff ctx
@@ -762,44 +896,55 @@ let finalize_mem ctx mb =
       | _ -> ());
       match names.bn_wr with
       | Some (en, addr, data) when not mb.mb_call_bound ->
-        let pulses = List.map (fun (_, p, _, _) -> p) writers in
-        add_item ctx (V.Assign { target = en; expr = V.or_list pulses });
-        add_item ctx
-          (V.Assign
-             {
-               target = addr;
-               expr =
-                 V.priority_mux
-                   ~default:(V.const_int ~width:aw 0)
-                   (List.map (fun (_, p, a, _) -> (p, a)) writers);
-             });
-        add_item ctx
-          (V.Assign
-             {
-               target = data;
-               expr =
-                 V.priority_mux
-                   ~default:(V.const_int ~width:iface.mi_elem_width 0)
-                   (List.map (fun (_, p, _, d) -> (p, d)) writers);
-             });
-        let rec pairs = function
-          | [] -> ()
-          | (_, p1, a1, _) :: rest ->
-            List.iter
-              (fun (_, p2, a2, _) ->
-                add_ff ctx
-                  (V.Assert_stmt
-                     {
-                       cond =
-                         V.bor (V.bnot (V.band p1 p2)) (V.Binop (V.Eq, a1, a2));
-                       message =
-                         Printf.sprintf
-                           "conflicting writes on port %s bank %d" iface.mi_base b;
-                     }))
-              rest;
-            pairs rest
-        in
-        pairs writers;
+        if ctx.hier && List.length writers >= arb_threshold then begin
+          let busy, grant_addr, grant_data =
+            emit_arb_chain ctx ~base:en ~aw ~dw:iface.mi_elem_width
+              (List.map (fun (_, p, a, d) -> (p, a, d)) writers)
+          in
+          add_item ctx (V.Assign { target = en; expr = busy });
+          add_item ctx (V.Assign { target = addr; expr = grant_addr });
+          add_item ctx (V.Assign { target = data; expr = grant_data })
+        end
+        else begin
+          let pulses = List.map (fun (_, p, _, _) -> p) writers in
+          add_item ctx (V.Assign { target = en; expr = V.or_list pulses });
+          add_item ctx
+            (V.Assign
+               {
+                 target = addr;
+                 expr =
+                   V.priority_mux
+                     ~default:(V.const_int ~width:aw 0)
+                     (List.map (fun (_, p, a, _) -> (p, a)) writers);
+               });
+          add_item ctx
+            (V.Assign
+               {
+                 target = data;
+                 expr =
+                   V.priority_mux
+                     ~default:(V.const_int ~width:iface.mi_elem_width 0)
+                     (List.map (fun (_, p, _, d) -> (p, d)) writers);
+               });
+          let rec pairs = function
+            | [] -> ()
+            | (_, p1, a1, _) :: rest ->
+              List.iter
+                (fun (_, p2, a2, _) ->
+                  add_ff ctx
+                    (V.Assert_stmt
+                       {
+                         cond =
+                           V.bor (V.bnot (V.band p1 p2)) (V.Binop (V.Eq, a1, a2));
+                         message =
+                           Printf.sprintf
+                             "conflicting writes on port %s bank %d" iface.mi_base b;
+                       }))
+                rest;
+              pairs rest
+          in
+          pairs writers
+        end;
         if depth < 1 lsl aw then
           add_ff ctx
             (V.Assert_stmt
@@ -941,14 +1086,24 @@ type emitted = {
   module_ifaces : (string * iface) list;
 }
 
-let emit_module_for ~module_op func =
+(* Emit one function as a Verilog module.  With [hier] (the default)
+   the tagged item stream is outlined against a definition cache:
+   repeated emission groups become shared [hirdef_*] modules, returned
+   in first-use order alongside the function's own module.  With
+   [hier = false] the flat item stream is returned byte-for-byte as
+   before, and the definition list is empty. *)
+let emit_module_for ?(hier = true) ~module_op func =
   let ctx =
     {
       names = Names.create ();
       module_op;
+      hier;
+      registry = Outline.create_registry ();
       ports = [];
       items = [];
       ff = [];
+      group_stack = [];
+      force_shared = false;
       binds = Hashtbl.create 128;
       chains = Hashtbl.create 32;
       instance_count = 0;
@@ -956,10 +1111,19 @@ let emit_module_for ~module_op func =
     }
   in
   let ifc = emit_func ctx func in
-  let items =
-    List.rev ctx.items @ (if ctx.ff = [] then [] else [ V.Always_ff (List.rev ctx.ff) ])
+  let tagged_items = List.rev ctx.items in
+  let tagged_ff = List.rev ctx.ff in
+  let ports = List.rev ctx.ports in
+  let items, ff =
+    if hier then
+      Outline.run ~names:ctx.names ~registry:ctx.registry ~ports ~items:tagged_items
+        ~ff:tagged_ff
+    else (List.map snd tagged_items, List.map snd tagged_ff)
   in
-  ({ V.mod_name = ifc.ifc_module; ports = List.rev ctx.ports; items }, ifc)
+  let items = items @ (if ff = [] then [] else [ V.Always_ff ff ]) in
+  ( { V.mod_name = ifc.ifc_module; ports; items },
+    Outline.defs ctx.registry,
+    ifc )
 
 let rec callees_of ~module_op func acc =
   let calls = Ir.Walk.find_all func "hir.call" in
@@ -975,23 +1139,38 @@ let rec callees_of ~module_op func acc =
           if Ops.is_extern_func callee then acc else callees_of ~module_op callee acc)
     acc calls
 
-let emit ~module_op ~top =
+let emit ?(hier = true) ~module_op ~top () =
   if Ops.is_extern_func top then
     fail "top function @%s is extern (it has no body to emit)" (Ops.func_name top);
   let callees = callees_of ~module_op top [] in
   let modules = ref [] in
   let ifaces = ref [] in
+  (* Shared definitions are deduplicated design-wide by name (the name
+     is content-addressed) and placed before the first module that
+     instantiates them. *)
+  let seen_defs = Hashtbl.create 16 in
+  let add_defs defs =
+    List.iter
+      (fun (d : V.module_def) ->
+        if not (Hashtbl.mem seen_defs d.V.mod_name) then begin
+          Hashtbl.replace seen_defs d.V.mod_name ();
+          modules := d :: !modules
+        end)
+      defs
+  in
   List.iter
     (fun (_, callee) ->
       if Ops.is_extern_func callee then
         modules := emit_extern_module callee :: !modules
       else begin
-        let m, ifc = emit_module_for ~module_op callee in
+        let m, defs, ifc = emit_module_for ~hier ~module_op callee in
+        add_defs defs;
         modules := m :: !modules;
         ifaces := (ifc.ifc_module, ifc) :: !ifaces
       end)
     (List.rev callees);
-  let top_module, top_ifc = emit_module_for ~module_op top in
+  let top_module, top_defs, top_ifc = emit_module_for ~hier ~module_op top in
+  add_defs top_defs;
   modules := top_module :: !modules;
   {
     design = { V.modules = List.rev !modules; top = top_ifc.ifc_module };
@@ -1003,11 +1182,11 @@ let emit ~module_op ~top =
    scalar optimizations run before unrolling (cheaper on the compact
    design and inherited by every clone); delay elimination runs after,
    where it can share the shift registers of replicated bodies. *)
-let compile ?(optimize = false) ~module_op ~top () =
+let compile ?(optimize = false) ?(hier = true) ~module_op ~top () =
   if optimize then begin
     ignore (Passes.run_canonicalize module_op);
     ignore (Precision_opt.run module_op)
   end;
   ignore (Unroll.run module_op);
   if optimize then ignore (Passes.run_delay_elim module_op);
-  emit ~module_op ~top
+  emit ~hier ~module_op ~top ()

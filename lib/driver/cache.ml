@@ -109,7 +109,7 @@ type t = {
 (* Bump whenever the emitted Verilog or the meta format changes.
    (v2: digest line in the sidecar; v3: sharded directory layout;
    v4: staged per-function compilation and multi-kind entries.) *)
-let driver_version = "hir-driver/4"
+let driver_version = "hir-driver/5"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

@@ -309,7 +309,7 @@ let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
                   List.iter degrade (fallback_degradations pass_stats);
                   let emitted =
                     Trace.span trace ~cat:"backend" "emit" (fun () ->
-                        Hir_codegen.Emit.emit ~module_op ~top:top_func)
+                        Hir_codegen.Emit.emit ~module_op ~top:top_func ())
                   in
                   Guard.tick guard;
                   let verilog =
@@ -415,19 +415,55 @@ let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
                      instance resolves to an already-computed usage. *)
                   let texts = Hashtbl.create 16 in
                   let usages = Hashtbl.create 16 in
+                  (* Shared definitions ([hirdef_*] modules) pulled in by
+                     the functions of this design: name -> printed text,
+                     plus each function's manifest (which definitions its
+                     module needs, in registration order). *)
+                  let def_texts = Hashtbl.create 16 in
+                  let fn_defs = Hashtbl.create 16 in
+                  let def_key dn =
+                    Cache.stage_key ~kind:Cache.Vmod ~parts:[ "def"; dn ]
+                  in
+                  (* Restore every named definition from its own Vmod
+                     entry; a missing one (evicted independently of the
+                     function entry) turns the function hit into a miss. *)
+                  let restore_defs names =
+                    List.for_all
+                      (fun dn ->
+                        Hashtbl.mem def_texts dn
+                        ||
+                        match consult Cache.Vmod "definition-verilog" (def_key dn) with
+                        | Some de ->
+                          Hashtbl.replace def_texts dn de.Cache.e_verilog;
+                          Hashtbl.replace usages dn de.Cache.e_usage;
+                          true
+                        | None -> false)
+                      names
+                  in
                   let all_stats = ref [] in
                   List.iter
                     (fun fn ->
                       Guard.tick guard;
                       let h = hash fn in
                       let vmod_key = Cache.stage_key ~kind:Cache.Vmod ~parts:[ h ] in
-                      match consult Cache.Vmod "function-verilog" vmod_key with
-                      | Some e ->
-                        Hashtbl.replace texts fn e.Cache.e_verilog;
-                        Hashtbl.replace usages
-                          (Incr.emitted_module_name fn)
-                          e.Cache.e_usage
-                      | None ->
+                      let hit =
+                        match consult Cache.Vmod "function-verilog" vmod_key with
+                        | Some e ->
+                          let def_names, mtext =
+                            Incr.split_manifest e.Cache.e_verilog
+                          in
+                          restore_defs def_names
+                          && begin
+                               Hashtbl.replace texts fn mtext;
+                               Hashtbl.replace fn_defs fn def_names;
+                               Hashtbl.replace usages
+                                 (Incr.emitted_module_name fn)
+                                 e.Cache.e_usage;
+                               true
+                             end
+                        | None -> false
+                      in
+                      if not hit then begin
                         let fi = Incr.fn_info plan fn in
                         let opt_text =
                           if fi.Incr.fi_extern then ""
@@ -452,32 +488,77 @@ let compile_job ?cache ?trace ?(limits = Guard.no_limits) ?cancel job =
                                 };
                               opt_text
                         in
-                        let vmodule =
+                        let vmodule, defs =
                           Trace.span trace ~cat:"backend" "emit" (fun () ->
                               Incr.emit_fn plan ~opt_text fn)
                         in
+                        let instance_usage mname =
+                          match Hashtbl.find_opt usages mname with
+                          | Some u -> u
+                          | None ->
+                            raise
+                              (Incr.Fallback ("instance of unknown module " ^ mname))
+                        in
+                        (* Register the definitions first: the function
+                           module instantiates them, so its own usage
+                           lookup below must already resolve their names. *)
+                        let def_names =
+                          List.map (fun d -> d.Hir_verilog.Ast.mod_name) defs
+                        in
+                        List.iter
+                          (fun (d : Hir_verilog.Ast.module_def) ->
+                            let dn = d.Hir_verilog.Ast.mod_name in
+                            if not (Hashtbl.mem def_texts dn) then begin
+                              let dtext = Hir_verilog.Pretty.module_to_string d in
+                              let dusage =
+                                Hir_resources.Model.module_usage ~instance_usage d
+                              in
+                              Hashtbl.replace def_texts dn dtext;
+                              Hashtbl.replace usages dn dusage;
+                              store Cache.Vmod "definition Verilog" (def_key dn)
+                                {
+                                  Cache.e_verilog = dtext;
+                                  e_top = dn;
+                                  e_usage = dusage;
+                                }
+                            end)
+                          defs;
                         let mtext = Hir_verilog.Pretty.module_to_string vmodule in
                         let usage =
-                          Hir_resources.Model.module_usage
-                            ~instance_usage:(fun mname ->
-                              match Hashtbl.find_opt usages mname with
-                              | Some u -> u
-                              | None ->
-                                raise
-                                  (Incr.Fallback
-                                     ("instance of unknown module " ^ mname)))
-                            vmodule
+                          Hir_resources.Model.module_usage ~instance_usage vmodule
                         in
                         Hashtbl.replace texts fn mtext;
+                        Hashtbl.replace fn_defs fn def_names;
                         Hashtbl.replace usages (Incr.emitted_module_name fn) usage;
                         store Cache.Vmod "function Verilog" vmod_key
-                          { Cache.e_verilog = mtext; e_top = fn; e_usage = usage })
+                          {
+                            Cache.e_verilog = Incr.with_manifest ~def_names mtext;
+                            e_top = fn;
+                            e_usage = usage;
+                          }
+                      end)
                     (Incr.usage_order plan ~top:top_name);
                   let verilog =
                     Trace.span trace ~cat:"backend" "print" (fun () ->
+                        (* Interleave each function's not-yet-placed
+                           definitions before its module, exactly as
+                           [Emit.emit] orders a monolithic design. *)
+                        let placed = Hashtbl.create 16 in
                         Incr.link_design
-                          (List.map
-                             (fun fn -> Hashtbl.find texts fn)
+                          (List.concat_map
+                             (fun fn ->
+                               let defs =
+                                 List.filter_map
+                                   (fun dn ->
+                                     if Hashtbl.mem placed dn then None
+                                     else begin
+                                       Hashtbl.replace placed dn ();
+                                       Some (Hashtbl.find def_texts dn)
+                                     end)
+                                   (Option.value ~default:[]
+                                      (Hashtbl.find_opt fn_defs fn))
+                               in
+                               defs @ [ Hashtbl.find texts fn ])
                              (Incr.emit_order plan ~top:top_name)))
                   in
                   Guard.tick guard;

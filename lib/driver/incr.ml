@@ -244,7 +244,7 @@ let emit_fn plan ~opt_text name =
           match Ops.lookup_func mini name with Some f -> f | None -> assert false
         in
         ignore mini;
-        Hir_codegen.Emit.emit_extern_module f)
+        (Hir_codegen.Emit.emit_extern_module f, []))
   else
     let texts =
       List.map (fun c -> (c, (fn_info plan c).fi_text)) fi.fi_callees
@@ -254,11 +254,46 @@ let emit_fn plan ~opt_text name =
         let f =
           match Ops.lookup_func mini name with Some f -> f | None -> assert false
         in
-        let vmodule, _iface = Hir_codegen.Emit.emit_module_for ~module_op:mini f in
-        vmodule)
+        let vmodule, defs, _iface =
+          Hir_codegen.Emit.emit_module_for ~module_op:mini f
+        in
+        (vmodule, defs))
 
 (* The Verilog module name [name] emits as — the key instances use. *)
 let emitted_module_name name = Hir_codegen.Names.sanitize name
+
+(* ------------------------------------------------------------------ *)
+(* Definition manifests                                                 *)
+
+(* A cached function-Verilog entry leads with a manifest line naming
+   the shared definitions ([hirdef_*] modules) its module instantiates,
+   in first-registration order.  Each definition is its own [Vmod]
+   entry (keyed by its content-addressed name, so a definition shared
+   by several functions is stored once); a warm link reads the manifest
+   to pull those entries and place each definition before the first
+   module that uses it — reproducing [Emit.emit]'s design-wide
+   ordering byte for byte.  The manifest is stripped before linking. *)
+
+let manifest_prefix = "//hirdefs:"
+
+let with_manifest ~def_names text =
+  match def_names with
+  | [] -> text
+  | names -> manifest_prefix ^ " " ^ String.concat " " names ^ "\n" ^ text
+
+let split_manifest text =
+  let plen = String.length manifest_prefix in
+  if String.length text >= plen && String.sub text 0 plen = manifest_prefix then
+    match String.index_opt text '\n' with
+    | None -> ([], text)
+    | Some nl ->
+      let names =
+        String.sub text plen (nl - plen)
+        |> String.split_on_char ' '
+        |> List.filter (fun s -> s <> "")
+      in
+      (names, String.sub text (nl + 1) (String.length text - nl - 1))
+  else ([], text)
 
 (* Assemble the final design text from per-module texts in emit order,
    byte-identical to [Hir_verilog.Pretty.design_to_string] of the same

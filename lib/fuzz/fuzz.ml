@@ -83,7 +83,7 @@ let classify ~mode input =
           let result = Pass.Manager.run mgr module_op in
           if not result.Pass.succeeded then Reject_verify
           else
-            match Hir_codegen.Emit.emit ~module_op ~top with
+            match Hir_codegen.Emit.emit ~module_op ~top () with
             | exception Hir_codegen.Emit.Codegen_error _ -> Reject_backend
             | emitted ->
               ignore

@@ -6,15 +6,38 @@
 
 open Hir_ir
 
-type t = { mutable block : Ir.block; module_op : Ir.op option }
+type t = {
+  mutable block : Ir.block;
+  module_op : Ir.op option;
+  (* When set, ops built through [insert] are stamped with this
+     "emit_group" id — the same tag [Unroll] puts on expanded loop
+     bodies — so generator-style kernels built in plain OCaml (e.g. the
+     systolic array's PE grid) can mark their replicated cones for the
+     code generator's outliner.  See [group]. *)
+  mutable current_group : int option;
+}
 
 type time_point = Ir.value * int
 
 let ( @>> ) time offset : time_point = (time, offset)
 
-let insert b op = Ir.Block.append b.block op
+let insert b op =
+  (match b.current_group with
+  | Some gid when Ir.Op.int_attr_opt op Unroll.group_attr = None ->
+    Ir.Op.set_attr op Unroll.group_attr (Attribute.Int gid)
+  | _ -> ());
+  Ir.Block.append b.block op
 
-let at_block ?module_op block = { block; module_op }
+let at_block ?module_op block = { block; module_op; current_group = None }
+
+(* Build [f]'s ops as one fresh emission group: structurally identical
+   groups are deduplicated into a shared module definition at codegen
+   time.  Nested [group] calls stack — the inner group's ops carry the
+   inner id (the emitter's group stack restores the nesting). *)
+let group b f =
+  let saved = b.current_group in
+  b.current_group <- Some (Unroll.fresh_group ());
+  Fun.protect ~finally:(fun () -> b.current_group <- saved) (fun () -> f ())
 
 (* ------------------------------------------------------------------ *)
 (* Module and functions                                                *)
@@ -59,7 +82,7 @@ let func ?(loc = Location.unknown) ?(results = []) ~name ~args module_op body =
       ~result_types:[]
   in
   Ir.Block.append (module_block module_op) func_op;
-  let builder = { block; module_op = Some module_op } in
+  let builder = { block; module_op = Some module_op; current_group = None } in
   let data_args = List.filteri (fun i _ -> i < List.length args) (Ir.Block.args block) in
   let time = Ir.Block.arg block (List.length args) in
   body builder data_args time;
@@ -254,7 +277,7 @@ let for_loop ?(loc = Location.unknown) ?(iv_width = 32) ?(iv_hint = "i") b ~lb ~
       ~result_types:[ Types.Time ]
   in
   insert b op;
-  let inner = { block; module_op = b.module_op } in
+  let inner = { block; module_op = b.module_op; current_group = b.current_group } in
   body inner ~iv:(Ir.Block.arg block 0) ~ti:(Ir.Block.arg block 1);
   Ir.Op.result op 0
 
@@ -280,7 +303,7 @@ let unroll_for ?(loc = Location.unknown) ?(iv_hint = "u") b ~lb ~ub ~step
       "hir.unroll_for" ~operands:[ time ] ~result_types:[ Types.Time ]
   in
   insert b op;
-  let inner = { block; module_op = b.module_op } in
+  let inner = { block; module_op = b.module_op; current_group = b.current_group } in
   body inner ~iv:(Ir.Block.arg block 0) ~ti:(Ir.Block.arg block 1);
   Ir.Op.result op 0
 

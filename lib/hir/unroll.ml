@@ -28,6 +28,57 @@ let yield_target op =
   let y = Ops.loop_yield op in
   (Ops.yield_time y, Ops.yield_offset y)
 
+(* ------------------------------------------------------------------ *)
+(* Emission groups.
+
+   Each expanded iteration tags its ops with a fresh "emit_group" Int
+   attribute so the code generator can recognize the N structurally
+   identical clones of one body and outline them into a shared module
+   definition.  The ids themselves are arbitrary (they never reach the
+   emitted Verilog — the outliner's canonical form is id-independent);
+   all that matters is that ops from the same clone share an id and ops
+   from different clones never do.  When an outer unroll clones a body
+   that already carries tags (from an inner unroll expanded earlier —
+   expansion is innermost-first), each clone remaps every pre-existing
+   id to a fresh one, consistently within the clone, so the inner
+   groups stay distinct across outer iterations instead of merging.
+
+   Ids are drawn from [Ir.fresh_id]: the counter is domain-local (no
+   races between parallel compile jobs) and reset by
+   [Ir.with_isolated_ids], so the printed IR of a freshly built module
+   — which the driver's cache key is computed from — comes out
+   byte-identical on every build. *)
+
+let fresh_group () = Ir.fresh_id ()
+
+let group_attr = "emit_group"
+
+(* Tag one freshly spliced clone: top-level ops that carry no tag get
+   [gid]; already tagged ops (at any depth) get their old id remapped
+   through a per-clone table.  Nested untagged ops are left alone — the
+   emitter's group stack makes them inherit their innermost enclosing
+   group at emission time. *)
+let tag_clone ~gid cloned_ops =
+  let remap = Hashtbl.create 8 in
+  List.iter
+    (fun top ->
+      Ir.Walk.ops_pre top ~f:(fun o ->
+          match Ir.Op.int_attr_opt o group_attr with
+          | Some old ->
+            let fresh =
+              match Hashtbl.find_opt remap old with
+              | Some g -> g
+              | None ->
+                let g = fresh_group () in
+                Hashtbl.replace remap old g;
+                g
+            in
+            Ir.Op.set_attr o group_attr (Attribute.Int fresh)
+          | None -> ());
+      if Ir.Op.int_attr_opt top group_attr = None && Ir.Op.name top <> "hir.yield" then
+        Ir.Op.set_attr top group_attr (Attribute.Int gid))
+    cloned_ops
+
 let expand_one _module_op op =
   let parent_block =
     match Ir.Op.parent op with Some b -> b | None -> failwith "detached unroll_for"
@@ -66,6 +117,8 @@ let expand_one _module_op op =
     (* The body-level yield is the only hir.yield at the top level of
        the splice (nested loops keep theirs inside their regions). *)
     let body_yield = List.find (fun o -> Ir.Op.name o = "hir.yield") cloned_ops in
+    (* Mark this iteration's ops as one emission group (see above). *)
+    tag_clone ~gid:(fresh_group ()) cloned_ops;
     (* Retarget schedule references from the cloned ti: its uses are
        exactly the scheduled ops of this clone. *)
     retarget_time_uses ~old_time:cloned_ti ~new_time:time_v ~delta;

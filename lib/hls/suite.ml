@@ -147,6 +147,51 @@ let gemm ?(n = 16) () =
       ];
   }
 
+(* --------------------------- systolic ---------------------------- *)
+
+(* The HLS-side counterpart of the systolic kernel: C tools cannot
+   express the explicit delay-hop dataflow, so this is the idiomatic
+   Vivado formulation of the same workload — a fully partitioned
+   accumulator grid updated by an unrolled MAC sweep per k, drained
+   through the single output port.  What the comparison measures is
+   the same algorithm under each tool's natural idiom, as with gemm. *)
+let systolic ?(n = 8) () =
+  {
+    fn_name = "systolic_hls";
+    params =
+      [
+        P_array (In, array ~width:32 ~partition:[ 0 ] "A" [ n; n ]);
+        P_array (In, array ~width:32 ~partition:[ 1 ] "B" [ n; n ]);
+        P_array (Out, array ~width:32 "C" [ n; n ]);
+      ];
+    locals = [ array ~width:32 ~partition:[ 0; 1 ] "acc" [ n; n ] ];
+    body =
+      [
+        for_ ~unroll:true "zi" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "zj" ~lb:0 ~ub:n
+              [ store "acc" [ v "zi"; v "zj" ] (Int 0) ];
+          ];
+        for_ ~pipeline:1 "k" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "si" ~lb:0 ~ub:n
+              [
+                for_ ~unroll:true "sj" ~lb:0 ~ub:n
+                  [
+                    store "acc" [ v "si"; v "sj" ]
+                      (load "acc" [ v "si"; v "sj" ]
+                      +: (load "A" [ v "si"; v "k" ] *: load "B" [ v "k"; v "sj" ]));
+                  ];
+              ];
+          ];
+        for_ ~unroll:true "di" ~lb:0 ~ub:n
+          [
+            for_ ~unroll:true "dj" ~lb:0 ~ub:n
+              [ store "C" [ v "di"; v "dj" ] (load "acc" [ v "di"; v "dj" ]) ];
+          ];
+      ];
+  }
+
 (* -------------------------- convolution -------------------------- *)
 
 let convolution () =
@@ -230,6 +275,7 @@ let all () =
     ("stencil_1d", stencil ());
     ("histogram", histogram ());
     ("gemm", gemm ());
+    ("systolic", systolic ());
     ("convolution", convolution ());
   ]
 

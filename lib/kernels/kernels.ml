@@ -37,6 +37,13 @@ let all =
       check = (fun () -> Gemm.check_interp ());
     };
     {
+      name = Systolic.name;
+      description =
+        "8x8 output-stationary systolic array, explicit delay-hop dataflow";
+      build = Systolic.build;
+      check = (fun () -> Systolic.check_interp ());
+    };
+    {
       name = Convolution.name;
       description = "8x8 image x 3x3 constant kernel, line buffers, II=1";
       build = Convolution.build;

@@ -1,0 +1,184 @@
+(* Parameterized output-stationary systolic array: an N×N grid of MAC
+   processing elements computing C = A·B with true neighbor-to-neighbor
+   dataflow, the canonical generator workload for the hierarchical
+   emitter (one PE definition, N² instantiations).
+
+   Unlike [Gemm] (whose PEs each own a private reduction loop over a
+   shared buffer), this is the textbook systolic schedule: A values
+   enter row i skewed by i cycles and ride rightward through one-cycle
+   delay hops; B values enter column j skewed by j cycles and ride
+   downward; PE (i,j) sees A[i][k] and B[k][j] meet at cycle k+i+j+1
+   and multiply-accumulates into its own output-stationary register.
+   The skew is pure schedule (constant offsets on the reads), and the
+   hops are explicit hir.delay ops threaded through the OCaml
+   recursion that stamps out the grid — there is no unroll_for here;
+   [Builder.group] marks each PE's cone as one emission group so the
+   code generator outlines the grid into a single shared module
+   definition.
+
+   The drain is deliberately serialized through the single output
+   port: N² writers on one memory port is exactly the shape the
+   emitter's arbiter-chain lowering shares across sites.
+
+   [mac_stages] pipelines the multiplier by registering the product
+   for that many extra cycles before the accumulate — the
+   "configurable MAC PE" knob; every PE shifts its accumulate by the
+   same constant, so the schedule stays exact for any value. *)
+
+open Hir_ir
+open Hir_dialect
+
+let name = "systolic"
+let n = 8
+let mac_stages = 1
+
+let build_into ?(n = n) ?(mac_stages = mac_stages) m =
+  Builder.func m ~name
+    ~args:
+      [
+        (* A banked by row: row feeders read their own bank. *)
+        Builder.arg "Ai"
+          (Types.memref ~packing:(Some [ 1 ]) ~dims:[ n; n ] ~elem:Typ.i32
+             ~port:Types.Read ());
+        (* B indexed [k][j], banked by column. *)
+        Builder.arg "Bi"
+          (Types.memref ~packing:(Some [ 0 ]) ~dims:[ n; n ] ~elem:Typ.i32
+             ~port:Types.Read ());
+        Builder.arg "Co" (Types.memref ~dims:[ n; n ] ~elem:Typ.i32 ~port:Types.Write ());
+      ]
+    (fun b args t ->
+      match args with
+      | [ a_in; b_in; c_out ] ->
+        let c0 = Builder.constant b 0 in
+        let c1 = Builder.constant b 1 in
+        let cn = Builder.constant b n in
+        let idx = Array.init n (fun i -> Builder.constant b i) in
+        (* One output-stationary accumulator register per PE. *)
+        let acc_ports =
+          Builder.alloc b ~kind:Ops.Reg ~dims:[ n; n ] ~packing:[] ~elem:Typ.i32
+            ~ports:[ Types.Read; Types.Write ]
+        in
+        let acc_r, acc_w =
+          match acc_ports with [ r; w ] -> (r, w) | _ -> assert false
+        in
+        (* Clear every accumulator in parallel (all banks distinct). *)
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Builder.mem_write b c0 acc_w [ idx.(i); idx.(j) ] ~at:Builder.(t @>> 0)
+          done
+        done;
+        (* The wavefront: one k per cycle.  Within iteration k, row
+           feeder i issues its read at offset i (the skew), so the
+           address register must hold k that many cycles later —
+           hence the per-row/column delayed copies of the iv. *)
+        let tf =
+          Builder.for_loop b ~iv_hint:"k" ~lb:c0 ~ub:cn ~step:c1
+            ~at:Builder.(t @>> 1)
+            (fun b ~iv:k ~ti:tk ->
+              Builder.yield b ~at:Builder.(tk @>> 1);
+              let skewed =
+                Array.init n (fun i ->
+                    if i = 0 then k
+                    else Builder.delay b k ~by:i ~at:Builder.(tk @>> 0))
+              in
+              (* Row/column feeders: a_feed.(i) valid at tk+i+1,
+                 b_feed.(j) valid at tk+j+1 (read latency 1). *)
+              let a_feed =
+                Array.init n (fun i ->
+                    Builder.mem_read b a_in
+                      [ idx.(i); skewed.(i) ]
+                      ~at:Builder.(tk @>> i))
+              in
+              let b_feed =
+                Array.init n (fun j ->
+                    Builder.mem_read b b_in
+                      [ skewed.(j); idx.(j) ]
+                      ~at:Builder.(tk @>> j))
+              in
+              (* The grid, column-major recursion threading the hop
+                 values: PE (i,j) consumes its operands at tk+i+j+1. *)
+              let a_pass = Array.copy a_feed in
+              for j = 0 to n - 1 do
+                let b_col = ref b_feed.(j) in
+                for i = 0 to n - 1 do
+                  let av = a_pass.(i) and bv = !b_col in
+                  Builder.group b (fun () ->
+                      let meet = i + j + 1 in
+                      (* Pass operands to the right/down neighbors. *)
+                      if j < n - 1 then
+                        a_pass.(i) <-
+                          Builder.delay b av ~by:1 ~at:Builder.(tk @>> meet);
+                      if i < n - 1 then
+                        b_col := Builder.delay b bv ~by:1 ~at:Builder.(tk @>> meet);
+                      (* The MAC: product registered for [mac_stages]
+                         cycles, then accumulated in place. *)
+                      let p = Builder.mult b av bv in
+                      let pd =
+                        if mac_stages = 0 then p
+                        else Builder.delay b p ~by:mac_stages ~at:Builder.(tk @>> meet)
+                      in
+                      let commit = meet + mac_stages in
+                      let acc =
+                        Builder.mem_read b acc_r
+                          [ idx.(i); idx.(j) ]
+                          ~at:Builder.(tk @>> commit)
+                      in
+                      let s = Builder.add b pd acc in
+                      Builder.mem_write b s acc_w
+                        [ idx.(i); idx.(j) ]
+                        ~at:Builder.(tk @>> commit))
+                done
+              done)
+        in
+        (* Serialized drain through the single Co port, one element per
+           cycle, after the last accumulate has committed (the final
+           wavefront k=N-1 commits at t+N+2(N-1)+1+mac_stages; the loop
+           completes at t+N+1, so 2N+mac_stages clears the corner PE). *)
+        let ds = (2 * n) + mac_stages in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let off = ds + (i * n) + j in
+            let v =
+              Builder.mem_read b acc_r [ idx.(i); idx.(j) ] ~at:Builder.(tf @>> off)
+            in
+            Builder.mem_write b v c_out [ idx.(i); idx.(j) ] ~at:Builder.(tf @>> off)
+          done
+        done;
+        Builder.return_ b []
+      | _ -> assert false)
+
+let build ?n ?mac_stages () =
+  let m = Builder.create_module () in
+  let f = build_into ?n ?mac_stages m in
+  (m, f)
+
+let reference ?(n = n) a bm =
+  Array.init (n * n) (fun i ->
+      let r = i / n and c = i mod n in
+      let acc = ref (Bitvec.zero 32) in
+      for k = 0 to n - 1 do
+        acc := Bitvec.add !acc (Bitvec.mul a.((r * n) + k) bm.((k * n) + c))
+      done;
+      !acc)
+
+let make_inputs ?(n = n) ~seed () =
+  ( Util.test_data ~seed ~n:(n * n) ~width:32,
+    Util.test_data ~seed:(seed + 23) ~n:(n * n) ~width:32 )
+
+let check_interp ?n:(n' = n) ?mac_stages ?(seed = 7) () =
+  let m, f = build ~n:n' ?mac_stages () in
+  let a, bm = make_inputs ~n:n' ~seed () in
+  let result, tensors =
+    Interp.run ~module_op:m ~func:f
+      [ Interp.Tensor a; Interp.Tensor bm; Interp.Out_tensor ]
+  in
+  let out = Interp.tensor_snapshot (tensors 2) ~cycle:max_int in
+  let expected = reference ~n:n' a bm in
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Some got when Bitvec.equal got expected.(i) -> ()
+      | _ -> ok := false)
+    out;
+  if !ok then Ok result else Error "systolic output mismatch"

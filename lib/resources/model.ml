@@ -135,5 +135,76 @@ let design_usage (design : design) =
   in
   usage_of (module_of design.top)
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchy-aware accounting                                           *)
+
+(* [design_usage] above is *inclusive*: every instance is charged its
+   full cost, so N instances of one definition cost N× — the flat
+   numbers, what the hardware actually consumes.  The hierarchical
+   emitter makes a second view meaningful: per distinct definition, the
+   cost of the definition body alone (instances excluded) and how many
+   times the elaborated design stamps it out — "one definition + N
+   instantiations".  [sr_unique] sums each reachable definition once;
+   [sr_total] is the inclusive figure (identical to [design_usage],
+   which the `--no-share` toggle falls back to). *)
+
+type shared_entry = {
+  se_module : string;
+  se_count : int;  (* elaborated instantiation count (top counts as 1) *)
+  se_exclusive : usage;  (* the definition body, instances excluded *)
+}
+
+type shared_report = {
+  sr_entries : shared_entry list;  (* in design order, reachable only *)
+  sr_unique : usage;  (* Σ exclusive, each definition once *)
+  sr_total : usage;  (* inclusive (= design_usage = flat) *)
+}
+
+let exclusive_usage m = module_usage ~instance_usage:(fun _ -> zero) m
+
+let shared_report (design : design) =
+  (* Elaborated instantiation counts.  Emitted designs list every
+     module before its users (definitions before instantiating modules,
+     callees before callers), so one reverse sweep propagates each
+     module's count into its children. *)
+  let counts = Hashtbl.create 16 in
+  Hashtbl.replace counts design.top 1;
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt counts m.mod_name with
+      | None | Some 0 -> ()
+      | Some c ->
+        List.iter
+          (fun item ->
+            match item with
+            | Instance { module_name; _ } ->
+              let prev = Option.value ~default:0 (Hashtbl.find_opt counts module_name) in
+              Hashtbl.replace counts module_name (prev + c)
+            | _ -> ())
+          m.items)
+    (List.rev design.modules);
+  let entries =
+    List.filter_map
+      (fun m ->
+        match Hashtbl.find_opt counts m.mod_name with
+        | None | Some 0 -> None
+        | Some c ->
+          Some { se_module = m.mod_name; se_count = c; se_exclusive = exclusive_usage m })
+      design.modules
+  in
+  {
+    sr_entries = entries;
+    sr_unique = List.fold_left (fun acc e -> acc ++ e.se_exclusive) zero entries;
+    sr_total = design_usage design;
+  }
+
 let pp fmt u =
   Format.fprintf fmt "LUT=%d FF=%d DSP=%d BRAM=%d" u.lut u.ff u.dsp u.bram
+
+let pp_shared fmt r =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-32s x%-4d %a@\n" e.se_module e.se_count pp e.se_exclusive)
+    r.sr_entries;
+  Format.fprintf fmt "  unique logic: %a@\n" pp r.sr_unique;
+  Format.fprintf fmt "  elaborated:   %a" pp r.sr_total

@@ -2,7 +2,16 @@
    flat module, prefixing instance-local signals with the instance
    path.  Input ports become assigns from the (parent-scope) connection
    expressions; output ports become assigns from the child signal into
-   the parent signal. *)
+   the parent signal.
+
+   Elaboration is skeleton-driven: everything about a module that does
+   not depend on where it is instantiated — its port table and the
+   names its items declare — is computed once per module definition and
+   shared by every instance, so a design that instantiates one
+   definition N times (the hierarchical emitter's normal output) does
+   the per-module analysis once, not N times.  Within one instance the
+   local→global rename is memoized per distinct name, so renaming costs
+   one concatenation per name rather than one per reference. *)
 
 open Hir_verilog.Ast
 
@@ -35,41 +44,74 @@ type flat = {
   flat_outputs : string list;
 }
 
+(* Per-module skeleton: the instance-independent part of elaboration. *)
+type skeleton = {
+  sk_module : module_def;
+  sk_ports : (string, port) Hashtbl.t;
+}
+
+let skeleton_of m =
+  let ports = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem ports p.port_name) then Hashtbl.add ports p.port_name p)
+    m.ports;
+  { sk_module = m; sk_ports = ports }
+
 let flatten (design : design) =
-  (* Index modules and their ports by name once (first declaration
-     wins, as with the assoc-list lookups this replaces). *)
-  let modules = Hashtbl.create 16 in
-  let port_tbls = Hashtbl.create 16 in
+  (* Index module skeletons by name once.  Two definitions with the
+     same name would make instance resolution ambiguous; refuse rather
+     than silently letting the first declaration win. *)
+  let skeletons = Hashtbl.create 16 in
   List.iter
     (fun m ->
-      if not (Hashtbl.mem modules m.mod_name) then begin
-        Hashtbl.add modules m.mod_name m;
-        let ports = Hashtbl.create 8 in
-        List.iter
-          (fun p ->
-            if not (Hashtbl.mem ports p.port_name) then Hashtbl.add ports p.port_name p)
-          m.ports;
-        Hashtbl.add port_tbls m.mod_name ports
-      end)
+      if Hashtbl.mem skeletons m.mod_name then
+        fail "duplicate definition of module %s" m.mod_name;
+      Hashtbl.add skeletons m.mod_name (skeleton_of m))
     design.modules;
   let top =
-    match Hashtbl.find_opt modules design.top with
-    | Some m -> m
+    match Hashtbl.find_opt skeletons design.top with
+    | Some sk -> sk
     | None -> fail "top module %s not found" design.top
   in
   let out_items = ref [] in
   let emit i = out_items := i :: !out_items in
-  (* [prefix] maps local names to global ones; ports of the instance
-     are bound via [port_map] to parent-scope global expressions. *)
-  let rec inline ~path ~port_map m =
+  (* Instance-path prefixing ([path ^ name]) is injective only while no
+     signal name embeds the "__" separator ambiguously: instance [a]
+     signal [b] and a sibling wire [a__b] both flatten to "a__b".
+     Track every flattened declaration and fail on the first clash
+     instead of silently merging two nets. *)
+  let declared = Hashtbl.create 64 in
+  let where path = if path = "" then "the top module" else "instance path " ^ path in
+  let declare ~path ~name global =
+    match Hashtbl.find_opt declared global with
+    | Some (path0, name0) ->
+      fail
+        "flattened signal name %s collides: %s declared in %s vs %s declared in %s \
+         (instance-path prefixing joins names with \"__\"; rename one of them)"
+        global name (where path) name0 (where path0)
+    | None -> Hashtbl.add declared global (path, name)
+  in
+  (* [local] maps local names to global ones; ports of the instance are
+     bound via [port_map] to parent-scope global expressions. *)
+  let rec inline ~path ~port_map sk =
+    let m = sk.sk_module in
+    let local_cache = Hashtbl.create 16 in
     let local name =
-      match Hashtbl.find_opt port_map name with
-      | Some (`Alias global) -> global
-      | Some (`Expr _) ->
-        (* Input ports bound to non-trivial expressions get their own
-           prefixed wire, assigned below. *)
-        path ^ name
-      | None -> if path = "" then name else path ^ name
+      match Hashtbl.find_opt local_cache name with
+      | Some g -> g
+      | None ->
+        let g =
+          match Hashtbl.find_opt port_map name with
+          | Some (`Alias global) -> global
+          | Some (`Expr _) ->
+            (* Input ports bound to non-trivial expressions get their
+               own prefixed wire, assigned below. *)
+            path ^ name
+          | None -> if path = "" then name else path ^ name
+        in
+        Hashtbl.add local_cache name g;
+        g
     in
     (* Declare wires for ports bound to expressions and emit the
        binding assigns. *)
@@ -79,36 +121,45 @@ let flatten (design : design) =
         | Some (`Expr e) ->
           (match p.dir with
           | Input ->
+            declare ~path ~name:p.port_name (path ^ p.port_name);
             emit (Wire_decl { name = path ^ p.port_name; width = p.width });
             emit (Assign { target = path ^ p.port_name; expr = e })
           | Output -> fail "output port %s bound to a non-wire expression" p.port_name)
         | Some (`Alias _) -> ()
         | None ->
           (* Unconnected port: dangling wire (reads as 0). *)
+          declare ~path ~name:p.port_name (path ^ p.port_name);
           emit (Wire_decl { name = path ^ p.port_name; width = p.width }))
       m.ports;
     List.iter
       (fun item ->
         match item with
-        | Wire_decl { name; width } -> emit (Wire_decl { name = local name; width })
-        | Reg_decl { name; width } -> emit (Reg_decl { name = local name; width })
+        | Wire_decl { name; width } ->
+          let g = local name in
+          declare ~path ~name g;
+          emit (Wire_decl { name = g; width })
+        | Reg_decl { name; width } ->
+          let g = local name in
+          declare ~path ~name g;
+          emit (Reg_decl { name = g; width })
         | Mem_decl { name; width; depth; style } ->
-          emit (Mem_decl { name = local name; width; depth; style })
+          let g = local name in
+          declare ~path ~name g;
+          emit (Mem_decl { name = g; width; depth; style })
         | Assign { target; expr } ->
           emit (Assign { target = local target; expr = rename_expr local expr })
         | Always_ff stmts -> emit (Always_ff (List.map (rename_stmt local) stmts))
         | Comment c -> emit (Comment c)
         | Instance { module_name; instance_name; connections } -> (
-          match Hashtbl.find_opt modules module_name with
+          match Hashtbl.find_opt skeletons module_name with
           | None -> fail "instance of unknown module %s" module_name
           | Some child ->
             let child_path = path ^ instance_name ^ "__" in
-            let child_ports = Hashtbl.find port_tbls module_name in
             let port_map = Hashtbl.create (List.length connections) in
             List.iter
               (fun (port, actual) ->
                 let dir =
-                  match Hashtbl.find_opt child_ports port with
+                  match Hashtbl.find_opt child.sk_ports port with
                   | Some p -> p.dir
                   | None -> fail "module %s has no port %s" module_name port
                 in
@@ -128,12 +179,12 @@ let flatten (design : design) =
   let inputs =
     List.filter_map
       (fun p -> if p.dir = Input then Some p.port_name else None)
-      top.ports
+      top.sk_module.ports
   in
   let outputs =
     List.filter_map
       (fun p -> if p.dir = Output then Some p.port_name else None)
-      top.ports
+      top.sk_module.ports
   in
   (* Top ports were declared by the unconnected-port case of [inline]
      (the top runs with an empty port map). *)

@@ -172,7 +172,7 @@ let test_assertion_fires_on_conflict () =
           Builder.return_ b []
         | _ -> assert false)
   in
-  let emitted = Emit.emit ~module_op:m ~top:f in
+  let emitted = Emit.emit ~module_op:m ~top:f () in
   let input = Hir_kernels.Util.test_data ~seed:1 ~n:8 ~width:32 in
   let result, _ =
     Harness.run ~emitted
@@ -214,7 +214,7 @@ let test_scalar_results () =
     (m, f)
   in
   let m, f = build () in
-  let emitted = Emit.emit ~module_op:m ~top:f in
+  let emitted = Emit.emit ~module_op:m ~top:f () in
   let bv = Bitvec.of_int ~width:32 in
   let result, _ =
     Harness.run ~emitted

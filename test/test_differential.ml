@@ -162,7 +162,7 @@ let interp_outputs m f =
   Interp.tensor_snapshot (tensors 1) ~cycle:max_int
 
 let rtl_outputs m f =
-  let emitted = Emit.emit ~module_op:m ~top:f in
+  let emitted = Emit.emit ~module_op:m ~top:f () in
   let result, agents =
     Harness.run ~emitted
       ~inputs:[ Harness.Tensor input_data; Harness.Out_tensor ]
@@ -288,7 +288,7 @@ let prop_optimizer_preserves =
       agree expected after)
 
 let rtl_loop_outputs r m f =
-  let emitted = Emit.emit ~module_op:m ~top:f in
+  let emitted = Emit.emit ~module_op:m ~top:f () in
   let result, agents =
     Harness.run ~emitted
       ~inputs:[ Harness.Tensor input_data; Harness.Out_tensor ]
@@ -332,6 +332,178 @@ let prop_loop_optimizer_preserves =
       QCheck.assume (verifier_accepts m2);
       let after = interp_outputs m2 f2 in
       agree expected after)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical emission: flat vs. outlined designs in lockstep.
+
+   The outliner must be behaviorally invisible: a design emitted with
+   the definition cache on (structurally identical unrolled clones
+   shared as module definitions, wide port arbitration lowered to
+   chains of shared stages) must produce the same outputs and the same
+   assertion failures as the flat emission of the same IR.  Pinned two
+   ways: a qcheck property over random unrolled bodies (the shape the
+   outliner exists for), and full kernel runs (gemm, systolic) against
+   their reference models. *)
+
+type unroll_recipe = {
+  ur_iters : int;  (* unrolled trip count, 2..6 *)
+  ur_chain : (string * int) list;  (* per-clone binop chain *)
+  ur_stages : int;  (* extra delay stages before the write, 0..2 *)
+}
+
+let unroll_recipe_to_string r =
+  Printf.sprintf "iters=%d chain=[%s] stages=%d" r.ur_iters
+    (String.concat "; " (List.map (fun (op, c) -> Printf.sprintf "%s %d" op c) r.ur_chain))
+    r.ur_stages
+
+let gen_unroll_recipe : unroll_recipe QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ur_iters = int_range 2 6 in
+  let* n_chain = int_range 1 5 in
+  let* ur_chain = list_repeat n_chain (pair (oneofl ops_pool) (int_range (-100) 1000)) in
+  let* ur_stages = int_range 0 2 in
+  return { ur_iters; ur_chain; ur_stages }
+
+(* out[u] = chain(inp[u]), one unroll_for clone per u, iterations
+   serialized by the yield offset so the shared memory ports see one
+   access per cycle.  Every clone has the same shape, so the emitter's
+   grouping marks [ur_iters] structurally identical sites. *)
+let build_unroll_design r =
+  let m = Builder.create_module () in
+  let f =
+    Builder.func m ~name:"unrollfuzz"
+      ~args:
+        [
+          Builder.arg "inp"
+            (Types.memref ~dims:[ input_size ] ~elem:Typ.i32 ~port:Types.Read ());
+          Builder.arg "out"
+            (Types.memref ~dims:[ input_size ] ~elem:Typ.i32 ~port:Types.Write ());
+        ]
+      (fun b args t ->
+        match args with
+        | [ inp; out ] ->
+          let _tf =
+            Builder.unroll_for b ~iv_hint:"u" ~lb:0 ~ub:r.ur_iters ~step:1
+              ~at:Builder.(t @>> 1)
+              (fun b ~iv:u ~ti:tu ->
+                Builder.yield b ~at:Builder.(tu @>> 1);
+                let v = Builder.mem_read b inp [ u ] ~at:Builder.(tu @>> 0) in
+                let v =
+                  List.fold_left
+                    (fun v (op, c) -> Builder.binop op b v (Builder.constant b c))
+                    v r.ur_chain
+                in
+                let v =
+                  if r.ur_stages = 0 then v
+                  else Builder.delay b v ~by:r.ur_stages ~at:Builder.(tu @>> 1)
+                in
+                Builder.mem_write b v out [ u ] ~at:Builder.(tu @>> (1 + r.ur_stages)))
+          in
+          Builder.return_ b []
+        | _ -> assert false)
+  in
+  (m, f)
+
+let arb_unroll_recipe = QCheck.make ~print:unroll_recipe_to_string gen_unroll_recipe
+
+let harness_outputs ~hier (m, f) =
+  let emitted = Emit.compile ~hier ~module_op:m ~top:f () in
+  let result, agents =
+    Harness.run ~emitted
+      ~inputs:[ Harness.Tensor input_data; Harness.Out_tensor ]
+      ~cycles:60 ()
+  in
+  (result.Harness.failures, Harness.nth_tensor agents 1)
+
+let prop_hier_lockstep =
+  QCheck.Test.make ~count:80 ~name:"flat == hierarchical on unrolled designs"
+    arb_unroll_recipe (fun recipe ->
+      let expected =
+        let m, f = build_unroll_design recipe in
+        interp_outputs m f
+      in
+      let flat_failures, flat_out = harness_outputs ~hier:false (build_unroll_design recipe) in
+      let hier_failures, hier_out = harness_outputs ~hier:true (build_unroll_design recipe) in
+      if List.length flat_failures <> List.length hier_failures then
+        QCheck.Test.fail_report "flat and hierarchical failure counts differ";
+      if not (agree flat_out hier_out) then
+        QCheck.Test.fail_report "flat != hierarchical outputs";
+      if not (agree expected hier_out) then
+        QCheck.Test.fail_report "interp != hierarchical outputs"
+      else true)
+
+(* Full kernels, flat vs. hierarchical vs. reference model — the
+   RTL-vs-reference differential check for the systolic generator, and
+   the same for gemm (whose PE grid is the outliner's original
+   target).  Runs both unoptimized and under the full pass pipeline. *)
+let kernel_lockstep ~build ~inputs ~expected ~out_slot ~cycles () =
+  let run ~hier ~optimize =
+    let m, f = build () in
+    let emitted = Emit.compile ~optimize ~hier ~module_op:m ~top:f () in
+    let result, agents = Harness.run ~emitted ~inputs ~cycles () in
+    (result.Harness.failures, Harness.nth_tensor agents out_slot, emitted)
+  in
+  List.iter
+    (fun optimize ->
+      let flat_failures, flat_out, _ = run ~hier:false ~optimize in
+      let hier_failures, hier_out, hier_emitted = run ~hier:true ~optimize in
+      Alcotest.(check int)
+        (Printf.sprintf "failure counts agree (optimize=%b)" optimize)
+        (List.length flat_failures) (List.length hier_failures);
+      Alcotest.(check bool)
+        (Printf.sprintf "no assertion failures (optimize=%b)" optimize)
+        true (hier_failures = []);
+      Alcotest.(check bool)
+        (Printf.sprintf "flat == hierarchical (optimize=%b)" optimize)
+        true (agree flat_out hier_out);
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Some got when Bitvec.equal got expected.(i) -> ()
+          | _ ->
+            Alcotest.failf "output %d disagrees with the reference (optimize=%b)" i
+              optimize)
+        hier_out;
+      (* The definition cache must actually fire on these kernels:
+         hierarchy, not just equivalence. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "design is hierarchical (optimize=%b)" optimize)
+        true
+        (List.length hier_emitted.Emit.design.Hir_verilog.Ast.modules > 1))
+    [ false; true ]
+
+let test_gemm_lockstep () =
+  let n = 4 in
+  let a, bm = Hir_kernels.Systolic.make_inputs ~n ~seed:11 () in
+  kernel_lockstep
+    ~build:(fun () -> Hir_kernels.Gemm.build ~n ())
+    ~inputs:[ Harness.Tensor a; Harness.Tensor bm; Harness.Out_tensor ]
+    ~expected:(Hir_kernels.Systolic.reference ~n a bm)
+    ~out_slot:2
+    ~cycles:((6 * n * n) + 60)
+    ()
+
+let test_systolic_lockstep () =
+  let n = 4 in
+  let a, bm = Hir_kernels.Systolic.make_inputs ~n ~seed:7 () in
+  kernel_lockstep
+    ~build:(fun () -> Hir_kernels.Systolic.build ~n ())
+    ~inputs:[ Harness.Tensor a; Harness.Tensor bm; Harness.Out_tensor ]
+    ~expected:(Hir_kernels.Systolic.reference ~n a bm)
+    ~out_slot:2
+    ~cycles:((6 * n * n) + 60)
+    ()
+
+let test_systolic_deep_mac_lockstep () =
+  let n = 5 in
+  let a, bm = Hir_kernels.Systolic.make_inputs ~n ~seed:3 () in
+  kernel_lockstep
+    ~build:(fun () -> Hir_kernels.Systolic.build ~n ~mac_stages:3 ())
+    ~inputs:[ Harness.Tensor a; Harness.Tensor bm; Harness.Out_tensor ]
+    ~expected:(Hir_kernels.Systolic.reference ~n a bm)
+    ~out_slot:2
+    ~cycles:((6 * n * n) + 60)
+    ()
 
 (* The greedy worklist driver and the legacy whole-module-scan pass
    loop are two independent implementations of canonicalize; on every
@@ -393,5 +565,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_driver_matches_legacy;
           QCheck_alcotest.to_alcotest prop_loop_driver_matches_legacy;
           Alcotest.test_case "generator acceptance rate" `Quick test_acceptance_rate;
+        ] );
+      ( "hierarchy",
+        [
+          QCheck_alcotest.to_alcotest prop_hier_lockstep;
+          Alcotest.test_case "gemm flat == hierarchical == reference" `Quick
+            test_gemm_lockstep;
+          Alcotest.test_case "systolic flat == hierarchical == reference" `Quick
+            test_systolic_lockstep;
+          Alcotest.test_case "systolic deep MAC lockstep" `Quick
+            test_systolic_deep_mac_lockstep;
         ] );
     ]

@@ -123,7 +123,7 @@ let test_link_design_matches_pretty () =
         | Some f -> f
         | None -> Alcotest.fail "transpose vanished"
       in
-      let emitted = Hir_codegen.Emit.emit ~module_op:m ~top in
+      let emitted = Hir_codegen.Emit.emit ~module_op:m ~top () in
       let design = emitted.Hir_codegen.Emit.design in
       let whole = Hir_verilog.Pretty.design_to_string design in
       let relinked =

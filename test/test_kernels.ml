@@ -122,6 +122,14 @@ let () =
           kernels );
       ( "schedule shape",
         [
+          Alcotest.test_case "systolic parameterized" `Quick
+            (fun () ->
+              List.iter
+                (fun (n, mac) ->
+                  match Hir_kernels.Systolic.check_interp ~n ~mac_stages:mac () with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "systolic n=%d mac=%d: %s" n mac e)
+                [ (2, 0); (4, 1); (6, 2) ]);
           Alcotest.test_case "transpose pipelined latency" `Quick test_transpose_latency;
           Alcotest.test_case "histogram II=2" `Quick test_histogram_ii2;
           Alcotest.test_case "gemm PE parallelism" `Quick test_gemm_parallelism;

@@ -434,6 +434,134 @@ let test_flatten_hierarchy () =
   check_int "two instances chained" 13 (Bitvec.to_int (Sim.peek sim "out"))
 
 (* ------------------------------------------------------------------ *)
+(* Elaboration error paths                                             *)
+
+let inc_child =
+  {
+    V.mod_name = "inc";
+    ports =
+      [
+        { V.port_name = "clk"; dir = V.Input; width = 1 };
+        { V.port_name = "x"; dir = V.Input; width = 8 };
+        { V.port_name = "y"; dir = V.Output; width = 8 };
+      ];
+    items =
+      [ V.Assign { target = "y"; expr = V.Binop (V.Add, V.Ref "x", V.const_int ~width:8 1) } ];
+  }
+
+let elab_fails ~needle modules =
+  match Flatten.flatten { V.modules; top = "top" } with
+  | _ -> Alcotest.failf "expected Elab_error mentioning %S" needle
+  | exception Flatten.Elab_error msg ->
+    check_bool (Printf.sprintf "message %S mentions %S" msg needle) true
+      (contains msg needle)
+
+let test_duplicate_module_rejected () =
+  (* Two definitions under one name used to be resolved silently by
+     "first declaration wins"; now instance resolution refuses. *)
+  elab_fails ~needle:"duplicate definition of module inc"
+    [ inc_child; { inc_child with V.items = [] }; simple_module [] ]
+
+let test_unknown_module () =
+  elab_fails ~needle:"unknown module ghost"
+    [
+      simple_module
+        [ V.Instance { module_name = "ghost"; instance_name = "u"; connections = [] } ];
+    ]
+
+let test_unknown_port () =
+  elab_fails ~needle:"no port nope"
+    [
+      inc_child;
+      simple_module
+        [
+          V.Instance
+            {
+              module_name = "inc";
+              instance_name = "u";
+              connections = [ ("nope", V.Ref "clk") ];
+            };
+        ];
+    ]
+
+let test_output_port_needs_wire () =
+  elab_fails ~needle:"output port y needs a plain wire"
+    [
+      inc_child;
+      simple_module
+        [
+          V.Instance
+            {
+              module_name = "inc";
+              instance_name = "u";
+              connections =
+                [ ("y", V.Binop (V.Add, V.Ref "clk", V.const_int ~width:8 1)) ];
+            };
+        ];
+    ]
+
+let test_unconnected_port_dangles () =
+  (* An unconnected input becomes a dangling prefixed wire that reads
+     as zero, so the child still elaborates and computes 0 + 1. *)
+  let top =
+    simple_module
+      ~ports:[ { V.port_name = "out"; dir = V.Output; width = 8 } ]
+      [
+        V.Instance
+          {
+            module_name = "inc";
+            instance_name = "u1";
+            connections = [ ("clk", V.Ref "clk"); ("y", V.Ref "out") ];
+          };
+      ]
+  in
+  let flat = Flatten.flatten { V.modules = [ inc_child; top ]; top = "top" } in
+  check_bool "dangling wire declared" true
+    (List.exists
+       (function V.Wire_decl { name = "u1__x"; width = 8 } -> true | _ -> false)
+       flat.Flatten.flat_items);
+  let sim = Sim.create flat in
+  Sim.settle_only sim;
+  check_int "dangling input reads as zero" 1 (Bitvec.to_int (Sim.peek sim "out"))
+
+let test_prefix_collision_detected () =
+  (* Instance [u1] signal [x] flattens to "u1__x"; a sibling wire
+     already named "u1__x" must be a hard error, not a silent merge. *)
+  elab_fails ~needle:"u1__x collides"
+    [
+      inc_child;
+      simple_module
+        [
+          V.Wire_decl { name = "u1__x"; width = 8 };
+          V.Instance
+            {
+              module_name = "inc";
+              instance_name = "u1";
+              connections = [ ("clk", V.Ref "clk") ];
+            };
+        ];
+    ]
+
+let test_prefix_collision_clean_case () =
+  (* Names containing "__" are fine while they do not collide with an
+     actual instance path. *)
+  let top =
+    simple_module
+      [
+        V.Wire_decl { name = "u1__other"; width = 8 };
+        V.Assign { target = "u1__other"; expr = V.const_int ~width:8 5 };
+        V.Instance
+          {
+            module_name = "inc";
+            instance_name = "u1";
+            connections = [ ("clk", V.Ref "clk") ];
+          };
+      ]
+  in
+  let flat = Flatten.flatten { V.modules = [ inc_child; top ]; top = "top" } in
+  check_bool "clean design elaborates" true (flat.Flatten.flat_items <> [])
+
+(* ------------------------------------------------------------------ *)
 (* Pretty printer                                                      *)
 
 let test_pretty_output () =
@@ -527,7 +655,21 @@ let () =
           Alcotest.test_case "assertion capture" `Quick test_assertion_capture;
         ] );
       ( "hierarchy",
-        [ Alcotest.test_case "flatten two levels" `Quick test_flatten_hierarchy ] );
+        [
+          Alcotest.test_case "flatten two levels" `Quick test_flatten_hierarchy;
+          Alcotest.test_case "duplicate module rejected" `Quick
+            test_duplicate_module_rejected;
+          Alcotest.test_case "unknown module" `Quick test_unknown_module;
+          Alcotest.test_case "unknown port" `Quick test_unknown_port;
+          Alcotest.test_case "output port needs wire" `Quick
+            test_output_port_needs_wire;
+          Alcotest.test_case "unconnected port dangles" `Quick
+            test_unconnected_port_dangles;
+          Alcotest.test_case "prefix collision detected" `Quick
+            test_prefix_collision_detected;
+          Alcotest.test_case "prefix collision clean case" `Quick
+            test_prefix_collision_clean_case;
+        ] );
       ("pretty", [ Alcotest.test_case "verilog text" `Quick test_pretty_output ]);
       ("vcd", [ Alcotest.test_case "waveform dump" `Quick test_vcd_dump ]);
     ]
