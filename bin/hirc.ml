@@ -25,11 +25,15 @@
      hirc cache <dir> [--verify] [--prune]
          check every cache entry against its content digest
          (quarantining damaged ones) and/or empty the quarantine
-     hirc sim <kernel> [--cycles N] [--engine compiled|reference]
-              [--stats] [--vcd out.vcd] [--hls] [--inject SPEC]
+     hirc sim <kernel> [--cycles N] [--engine opcode|compiled|reference]
+              [--partitions auto|N] [--batch K] [--stats] [--vcd out.vcd]
+              [--hls] [--inject SPEC]
          compile a built-in kernel and run it in the RTL simulator with
-         generic inputs; --stats reports the simulator's own counters
-         (settles, assigns evaluated vs skipped, fast-path hit rate)
+         generic inputs; --partitions controls the opcode engine's
+         parallel settle, --batch runs K interleaved stimuli through
+         one compiled program, --stats reports the simulator's own
+         counters (settles, assigns evaluated vs skipped, fast-path hit
+         rate, partitions)
 
    The end-to-end flow (parse → verify → passes → emit) lives in
    [Hir_driver.Driver]; this file is only the command-line surface. *)
@@ -473,6 +477,50 @@ let fuzz_cmd =
 module Emit = Hir_codegen.Emit
 module Harness = Hir_rtl.Harness
 
+(* Located diagnostics for `hirc sim` argument validation: the flag
+   name doubles as the pseudo-file, so a bad value renders like the
+   pass parser's errors ("--engine:1:1: ...") and can carry a
+   "did you mean" suggestion, instead of cmdliner's bare failure. *)
+let arg_diag ~flag msg = Diagnostic.error (Location.file ~file:flag ~line:1 ~col:1) msg
+
+let parse_engine s =
+  match Hir_rtl.Sim.engine_of_string s with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (arg_diag ~flag:"--engine"
+         (Printf.sprintf "unknown engine %s%s (one of: %s)" s
+            (did_you_mean
+               (Hir_kernels.Kernels.suggest_from ~candidates:Hir_rtl.Sim.engine_names s))
+            (String.concat ", " Hir_rtl.Sim.engine_names)))
+
+(* "auto" (0: size to the machine) or an explicit count >= 1. *)
+let parse_partitions s =
+  if s = "auto" then Ok 0
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (arg_diag ~flag:"--partitions"
+           (Printf.sprintf "partition count must be >= 1 (got %d)" n))
+    | None ->
+      Error
+        (arg_diag ~flag:"--partitions"
+           (Printf.sprintf "invalid partition count %s%s (expected a positive integer or auto)"
+              s
+              (did_you_mean (Hir_kernels.Kernels.suggest_from ~candidates:[ "auto" ] s))))
+
+let parse_batch s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Ok n
+  | Some n ->
+    Error (arg_diag ~flag:"--batch" (Printf.sprintf "batch size must be >= 1 (got %d)" n))
+  | None ->
+    Error
+      (arg_diag ~flag:"--batch"
+         (Printf.sprintf "invalid batch size %s (expected a positive integer)" s))
+
 let sim_cmd =
   let kernel_arg =
     Arg.(
@@ -488,10 +536,27 @@ let sim_cmd =
   in
   let engine_arg =
     Arg.(
-      value
-      & opt (enum [ ("compiled", `Compiled); ("reference", `Reference) ]) `Compiled
+      value & opt string "opcode"
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"Simulation engine: $(b,compiled) (default) or $(b,reference)")
+          ~doc:
+            "Simulation engine: $(b,opcode) (default), $(b,compiled) or \
+             $(b,reference)")
+  in
+  let partitions_arg =
+    Arg.(
+      value & opt string "auto"
+      & info [ "partitions" ] ~docv:"P"
+          ~doc:
+            "Partitions for the opcode engine's parallel settle: $(b,auto) \
+             (default, sized to the machine) or an explicit count >= 1")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt string "1"
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Run $(docv) interleaved copies of the stimulus through one \
+             compiled program (elaboration is paid once)")
   in
   let vcd_arg =
     Arg.(
@@ -507,7 +572,18 @@ let sim_cmd =
             "Simulate the HLS-compiled variant from the evaluation suite instead of \
              the native HIR kernel")
   in
-  let run name cycles engine stats vcd_path use_hls inject inject_seed =
+  let run name cycles engine_s partitions_s batch_s stats vcd_path use_hls inject
+      inject_seed =
+    let ( let* ) r f =
+      match r with
+      | Error d ->
+        Printf.eprintf "%s\n" (Diagnostic.to_string d);
+        1
+      | Ok v -> f v
+    in
+    let* engine = parse_engine engine_s in
+    let* partitions = parse_partitions partitions_s in
+    let* batch = parse_batch batch_s in
     match fault_config_of inject inject_seed with
     | Error e ->
       prerr_endline e;
@@ -570,18 +646,31 @@ let sim_cmd =
           let r, _ = Interp.run ~module_op:m ~func:f (List.map snd inputs) in
           r.Interp.cycles
       in
-      let (result, _agents), counters =
+      let results, counters =
         Pass.with_counters (fun () ->
             with_faults fault_cfg (fun () ->
-                Harness.run ~engine ?vcd_path ~emitted ~inputs:harness_inputs ~cycles ()))
+                if batch = 1 then
+                  [ Harness.run ~engine ~partitions ?vcd_path ~emitted
+                      ~inputs:harness_inputs ~cycles () ]
+                else
+                  (* --vcd samples a single simulation; batched runs
+                     skip waveform dumping. *)
+                  Harness.run_batch ~engine ~partitions ~emitted
+                    ~stimuli:(List.init batch (fun _ -> harness_inputs))
+                    ~cycles ()))
       in
-      Printf.printf "%s: %d cycles on the %s engine%s, %d assertion failure(s)\n" name
+      let result, _agents = List.hd results in
+      let total_failures =
+        List.fold_left (fun acc (r, _) -> acc + List.length r.Harness.failures) 0 results
+      in
+      Printf.printf "%s: %d cycles%s on the %s engine%s, %d assertion failure(s)\n" name
         result.Harness.cycles_run
-        (match result.Harness.engine_used with
-        | `Compiled -> "compiled"
-        | `Reference -> "reference")
-        (if result.Harness.engine_used <> engine then " (degraded from compiled)" else "")
-        (List.length result.Harness.failures);
+        (if batch > 1 then Printf.sprintf " x %d stimuli" batch else "")
+        (Hir_rtl.Sim.engine_name result.Harness.engine_used)
+        (if result.Harness.engine_used <> engine then
+           Printf.sprintf " (degraded from %s)" (Hir_rtl.Sim.engine_name engine)
+         else "")
+        total_failures;
       List.iter
         (fun (fl : Hir_rtl.Sim.assertion_failure) ->
           Printf.printf "  assertion at cycle %d: %s\n" fl.Hir_rtl.Sim.at_cycle
@@ -592,13 +681,13 @@ let sim_cmd =
         result.Harness.output_values;
       if stats then
         List.iter (fun (cname, n) -> Printf.printf "  %-28s %10d\n" cname n) counters;
-      if result.Harness.failures = [] then 0 else 1
+      if total_failures = 0 then 0 else 1
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a built-in kernel in the RTL simulator")
     Term.(
-      const run $ kernel_arg $ cycles_arg $ engine_arg $ stats_arg $ vcd_arg $ hls_arg
-      $ inject_arg $ inject_seed_arg)
+      const run $ kernel_arg $ cycles_arg $ engine_arg $ partitions_arg $ batch_arg
+      $ stats_arg $ vcd_arg $ hls_arg $ inject_arg $ inject_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hirc cache                                                          *)

@@ -16,14 +16,26 @@ type input =
   | Tensor of Bitvec.t array
   | Out_tensor
 
-type agent = {
-  ag_iface : Emit.mem_iface;
-  ag_tensor : Bitvec.t option array;  (* linear row-major; None = uninitialized *)
-  ag_linear : (int * int) -> int option;  (* (bank, addr) -> linear index *)
-  mutable ag_pending : (string * Bitvec.t) list;  (* data port -> value to drive next cycle *)
+(* Per-bank port accessors, resolved against the simulator once at
+   agent construction ([Sim.reader]/[Sim.writer]) so the per-cycle
+   observe/drive loop does no name lookups. *)
+type agent_bank = {
+  b_rd : ((unit -> Bitvec.t) * (unit -> Bitvec.t) * (Bitvec.t -> unit)) option;
+      (* en, addr, drive-data *)
+  b_wr : ((unit -> Bitvec.t) * (unit -> Bitvec.t) * (unit -> Bitvec.t)) option;
+      (* en, addr, data *)
 }
 
-let build_agent (mi : Emit.mem_iface) init =
+type agent = {
+  ag_elem_width : int;
+  ag_tensor : Bitvec.t option array;  (* linear row-major; None = uninitialized *)
+  ag_linear : (int * int) -> int option;  (* (bank, addr) -> linear index *)
+  ag_banks : agent_bank array;
+  mutable ag_pending : ((Bitvec.t -> unit) * Bitvec.t) list;
+      (* data-port writers to drive next cycle *)
+}
+
+let build_agent sim (mi : Emit.mem_iface) init =
   let info = mi.Emit.mi_info in
   let n = Hir_dialect.Types.num_elements info in
   let depth = Hir_dialect.Types.bank_depth info in
@@ -35,72 +47,84 @@ let build_agent (mi : Emit.mem_iface) init =
       in
       Hashtbl.replace table ((bank * depth) + addr) linear)
     (Types.layout info);
+  let resolve_bank (names : Emit.bank_names) =
+    {
+      b_rd =
+        Option.map
+          (fun (en, addr, data) -> (Sim.reader sim en, Sim.reader sim addr, Sim.writer sim data))
+          names.Emit.bn_rd;
+      b_wr =
+        Option.map
+          (fun (en, addr, data) -> (Sim.reader sim en, Sim.reader sim addr, Sim.reader sim data))
+          names.Emit.bn_wr;
+    }
+  in
   {
-    ag_iface = mi;
+    ag_elem_width = mi.Emit.mi_elem_width;
     ag_tensor =
       (match init with
       | Some values -> Array.map Option.some values
       | None -> Array.make n None);
     ag_linear = (fun (bank, addr) -> Hashtbl.find_opt table ((bank * depth) + addr));
+    ag_banks = Array.map resolve_bank mi.Emit.mi_banks;
     ag_pending = [];
   }
 
 let agent_tensor ag = ag.ag_tensor
 
 (* Drive data inputs captured last cycle. *)
-let agent_drive ag sim =
-  List.iter (fun (port, v) -> Sim.set_input sim port v) ag.ag_pending;
+let agent_drive ag =
+  List.iter (fun (drive, v) -> drive v) ag.ag_pending;
   ag.ag_pending <- []
 
 (* Observe settled outputs: capture reads (respond next cycle), apply
    writes (visible next cycle). *)
-let agent_observe ag sim =
+let agent_observe ag =
   let tensor = ag.ag_tensor in
   Array.iteri
-    (fun b (names : Emit.bank_names) ->
-      (match names.Emit.bn_rd with
-      | Some (en, addr, data) ->
-        if not (Bitvec.is_zero (Sim.peek sim en)) then begin
-          let a = Bitvec.to_int (Sim.peek sim addr) in
+    (fun b bank ->
+      (match bank.b_rd with
+      | Some (en, addr, drive) ->
+        if not (Bitvec.is_zero (en ())) then begin
+          let a = Bitvec.to_int (addr ()) in
           let value =
             match ag.ag_linear (b, a) with
             | Some linear -> (
               match tensor.(linear) with
               | Some v -> v
-              | None -> Bitvec.zero ag.ag_iface.Emit.mi_elem_width
+              | None -> Bitvec.zero ag.ag_elem_width
                 (* uninitialized read: UB in HIR; the interpreter
                    rejects it, the RTL agent returns zeros *))
-            | None -> Bitvec.zero ag.ag_iface.Emit.mi_elem_width
+            | None -> Bitvec.zero ag.ag_elem_width
           in
-          ag.ag_pending <- (data, value) :: ag.ag_pending
+          ag.ag_pending <- (drive, value) :: ag.ag_pending
         end
       | None -> ());
-      match names.Emit.bn_wr with
+      match bank.b_wr with
       | Some (en, addr, data) ->
-        if not (Bitvec.is_zero (Sim.peek sim en)) then begin
-          let a = Bitvec.to_int (Sim.peek sim addr) in
+        if not (Bitvec.is_zero (en ())) then begin
+          let a = Bitvec.to_int (addr ()) in
           match ag.ag_linear (b, a) with
-          | Some linear -> tensor.(linear) <- Some (Sim.peek sim data)
+          | Some linear -> tensor.(linear) <- Some (data ())
           | None -> ()
         end
       | None -> ())
-    ag.ag_iface.Emit.mi_banks
+    ag.ag_banks
 
 type run_result = {
   failures : Sim.assertion_failure list;
   cycles_run : int;
   output_values : (string * Bitvec.t) list;  (* scalar results at the end *)
-  engine_used : [ `Compiled | `Reference ];
+  engine_used : Sim.engine;
       (* the engine that actually produced this result — [`Reference]
-         with [~engine:`Compiled] means the degradation ladder fired *)
+         with a compiled engine requested means the degradation ladder
+         fired *)
   sim_stats : Sim.stats;
 }
 
-let run_once ?(extra_cycles = 8) ~engine ?vcd_path ~(emitted : Emit.emitted)
-    ~inputs ~cycles () =
-  let flat = Flatten.flatten emitted.Emit.design in
-  let sim = Sim.create ~engine flat in
-  let vcd = Option.map (fun path -> Vcd.create ~path sim) vcd_path in
+(* Drive scalar arguments and build one memory agent per memref
+   argument of [sim]. *)
+let setup_agents sim ~(emitted : Emit.emitted) ~inputs =
   let args = emitted.Emit.top_iface.Emit.ifc_args in
   if List.length args <> List.length inputs then
     failwith "harness: input count mismatch";
@@ -111,54 +135,105 @@ let run_once ?(extra_cycles = 8) ~engine ?vcd_path ~(emitted : Emit.emitted)
         | Emit.Ifc_scalar (name, w, _), Scalar v ->
           Sim.set_input sim name (Bitvec.resize ~width:w v);
           None
-        | Emit.Ifc_mem mi, Tensor init -> Some (build_agent mi (Some init))
-        | Emit.Ifc_mem mi, Out_tensor -> Some (build_agent mi None)
+        | Emit.Ifc_mem mi, Tensor init -> Some (build_agent sim mi (Some init))
+        | Emit.Ifc_mem mi, Out_tensor -> Some (build_agent sim mi None)
         | _ -> failwith "harness: input does not match the interface")
       args inputs
   in
-  let agents = List.filter_map (fun x -> x) agents in
-  let total = cycles + extra_cycles in
-  for c = 0 to total - 1 do
-    Sim.set_input sim "t_start" (Bitvec.of_bool (c = 0));
-    List.iter (fun ag -> agent_drive ag sim) agents;
-    Sim.settle_only sim;
-    Option.iter (fun v -> Vcd.sample v sim) vcd;
-    List.iter (fun ag -> agent_observe ag sim) agents;
-    Sim.clock sim
-  done;
+  List.filter_map (fun x -> x) agents
+
+(* One simulation cycle: drive, settle, optionally sample the VCD,
+   observe memory traffic against the settled state, clock.  [start]
+   is the pre-resolved writer for the t_start pulse. *)
+let cycle_once sim ~start agents vcd ~is_first =
+  start (Bitvec.of_bool is_first);
+  List.iter agent_drive agents;
   Sim.settle_only sim;
-  Option.iter Vcd.close vcd;
+  Option.iter (fun v -> Vcd.sample v sim) vcd;
+  List.iter agent_observe agents;
+  Sim.clock sim
+
+(* Final settle, scalar outputs, stats. *)
+let finish_run sim ~(emitted : Emit.emitted) ~total =
+  Sim.settle_only sim;
   let output_values =
     List.map
       (fun (name, _, _) -> (name, Sim.peek sim name))
       emitted.Emit.top_iface.Emit.ifc_results
   in
   Sim.record_stats sim;
-  let result =
-    {
-      failures = Sim.failures sim;
-      cycles_run = total;
-      output_values;
-      engine_used = engine;
-      sim_stats = Sim.stats sim;
-    }
-  in
+  {
+    failures = Sim.failures sim;
+    cycles_run = total;
+    output_values;
+    engine_used = Sim.engine sim;
+    sim_stats = Sim.stats sim;
+  }
+
+let run_once ?(extra_cycles = 8) ~engine ?(partitions = 0) ?vcd_path
+    ~(emitted : Emit.emitted) ~inputs ~cycles () =
+  let flat = Flatten.flatten emitted.Emit.design in
+  let sim = Sim.create ~engine ~partitions flat in
+  let vcd = Option.map (fun path -> Vcd.create ~path sim) vcd_path in
+  let agents = setup_agents sim ~emitted ~inputs in
+  let start = Sim.writer sim "t_start" in
+  let total = cycles + extra_cycles in
+  for c = 0 to total - 1 do
+    cycle_once sim ~start agents vcd ~is_first:(c = 0)
+  done;
+  let result = finish_run sim ~emitted ~total in
+  Option.iter Vcd.close vcd;
   (result, agents)
 
-(* Degradation ladder: an internal [Sim_error] from the compiled engine
+(* Degradation ladder: an internal [Sim_error] from a compiled engine
    (a compilation bug, or an injected "sim.settle" fault) falls back to
    a full re-run on the reference tree walker — slower, but the
-   executable specification.  The fallback is recorded through
-   [Pass.record_counter], so `hirc sim --stats` and Chrome traces show
-   "sim.fallback_reference" instead of degrading silently.  A
-   [Sim_error] from the reference engine itself propagates: there is no
-   lower rung. *)
-let run ?extra_cycles ?(engine = `Compiled) ?vcd_path ~emitted ~inputs ~cycles () =
-  match run_once ?extra_cycles ~engine ?vcd_path ~emitted ~inputs ~cycles () with
+   executable specification.  Both compiled engines (opcode and
+   closure-based) sit on the same rung; the fallback is recorded
+   through [Pass.record_counter], so `hirc sim --stats` and Chrome
+   traces show "sim.fallback_reference" instead of degrading silently.
+   A [Sim_error] from the reference engine itself propagates: there is
+   no lower rung. *)
+let run ?extra_cycles ?(engine = `Opcode) ?partitions ?vcd_path ~emitted ~inputs
+    ~cycles () =
+  match run_once ?extra_cycles ~engine ?partitions ?vcd_path ~emitted ~inputs ~cycles () with
   | result -> result
-  | exception Sim.Sim_error _ when engine = `Compiled ->
+  | exception Sim.Sim_error _ when engine <> `Reference ->
     Hir_ir.Pass.record_counter "sim.fallback_reference";
     run_once ?extra_cycles ~engine:`Reference ?vcd_path ~emitted ~inputs ~cycles ()
+
+(* Batched multi-stimulus execution: flatten and compile once, then run
+   one simulator per stimulus — [Sim.fork] shares the opcode engine's
+   compiled program, so each extra stimulus costs only fresh register
+   files.  The K simulations advance in lockstep, interleaved cycle by
+   cycle.  Returns one [(result, agents)] per stimulus, in order.  The
+   degradation ladder applies to the batch as a whole: any [Sim_error]
+   re-runs every stimulus on the reference walker. *)
+let run_batch ?(extra_cycles = 8) ?(engine = `Opcode) ?(partitions = 0) ~emitted
+    ~stimuli ~cycles () =
+  let attempt engine =
+    let flat = Flatten.flatten (emitted : Emit.emitted).Emit.design in
+    let proto = Sim.create ~engine ~partitions flat in
+    let runs =
+      List.mapi
+        (fun i inputs ->
+          let sim = if i = 0 then proto else Sim.fork proto in
+          (sim, Sim.writer sim "t_start", setup_agents sim ~emitted ~inputs))
+        stimuli
+    in
+    let total = cycles + extra_cycles in
+    for c = 0 to total - 1 do
+      List.iter
+        (fun (sim, start, agents) -> cycle_once sim ~start agents None ~is_first:(c = 0))
+        runs
+    done;
+    List.map (fun (sim, _, agents) -> (finish_run sim ~emitted ~total, agents)) runs
+  in
+  match attempt engine with
+  | results -> results
+  | exception Sim.Sim_error _ when engine <> `Reference ->
+    Hir_ir.Pass.record_counter "sim.fallback_reference";
+    attempt `Reference
 
 (* Snapshot of the [i]-th memref argument after a run (memref args
    only, in interface order). *)

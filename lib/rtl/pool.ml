@@ -1,0 +1,97 @@
+(* A minimal process-wide domain pool for the partitioned simulator.
+
+   The partitioned opcode engine settles each netlist partition on its
+   own domain with a per-settle barrier.  Settles are microseconds, so
+   the pool must not spawn domains per call: worker domains are spawned
+   lazily on first use and then live for the process (they are plain
+   system threads, torn down by process exit), blocking on a condition
+   variable between batches — no busy-waiting between settles.
+
+   [run tasks] executes every task, running the first on the calling
+   domain (hiding the hand-off latency for one partition) and the rest
+   on pool workers, and returns when all are done.  Any exception
+   raised by a task is re-raised on the caller after the barrier, so a
+   partitioned settle fails like a sequential one.  Concurrent [run]
+   calls from different domains are safe: each batch tracks its own
+   completion count under the shared lock.
+
+   This deliberately does not reuse the driver's [Service] pool:
+   lib/rtl must not depend on lib/driver (the dependency points the
+   other way), and the service pool is built for jobs measured in
+   milliseconds with admission control, not for a barrier crossed
+   thousands of times per simulation. *)
+
+type batch = { mutable remaining : int; mutable failed : exn option }
+
+let mutex = Mutex.create ()
+let work_cond = Condition.create ()
+let done_cond = Condition.create ()
+let queue : ((unit -> unit) * batch) Queue.t = Queue.create ()
+let spawned = ref 0
+
+(* At least one worker even on a single-core host, so the cross-domain
+   execution path (and the memory-model assumptions behind it) is
+   exercised everywhere, not only on big machines. *)
+let max_workers = max 1 (Domain.recommended_domain_count () - 1)
+
+let record_failure b e =
+  Mutex.lock mutex;
+  if b.failed = None then b.failed <- Some e;
+  Mutex.unlock mutex
+
+let rec worker_loop () =
+  Mutex.lock mutex;
+  let rec next () =
+    match Queue.take_opt queue with
+    | Some tb -> tb
+    | None ->
+      Condition.wait work_cond mutex;
+      next ()
+  in
+  let task, b = next () in
+  Mutex.unlock mutex;
+  (try task () with e -> record_failure b e);
+  Mutex.lock mutex;
+  b.remaining <- b.remaining - 1;
+  if b.remaining = 0 then Condition.broadcast done_cond;
+  Mutex.unlock mutex;
+  worker_loop ()
+
+let ensure_workers wanted =
+  let wanted = min wanted max_workers in
+  while !spawned < wanted do
+    incr spawned;
+    ignore (Domain.spawn worker_loop : unit Domain.t)
+  done
+
+(* Number of workers the pool would use — callers size partition
+   counts with this ([+ 1] for the calling domain). *)
+let parallelism () = max_workers + 1
+
+(* Default partition count for auto-sizing: the machine's real core
+   count.  On a single-core host this is 1 — a partitioned settle pays
+   two condition-variable round-trips per barrier, which is pure
+   overhead when the domains cannot actually run in parallel.
+   [parallelism] deliberately stays >= 2 everywhere so explicitly
+   requested partition counts still exercise the cross-domain path. *)
+let auto_partitions () = Domain.recommended_domain_count ()
+
+let run tasks =
+  match tasks with
+  | [] -> ()
+  | [ t ] -> t ()
+  | first :: rest ->
+    ensure_workers (List.length rest);
+    let b = { remaining = List.length rest; failed = None } in
+    Mutex.lock mutex;
+    List.iter (fun t -> Queue.add (t, b) queue) rest;
+    Condition.broadcast work_cond;
+    Mutex.unlock mutex;
+    (try first () with e -> record_failure b e);
+    Mutex.lock mutex;
+    while b.remaining > 0 do
+      Condition.wait done_cond mutex
+    done;
+    let failed = b.failed in
+    Mutex.unlock mutex;
+    (match failed with Some e -> raise e | None -> ())

@@ -9,7 +9,10 @@
 
 type t = {
   oc : out_channel;
-  ids : (string * string * int) array;  (* signal, vcd id, width *)
+  ids : (string * string * int * (unit -> Bitvec.t)) array;
+      (* signal, vcd id, width, pre-resolved reader — resolving the
+         slot once at [create] keeps sampling free of per-signal name
+         lookups *)
   last : Bitvec.t option array;  (* previous sample, parallel to [ids] *)
   mutable time : int;
 }
@@ -33,12 +36,15 @@ let create ?signals ~path sim =
     | Some wanted -> List.filter (fun (n, _) -> List.mem n wanted) all
   in
   let ids =
-    Array.of_list (List.mapi (fun i (name, width) -> (name, id_of_index i, width)) selected)
+    Array.of_list
+      (List.mapi
+         (fun i (name, width) -> (name, id_of_index i, width, Sim.reader sim name))
+         selected)
   in
   output_string oc "$timescale 1ns $end\n";
   output_string oc "$scope module top $end\n";
   Array.iter
-    (fun (name, id, width) ->
+    (fun (name, id, width, _) ->
       Printf.fprintf oc "$var wire %d %s %s $end\n" width id name)
     ids;
   output_string oc "$upscope $end\n$enddefinitions $end\n";
@@ -61,11 +67,11 @@ let emit_value t id width v =
 
 (* Record the current settled state as one timestep; only changed
    signals are written, per the VCD format. *)
-let sample t sim =
+let sample t _sim =
   let any = ref false in
   Array.iteri
-    (fun i (name, id, width) ->
-      let v = Sim.peek sim name in
+    (fun i (_name, id, width, read) ->
+      let v = read () in
       let changed =
         match t.last.(i) with Some prev -> not (Bitvec.equal prev v) | None -> true
       in

@@ -795,18 +795,56 @@ let test_sim_settle_fallback () =
         (r, Harness.nth_tensor agents 1))
   in
   let clean, clean_out = run_with ~engine:`Reference () in
-  let cfg = { Faults.rules = [ ("sim.settle", Faults.Nth 1) ]; seed = 0 } in
-  let (degraded, degraded_out), counters =
-    Pass.with_counters (fun () ->
-        Faults.with_config cfg (run_with ~engine:`Compiled))
+  (* The ladder must cover both compiled engines — the closure engine
+     and the opcode engine (the default), including its partitioned
+     settle: [Sim.settle_fault_hook] fires on the main domain before
+     the partitions fan out, so the injected Sim_error surfaces the
+     same way regardless of partition count. *)
+  List.iter
+    (fun engine ->
+      let cfg = { Faults.rules = [ ("sim.settle", Faults.Nth 1) ]; seed = 0 } in
+      let (degraded, degraded_out), counters =
+        Pass.with_counters (fun () -> Faults.with_config cfg (run_with ~engine))
+      in
+      let name = Hir_rtl.Sim.engine_name engine in
+      check_bool (name ^ ": ladder fell back to the reference engine") true
+        (degraded.Harness.engine_used = `Reference);
+      check_bool (name ^ ": fallback counter recorded") true
+        (List.mem_assoc "sim.fallback_reference" counters);
+      check_bool (name ^ ": degraded run matches a clean reference run") true
+        (clean.Harness.output_values = degraded.Harness.output_values
+        && clean_out = degraded_out))
+    [ `Compiled; `Opcode ]
+
+(* Same ladder for batched runs: a Sim_error mid-batch re-runs every
+   stimulus on the reference walker. *)
+let test_sim_batch_fallback () =
+  let module Emit = Hir_codegen.Emit in
+  let module Harness = Hir_rtl.Harness in
+  let input = Hir_kernels.Fifo.make_input ~seed:12 in
+  let run_with ~engine () =
+    Ir.with_isolated_ids (fun () ->
+        let m, f = Hir_kernels.Fifo.build () in
+        let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
+        let stimuli =
+          List.init 2 (fun _ -> [ Harness.Tensor (Array.copy input); Harness.Out_tensor ])
+        in
+        Harness.run_batch ~engine ~stimuli ~emitted ~cycles:80 ())
   in
-  check_bool "ladder fell back to the reference engine" true
-    (degraded.Harness.engine_used = `Reference);
-  check_bool "fallback counter recorded" true
+  let clean = run_with ~engine:`Reference () in
+  let cfg = { Faults.rules = [ ("sim.settle", Faults.Nth 1) ]; seed = 0 } in
+  let degraded, counters =
+    Pass.with_counters (fun () -> Faults.with_config cfg (run_with ~engine:`Opcode))
+  in
+  check_bool "batch fallback counter recorded" true
     (List.mem_assoc "sim.fallback_reference" counters);
-  check_bool "degraded run matches a clean reference run" true
-    (clean.Harness.output_values = degraded.Harness.output_values
-    && clean_out = degraded_out)
+  List.iter2
+    (fun ((c : Harness.run_result), _) ((d : Harness.run_result), _) ->
+      check_bool "batched ladder fell back to the reference engine" true
+        (d.Harness.engine_used = `Reference);
+      check_bool "degraded batch stimulus matches clean reference" true
+        (c.Harness.output_values = d.Harness.output_values))
+    clean degraded
 
 (* ------------------------------------------------------------------ *)
 (* Batch robustness under injection                                    *)
@@ -989,6 +1027,7 @@ let () =
           Alcotest.test_case "canonicalize-legacy-fallback" `Quick
             test_canonicalize_legacy_fallback;
           Alcotest.test_case "sim-settle-fallback" `Quick test_sim_settle_fallback;
+          Alcotest.test_case "sim-batch-fallback" `Quick test_sim_batch_fallback;
         ] );
       ( "batch-robustness",
         [

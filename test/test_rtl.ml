@@ -223,6 +223,7 @@ let lockstep_boundary w () =
   in
   let flat = Flatten.flatten (design (simple_module ~ports (boundary_items w))) in
   let c = Sim.create ~engine:`Compiled flat in
+  let o = Sim.create ~engine:`Opcode ~partitions:2 flat in
   let r = Sim.create ~engine:`Reference flat in
   let names = Sim.signal_names c in
   let values = boundary_values w in
@@ -234,27 +235,37 @@ let lockstep_boundary w () =
     List.iter
       (fun (name, v) ->
         Sim.set_input c name v;
+        Sim.set_input o name v;
         Sim.set_input r name v)
       [ ("a", va); ("b", vb); ("k", vk) ];
     Sim.settle_only c;
+    Sim.settle_only o;
     Sim.settle_only r;
     List.iter
       (fun (name, _) ->
-        let vc = Sim.peek c name and vr = Sim.peek r name in
-        if not (Bitvec.equal vc vr) then
-          Alcotest.failf "width %d, cycle %d, signal %s: compiled %s <> reference %s" w cyc
-            name (Bitvec.to_hex_string vc) (Bitvec.to_hex_string vr))
+        let vr = Sim.peek r name in
+        List.iter
+          (fun (label, sim) ->
+            let vc = Sim.peek sim name in
+            if not (Bitvec.equal vc vr) then
+              Alcotest.failf "width %d, cycle %d, signal %s: %s %s <> reference %s" w
+                cyc name label (Bitvec.to_hex_string vc) (Bitvec.to_hex_string vr))
+          [ ("compiled", c); ("opcode", o) ])
       names;
     Sim.clock c;
+    Sim.clock o;
     Sim.clock r
   done;
-  let fc = Sim.failures c and fr = Sim.failures r in
-  check_int "same failure count" (List.length fr) (List.length fc);
-  List.iter2
-    (fun (a : Sim.assertion_failure) (b : Sim.assertion_failure) ->
-      check_int "failure cycle" b.Sim.at_cycle a.Sim.at_cycle;
-      check_bool "failure message" true (String.equal a.Sim.message b.Sim.message))
-    fc fr
+  let fr = Sim.failures r in
+  List.iter
+    (fun fc ->
+      check_int "same failure count" (List.length fr) (List.length fc);
+      List.iter2
+        (fun (a : Sim.assertion_failure) (b : Sim.assertion_failure) ->
+          check_int "failure cycle" b.Sim.at_cycle a.Sim.at_cycle;
+          check_bool "failure message" true (String.equal a.Sim.message b.Sim.message))
+        fc fr)
+    [ Sim.failures c; Sim.failures o ]
 
 let test_fastpath_stats () =
   (* Narrow signals take the unboxed path; wide ones do not.  The
@@ -627,6 +638,45 @@ let test_vcd_dump () =
     (fun needle -> check_bool needle true (contains text needle))
     [ "$timescale"; "$var wire 8"; " d $end"; " q $end"; "#0"; "#1"; "b1010 " ]
 
+(* Golden-trace: the opcode engine's VCD dump (slot-resolved sampling
+   over its register files) must be byte-identical to the reference
+   engine's dump of the same run — same signals, same ordering, same
+   change timestamps. *)
+let test_vcd_golden_trace () =
+  let items =
+    [
+      V.Reg_decl { name = "q"; width = 8 };
+      V.Wire_decl { name = "wide"; width = 70 };
+      V.Wire_decl { name = "sum"; width = 8 };
+      V.Assign { target = "sum"; expr = V.Binop (V.Add, V.Ref "q", V.Ref "d") };
+      V.Assign { target = "wide"; expr = V.Concat [ V.Ref "q"; V.Ref "d"; V.Ref "q" ] };
+      V.Always_ff [ V.Nonblocking (V.Lref "q", V.Ref "sum") ];
+    ]
+  in
+  let ports = [ { V.port_name = "d"; dir = V.Input; width = 8 } ] in
+  let flat = Flatten.flatten (design (simple_module ~ports items)) in
+  let dump engine =
+    let path = Filename.temp_file "hir_golden" ".vcd" in
+    let sim = Sim.create ~engine flat in
+    let vcd = Hir_rtl.Vcd.create ~path sim in
+    for c = 0 to 7 do
+      Sim.set_input sim "d" (bv 8 (17 * c mod 256));
+      Sim.settle_only sim;
+      Hir_rtl.Vcd.sample vcd sim;
+      Sim.clock sim
+    done;
+    Hir_rtl.Vcd.close vcd;
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    text
+  in
+  let golden = dump `Reference in
+  check_bool "golden trace is non-trivial" true (String.length golden > 100);
+  check_bool "opcode VCD == reference VCD" true (String.equal (dump `Opcode) golden);
+  check_bool "compiled VCD == reference VCD" true (String.equal (dump `Compiled) golden)
+
 let () =
   Alcotest.run "rtl"
     [
@@ -671,5 +721,9 @@ let () =
             test_prefix_collision_clean_case;
         ] );
       ("pretty", [ Alcotest.test_case "verilog text" `Quick test_pretty_output ]);
-      ("vcd", [ Alcotest.test_case "waveform dump" `Quick test_vcd_dump ]);
+      ( "vcd",
+        [
+          Alcotest.test_case "waveform dump" `Quick test_vcd_dump;
+          Alcotest.test_case "golden trace across engines" `Quick test_vcd_golden_trace;
+        ] );
     ]

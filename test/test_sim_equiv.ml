@@ -1,16 +1,18 @@
-(* Equivalence of the two RTL simulation engines: the compiled
-   slot-indexed engine (the default) must produce bit-identical peek
-   traces and assertion-failure lists to the [Sim.Reference] tree
-   walker — the executable specification of the Verilog width
-   semantics.
+(* Equivalence of the three RTL simulation engines: the opcode engine
+   (the default, across partition counts and batched forks) and the
+   closure-compiled engine must produce bit-identical peek traces and
+   assertion-failure lists to the [Sim.Reference] tree walker — the
+   executable specification of the Verilog width semantics.
 
    Two layers:
    - a qcheck property over randomly generated flat netlists (every
      operator class, widths straddling the 63-bit unboxed fast path,
      registers, memories with out-of-range writes, assertions),
-     driven for many cycles with random inputs;
-   - lockstep runs of real compiled kernels (via the harness) on both
-     engines, comparing scalar outputs, tensors, and failures. *)
+     driven for many cycles with per-stimulus random input streams
+     through every engine × partitions {1,2,4} × batch {1,4};
+   - lockstep runs of real compiled kernels (via the harness) on all
+     engines, plus a batched multi-stimulus run, comparing scalar
+     outputs, tensors, and failures. *)
 
 open Hir_dialect
 module V = Hir_verilog.Ast
@@ -165,38 +167,83 @@ let compare_failures ctx fc fr =
           a.Sim.at_cycle a.Sim.message b.Sim.at_cycle b.Sim.message)
     fc fr
 
+(* Every engine replays the same per-stimulus input streams and is
+   compared peek-for-peek, cycle-for-cycle, against a reference-walker
+   trace of the same stimulus — plus assertion/OOB failure ordering at
+   the end.  Batched variants run their sims interleaved cycle by
+   cycle through [Sim.fork], the same shape as [Harness.run_batch]. *)
+let n_stimuli = 4
+let n_cycles = 30
+
+(* (engine, partitions, batch): partitions only affect the opcode
+   engine; batch > 1 exercises [Sim.fork] on every engine. *)
+let lockstep_grid : (Sim.engine * int * int) list =
+  [
+    (`Opcode, 1, 1);
+    (`Opcode, 1, 4);
+    (`Opcode, 2, 4);
+    (`Opcode, 4, 4);
+    (`Compiled, 1, 1);
+    (`Compiled, 1, 4);
+    (`Reference, 1, 4);
+  ]
+
 let lockstep_netlist (dseed, iseed) =
   let flat, inputs = gen_design dseed in
-  let c = Sim.create ~engine:`Compiled flat in
-  let r = Sim.create ~engine:`Reference flat in
-  let names = Sim.signal_names c in
-  let st = Random.State.make [| iseed; 0x51ed270b |] in
-  for cyc = 0 to 29 do
-    List.iter
-      (fun (name, w) ->
-        let v = random_bv st w in
-        Sim.set_input c name v;
-        Sim.set_input r name v)
-      inputs;
-    Sim.settle_only c;
-    Sim.settle_only r;
-    List.iter
-      (fun (name, _) ->
-        let vc = Sim.peek c name and vr = Sim.peek r name in
-        if not (Bitvec.equal vc vr) then
-          QCheck.Test.fail_reportf
-            "seed (%d,%d) cycle %d signal %s: compiled %s <> reference %s" dseed iseed
-            cyc name (Bitvec.to_hex_string vc) (Bitvec.to_hex_string vr))
-      names;
-    Sim.clock c;
-    Sim.clock r
-  done;
-  compare_failures (Printf.sprintf "seed (%d,%d)" dseed iseed) (Sim.failures c)
-    (Sim.failures r);
+  let streams =
+    Array.init n_stimuli (fun k ->
+        let st = Random.State.make [| iseed; k; 0x51ed270b |] in
+        Array.init n_cycles (fun _ ->
+            List.map (fun (n, w) -> (n, random_bv st w)) inputs))
+  in
+  let names = ref [] in
+  (* Run [sims] (sim [k] driven by stream [k]) interleaved, returning
+     per-stimulus peek traces and failure lists. *)
+  let run_sims sims =
+    let n = Array.length sims in
+    let traces = Array.init n (fun _ -> Array.make n_cycles []) in
+    names := Sim.signal_names sims.(0);
+    for cyc = 0 to n_cycles - 1 do
+      Array.iteri
+        (fun k sim ->
+          List.iter (fun (n, v) -> Sim.set_input sim n v) streams.(k).(cyc);
+          Sim.settle_only sim;
+          traces.(k).(cyc) <- List.map (fun (n, _) -> (n, Sim.peek sim n)) !names;
+          Sim.clock sim)
+        sims
+    done;
+    (traces, Array.map Sim.failures sims)
+  in
+  let ref_traces, ref_failures =
+    run_sims (Array.init n_stimuli (fun _ -> Sim.create ~engine:`Reference flat))
+  in
+  List.iter
+    (fun (engine, partitions, batch) ->
+      let proto = Sim.create ~engine ~partitions flat in
+      let sims = Array.init batch (fun i -> if i = 0 then proto else Sim.fork proto) in
+      let traces, failures = run_sims sims in
+      let ctx k =
+        Printf.sprintf "seed (%d,%d) engine %s p%d b%d stim %d" dseed iseed
+          (Sim.engine_name engine) partitions batch k
+      in
+      for k = 0 to batch - 1 do
+        for cyc = 0 to n_cycles - 1 do
+          List.iter2
+            (fun (name, v) (name', vr) ->
+              assert (String.equal name name');
+              if not (Bitvec.equal v vr) then
+                QCheck.Test.fail_reportf "%s cycle %d signal %s: %s <> reference %s"
+                  (ctx k) cyc name (Bitvec.to_hex_string v) (Bitvec.to_hex_string vr))
+            traces.(k).(cyc) ref_traces.(k).(cyc)
+        done;
+        compare_failures (ctx k) failures.(k) ref_failures.(k)
+      done)
+    lockstep_grid;
   true
 
 let netlist_equiv =
-  QCheck.Test.make ~count:80 ~name:"compiled == reference on random netlists"
+  QCheck.Test.make ~count:60
+    ~name:"every engine x partitions x batch == reference on random netlists"
     QCheck.(pair small_nat small_nat)
     lockstep_netlist
 
@@ -222,9 +269,8 @@ let run_engine ~engine ~build inputs =
   let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
   Harness.run ~engine ~emitted ~inputs ~cycles ()
 
-let kernel_lockstep name build inputs ~out_arg () =
-  let rc, ac = run_engine ~engine:`Compiled ~build inputs in
-  let rr, ar = run_engine ~engine:`Reference ~build inputs in
+let check_against_reference name ~(rr : Harness.run_result) ~ar
+    ~(rc : Harness.run_result) ~ac ~out_arg =
   Alcotest.(check int) "same cycle count" rr.Harness.cycles_run rc.Harness.cycles_run;
   (match (rc.Harness.failures, rr.Harness.failures) with
   | [], [] -> ()
@@ -239,7 +285,7 @@ let kernel_lockstep name build inputs ~out_arg () =
     (fun (n, vc) (n', vr) ->
       Alcotest.(check string) "output name" n' n;
       if not (Bitvec.equal vc vr) then
-        Alcotest.failf "%s output %s: compiled %s <> reference %s" name n
+        Alcotest.failf "%s output %s: %s <> reference %s" name n
           (Bitvec.to_string vc) (Bitvec.to_string vr))
     rc.Harness.output_values rr.Harness.output_values;
   let tc = Harness.nth_tensor ac out_arg and tr = Harness.nth_tensor ar out_arg in
@@ -250,6 +296,45 @@ let kernel_lockstep name build inputs ~out_arg () =
       | Some a, Some b when Bitvec.equal a b -> ()
       | _ -> Alcotest.failf "%s tensor[%d] differs between engines" name i)
     tc
+
+let kernel_lockstep name build inputs ~out_arg () =
+  let rr, ar = run_engine ~engine:`Reference ~build inputs in
+  List.iter
+    (fun engine ->
+      let rc, ac = run_engine ~engine ~build inputs in
+      check_against_reference
+        (Printf.sprintf "%s/%s" name (Sim.engine_name engine))
+        ~rr ~ar ~rc ~ac ~out_arg)
+    [ `Compiled; `Opcode ]
+
+(* Batched multi-stimulus execution: four different input tensors
+   through one compiled opcode program (partitioned settle, forked
+   register files), each compared against an individual reference run
+   of the same stimulus. *)
+let batch_lockstep () =
+  let build = Hir_kernels.Transpose.build in
+  let stimuli =
+    List.init 4 (fun k ->
+        [
+          Harness.Tensor (Hir_kernels.Transpose.make_input ~seed:(120 + k));
+          Harness.Out_tensor;
+        ])
+  in
+  let m, f = build () in
+  let cycles = interp_cycles ~m ~f (List.hd stimuli) in
+  let m, f = build () in
+  let emitted = Emit.compile ~optimize:true ~module_op:m ~top:f () in
+  let batched =
+    Harness.run_batch ~engine:`Opcode ~partitions:2 ~emitted ~stimuli ~cycles ()
+  in
+  Alcotest.(check int) "batch size" (List.length stimuli) (List.length batched);
+  List.iteri
+    (fun k (rc, ac) ->
+      let inputs = List.nth stimuli k in
+      let rr, ar = Harness.run ~engine:`Reference ~emitted ~inputs ~cycles () in
+      check_against_reference (Printf.sprintf "transpose/batch[%d]" k) ~rr ~ar ~rc ~ac
+        ~out_arg:1)
+    batched
 
 let transpose_lockstep () =
   let input = Hir_kernels.Transpose.make_input ~seed:91 in
@@ -279,5 +364,6 @@ let () =
           Alcotest.test_case "transpose lockstep" `Quick transpose_lockstep;
           Alcotest.test_case "convolution lockstep" `Quick convolution_lockstep;
           Alcotest.test_case "histogram lockstep" `Quick histogram_lockstep;
+          Alcotest.test_case "batched multi-stimulus lockstep" `Quick batch_lockstep;
         ] );
     ]
