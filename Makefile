@@ -5,7 +5,7 @@
 SMOKE_DESIGNS := examples/designs/transpose.hir examples/designs/stencil_1d.hir \
                  examples/designs/fifo.hir
 
-.PHONY: all build test check faults fuzz serve-smoke serve-swarm bench-json clean
+.PHONY: all build test check faults crash fuzz serve-smoke serve-swarm bench-json clean
 
 all: build
 
@@ -33,6 +33,7 @@ check: build test
 	@echo "sim typo suggestion: OK"
 	$(MAKE) faults
 	$(MAKE) serve-smoke
+	$(MAKE) crash
 	dune exec bench/main.exe -- --canonicalize-scaling
 	dune exec bench/main.exe -- --sim-scaling
 	dune exec bench/main.exe -- --incremental
@@ -61,6 +62,20 @@ faults: build
 	    { echo "make faults: FAILED (seed $$seed lost jobs)"; exit 1; }; \
 	done
 	@echo "make faults: OK"
+
+# Crash-recovery acceptance: an 8-client swarm against a journaled
+# `hirc serve` with 10% faults on every journal.* point, kill -9
+# mid-swarm, restart on the same journal, recover every job
+# byte-identical, then an unfaulted SIGTERM drain that must exit 0
+# with zero incomplete journal records.  Three seeds vary the fault
+# schedule; timeout(1) is the hang guard.
+crash: build
+	@for seed in 1 2 3; do \
+	  echo "crash: seed $$seed, 10% on journal.* points"; \
+	  timeout 240 dune exec bench/main.exe -- --serve-crash --crash-seed $$seed \
+	    || { echo "make crash: FAILED (seed $$seed)"; exit 1; }; \
+	done
+	@echo "make crash: OK"
 
 # End-to-end smoke of the real `hirc serve` binary: start the server,
 # drive compiles / a health probe / an HTTP GET, run the early-closing

@@ -1060,6 +1060,423 @@ let serve_swarm () =
         exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Serve crash: kill -9 recovery through the write-ahead journal       *)
+
+module Journal = Hir_driver.Journal
+
+(* The durability contract end to end, against the real binary: an
+   8-client swarm hammers a journaled `hirc serve` (with 10% injected
+   faults on every journal.* point), the server is SIGKILLed mid-swarm,
+   restarted on the same journal, and every client recovers every job
+   through the poll/resubmit protocol.  Verdicts: 100% of jobs reach a
+   terminal result with Verilog byte-identical to a fault-free direct
+   compile, the restarted server drains to a clean exit 0, and a
+   separate unfaulted SIGTERM phase proves the drain contract (late
+   compiles rejected "shutting-down", exit 0, journal replay finds
+   zero incomplete jobs). *)
+
+let crash_clients = 8
+let crash_jobs_per_client = 12
+let crash_fault_spec = "journal.append=0.1,journal.mark=0.1,journal.replay=0.1"
+
+let serve_crash ~seed ~hirc () =
+  header
+    (Printf.sprintf
+       "Serve crash: %d clients x %d jobs, kill -9 + journal replay, faults %s \
+        (seed %d)"
+       crash_clients crash_jobs_per_client crash_fault_spec seed);
+  if not (Sys.file_exists hirc) then
+    failwith (Printf.sprintf "hirc binary not found at %s (pass --hirc PATH)" hirc);
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-crash-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists tmp) then Unix.mkdir tmp 0o755;
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (* The fault-free reference: a direct in-process compile of each
+     kernel.  Byte-identity of every served result against this is the
+     determinism half of the recovery contract.  The multi-megabyte
+     kernels are left out to keep 96 Verilog-bearing responses cheap. *)
+  let baseline =
+    List.filter_map
+      (fun k ->
+        let name = k.Hir_kernels.Kernels.name in
+        let job =
+          Driver.job_of_builder
+            ~pipeline:(Pipeline.default ~optimize:true)
+            ~name k.Hir_kernels.Kernels.build
+        in
+        match Driver.compile_job job with
+        | Ok o when String.length o.Driver.verilog <= 400_000 ->
+          Some (name, o.Driver.verilog)
+        | _ -> None)
+      Hir_kernels.Kernels.all
+  in
+  if baseline = [] then failwith "no small kernels for the crash swarm";
+  let kernel_names = List.map fst baseline in
+  Printf.printf "baseline: %d kernel(s) compiled fault-free for byte comparison\n%!"
+    (List.length kernel_names);
+  let kernel_of idx i =
+    List.nth kernel_names ((idx + (3 * i)) mod List.length kernel_names)
+  in
+  let client_name idx = Printf.sprintf "c%d" idx in
+  let job_id idx i = Printf.sprintf "c%d-j%d" idx i in
+  let sock = Filename.concat tmp "crash.sock" in
+  let journal_dir = Filename.concat tmp "journal" in
+  let cache_dir = Filename.concat tmp "cache" in
+  let spawn_server extra =
+    if Sys.file_exists sock then Unix.unlink sock;
+    let argv =
+      [ hirc; "serve"; "--socket"; sock; "-j"; "2"; "--queue-depth"; "256" ] @ extra
+    in
+    Unix.create_process hirc (Array.of_list argv) Unix.stdin Unix.stdout Unix.stderr
+  in
+  let wait_sock () =
+    let rec go n =
+      if n = 0 then failwith "server socket never appeared";
+      if not (Sys.file_exists sock) then begin
+        Unix.sleepf 0.05;
+        go (n - 1)
+      end
+    in
+    go 400
+  in
+  let rec connect_retry n =
+    match Protocol.Client.connect_unix sock with
+    | c -> c
+    | exception (Unix.Unix_error _ | Sys_error _) when n > 0 ->
+      Unix.sleepf 0.05;
+      connect_retry (n - 1)
+  in
+  let send_compile c ~client ~id ~kernel =
+    Protocol.Client.send c
+      (Protocol.Json.Obj
+         [
+           ("op", Protocol.Json.Str "compile");
+           ("client", Protocol.Json.Str client);
+           ("id", Protocol.Json.Str id);
+           ("kernel", Protocol.Json.Str kernel);
+           ("verilog", Protocol.Json.Bool true);
+         ])
+  in
+  (* (client, id) -> (status, verilog option); both phases fill it. *)
+  let results : (string * string, string * string option) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  let results_mu = Mutex.create () in
+  let record_result key v =
+    Mutex.lock results_mu;
+    if not (Hashtbl.mem results key) then Hashtbl.replace results key v;
+    Mutex.unlock results_mu
+  in
+  let faulted_args =
+    [
+      "--journal"; journal_dir; "--cache-dir"; cache_dir; "--inject";
+      crash_fault_spec; "--inject-seed"; string_of_int seed;
+    ]
+  in
+
+  (* ---- phase A: swarm, then kill -9 mid-flight ---- *)
+  let pid = spawn_server faulted_args in
+  wait_sock ();
+  let client_a idx () =
+    match connect_retry 20 with
+    | exception _ -> ()
+    | c ->
+      (try
+         for i = 0 to crash_jobs_per_client - 1 do
+           send_compile c ~client:(client_name idx) ~id:(job_id idx i)
+             ~kernel:(kernel_of idx i)
+         done;
+         let remaining = ref crash_jobs_per_client in
+         while !remaining > 0 do
+           match Protocol.Client.recv c with
+           | None -> remaining := 0  (* server died: phase B recovers *)
+           | Some j -> (
+             match
+               ( Protocol.Json.field_str j "event",
+                 Protocol.Json.field_str j "id",
+                 Protocol.Json.field_str j "reason" )
+             with
+             | Some "result", Some id, None ->
+               let status =
+                 Option.value ~default:"?" (Protocol.Json.field_str j "status")
+               in
+               record_result (client_name idx, id)
+                 (status, Protocol.Json.field_str j "verilog");
+               decr remaining
+             | _ -> ())
+         done
+       with _ -> ());
+      (try Protocol.Client.close c with _ -> ())
+  in
+  let swarm = List.init crash_clients (fun idx -> Domain.spawn (client_a idx)) in
+  (* Kill once a slice of the swarm has completed: late enough that the
+     journal holds both done marks and in-flight admits, early enough
+     that plenty of admitted work is still pending. *)
+  let completed_now () =
+    match connect_retry 1 with
+    | exception _ -> None
+    | p ->
+      let r =
+        try
+          Protocol.Client.send p
+            (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+          match Protocol.Client.recv p with
+          | Some m ->
+            Option.bind (Protocol.Json.mem "jobs" m) (fun jobs ->
+                Protocol.Json.field_int jobs "completed")
+          | None -> None
+        with _ -> None
+      in
+      (try Protocol.Client.close p with _ -> ());
+      r
+  in
+  let kill_after = (crash_clients * crash_jobs_per_client) / 8 in
+  let rec kill_watch n =
+    if n = 0 then ()  (* kill regardless: recovery must cope either way *)
+    else
+      match completed_now () with
+      | Some c when c >= kill_after -> ()
+      | _ ->
+        Unix.sleepf 0.05;
+        kill_watch (n - 1)
+  in
+  kill_watch 1200;
+  Unix.kill pid Sys.sigkill;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _, st ->
+    violate "phase A: expected SIGKILL death, got %s"
+      (match st with
+      | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+      | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+      | Unix.WSTOPPED n -> Printf.sprintf "stop %d" n));
+  List.iter Domain.join swarm;
+  let phase_a = Hashtbl.length results in
+  Printf.printf "phase A: killed server (pid %d) with %d/%d responses delivered\n%!"
+    pid phase_a
+    (crash_clients * crash_jobs_per_client);
+
+  (* ---- phase B: restart on the same journal, recover everything ---- *)
+  let pid = spawn_server faulted_args in
+  wait_sock ();
+  (* Per job: poll until a terminal result; "unknown" means the admit
+     never reached the journal (or its record was faulted away), so
+     resubmit — idempotency makes over-resubmission safe. *)
+  let recover_client idx =
+    let c = connect_retry 40 in
+    let client = client_name idx in
+    for i = 0 to crash_jobs_per_client - 1 do
+      let id = job_id idx i in
+      if not (Hashtbl.mem results (client, id)) then begin
+        let deadline = Unix.gettimeofday () +. 90. in
+        let send_poll () =
+          Protocol.Client.send c
+            (Protocol.Json.Obj
+               [
+                 ("op", Protocol.Json.Str "poll");
+                 ("client", Protocol.Json.Str client);
+                 ("id", Protocol.Json.Str id);
+               ])
+        in
+        let rec await () =
+          if Unix.gettimeofday () > deadline then
+            violate "phase B: %s/%s never resolved" client id
+          else begin
+            send_poll ();
+            match Protocol.Client.recv c with
+            | None -> violate "phase B: server hung up on %s" client
+            | Some j -> (
+              match
+                ( Protocol.Json.field_str j "event",
+                  Protocol.Json.field_str j "id",
+                  Protocol.Json.field_str j "reason",
+                  Protocol.Json.field_str j "state" )
+              with
+              | Some "result", Some rid, None, _ when rid = id ->
+                let status =
+                  Option.value ~default:"?" (Protocol.Json.field_str j "status")
+                in
+                record_result (client, id) (status, Protocol.Json.field_str j "verilog")
+              | Some "poll", Some rid, _, Some "pending" when rid = id ->
+                Unix.sleepf 0.05;
+                await ()
+              | Some "poll", Some rid, _, Some "unknown" when rid = id ->
+                send_compile c ~client ~id ~kernel:(kernel_of idx i);
+                Unix.sleepf 0.05;
+                await ()
+              | _ -> await ()  (* duplicate-id races, stray frames *))
+          end
+        in
+        await ()
+      end
+    done;
+    Protocol.Client.close c
+  in
+  for idx = 0 to crash_clients - 1 do
+    recover_client idx
+  done;
+  (* Metrics for the log, then a graceful shutdown. *)
+  let probe = connect_retry 40 in
+  Protocol.Client.send probe (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+  (match Protocol.Client.recv probe with
+  | Some m -> Printf.printf "phase B: server metrics: %s\n%!" (Protocol.Json.to_string m)
+  | None -> ());
+  Protocol.Client.send probe (Protocol.Json.Obj [ ("op", Protocol.Json.Str "shutdown") ]);
+  ignore (try Protocol.Client.recv probe with _ -> None);
+  (try Protocol.Client.close probe with _ -> ());
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> violate "phase B: restarted server exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+    violate "phase B: restarted server killed by signal %d" n);
+  (* ---- verdicts: zero lost jobs, byte-identical output ---- *)
+  let expected = crash_clients * crash_jobs_per_client in
+  let got = Hashtbl.length results in
+  if got <> expected then violate "recovered %d of %d jobs" got expected;
+  let mismatches = ref 0 and compared = ref 0 in
+  for idx = 0 to crash_clients - 1 do
+    for i = 0 to crash_jobs_per_client - 1 do
+      match Hashtbl.find_opt results (client_name idx, job_id idx i) with
+      | None -> ()
+      | Some (status, verilog) -> (
+        if status <> "ok" && status <> "degraded" then
+          violate "%s: terminal status %s" (job_id idx i) status;
+        match verilog with
+        | None -> violate "%s: result carried no Verilog" (job_id idx i)
+        | Some v ->
+          incr compared;
+          if v <> List.assoc (kernel_of idx i) baseline then begin
+            incr mismatches;
+            violate "%s: Verilog differs from fault-free baseline" (job_id idx i)
+          end)
+    done
+  done;
+  let r = Journal.replay ~dir:journal_dir in
+  Printf.printf
+    "phase B: %d/%d jobs terminal, %d byte-compared, %d mismatches; journal: %d \
+     record(s), %d quarantined, %d still pending (lost done-marks are re-done, \
+     not lost)\n%!"
+    got expected !compared !mismatches r.Journal.rr_records r.Journal.rr_quarantined
+    (List.length r.Journal.rr_pending);
+
+  (* ---- phase C: SIGTERM drain, no faults ---- *)
+  let sock2 = Filename.concat tmp "drain.sock" in
+  let journal2 = Filename.concat tmp "journal-drain" in
+  let cache2 = Filename.concat tmp "cache-drain" in
+  if Sys.file_exists sock2 then Unix.unlink sock2;
+  let argv =
+    [
+      hirc; "serve"; "--socket"; sock2; "-j"; "2"; "--journal"; journal2;
+      "--cache-dir"; cache2; "--drain-deadline"; "60";
+    ]
+  in
+  let pid = Unix.create_process hirc (Array.of_list argv) Unix.stdin Unix.stdout Unix.stderr in
+  let rec wait_sock2 n =
+    if n = 0 then failwith "drain server socket never appeared";
+    if not (Sys.file_exists sock2) then begin
+      Unix.sleepf 0.05;
+      wait_sock2 (n - 1)
+    end
+  in
+  wait_sock2 400;
+  let c = Protocol.Client.connect_unix sock2 in
+  (* gemm is the slowest cold compile by far; one per worker pins the
+     whole pool, so the SIGTERM is guaranteed to land with the pool
+     genuinely mid-flight and the drain window stays open long enough
+     for the late-client rejection. *)
+  let drain_kernels =
+    "gemm" :: "gemm" :: List.filteri (fun i _ -> i < 4) kernel_names
+  in
+  let drain_jobs = List.length drain_kernels in
+  List.iteri
+    (fun i kernel ->
+      Protocol.Client.send c
+        (Protocol.Json.Obj
+           [
+             ("op", Protocol.Json.Str "compile");
+             ("client", Protocol.Json.Str "d0");
+             ("id", Protocol.Json.Str (Printf.sprintf "d0-j%d" i));
+             ("kernel", Protocol.Json.Str kernel);
+           ]))
+    drain_kernels;
+  Unix.sleepf 0.1;  (* cold compiles: the pool is mid-flight now *)
+  Unix.kill pid Sys.sigterm;
+  Unix.sleepf 0.1;
+  (* A late client must get an explicit shutting-down rejection (the
+     listener stays open during the drain precisely for this). *)
+  (match Protocol.Client.connect_unix sock2 with
+  | exception _ -> violate "phase C: could not connect during drain"
+  | late ->
+    Protocol.Client.send late
+      (Protocol.Json.Obj
+         [
+           ("op", Protocol.Json.Str "compile");
+           ("id", Protocol.Json.Str "late");
+           ("kernel", Protocol.Json.Str (List.hd kernel_names));
+         ]);
+    (match try Protocol.Client.recv late with _ -> None with
+    | Some j
+      when Protocol.Json.field_str j "status" = Some "rejected"
+           && Protocol.Json.field_str j "reason" = Some "shutting-down" ->
+      ()
+    | Some j ->
+      violate "phase C: late compile got %s, wanted shutting-down"
+        (Protocol.Json.to_string j)
+    | None -> violate "phase C: no response to the late compile");
+    try Protocol.Client.close late with _ -> ());
+  (* The in-flight jobs must still finish (or be cancelled at the drain
+     deadline — with 60s to spare they finish). *)
+  let terminal = ref 0 in
+  (try
+     while !terminal < drain_jobs do
+       match Protocol.Client.recv c with
+       | None -> raise Exit
+       | Some j ->
+         if
+           Protocol.Json.field_str j "event" = Some "result"
+           && Protocol.Json.field_str j "reason" = None
+         then incr terminal
+     done
+   with _ -> ());
+  if !terminal <> drain_jobs then
+    violate "phase C: %d of %d in-flight jobs finished before exit" !terminal
+      drain_jobs;
+  (try Protocol.Client.close c with _ -> ());
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> violate "phase C: drained server exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+    violate "phase C: drained server killed by signal %d" n);
+  let r2 = Journal.replay ~dir:journal2 in
+  if r2.Journal.rr_pending <> [] then
+    violate "phase C: %d incomplete job(s) in the journal after drain"
+      (List.length r2.Journal.rr_pending);
+  Printf.printf "phase C: drain: %d in-flight finished, journal pending %d\n%!"
+    !terminal
+    (List.length r2.Journal.rr_pending);
+  record ~section:"serve-crash" ~name:(Printf.sprintf "crash-seed%d" seed)
+    [
+      ("jobs", float_of_int expected);
+      ("phase_a_responses", float_of_int phase_a);
+      ("recovered", float_of_int got);
+      ("byte_compared", float_of_int !compared);
+      ("mismatches", float_of_int !mismatches);
+      ("journal_pending_after_drain", float_of_int (List.length r2.Journal.rr_pending));
+    ];
+  match List.rev !violations with
+  | [] ->
+    Printf.printf
+      "crash OK: kill -9 lost nothing (%d/%d jobs, %d byte-identical), SIGTERM \
+       drained cleanly\n"
+      got expected !compared
+  | v ->
+    Printf.eprintf "CRASH VIOLATION: %s\n" (String.concat "; " v);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Incremental recompilation: edit 1 of 8 kernels                      *)
 
 (* The headline scenario for the keyed fingerprint chain (DESIGN.md):
@@ -1370,6 +1787,19 @@ let () =
   if all || has "--table" "6" then table6 ();
   if all || has "--table" "6" || List.mem "--stages" args then stages ();
   if List.mem "--serve-swarm" args then serve_swarm ();
+  (if List.mem "--serve-crash" args then
+     let opt_val flag default =
+       let rec go = function
+         | f :: v :: _ when f = flag -> v
+         | _ :: rest -> go rest
+         | [] -> default
+       in
+       go args
+     in
+     serve_crash
+       ~seed:(int_of_string (opt_val "--crash-seed" "1"))
+       ~hirc:(opt_val "--hirc" "_build/default/bin/hirc.exe")
+       ());
   if all || List.mem "--bechamel" args then bechamel ();
   Option.iter write_json json_path;
   line ()

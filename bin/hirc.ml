@@ -1119,8 +1119,35 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log connections and admissions to stderr")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Write-ahead job journal: every admitted job is recorded (and fsynced) \
+             in $(docv) before it runs and marked on completion; on startup the \
+             journal is replayed and admitted-but-incomplete jobs are re-enqueued, \
+             so a crashed server loses no admitted work")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "drain-deadline" ] ~docv:"SECS"
+          ~doc:
+            "On SIGTERM or a shutdown frame, finish in-flight jobs for up to \
+             $(docv) seconds before cancelling the stragglers and exiting")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "watchdog-factor" ] ~docv:"K"
+          ~doc:
+            "Cancel a running job once it exceeds $(docv) x its deadline without \
+             finishing (0 disables the watchdog)")
+  in
   let run socket port workers depth cache_dir cache_budget trace_out deadline retries
-      verbose inject inject_seed =
+      verbose journal drain_deadline watchdog inject inject_seed =
     match fault_config_of inject inject_seed with
     | Error e ->
       prerr_endline e;
@@ -1151,6 +1178,9 @@ let serve_cmd =
             cfg_retry =
               { Driver.default_retry with Driver.max_attempts = max 1 retries };
             cfg_trace_path = trace_out;
+            cfg_journal = journal;
+            cfg_drain_deadline = max 0. drain_deadline;
+            cfg_watchdog_factor = watchdog;
             cfg_verbose = verbose;
           }
         in
@@ -1159,13 +1189,80 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run a persistent compilation server: line-JSON compile/cancel frames and \
-          health/metrics probes over a Unix or TCP socket, with continuous \
-          admission onto the worker pool (see README for the protocol)")
+         "Run a persistent compilation server: line-JSON compile/cancel/poll \
+          frames and health/metrics probes over a Unix or TCP socket, with \
+          continuous admission onto the worker pool, an optional write-ahead job \
+          journal for crash recovery, and graceful drain on SIGTERM (see README \
+          for the protocol)")
     Term.(
       const run $ socket_arg $ port_arg $ workers_arg $ depth_arg $ cache_dir_arg
       $ cache_budget_arg $ trace_arg $ deadline_arg $ retries_arg $ verbose_arg
-      $ inject_arg $ inject_seed_arg)
+      $ journal_arg $ drain_arg $ watchdog_arg $ inject_arg $ inject_seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hirc journal                                                        *)
+
+let journal_cmd =
+  let dir_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Journal directory (as passed to serve --journal)")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Replay the journal and report record, completion, pending and \
+             quarantine counts (torn tails and CRC failures are tolerated, \
+             counted, and skipped)")
+  in
+  let compact_arg =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Rewrite the log down to its still-pending admit records (temp + \
+             fsync + rename, crash-safe)")
+  in
+  let run dir verify compact =
+    if not (verify || compact) then begin
+      prerr_endline "journal: nothing to do (pass --verify and/or --compact)";
+      1
+    end
+    else begin
+      let code = ref 0 in
+      if verify then begin
+        let r = Journal.verify ~dir in
+        Printf.printf
+          "verify: %d record(s), %d done mark(s), %d pending job(s), %d \
+           quarantined%s\n"
+          r.Journal.rr_records r.Journal.rr_completed
+          (List.length r.Journal.rr_pending)
+          r.Journal.rr_quarantined
+          (if r.Journal.rr_torn_tail then ", torn tail dropped" else "");
+        List.iter
+          (fun (a : Journal.admit) ->
+            Printf.printf "  pending %s/%s (digest %s)\n" a.Journal.a_client
+              a.Journal.a_id a.Journal.a_digest)
+          r.Journal.rr_pending
+      end;
+      if compact then begin
+        match Journal.compact ~dir () with
+        | Ok kept -> Printf.printf "compact: kept %d pending record(s)\n" kept
+        | Error e ->
+          Printf.printf "compact: failed: %s\n" e;
+          code := 1
+      end;
+      !code
+    end
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect or compact a serve write-ahead job journal: replay it, report \
+          pending and quarantined records, or rewrite it down to its pending set")
+    Term.(const run $ dir_arg $ verify_arg $ compact_arg)
 
 let () =
   let doc = "HIR: an MLIR-style IR for hardware accelerator description" in
@@ -1175,5 +1272,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; verify_cmd; print_cmd; kernels_cmd; demo_cmd; pipeline_cmd;
-            fuzz_cmd; sim_cmd; batch_cmd; cache_cmd; serve_cmd;
+            fuzz_cmd; sim_cmd; batch_cmd; cache_cmd; serve_cmd; journal_cmd;
           ]))

@@ -200,9 +200,21 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Atomic publish via temp file + rename.  The temp file is unlinked on
-   *any* failure (short write, injected fault, rename onto a squatted
-   path), so failed stores cannot litter the cache directory. *)
+(* Make a rename durable: fsync the directory that holds the entry. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Atomic *and durable* publish via temp file + fsync + rename + dir
+   fsync: the bytes are on disk before the rename makes them visible,
+   and the rename itself is persisted, so a post-crash cache can never
+   hold a renamed-but-empty entry.  The temp file is unlinked on *any*
+   failure (short write, injected fault, rename onto a squatted path),
+   so failed stores cannot litter the cache directory. *)
 let write_file_atomic ~dir path content =
   let tmp = Filename.temp_file ~temp_dir:dir ".cache" ".tmp" in
   Fun.protect
@@ -214,9 +226,12 @@ let write_file_atomic ~dir path content =
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
           output_string oc content;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc);
           close_out oc);
       Faults.point "cache.write";
-      Sys.rename tmp path)
+      Sys.rename tmp path;
+      fsync_dir dir)
 
 let content_digest verilog = Digest.to_hex (Digest.string verilog)
 

@@ -25,7 +25,10 @@ exception Injected of string  (* the point that fired *)
 (* The injection points wired into the service.  [parse_spec] rejects
    unknown names so a typo in --inject fails fast. *)
 let known_points =
-  [ "cache.read"; "cache.write"; "worker.spawn"; "job.compile"; "sim.settle" ]
+  [
+    "cache.read"; "cache.write"; "worker.spawn"; "job.compile"; "sim.settle";
+    "journal.append"; "journal.mark"; "journal.replay";
+  ]
 
 type trigger =
   | Prob of float  (* fire each hit with this probability *)

@@ -1,0 +1,330 @@
+(* The write-ahead job journal behind crash-safe `hirc serve`.
+
+   The server's durability contract is small and explicit: every
+   *admitted* compile job is recorded before it runs, and marked done
+   when its (exactly-one) completion is delivered.  A server that dies
+   — kill -9, OOM, power loss — can then replay the journal on
+   restart, re-enqueue every admitted-but-incomplete job, and finish
+   them with byte-identical Verilog (the content-addressed cache makes
+   the replayed work cheap; [Ir.with_isolated_ids] makes it
+   deterministic).
+
+   Record format: one record per line,
+
+       <crc32-hex-8> SP <json> NL
+
+   where the CRC-32 is computed over the JSON bytes.  Two record
+   shapes:
+
+       {"t":"admit","client":C,"id":I,"digest":D, <request fields>}
+       {"t":"done","client":C,"id":I,"status":S}
+
+   Appends are write + fsync on an O_APPEND descriptor — a record is
+   durable before the caller proceeds.  Torn-write tolerance on
+   replay: a final line with no terminating newline is a truncated
+   tail (the crash interrupted an append) and is dropped without
+   complaint; a *complete* line that fails its CRC or does not parse
+   is quarantined (counted and skipped) — corruption is never fatal
+   and never silently trusted.
+
+   Compaction rewrites the log to just the still-pending admit
+   records via the same temp + fsync + rename + dir-fsync discipline
+   the cache uses, so a long-lived journal does not grow without
+   bound.  All failure paths are exercised by the "journal.append" /
+   "journal.mark" / "journal.replay" fault points. *)
+
+type admit = {
+  a_client : string;  (* stable client identity *)
+  a_id : string;  (* client-chosen job id *)
+  a_digest : string;  (* request digest: the idempotency key *)
+  a_kernel : string option;
+  a_name : string option;
+  a_source : string option;
+  a_top : string option;
+  a_passes : string option;
+  a_priority : int;
+  a_deadline : float option;
+  a_want_verilog : bool;
+}
+
+(* The compile-relevant fields only: a resubmission with a different
+   deadline or priority is still the *same request* for idempotency. *)
+let digest_of_request ~kernel ~name ~source ~top ~passes =
+  let part = function None -> "\x00" | Some s -> "\x01" ^ s in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x02" [ part kernel; part name; part source; part top; part passes ]))
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven                                   *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          (Int32.shift_right_logical !c 8)
+          table.(Int32.to_int
+                   (Int32.logand
+                      (Int32.logxor !c (Int32.of_int (Char.code ch)))
+                      0xFFl)))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Record codec                                                        *)
+
+module Json = Protocol.Json
+
+let admit_to_json a =
+  let opt k = function None -> [] | Some v -> [ (k, Json.Str v) ] in
+  Json.Obj
+    ([
+       ("t", Json.Str "admit");
+       ("client", Json.Str a.a_client);
+       ("id", Json.Str a.a_id);
+       ("digest", Json.Str a.a_digest);
+     ]
+    @ opt "kernel" a.a_kernel @ opt "name" a.a_name @ opt "source" a.a_source
+    @ opt "top" a.a_top @ opt "passes" a.a_passes
+    @ [ ("priority", Json.Num (float_of_int a.a_priority)) ]
+    @ (match a.a_deadline with None -> [] | Some d -> [ ("deadline", Json.Num d) ])
+    @ [ ("verilog", Json.Bool a.a_want_verilog) ])
+
+let admit_of_json j =
+  match (Json.field_str j "client", Json.field_str j "id", Json.field_str j "digest") with
+  | Some client, Some id, Some digest ->
+    Some
+      {
+        a_client = client;
+        a_id = id;
+        a_digest = digest;
+        a_kernel = Json.field_str j "kernel";
+        a_name = Json.field_str j "name";
+        a_source = Json.field_str j "source";
+        a_top = Json.field_str j "top";
+        a_passes = Json.field_str j "passes";
+        a_priority = Option.value ~default:0 (Json.field_int j "priority");
+        a_deadline = Json.field_num j "deadline";
+        a_want_verilog = Option.value ~default:false (Json.field_bool j "verilog");
+      }
+  | _ -> None
+
+let record_line j =
+  let payload = Json.to_string j in
+  Printf.sprintf "%08lx %s\n" (crc32 payload) payload
+
+(* A complete line back to its JSON, CRC-checked. *)
+let parse_record line =
+  let n = String.length line in
+  if n < 10 || line.[8] <> ' ' then Error "malformed record"
+  else
+    let crc_hex = String.sub line 0 8 in
+    let payload = String.sub line 9 (n - 9) in
+    match Int32.of_string_opt ("0x" ^ crc_hex) with
+    | None -> Error "malformed CRC"
+    | Some crc ->
+      if crc <> crc32 payload then Error "CRC mismatch"
+      else (
+        match Json.parse payload with
+        | Ok j -> Ok j
+        | Error e -> Error ("bad JSON: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem plumbing                                                 *)
+
+let log_path dir = Filename.concat dir "journal.log"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Make a rename durable: fsync the containing directory. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+type t = { j_dir : string; j_fd : Unix.file_descr }
+
+let open_journal ~dir =
+  mkdir_p dir;
+  let fd =
+    Unix.openfile (log_path dir) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { j_dir = dir; j_fd = fd }
+
+let close t = try Unix.close t.j_fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd data off len =
+  if len > 0 then
+    match Unix.write fd data off len with
+    | n -> write_all fd data (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd data off len
+
+(* Journal IO failure is *degraded durability*, not a failed job: the
+   caller counts it and keeps serving (clients recover the hole via
+   idempotent resubmission). *)
+let append t ~fault_point j =
+  try
+    Faults.point fault_point;
+    let line = record_line j in
+    let data = Bytes.of_string line in
+    write_all t.j_fd data 0 (Bytes.length data);
+    Unix.fsync t.j_fd;
+    Ok ()
+  with
+  | Faults.Injected p -> Error ("injected fault at " ^ p)
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Sys_error msg -> Error msg
+
+let append_admit t a = append t ~fault_point:"journal.append" (admit_to_json a)
+
+let append_done t ~client ~id ~status =
+  append t ~fault_point:"journal.mark"
+    (Json.Obj
+       [
+         ("t", Json.Str "done");
+         ("client", Json.Str client);
+         ("id", Json.Str id);
+         ("status", Json.Str status);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+type replay_result = {
+  rr_pending : admit list;  (* admitted, never marked done; file order *)
+  rr_records : int;  (* records seen (complete lines) *)
+  rr_completed : int;  (* done marks *)
+  rr_quarantined : int;  (* CRC/parse failures and faulted records *)
+  rr_torn_tail : bool;  (* unterminated final line was dropped *)
+}
+
+let empty_replay =
+  { rr_pending = []; rr_records = 0; rr_completed = 0; rr_quarantined = 0; rr_torn_tail = false }
+
+(* Split into complete lines; an unterminated tail is reported, not
+   parsed — it is the expected signature of a crash mid-append. *)
+let complete_lines text =
+  let n = String.length text in
+  let lines = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if text.[i] = '\n' then begin
+      lines := String.sub text !start (i - !start) :: !lines;
+      start := i + 1
+    end
+  done;
+  (List.rev !lines, !start < n)
+
+let replay ~dir =
+  let path = log_path dir in
+  if not (Sys.file_exists path) then empty_replay
+  else begin
+    let lines, torn = complete_lines (read_file path) in
+    let pending : (string * string, admit) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in  (* newest first *)
+    let records = ref 0 and completed = ref 0 and quarantined = ref 0 in
+    List.iter
+      (fun line ->
+        if String.trim line <> "" then begin
+          incr records;
+          match Faults.point "journal.replay" with
+          | exception Faults.Injected _ -> incr quarantined
+          | () -> (
+            match parse_record line with
+            | Error _ -> incr quarantined
+            | Ok j -> (
+              match Json.field_str j "t" with
+              | Some "admit" -> (
+                match admit_of_json j with
+                | Some a ->
+                  let key = (a.a_client, a.a_id) in
+                  if not (Hashtbl.mem pending key) then order := key :: !order;
+                  Hashtbl.replace pending key a
+                | None -> incr quarantined)
+              | Some "done" -> (
+                incr completed;
+                match (Json.field_str j "client", Json.field_str j "id") with
+                | Some client, Some id -> Hashtbl.remove pending (client, id)
+                | _ -> ())
+              | _ -> incr quarantined))
+        end)
+      lines;
+    (* File order, deduplicated, still-pending only. *)
+    let seen = Hashtbl.create 16 in
+    let pending_list =
+      List.rev !order
+      |> List.filter_map (fun key ->
+             if Hashtbl.mem seen key then None
+             else begin
+               Hashtbl.replace seen key ();
+               Hashtbl.find_opt pending key
+             end)
+    in
+    {
+      rr_pending = pending_list;
+      rr_records = !records;
+      rr_completed = !completed;
+      rr_quarantined = !quarantined;
+      rr_torn_tail = torn;
+    }
+  end
+
+let verify = replay
+
+(* Rewrite the log down to its pending admits.  Crash-safe: the new
+   log is complete and fsynced before the rename publishes it.
+   Callers that just replayed pass [?result] so the rewritten log and
+   the re-enqueued set agree exactly (a second replay under fault
+   injection could disagree with the first). *)
+let compact ?result ~dir () =
+  try
+    let r = match result with Some r -> r | None -> replay ~dir in
+    mkdir_p dir;
+    let tmp = log_path dir ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        List.iter
+          (fun a ->
+            let data = Bytes.of_string (record_line (admit_to_json a)) in
+            write_all fd data 0 (Bytes.length data))
+          r.rr_pending;
+        Unix.fsync fd);
+    Sys.rename tmp (log_path dir);
+    fsync_dir dir;
+    Ok (List.length r.rr_pending)
+  with
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Sys_error msg -> Error msg

@@ -8,15 +8,23 @@
    always emits a single line.
 
    Request frames (field order free, unknown fields ignored):
-     {"op":"compile","id":ID, "kernel":NAME | "name":N,"source":TEXT,
-      "top":F?, "passes":SPEC?, "priority":INT?, "deadline":SECS?,
-      "verilog":BOOL?}
+     {"op":"compile","id":ID, "client":NAME?, "kernel":NAME |
+      "name":N,"source":TEXT, "top":F?, "passes":SPEC?, "priority":INT?,
+      "deadline":SECS?, "verilog":BOOL?}
      {"op":"cancel","id":ID}
+     {"op":"poll","client":NAME?,"id":ID?}
      {"op":"health"}      {"op":"metrics"}      {"op":"shutdown"}
+
+   The optional "client" field is a stable identity that survives
+   reconnects: a named client's jobs keep running when its connection
+   drops, and "poll" fetches their retained results afterwards.
+   Without it a job belongs to the connection (and dies with it).
 
    Response frames:
      {"event":"result","id":ID,"status":"ok|degraded|failed|cancelled|rejected",…}
      {"event":"cancel","id":ID,"state":"cancelled|cancelling|finished|unknown"}
+     {"event":"poll","id":ID,"state":"pending|unknown"}   (done resends the result)
+     {"event":"poll","jobs":[{"id":…,"state":…},…]}       (poll without id)
      {"event":"health",…}  {"event":"metrics",…}  {"event":"shutdown"}
      {"event":"error","message":…}        (unparseable/invalid frame)
 
@@ -249,6 +257,7 @@ end
 
 type compile_req = {
   cr_id : string;  (* client-chosen correlation id, unique per conn *)
+  cr_client : string option;  (* stable identity surviving reconnects *)
   cr_kernel : string option;  (* built-in kernel name … *)
   cr_name : string option;  (* … or inline source with a display name *)
   cr_source : string option;
@@ -259,9 +268,15 @@ type compile_req = {
   cr_want_verilog : bool;  (* include the Verilog in the response *)
 }
 
+type poll_req = {
+  pl_client : string option;  (* whose jobs; None = this connection's *)
+  pl_id : string option;  (* one job, or None for a listing *)
+}
+
 type request =
   | Compile of compile_req
   | Cancel of string
+  | Poll of poll_req
   | Health
   | Metrics
   | Shutdown
@@ -272,6 +287,8 @@ let request_of_json j =
   | Some "health" -> Ok Health
   | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
+  | Some "poll" ->
+    Ok (Poll { pl_client = Json.field_str j "client"; pl_id = Json.field_str j "id" })
   | Some "cancel" -> (
     match Json.field_str j "id" with
     | Some id -> Ok (Cancel id)
@@ -290,6 +307,7 @@ let request_of_json j =
           (Compile
              {
                cr_id = id;
+               cr_client = Json.field_str j "client";
                cr_kernel = kernel;
                cr_name = Json.field_str j "name";
                cr_source = source;

@@ -14,22 +14,46 @@
    are no batch boundaries.  The pool's bounded queue turns saturation
    into an immediate `status:"rejected", reason:"overloaded"` frame
    (the client backs off and retries; nothing is silently queued or
-   dropped).  Fair-share scheduling uses the connection id as the
-   service client id, so one greedy connection cannot starve others.
+   dropped).  Fair-share scheduling uses the client identity (the
+   "client" field, or the connection for anonymous frames) as the
+   service client id, so one greedy client cannot starve others.
+
+   Durability ([cfg_journal]): every admitted job is recorded in a
+   write-ahead journal before it runs and marked done on completion.
+   On startup the journal is replayed — torn/corrupt records
+   quarantined, admitted-but-incomplete jobs re-enqueued — so a
+   kill -9 loses no admitted work; the content-addressed cache makes
+   the redo cheap and [Ir.with_isolated_ids] makes it byte-identical.
+   Completed results are retained (bounded by [cfg_max_finished]) so
+   a finished id resubmitted with the same request digest returns the
+   cached result (idempotent resubmission) and a reconnecting client
+   can fetch results it missed via the `poll` op.  A resubmission of
+   a finished id with a *different* digest is a `duplicate-id`
+   rejection — an id is a promise about content.
+
+   Graceful drain: SIGTERM or a `shutdown` frame stops admission
+   (`shutting-down` rejections), finishes the in-flight jobs, and
+   exits cleanly; jobs still unfinished at [cfg_drain_deadline] are
+   cancelled through the cooperative-cancel path, so their journal
+   records are marked (status "cancelled") and a replay after drain
+   finds zero incomplete jobs.  A stuck-job watchdog cancels any
+   running job that exceeds [cfg_watchdog_factor] x its deadline
+   without reaching a guard checkpoint.
 
    Cancellation: an explicit cancel frame or a client disconnect
-   cancels that client's jobs — queued jobs are withdrawn without ever
-   occupying a worker; running jobs are flagged and stop at the next
-   guard checkpoint.  Every admitted job still produces exactly one
-   completion (delivered, or counted and dropped if its connection is
-   gone), which is the zero-lost-jobs invariant the swarm bench pins.
+   cancels that connection's *anonymous* jobs — named-client jobs
+   survive the disconnect (that is the point of the name) and their
+   results wait in the finished table for a poll.  Every admitted job
+   still produces exactly one completion (delivered, or retained if
+   its connection is gone), which is the zero-lost-jobs invariant the
+   swarm and crash benches pin.
 
    Probes: line-JSON {"op":"health"} / {"op":"metrics"} frames, or
    plain HTTP `GET /health` / `GET /metrics` on the same socket for
    curl-style monitoring.  Metrics surface queue depth, worker and
-   cache counters, aggregated per-pass/trace counters, and log-bucket
-   latency histograms (queue wait and end-to-end).  A Chrome trace of
-   every job's spans over the whole server lifetime (bounded by
+   cache counters, journal and watchdog counters, aggregated per-pass
+   trace counters, and log-bucket latency histograms.  A Chrome trace
+   of every job's spans over the whole server lifetime (bounded by
    [cfg_max_traces]) is written on shutdown. *)
 
 type listen = Unix_path of string | Tcp of string * int
@@ -43,6 +67,11 @@ type config = {
   cfg_retry : Driver.retry_policy;
   cfg_trace_path : string option;
   cfg_max_traces : int;  (* retain at most this many job traces *)
+  cfg_journal : string option;  (* write-ahead job journal directory *)
+  cfg_drain_deadline : float;  (* seconds before a drain cancels stragglers *)
+  cfg_watchdog_factor : float;  (* cancel at factor x deadline; <=0 disables *)
+  cfg_max_finished : int;  (* retained results for poll / idempotency *)
+  cfg_tick : float;  (* select timeout: drain/watchdog scan period *)
   cfg_verbose : bool;
 }
 
@@ -56,13 +85,21 @@ let default_config ~listen () =
     cfg_retry = Driver.default_retry;
     cfg_trace_path = None;
     cfg_max_traces = 10_000;
+    cfg_journal = None;
+    cfg_drain_deadline = 30.0;
+    cfg_watchdog_factor = 3.0;
+    cfg_max_finished = 4096;
+    cfg_tick = 1.0;
     cfg_verbose = false;
   }
 
 (* What a worker needs to run one admitted job. *)
 type job_ctx = {
-  jc_conn : int;
+  jc_conn : int;  (* submitting connection; -1 for journal replays *)
+  jc_client : string;  (* resolved client identity *)
+  jc_ephemeral : bool;  (* identity is the connection: dies with it *)
   jc_id : string;  (* the client's correlation id *)
+  jc_digest : string;  (* request digest: the idempotency key *)
   jc_want_verilog : bool;
   jc_job : Driver.job;
   jc_limits : Guard.limits;
@@ -77,6 +114,19 @@ type conn = {
   mutable co_closed : bool;
 }
 
+(* One in-flight job, keyed by (client, id). *)
+type pending_job = {
+  pj_handle : job_ctx Service.handle;
+  mutable pj_watchdog : bool;  (* already cancelled by the watchdog *)
+}
+
+(* One retained completion, for poll and idempotent resubmission. *)
+type finished_job = {
+  fj_digest : string;
+  fj_status : string;  (* ok | degraded | failed | cancelled *)
+  fj_frame : Protocol.Json.t;  (* the full result frame, as delivered *)
+}
+
 type t = {
   cfg : config;
   svc : (job_ctx, Driver.report) Service.t;
@@ -86,8 +136,17 @@ type t = {
   wake_w : Unix.file_descr;
   cq_mu : Mutex.t;
   cq : (job_ctx, Driver.report) Service.completion Queue.t;
+  client_ids : (string, int) Hashtbl.t;  (* identity -> service client *)
+  pending : (string * string, pending_job) Hashtbl.t;  (* (client,id) *)
+  finished : (string * string, finished_job) Hashtbl.t;
+  finished_order : (string * string) Queue.t;  (* eviction, oldest first *)
+  mutable journal : Journal.t option;
+  mutable backlog : Journal.admit list;  (* replays awaiting queue space *)
   mutable listen_fd : Unix.file_descr option;
   mutable stopping : bool;
+  mutable draining : bool;
+  mutable drain_until : float;
+  mutable drain_cancelled : bool;  (* stragglers already cancelled *)
   mutable next_conn : int;
   mutable next_tid : int;
   (* metrics *)
@@ -98,6 +157,12 @@ type t = {
   mutable n_degraded : int;
   mutable n_failed : int;
   mutable n_cancelled : int;
+  mutable watchdog_fired : int;
+  mutable idempotent_hits : int;
+  mutable journal_appends : int;
+  mutable journal_marks : int;
+  mutable journal_faults : int;
+  mutable journal_replayed : int;
   queue_hist : Service.Histogram.t;  (* admission -> start *)
   total_hist : Service.Histogram.t;  (* admission -> completion *)
   agg_counters : (string, int) Hashtbl.t;  (* trace counters, all jobs *)
@@ -109,12 +174,21 @@ let logf t fmt =
   if t.cfg.cfg_verbose then Printf.eprintf ("serve: " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
+(* SIGTERM lands here (possibly on another domain): the main loop polls
+   the flag every tick and starts a graceful drain. *)
+let sigterm_drain = Atomic.make false
+
+(* Signals can interrupt any blocking syscall now that a SIGTERM
+   handler is installed: retry them all. *)
+let rec no_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> no_eintr f
+
 (* ------------------------------------------------------------------ *)
 (* Worker-side: runs on pool domains                                   *)
 
 let wake t =
   (* Nonblocking: a full pipe already guarantees a pending wakeup. *)
-  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  try ignore (no_eintr (fun () -> Unix.write t.wake_w (Bytes.make 1 '!') 0 1))
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
 
 let on_complete t c =
@@ -130,12 +204,21 @@ let disconnect t conn =
   if not conn.co_closed then begin
     conn.co_closed <- true;
     Hashtbl.remove t.conns conn.co_id;
-    (* A gone client no longer wants its jobs: free the slots.  The
-       completions (synthesized or real) still arrive and are counted;
-       delivery is skipped because the conn is gone. *)
-    Hashtbl.iter (fun _ h -> ignore (Service.cancel t.svc h)) conn.co_jobs;
+    (* A gone *anonymous* client no longer wants its jobs: free the
+       slots.  Named-client jobs keep running — their results are
+       retained for a poll after reconnect.  Completions (synthesized
+       or real) still arrive and are counted either way. *)
+    let cancelled = ref 0 in
+    Hashtbl.iter
+      (fun _ h ->
+        if (Service.data h).jc_ephemeral then begin
+          incr cancelled;
+          ignore (Service.cancel t.svc h)
+        end)
+      conn.co_jobs;
     (try Unix.close conn.co_fd with Unix.Unix_error _ -> ());
-    logf t "conn %d closed (%d jobs in flight cancelled)" conn.co_id
+    logf t "conn %d closed (%d of %d in-flight jobs cancelled)" conn.co_id
+      !cancelled
       (Hashtbl.length conn.co_jobs)
   end
 
@@ -144,7 +227,7 @@ let write_all fd s =
   let len = Bytes.length data in
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write fd data !off (len - !off)
+    off := !off + no_eintr (fun () -> Unix.write fd data !off (len - !off))
   done
 
 (* SIGPIPE is ignored process-wide, so a hung-up client surfaces here
@@ -159,10 +242,13 @@ let send_frame t conn j =
 
 let health_json t =
   let s = Service.stats t.svc in
+  let status =
+    if t.stopping then "stopping" else if t.draining then "draining" else "ok"
+  in
   Protocol.Json.Obj
     [
       ("event", Protocol.Json.Str "health");
-      ("status", Protocol.Json.Str (if t.stopping then "stopping" else "ok"));
+      ("status", Protocol.Json.Str status);
       ("uptime_seconds", Protocol.Json.Num (Unix.gettimeofday () -. t.epoch));
       ("workers", Protocol.Json.Num (float_of_int s.Service.st_workers));
       ("queue_depth", Protocol.Json.Num (float_of_int s.Service.st_depth));
@@ -195,6 +281,8 @@ let metrics_json t =
         ("degraded", num t.n_degraded);
         ("failed", num t.n_failed);
         ("cancelled", num t.n_cancelled);
+        ("watchdog", num t.watchdog_fired);
+        ("idempotent", num t.idempotent_hits);
         ("queue_depth", num s.Service.st_depth);
         ("running", num s.Service.st_running);
         ("workers", num s.Service.st_workers);
@@ -217,6 +305,22 @@ let metrics_json t =
             ] );
       ]
   in
+  let journal =
+    match t.journal with
+    | None -> []
+    | Some _ ->
+      [
+        ( "journal",
+          Protocol.Json.Obj
+            [
+              ("appends", num t.journal_appends);
+              ("marks", num t.journal_marks);
+              ("faults", num t.journal_faults);
+              ("replayed", num t.journal_replayed);
+              ("backlog", num (List.length t.backlog));
+            ] );
+      ]
+  in
   (* Aggregated trace counters: pass/pattern/cache/retry/degradation
      counts summed over every completed job. *)
   let counters =
@@ -225,7 +329,7 @@ let metrics_json t =
   in
   Protocol.Json.Obj
     ([ ("event", Protocol.Json.Str "metrics"); ("jobs", jobs) ]
-    @ cache
+    @ cache @ journal
     @ [
         ("counters", Protocol.Json.Obj counters);
         ( "latency",
@@ -257,6 +361,18 @@ let http_response t conn path =
 let next_tid t =
   t.next_tid <- t.next_tid + 1;
   t.next_tid
+
+(* The service core schedules by integer client id; map every distinct
+   client identity (named or per-connection) to one. *)
+let resolve_client t name =
+  match Hashtbl.find_opt t.client_ids name with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length t.client_ids in
+    Hashtbl.replace t.client_ids name i;
+    i
+
+let conn_client_name conn = Printf.sprintf "conn-%d" conn.co_id
 
 (* Resolve a compile frame into a driver job, or the diagnostics that
    explain why it never will be one.  Bad input is a *failed* result
@@ -295,54 +411,143 @@ let failed_frame ~id msg =
       ("diagnostics", Protocol.Json.Arr [ Protocol.Json.Str msg ]);
     ]
 
+let request_digest (req : Protocol.compile_req) =
+  Journal.digest_of_request ~kernel:req.Protocol.cr_kernel ~name:req.Protocol.cr_name
+    ~source:req.Protocol.cr_source ~top:req.Protocol.cr_top
+    ~passes:req.Protocol.cr_passes
+
+let admit_of_req ~client ~digest (req : Protocol.compile_req) =
+  {
+    Journal.a_client = client;
+    a_id = req.Protocol.cr_id;
+    a_digest = digest;
+    a_kernel = req.Protocol.cr_kernel;
+    a_name = req.Protocol.cr_name;
+    a_source = req.Protocol.cr_source;
+    a_top = req.Protocol.cr_top;
+    a_passes = req.Protocol.cr_passes;
+    a_priority = req.Protocol.cr_priority;
+    a_deadline = req.Protocol.cr_deadline;
+    a_want_verilog = req.Protocol.cr_want_verilog;
+  }
+
+let req_of_admit (a : Journal.admit) : Protocol.compile_req =
+  {
+    Protocol.cr_id = a.Journal.a_id;
+    cr_client = Some a.Journal.a_client;
+    cr_kernel = a.Journal.a_kernel;
+    cr_name = a.Journal.a_name;
+    cr_source = a.Journal.a_source;
+    cr_top = a.Journal.a_top;
+    cr_passes = a.Journal.a_passes;
+    cr_priority = a.Journal.a_priority;
+    cr_deadline = a.Journal.a_deadline;
+    cr_want_verilog = a.Journal.a_want_verilog;
+  }
+
+(* Journal IO failure is degraded durability, never a failed job. *)
+let journal_admit t admit =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    match Journal.append_admit j admit with
+    | Ok () -> t.journal_appends <- t.journal_appends + 1
+    | Error e ->
+      t.journal_faults <- t.journal_faults + 1;
+      logf t "journal append failed: %s" e)
+
+let journal_done t ~client ~id ~status =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    match Journal.append_done j ~client ~id ~status with
+    | Ok () -> t.journal_marks <- t.journal_marks + 1
+    | Error e ->
+      t.journal_faults <- t.journal_faults + 1;
+      logf t "journal mark failed: %s" e)
+
+(* Submit one resolved request to the pool.  [journal_new] is false for
+   journal replays, whose admit records are already on disk. *)
+let admit_request t ~conn_id ~client ~ephemeral ~digest ~journal_new
+    (req : Protocol.compile_req) =
+  match job_of_req req with
+  | Error msg -> `Failed (failed_frame ~id:req.Protocol.cr_id msg)
+  | Ok job -> (
+    let trace = Trace.create ~epoch:t.epoch () in
+    Trace.set_tid trace (next_tid t);
+    let limits =
+      {
+        Guard.deadline_s =
+          (match req.Protocol.cr_deadline with
+          | Some _ as d -> d
+          | None -> t.cfg.cfg_default_deadline);
+        work_budget = None;
+      }
+    in
+    let ctx =
+      {
+        jc_conn = conn_id;
+        jc_client = client;
+        jc_ephemeral = ephemeral;
+        jc_id = req.Protocol.cr_id;
+        jc_digest = digest;
+        jc_want_verilog = req.Protocol.cr_want_verilog;
+        jc_job = job;
+        jc_limits = limits;
+        jc_trace = trace;
+      }
+    in
+    match
+      Service.submit t.svc ~client:(resolve_client t client)
+        ~priority:req.Protocol.cr_priority ctx
+    with
+    | Service.Accepted h ->
+      t.submitted <- t.submitted + 1;
+      if journal_new then journal_admit t (admit_of_req ~client ~digest req);
+      Hashtbl.replace t.pending (client, req.Protocol.cr_id)
+        { pj_handle = h; pj_watchdog = false };
+      `Admitted h
+    | Service.Overloaded -> `Overloaded
+    | Service.Stopped -> `Stopped)
+
 let handle_compile t conn (req : Protocol.compile_req) =
   let id = req.Protocol.cr_id in
-  if Hashtbl.mem conn.co_jobs id then begin
+  let ephemeral = req.Protocol.cr_client = None in
+  let client =
+    match req.Protocol.cr_client with Some c -> c | None -> conn_client_name conn
+  in
+  let digest = request_digest req in
+  let key = (client, id) in
+  let reject reason =
     t.rejected <- t.rejected + 1;
-    send_frame t conn (Protocol.rejected_frame ~id "duplicate-id")
-  end
+    send_frame t conn (Protocol.rejected_frame ~id reason)
+  in
+  if t.draining || t.stopping then reject "shutting-down"
+  else if Hashtbl.mem t.pending key then reject "duplicate-id"
   else
-    match job_of_req req with
-    | Error msg ->
-      (* Never admitted: report a failed result directly. *)
-      send_frame t conn (failed_frame ~id msg)
-    | Ok job ->
-      let trace = Trace.create ~epoch:t.epoch () in
-      Trace.set_tid trace (next_tid t);
-      let limits =
-        {
-          Guard.deadline_s =
-            (match req.Protocol.cr_deadline with
-            | Some _ as d -> d
-            | None -> t.cfg.cfg_default_deadline);
-          work_budget = None;
-        }
-      in
-      let ctx =
-        {
-          jc_conn = conn.co_id;
-          jc_id = id;
-          jc_want_verilog = req.Protocol.cr_want_verilog;
-          jc_job = job;
-          jc_limits = limits;
-          jc_trace = trace;
-        }
-      in
-      (match
-         Service.submit t.svc ~client:conn.co_id ~priority:req.Protocol.cr_priority
-           ctx
-       with
-      | Service.Accepted h ->
-        t.submitted <- t.submitted + 1;
+    let finished_entry = Hashtbl.find_opt t.finished key in
+    match finished_entry with
+    | Some fj when fj.fj_status <> "cancelled" && fj.fj_digest = digest ->
+      (* Idempotent resubmission: same id, same request — replay the
+         retained result instead of recompiling or rejecting. *)
+      t.idempotent_hits <- t.idempotent_hits + 1;
+      logf t "conn %d: idempotent resubmission of %s/%s" conn.co_id client id;
+      send_frame t conn fj.fj_frame
+    | Some fj when fj.fj_status <> "cancelled" -> reject "duplicate-id"
+    | _ -> (
+      (* Fresh, or a cancelled result being retried: admit. *)
+      if finished_entry <> None then Hashtbl.remove t.finished key;
+      match
+        admit_request t ~conn_id:conn.co_id ~client ~ephemeral ~digest
+          ~journal_new:true req
+      with
+      | `Failed frame -> send_frame t conn frame
+      | `Overloaded -> reject "overloaded"
+      | `Stopped -> reject "shutting-down"
+      | `Admitted h ->
         Hashtbl.replace conn.co_jobs id h;
-        logf t "conn %d: admitted %s (priority %d)" conn.co_id id
-          req.Protocol.cr_priority
-      | Service.Overloaded ->
-        t.rejected <- t.rejected + 1;
-        send_frame t conn (Protocol.rejected_frame ~id "overloaded")
-      | Service.Stopped ->
-        t.rejected <- t.rejected + 1;
-        send_frame t conn (Protocol.rejected_frame ~id "shutting-down"))
+        logf t "conn %d: admitted %s/%s (priority %d)" conn.co_id client id
+          req.Protocol.cr_priority)
 
 let handle_cancel t conn id =
   match Hashtbl.find_opt conn.co_jobs id with
@@ -357,11 +562,77 @@ let handle_cancel t conn id =
     send_frame t conn (Protocol.cancel_frame ~id state)
 
 (* ------------------------------------------------------------------ *)
+(* Poll: reconnecting clients fetch results they missed                 *)
+
+let poll_state_frame ~id state =
+  Protocol.Json.Obj
+    [
+      ("event", Protocol.Json.Str "poll");
+      ("id", Protocol.Json.Str id);
+      ("state", Protocol.Json.Str state);
+    ]
+
+let handle_poll t conn (p : Protocol.poll_req) =
+  let client =
+    match p.Protocol.pl_client with Some c -> c | None -> conn_client_name conn
+  in
+  match p.Protocol.pl_id with
+  | Some id -> (
+    let key = (client, id) in
+    match Hashtbl.find_opt t.finished key with
+    | Some fj -> send_frame t conn fj.fj_frame  (* done: resend the result *)
+    | None ->
+      if Hashtbl.mem t.pending key then
+        send_frame t conn (poll_state_frame ~id "pending")
+      else send_frame t conn (poll_state_frame ~id "unknown"))
+  | None ->
+    (* No id: list this client's known jobs and their states. *)
+    let jobs = ref [] in
+    Hashtbl.iter
+      (fun (c, id) _ ->
+        if c = client then
+          jobs :=
+            Protocol.Json.Obj
+              [ ("id", Protocol.Json.Str id); ("state", Protocol.Json.Str "pending") ]
+            :: !jobs)
+      t.pending;
+    Hashtbl.iter
+      (fun (c, id) fj ->
+        if c = client then
+          jobs :=
+            Protocol.Json.Obj
+              [
+                ("id", Protocol.Json.Str id);
+                ("state", Protocol.Json.Str "done");
+                ("status", Protocol.Json.Str fj.fj_status);
+              ]
+            :: !jobs)
+      t.finished;
+    let jobs = List.sort compare !jobs in
+    send_frame t conn
+      (Protocol.Json.Obj
+         [
+           ("event", Protocol.Json.Str "poll");
+           ("client", Protocol.Json.Str client);
+           ("jobs", Protocol.Json.Arr jobs);
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Completion delivery (main loop)                                     *)
+
+let add_finished t key fj =
+  Hashtbl.replace t.finished key fj;
+  Queue.push key t.finished_order;
+  while Hashtbl.length t.finished > t.cfg.cfg_max_finished do
+    match Queue.take_opt t.finished_order with
+    | None -> Hashtbl.reset t.finished  (* unreachable; belt and braces *)
+    | Some victim -> Hashtbl.remove t.finished victim
+  done
 
 let record_completion t (c : (job_ctx, Driver.report) Service.completion) =
   let ctx = Service.data c.Service.c_handle in
   let r = c.Service.c_result in
+  let status = Driver.status_to_string (Driver.report_status r) in
   t.completed <- t.completed + 1;
   (match Driver.report_status r with
   | `Ok -> t.n_ok <- t.n_ok + 1
@@ -393,13 +664,20 @@ let record_completion t (c : (job_ctx, Driver.report) Service.completion) =
     t.traces <- ctx.jc_trace :: t.traces;
     t.n_traces <- t.n_traces + 1
   end;
-  (* Deliver, unless the client is gone. *)
+  (* Durability: the done mark, then the retained result. *)
+  let key = (ctx.jc_client, ctx.jc_id) in
+  journal_done t ~client:ctx.jc_client ~id:ctx.jc_id ~status;
+  Hashtbl.remove t.pending key;
+  let frame =
+    Protocol.result_frame ~id:ctx.jc_id ~want_verilog:ctx.jc_want_verilog r
+  in
+  add_finished t key { fj_digest = ctx.jc_digest; fj_status = status; fj_frame = frame };
+  (* Deliver, unless the client is gone (a poll will find it). *)
   match Hashtbl.find_opt t.conns ctx.jc_conn with
   | None -> ()
   | Some conn ->
     Hashtbl.remove conn.co_jobs ctx.jc_id;
-    send_frame t conn
-      (Protocol.result_frame ~id:ctx.jc_id ~want_verilog:ctx.jc_want_verilog r)
+    send_frame t conn frame
 
 let drain_completions t =
   let rec pop () =
@@ -413,6 +691,93 @@ let drain_completions t =
       pop ()
   in
   pop ()
+
+(* ------------------------------------------------------------------ *)
+(* Journal recovery and drain                                          *)
+
+(* Re-enqueue one journal replay.  Replays whose request can no longer
+   resolve (a kernel renamed across versions, say) are marked done
+   "failed" so they do not haunt every future startup. *)
+let admit_replayed t (a : Journal.admit) =
+  let req = req_of_admit a in
+  match
+    admit_request t ~conn_id:(-1) ~client:a.Journal.a_client ~ephemeral:false
+      ~digest:a.Journal.a_digest ~journal_new:false req
+  with
+  | `Admitted _ ->
+    t.journal_replayed <- t.journal_replayed + 1;
+    `Done
+  | `Failed frame ->
+    journal_done t ~client:a.Journal.a_client ~id:a.Journal.a_id ~status:"failed";
+    add_finished t
+      (a.Journal.a_client, a.Journal.a_id)
+      { fj_digest = a.Journal.a_digest; fj_status = "failed"; fj_frame = frame };
+    logf t "replay of %s/%s failed to resolve" a.Journal.a_client a.Journal.a_id;
+    `Done
+  | `Overloaded -> `Overloaded
+  | `Stopped -> `Done
+
+(* Admit as much of the replay backlog as the queue will take; the
+   rest waits for completions to free depth. *)
+let retry_backlog t =
+  let rec go = function
+    | [] -> []
+    | a :: rest -> (
+      match admit_replayed t a with
+      | `Done -> go rest
+      | `Overloaded -> a :: rest)
+  in
+  if t.backlog <> [] then t.backlog <- go t.backlog
+
+let start_drain t reason =
+  if not (t.draining || t.stopping) then begin
+    t.draining <- true;
+    t.drain_until <- Unix.gettimeofday () +. t.cfg.cfg_drain_deadline;
+    logf t "draining (%s): %d in-flight job(s), deadline %.1fs" reason
+      (Hashtbl.length t.pending)
+      t.cfg.cfg_drain_deadline
+  end
+
+(* One drain step per tick: past the deadline, cancel the stragglers
+   (cooperatively — their completions arrive journal-marked as
+   "cancelled"); once nothing is in flight, stop. *)
+let drain_step t =
+  if t.draining then begin
+    if (not t.drain_cancelled) && Unix.gettimeofday () > t.drain_until then begin
+      t.drain_cancelled <- true;
+      logf t "drain deadline passed: cancelling %d straggler(s)"
+        (Hashtbl.length t.pending);
+      Hashtbl.iter (fun _ pj -> ignore (Service.cancel t.svc pj.pj_handle)) t.pending;
+      (* Queued-job cancels synthesize completions synchronously. *)
+      drain_completions t
+    end;
+    if Hashtbl.length t.pending = 0 && t.backlog = [] then t.stopping <- true
+  end
+
+(* The stuck-job watchdog: a running job that has blown through
+   [factor] x its deadline without a guard checkpoint observing the
+   deadline gets cancelled through the same cooperative path. *)
+let watchdog_step t =
+  let factor = t.cfg.cfg_watchdog_factor in
+  if factor > 0. then begin
+    let now = Unix.gettimeofday () in
+    Hashtbl.iter
+      (fun _ pj ->
+        if not pj.pj_watchdog then
+          let ctx = Service.data pj.pj_handle in
+          match ctx.jc_limits.Guard.deadline_s with
+          | None -> ()
+          | Some d -> (
+            match Service.running_since t.svc pj.pj_handle with
+            | Some started when now -. started > factor *. d ->
+              pj.pj_watchdog <- true;
+              t.watchdog_fired <- t.watchdog_fired + 1;
+              logf t "watchdog: cancelling %s/%s (ran %.1fs, deadline %.1fs)"
+                ctx.jc_client ctx.jc_id (now -. started) d;
+              ignore (Service.cancel t.svc pj.pj_handle)
+            | _ -> ()))
+      t.pending
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Socket plumbing                                                     *)
@@ -451,15 +816,16 @@ let handle_line t conn line =
     | Error msg -> send_frame t conn (Protocol.error_frame msg)
     | Ok (Protocol.Compile req) -> handle_compile t conn req
     | Ok (Protocol.Cancel id) -> handle_cancel t conn id
+    | Ok (Protocol.Poll p) -> handle_poll t conn p
     | Ok Protocol.Health -> send_frame t conn (health_json t)
     | Ok Protocol.Metrics -> send_frame t conn (metrics_json t)
     | Ok Protocol.Shutdown ->
       send_frame t conn (Protocol.Json.Obj [ ("event", Protocol.Json.Str "shutdown") ]);
-      t.stopping <- true
+      start_drain t "shutdown frame"
 
 let handle_readable t conn =
   let chunk = Bytes.create 65536 in
-  match Unix.read conn.co_fd chunk 0 (Bytes.length chunk) with
+  match no_eintr (fun () -> Unix.read conn.co_fd chunk 0 (Bytes.length chunk)) with
   | 0 -> disconnect t conn
   | got ->
     Buffer.add_subbytes conn.co_buf chunk 0 got;
@@ -481,7 +847,7 @@ let handle_readable t conn =
     disconnect t conn
 
 let accept_conn t listen_fd =
-  match Unix.accept listen_fd with
+  match no_eintr (fun () -> Unix.accept listen_fd) with
   | fd, _ ->
     let conn =
       {
@@ -533,8 +899,17 @@ let create cfg =
          wake_w;
          cq_mu = Mutex.create ();
          cq = Queue.create ();
+         client_ids = Hashtbl.create 16;
+         pending = Hashtbl.create 64;
+         finished = Hashtbl.create 64;
+         finished_order = Queue.create ();
+         journal = None;
+         backlog = [];
          listen_fd = None;
          stopping = false;
+         draining = false;
+         drain_until = 0.;
+         drain_cancelled = false;
          next_conn = 0;
          next_tid = 0;
          submitted = 0;
@@ -544,6 +919,12 @@ let create cfg =
          n_degraded = 0;
          n_failed = 0;
          n_cancelled = 0;
+         watchdog_fired = 0;
+         idempotent_hits = 0;
+         journal_appends = 0;
+         journal_marks = 0;
+         journal_faults = 0;
+         journal_replayed = 0;
          queue_hist = Service.Histogram.create ();
          total_hist = Service.Histogram.create ();
          agg_counters = Hashtbl.create 32;
@@ -556,18 +937,48 @@ let create cfg =
 let drain_wake t =
   let chunk = Bytes.create 256 in
   let rec go () =
-    match Unix.read t.wake_r chunk 0 (Bytes.length chunk) with
+    match no_eintr (fun () -> Unix.read t.wake_r chunk 0 (Bytes.length chunk)) with
     | 0 -> ()
     | _ -> go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   in
   go ()
 
-(* Run to completion: bind, announce, serve until a shutdown frame,
-   then drain the pool, deliver the tail of completions, write the
-   lifetime Chrome trace, and report.  Returns the exit code. *)
+(* Replay + compact the journal: quarantine what is damaged, re-enqueue
+   what never finished, rewrite the log down to exactly that set (the
+   same replay result drives both, so the log and the queue agree). *)
+let recover_journal t dir =
+  let r = Journal.replay ~dir in
+  (match Journal.compact ~result:r ~dir () with
+  | Ok _ -> ()
+  | Error e -> Printf.eprintf "hirc serve: journal compaction failed: %s\n%!" e);
+  t.journal <- Some (Journal.open_journal ~dir);
+  t.backlog <- r.Journal.rr_pending;
+  if r.Journal.rr_records > 0 || r.Journal.rr_torn_tail then
+    Printf.printf
+      "hirc serve: journal: %d record(s) (%d done), %d incomplete job(s) \
+       re-enqueued, %d quarantined%s\n%!"
+      r.Journal.rr_records r.Journal.rr_completed
+      (List.length r.Journal.rr_pending)
+      r.Journal.rr_quarantined
+      (if r.Journal.rr_torn_tail then ", torn tail dropped" else "");
+  retry_backlog t
+
+(* Run to completion: bind, announce, serve until a drain finishes
+   (shutdown frame or SIGTERM), then drain the pool, deliver the tail
+   of completions, write the lifetime Chrome trace, and report.
+   Returns the exit code. *)
 let run cfg =
   let t = create cfg in
+  Atomic.set sigterm_drain false;
+  let old_sigterm =
+    try
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> Atomic.set sigterm_drain true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  (match cfg.cfg_journal with None -> () | Some dir -> recover_journal t dir);
   let listen_fd, where = bind_listener cfg.cfg_listen in
   t.listen_fd <- Some listen_fd;
   (* The announce line is the startup contract: clients (and the smoke
@@ -584,7 +995,7 @@ let run cfg =
   while not t.stopping do
     let conn_fds = Hashtbl.fold (fun _ c acc -> c.co_fd :: acc) t.conns [] in
     let read_fds = (listen_fd :: t.wake_r :: conn_fds) in
-    (match Unix.select read_fds [] [] 1.0 with
+    (match Unix.select read_fds [] [] cfg.cfg_tick with
     | readable, _, _ ->
       if List.mem t.wake_r readable then drain_wake t;
       drain_completions t;
@@ -598,7 +1009,15 @@ let run cfg =
             | _ -> ())
         readable;
       if List.mem listen_fd readable && not t.stopping then accept_conn t listen_fd
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if Atomic.get sigterm_drain then begin
+      Atomic.set sigterm_drain false;
+      start_drain t "SIGTERM"
+    end;
+    retry_backlog t;
+    watchdog_step t;
+    drain_completions t;
+    drain_step t
   done;
   (* Shutdown: stop accepting, drain the pool (with zero live workers
      the queue drains inline right here), deliver the tail. *)
@@ -609,6 +1028,7 @@ let run cfg =
   Service.shutdown t.svc;
   drain_completions t;
   Hashtbl.iter (fun _ conn -> disconnect t conn) (Hashtbl.copy t.conns);
+  Option.iter Journal.close t.journal;
   (match cfg.cfg_trace_path with
   | Some path ->
     Trace.write_chrome_json path (List.rev t.traces);
@@ -618,6 +1038,7 @@ let run cfg =
      Unix.close t.wake_r;
      Unix.close t.wake_w
    with Unix.Unix_error _ -> ());
+  Option.iter (Sys.set_signal Sys.sigterm) old_sigterm;
   let tot = Service.Histogram.summarize t.total_hist in
   Printf.printf
     "hirc serve: done: %d submitted, %d completed (%d ok, %d degraded, %d failed, \

@@ -574,6 +574,56 @@ let test_cache_store_failure_is_clean () =
   Alcotest.(check (list string)) "no temp files leak from the failed write" []
     (cache_files dir ~suffix:".tmp")
 
+(* Crash-ordering on the durable store path: [store] writes payload
+   then meta, each as temp + fsync + rename, with the "cache.write"
+   fault point between the temp write and the rename.  Faulting the
+   first write models a crash before anything is published; faulting
+   the second models a published payload with no meta.  Both must
+   report an error, leave no temp litter, and leave the cache either
+   empty or cleanly missing — never serving a half-stored entry. *)
+let test_cache_write_fault_ordering () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let k = Cache.key ~pipeline:"p" ~top:None ~source:"s" in
+  let entry =
+    {
+      Cache.e_top = "f";
+      e_verilog = "module f; endmodule\n";
+      e_usage = Hir_resources.Model.zero;
+    }
+  in
+  (* Crash before the payload rename: nothing published. *)
+  Faults.with_config
+    { Faults.rules = [ ("cache.write", Faults.Nth 1) ]; seed = 1 }
+    (fun () ->
+      match Cache.store cache k entry with
+      | Ok () -> Alcotest.fail "payload-write fault must fail the store"
+      | Error _ -> ());
+  check_bool "no payload published" true (cache_files dir ~suffix:".v" = []);
+  Alcotest.(check (list string)) "no temp litter" [] (cache_files dir ~suffix:".tmp");
+  check_bool "lookup misses cleanly" true (Cache.lookup cache k = None);
+  (* Crash between the payload rename and the meta rename: the torn
+     pair must read as a miss, not as corruption served. *)
+  Faults.with_config
+    { Faults.rules = [ ("cache.write", Faults.Nth 2) ]; seed = 1 }
+    (fun () ->
+      match Cache.store cache k entry with
+      | Ok () -> Alcotest.fail "meta-write fault must fail the store"
+      | Error _ -> ());
+  check_bool "payload was published" true (cache_files dir ~suffix:".v" <> []);
+  check_bool "meta was not" true (cache_files dir ~suffix:".meta" = []);
+  Alcotest.(check (list string)) "still no temp litter" []
+    (cache_files dir ~suffix:".tmp");
+  check_bool "torn pair reads as a miss" true (Cache.lookup cache k = None);
+  check_int "both faults counted" 2 (Cache.fault_count cache);
+  (* A clean store over the torn pair heals it. *)
+  (match Cache.store cache k entry with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean store failed: %s" e);
+  match Cache.lookup cache k with
+  | Some e -> check_string "healed entry served" entry.Cache.e_verilog e.Cache.e_verilog
+  | None -> Alcotest.fail "healed entry must hit"
+
 let test_cache_verify_and_prune () =
   let dir = fresh_dir () in
   let cache = Cache.create ~dir () in
@@ -1008,6 +1058,8 @@ let () =
             test_cache_truncated_meta_quarantined;
           Alcotest.test_case "store-failure-is-clean" `Quick
             test_cache_store_failure_is_clean;
+          Alcotest.test_case "write-fault-ordering" `Quick
+            test_cache_write_fault_ordering;
           Alcotest.test_case "verify-and-prune" `Quick test_cache_verify_and_prune;
           Alcotest.test_case "verify-preserves-counters" `Quick
             test_cache_verify_preserves_counters;

@@ -14,6 +14,8 @@ module Protocol = Hir_driver.Protocol
 module Driver = Hir_driver.Driver
 module Guard = Hir_driver.Guard
 module Pipeline = Hir_driver.Pipeline
+module Journal = Hir_driver.Journal
+module Faults = Hir_driver.Faults
 
 let () = Hir_dialect.Ops.register ()
 
@@ -295,9 +297,268 @@ let test_request_parsing () =
   | Ok _ -> Alcotest.fail "garbage must not parse"
 
 (* ------------------------------------------------------------------ *)
+(* Protocol codec properties (qcheck)                                  *)
+
+(* A generator restricted to values the printer reproduces exactly:
+   integral and half-integral numbers (the %.0f / %.9g forms), strings
+   over the full byte range (escapes, control bytes, raw high bytes),
+   bounded nesting. *)
+let json_gen =
+  let open QCheck.Gen in
+  let num =
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map (fun n -> float_of_int n /. 2.) (int_range (-1_000_000) 1_000_000);
+      ]
+  in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12) in
+  let scalar =
+    oneof
+      [
+        map (fun s -> Protocol.Json.Str s) any_string;
+        map (fun f -> Protocol.Json.Num f) num;
+        map (fun b -> Protocol.Json.Bool b) bool;
+        return Protocol.Json.Null;
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map (fun l -> Protocol.Json.Arr l)
+              (list_size (int_range 0 4) (value (depth - 1))) );
+          ( 1,
+            map (fun fields -> Protocol.Json.Obj fields)
+              (list_size (int_range 0 4)
+                 (pair any_string (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~count:2000 ~name:"line-JSON codec round-trips"
+    (QCheck.make json_gen) (fun j ->
+      match Protocol.Json.parse (Protocol.Json.to_string j) with
+      | Ok j' -> j = j'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+let test_json_depth_limit () =
+  let rec nest n j = if n = 0 then j else Protocol.Json.Arr [ nest (n - 1) j ] in
+  (* 64 nested arrays parse (the innermost value sits at the depth
+     limit); 65 must be an error, not a stack overflow. *)
+  (match Protocol.Json.parse (Protocol.Json.to_string (nest 64 Protocol.Json.Null)) with
+  | Ok j -> Alcotest.(check bool) "64 deep round-trips" true (j = nest 64 Protocol.Json.Null)
+  | Error e -> Alcotest.failf "64 deep must parse: %s" e);
+  match Protocol.Json.parse (Protocol.Json.to_string (nest 65 Protocol.Json.Null)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "65 deep must exceed the depth limit"
+
+let test_json_unicode_escapes () =
+  let parse_str s =
+    match Protocol.Json.parse (Printf.sprintf "{\"s\":\"%s\"}" s) with
+    | Ok j -> Protocol.Json.field_str j "s"
+    | Error _ -> None
+  in
+  Alcotest.(check (option string)) "ascii escape" (Some "A") (parse_str "\\u0041");
+  Alcotest.(check (option string)) "2-byte UTF-8" (Some "\xc3\xa9") (parse_str "\\u00e9");
+  Alcotest.(check (option string)) "3-byte UTF-8" (Some "\xe2\x82\xac") (parse_str "\\u20ac");
+  Alcotest.(check (option string)) "bad hex is an error" None (parse_str "\\uZZZZ")
+
+let test_poll_request_parsing () =
+  (match Protocol.request_of_line {|{"op":"poll","client":"alice","id":"j1"}|} with
+  | Ok (Protocol.Poll p) ->
+    Alcotest.(check (option string)) "client" (Some "alice") p.Protocol.pl_client;
+    Alcotest.(check (option string)) "id" (Some "j1") p.Protocol.pl_id
+  | _ -> Alcotest.fail "poll frame must parse");
+  match Protocol.request_of_line {|{"op":"poll"}|} with
+  | Ok (Protocol.Poll { Protocol.pl_client = None; pl_id = None }) -> ()
+  | _ -> Alcotest.fail "bare poll must parse with both fields absent"
+
+let test_torn_frame_at_eof () =
+  (* A peer that dies mid-frame: the reader must yield the complete
+     frames and then None — never an exception, never the fragment. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let whole = Protocol.Json.to_line (Protocol.Json.Obj [ ("op", Protocol.Json.Str "health") ]) in
+  let torn = {|{"op":"compile","id":"tru|} in
+  let data = Bytes.of_string (whole ^ torn) in
+  ignore (Unix.write a data 0 (Bytes.length data));
+  Unix.close a;
+  let c = Protocol.Client.of_fd b in
+  (match Protocol.Client.recv c with
+  | Some j ->
+    Alcotest.(check (option string)) "complete frame delivered" (Some "health")
+      (Protocol.Json.field_str j "op")
+  | None -> Alcotest.fail "complete frame lost");
+  (match Protocol.Client.recv c with
+  | None -> ()
+  | Some j -> Alcotest.failf "torn frame surfaced: %s" (Protocol.Json.to_string j));
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let fresh_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hir-test-%s-%d-%d" name (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let mk_admit ?(client = "alice") ?(digest = "d0") id kernel =
+  {
+    Journal.a_client = client;
+    a_id = id;
+    a_digest = digest;
+    a_kernel = Some kernel;
+    a_name = None;
+    a_source = None;
+    a_top = None;
+    a_passes = None;
+    a_priority = 1;
+    a_deadline = Some 2.5;
+    a_want_verilog = true;
+  }
+
+let append_ok j a =
+  match Journal.append_admit j a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "append failed: %s" e
+
+let test_journal_roundtrip () =
+  let dir = fresh_dir "journal" in
+  let j = Journal.open_journal ~dir in
+  append_ok j (mk_admit "j1" "fifo");
+  append_ok j (mk_admit "j2" "transpose");
+  append_ok j (mk_admit ~client:"bob" "j1" "gemm");
+  (match Journal.append_done j ~client:"alice" ~id:"j1" ~status:"ok" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mark failed: %s" e);
+  Journal.close j;
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "records" 4 r.Journal.rr_records;
+  Alcotest.(check int) "done marks" 1 r.Journal.rr_completed;
+  Alcotest.(check int) "quarantined" 0 r.Journal.rr_quarantined;
+  Alcotest.(check bool) "no torn tail" false r.Journal.rr_torn_tail;
+  (* Pending = admitted minus done, in file order, all fields intact. *)
+  match r.Journal.rr_pending with
+  | [ a; b ] ->
+    Alcotest.(check string) "first pending" "j2" a.Journal.a_id;
+    Alcotest.(check (option string)) "kernel survives" (Some "transpose")
+      a.Journal.a_kernel;
+    Alcotest.(check int) "priority survives" 1 a.Journal.a_priority;
+    Alcotest.(check (option (float 1e-9))) "deadline survives" (Some 2.5)
+      a.Journal.a_deadline;
+    Alcotest.(check bool) "verilog flag survives" true a.Journal.a_want_verilog;
+    Alcotest.(check string) "second pending is bob's" "bob" b.Journal.a_client
+  | l -> Alcotest.failf "expected 2 pending, got %d" (List.length l)
+
+let test_journal_torn_tail_tolerated () =
+  let dir = fresh_dir "journal-torn" in
+  let j = Journal.open_journal ~dir in
+  append_ok j (mk_admit "j1" "fifo");
+  Journal.close j;
+  (* Simulate a crash mid-append: a trailing fragment with no newline. *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir "journal.log")
+  in
+  output_string oc "deadbeef {\"t\":\"admit\",\"client\":\"tr";
+  close_out oc;
+  let r = Journal.replay ~dir in
+  Alcotest.(check bool) "torn tail detected" true r.Journal.rr_torn_tail;
+  Alcotest.(check int) "complete record survives" 1 (List.length r.Journal.rr_pending);
+  Alcotest.(check int) "nothing quarantined" 0 r.Journal.rr_quarantined
+
+let test_journal_corruption_quarantined () =
+  let dir = fresh_dir "journal-corrupt" in
+  let j = Journal.open_journal ~dir in
+  append_ok j (mk_admit "j1" "fifo");
+  append_ok j (mk_admit "j2" "transpose");
+  Journal.close j;
+  (* Flip one payload byte of the first record: same length, bad CRC. *)
+  let path = Filename.concat dir "journal.log" in
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string text in
+  Bytes.set b 20 (if Bytes.get b 20 = 'x' then 'y' else 'x');
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "one record quarantined" 1 r.Journal.rr_quarantined;
+  (match r.Journal.rr_pending with
+  | [ a ] -> Alcotest.(check string) "undamaged record survives" "j2" a.Journal.a_id
+  | l -> Alcotest.failf "expected 1 pending, got %d" (List.length l));
+  (* Whole-line garbage is quarantined the same way, not fatal. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "this is not a journal record at all\n";
+  close_out oc;
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "garbage line quarantined too" 2 r.Journal.rr_quarantined
+
+let test_journal_compact () =
+  let dir = fresh_dir "journal-compact" in
+  let j = Journal.open_journal ~dir in
+  append_ok j (mk_admit "j1" "fifo");
+  append_ok j (mk_admit "j2" "transpose");
+  append_ok j (mk_admit "j3" "gemm");
+  (match Journal.append_done j ~client:"alice" ~id:"j2" ~status:"cancelled" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mark failed: %s" e);
+  Journal.close j;
+  (match Journal.compact ~dir () with
+  | Ok kept -> Alcotest.(check int) "compaction keeps the pending set" 2 kept
+  | Error e -> Alcotest.failf "compact failed: %s" e);
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "log now holds exactly the pending admits" 2
+    r.Journal.rr_records;
+  Alcotest.(check int) "no done marks left" 0 r.Journal.rr_completed;
+  Alcotest.(check (list string)) "order preserved" [ "j1"; "j3" ]
+    (List.map (fun a -> a.Journal.a_id) r.Journal.rr_pending)
+
+let test_journal_append_fault () =
+  let dir = fresh_dir "journal-fault" in
+  let j = Journal.open_journal ~dir in
+  Faults.with_config
+    { Faults.rules = [ ("journal.append", Faults.Nth 1) ]; seed = 7 }
+    (fun () ->
+      (match Journal.append_admit j (mk_admit "j1" "fifo") with
+      | Error _ -> ()  (* the faulted append reports, never raises *)
+      | Ok () -> Alcotest.fail "first append must hit the injected fault");
+      append_ok j (mk_admit "j2" "transpose"));
+  Journal.close j;
+  let r = Journal.replay ~dir in
+  Alcotest.(check (list string)) "only the durable record replays" [ "j2" ]
+    (List.map (fun a -> a.Journal.a_id) r.Journal.rr_pending);
+  (* Replay faults quarantine records instead of raising. *)
+  Faults.with_config
+    { Faults.rules = [ ("journal.replay", Faults.Nth 1) ]; seed = 7 }
+    (fun () ->
+      let r = Journal.replay ~dir in
+      Alcotest.(check int) "faulted record quarantined" 1 r.Journal.rr_quarantined;
+      Alcotest.(check int) "nothing pending" 0 (List.length r.Journal.rr_pending))
+
+let test_request_digest_stability () =
+  let d1 = Journal.digest_of_request ~kernel:(Some "gemm") ~name:None ~source:None ~top:None ~passes:None in
+  let d2 = Journal.digest_of_request ~kernel:(Some "gemm") ~name:None ~source:None ~top:None ~passes:None in
+  let d3 = Journal.digest_of_request ~kernel:(Some "fifo") ~name:None ~source:None ~top:None ~passes:None in
+  let d4 = Journal.digest_of_request ~kernel:None ~name:(Some "gemm") ~source:None ~top:None ~passes:None in
+  Alcotest.(check string) "same request, same digest" d1 d2;
+  Alcotest.(check bool) "kernel matters" true (d1 <> d3);
+  Alcotest.(check bool) "field position matters" true (d1 <> d4)
+
+(* ------------------------------------------------------------------ *)
 (* Socket-level server tests                                           *)
 
-let with_server ?(workers = 2) ?(max_depth = 16) f =
+let with_server ?(workers = 2) ?(max_depth = 16) ?(tweak = fun c -> c) f =
   let tmp =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "hir-test-serve-%d-%d" (Unix.getpid ()) (Random.bits ()))
@@ -305,11 +566,12 @@ let with_server ?(workers = 2) ?(max_depth = 16) f =
   Unix.mkdir tmp 0o755;
   let sock = Filename.concat tmp "s.sock" in
   let cfg =
-    {
-      (Server.default_config ~listen:(Server.Unix_path sock) ()) with
-      Server.cfg_workers = workers;
-      cfg_max_depth = max_depth;
-    }
+    tweak
+      {
+        (Server.default_config ~listen:(Server.Unix_path sock) ()) with
+        Server.cfg_workers = workers;
+        cfg_max_depth = max_depth;
+      }
   in
   let server = Domain.spawn (fun () -> Server.run cfg) in
   let rec wait n =
@@ -438,6 +700,203 @@ let test_server_disconnect_cancels_queued () =
       | None -> Alcotest.fail "no result after disconnect");
       Protocol.Client.close c)
 
+let send_compile ?client ?deadline c ~id ~kernel =
+  Protocol.Client.send c
+    (Protocol.Json.Obj
+       ([ ("op", Protocol.Json.Str "compile"); ("id", Protocol.Json.Str id);
+          ("kernel", Protocol.Json.Str kernel) ]
+       @ (match client with
+         | Some cl -> [ ("client", Protocol.Json.Str cl) ]
+         | None -> [])
+       @
+       match deadline with
+       | Some d -> [ ("deadline", Protocol.Json.Num d) ]
+       | None -> []))
+
+let send_poll ?client ?id c =
+  Protocol.Client.send c
+    (Protocol.Json.Obj
+       ([ ("op", Protocol.Json.Str "poll") ]
+       @ (match client with
+         | Some cl -> [ ("client", Protocol.Json.Str cl) ]
+         | None -> [])
+       @ match id with Some i -> [ ("id", Protocol.Json.Str i) ] | None -> []))
+
+let recv_or_fail c what =
+  match Protocol.Client.recv c with
+  | Some j -> j
+  | None -> Alcotest.failf "server hung up while waiting for %s" what
+
+let test_server_poll_and_idempotency () =
+  with_server (fun sock ->
+      let c = Protocol.Client.connect_unix sock in
+      send_compile c ~client:"alice" ~id:"p1" ~kernel:"fifo";
+      let r1 = recv_or_fail c "first result" in
+      Alcotest.(check (option string)) "first compile ok" (Some "ok")
+        (field r1 "status");
+      (* Poll for the finished id: the retained result frame comes back. *)
+      send_poll c ~client:"alice" ~id:"p1";
+      let r2 = recv_or_fail c "poll result" in
+      Alcotest.(check (option string)) "poll resends the result" (Some "result")
+        (field r2 "event");
+      Alcotest.(check (option string)) "same id" (Some "p1") (field r2 "id");
+      (* Resubmitting the identical request is idempotent: the cached
+         frame again, not duplicate-id, not a recompile. *)
+      send_compile c ~client:"alice" ~id:"p1" ~kernel:"fifo";
+      let r3 = recv_or_fail c "idempotent result" in
+      Alcotest.(check (option string)) "idempotent resubmission answers" (Some "ok")
+        (field r3 "status");
+      (* Same id, *different* request: an id is a promise about content. *)
+      send_compile c ~client:"alice" ~id:"p1" ~kernel:"transpose";
+      let r4 = recv_or_fail c "conflicting resubmission" in
+      Alcotest.(check (option string)) "conflicting digest rejected"
+        (Some "duplicate-id") (field r4 "reason");
+      (* Unknown ids are reported as such, not invented. *)
+      send_poll c ~client:"alice" ~id:"ghost";
+      let r5 = recv_or_fail c "poll unknown" in
+      Alcotest.(check (option string)) "unknown id" (Some "unknown")
+        (field r5 "state");
+      (* A bare poll lists the client's jobs. *)
+      send_poll c ~client:"alice";
+      let r6 = recv_or_fail c "poll listing" in
+      (match Protocol.Json.mem "jobs" r6 with
+      | Some (Protocol.Json.Arr [ job ]) ->
+        Alcotest.(check (option string)) "listing has p1" (Some "p1")
+          (field job "id");
+        Alcotest.(check (option string)) "listed as done" (Some "done")
+          (field job "state")
+      | _ -> Alcotest.failf "bad poll listing: %s" (Protocol.Json.to_string r6));
+      (* The idempotency counter is visible in metrics. *)
+      Protocol.Client.send c (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+      let m = recv_or_fail c "metrics" in
+      (match Protocol.Json.mem "jobs" m with
+      | Some jobs ->
+        Alcotest.(check (option int)) "idempotent hit counted" (Some 1)
+          (Protocol.Json.field_int jobs "idempotent")
+      | None -> Alcotest.fail "metrics lacks jobs");
+      Protocol.Client.close c)
+
+let test_server_named_client_survives_disconnect () =
+  with_server (fun sock ->
+      (* A *named* client's job must survive its connection: that is
+         the point of the name.  Submit a slow compile, vanish, then
+         recover the result from a fresh connection via poll. *)
+      let c1 = Protocol.Client.connect_unix sock in
+      send_compile c1 ~client:"alice" ~id:"slow1" ~kernel:"gemm";
+      Protocol.Client.close c1;
+      let c2 = Protocol.Client.connect_unix sock in
+      let deadline = Unix.gettimeofday () +. 60. in
+      let rec await () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "slow1 never resolved after reconnect";
+        send_poll c2 ~client:"alice" ~id:"slow1";
+        let j = recv_or_fail c2 "poll" in
+        match (field j "event", field j "state") with
+        | Some "result", _ ->
+          Alcotest.(check (option string)) "job finished, not cancelled" (Some "ok")
+            (field j "status")
+        | Some "poll", Some "pending" ->
+          Unix.sleepf 0.05;
+          await ()
+        | Some "poll", Some "unknown" ->
+          Alcotest.fail "named job vanished on disconnect"
+        | _ -> await ()
+      in
+      await ();
+      Protocol.Client.close c2)
+
+let test_server_sigterm_drains () =
+  (* The EINTR/drain regression: SIGTERM while the server sits in its
+     idle select must not raise — it must drain and exit 0 (which
+     with_server's finally asserts via Domain.join). *)
+  with_server
+    ~tweak:(fun cfg -> { cfg with Server.cfg_tick = 0.05 })
+    (fun sock ->
+      let c = Protocol.Client.connect_unix sock in
+      send_compile c ~id:"pre" ~kernel:"fifo";
+      ignore (recv_or_fail c "pre-SIGTERM result");
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      (* The server must notice, drain (nothing in flight) and exit;
+         the socket file disappears on its way out. *)
+      let rec wait n =
+        if n = 0 then Alcotest.fail "server did not exit after SIGTERM";
+        if Sys.file_exists sock then begin
+          Unix.sleepf 0.05;
+          wait (n - 1)
+        end
+      in
+      wait 200;
+      try Protocol.Client.close c with _ -> ())
+
+let test_server_watchdog_cancels_stuck () =
+  (* A generous deadline the guard will never enforce, but a watchdog
+     factor that makes k x deadline pass almost immediately: the scan
+     must cancel the running job through the cooperative path and
+     count it. *)
+  with_server ~workers:1
+    ~tweak:(fun cfg ->
+      { cfg with Server.cfg_tick = 0.02; cfg_watchdog_factor = 0.00001 })
+    (fun sock ->
+      let c = Protocol.Client.connect_unix sock in
+      send_compile c ~id:"stuck" ~kernel:"gemm" ~deadline:1000.;
+      let r = recv_or_fail c "watchdog result" in
+      Alcotest.(check (option string)) "watchdog cancelled the job"
+        (Some "cancelled") (field r "status");
+      Protocol.Client.send c (Protocol.Json.Obj [ ("op", Protocol.Json.Str "metrics") ]);
+      let m = recv_or_fail c "metrics" in
+      (match Protocol.Json.mem "jobs" m with
+      | Some jobs ->
+        Alcotest.(check (option int)) "watchdog counter" (Some 1)
+          (Protocol.Json.field_int jobs "watchdog")
+      | None -> Alcotest.fail "metrics lacks jobs");
+      Protocol.Client.close c)
+
+let test_server_journal_replays_on_restart () =
+  (* In-process end-to-end: journal a job on one server, shut it down
+     with the done mark suppressed by a fault, restart on the same
+     journal — the job must be re-run and its result pollable. *)
+  let dir = fresh_dir "serve-journal" in
+  Faults.with_config
+    { Faults.rules = [ ("journal.mark", Faults.Prob 1.0) ]; seed = 3 }
+    (fun () ->
+      with_server
+        ~tweak:(fun cfg -> { cfg with Server.cfg_journal = Some dir })
+        (fun sock ->
+          let c = Protocol.Client.connect_unix sock in
+          send_compile c ~client:"alice" ~id:"r1" ~kernel:"fifo";
+          ignore (recv_or_fail c "first run result");
+          Protocol.Client.close c));
+  (* Every done mark was faulted away: the admit replays as pending. *)
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "admit survived without its mark" 1
+    (List.length r.Journal.rr_pending);
+  with_server
+    ~tweak:(fun cfg -> { cfg with Server.cfg_journal = Some dir; cfg_tick = 0.05 })
+    (fun sock ->
+      let c = Protocol.Client.connect_unix sock in
+      let deadline = Unix.gettimeofday () +. 60. in
+      let rec await () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "replayed job never resolved";
+        send_poll c ~client:"alice" ~id:"r1";
+        let j = recv_or_fail c "poll" in
+        match (field j "event", field j "state") with
+        | Some "result", _ ->
+          Alcotest.(check (option string)) "replayed job completed" (Some "ok")
+            (field j "status")
+        | Some "poll", Some "pending" ->
+          Unix.sleepf 0.05;
+          await ()
+        | Some "poll", Some "unknown" ->
+          Alcotest.fail "replayed job lost"
+        | _ -> await ()
+      in
+      await ();
+      Protocol.Client.close c);
+  let r = Journal.replay ~dir in
+  Alcotest.(check int) "journal clean after the replay run" 0
+    (List.length r.Journal.rr_pending)
+
 let () =
   Alcotest.run "serve"
     [
@@ -465,6 +924,23 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "request parsing" `Quick test_request_parsing;
+          QCheck_alcotest.to_alcotest codec_roundtrip_prop;
+          Alcotest.test_case "depth limit boundary" `Quick test_json_depth_limit;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "poll request parsing" `Quick test_poll_request_parsing;
+          Alcotest.test_case "torn frame at eof" `Quick test_torn_frame_at_eof;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append/replay roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_journal_torn_tail_tolerated;
+          Alcotest.test_case "corruption quarantined" `Quick
+            test_journal_corruption_quarantined;
+          Alcotest.test_case "compaction" `Quick test_journal_compact;
+          Alcotest.test_case "append/replay faults" `Quick test_journal_append_fault;
+          Alcotest.test_case "request digest stability" `Quick
+            test_request_digest_stability;
         ] );
       ( "server",
         [
@@ -473,5 +949,15 @@ let () =
             test_server_survives_early_close;
           Alcotest.test_case "disconnect cancels queued" `Quick
             test_server_disconnect_cancels_queued;
+          Alcotest.test_case "poll and idempotency" `Quick
+            test_server_poll_and_idempotency;
+          Alcotest.test_case "named client survives disconnect" `Quick
+            test_server_named_client_survives_disconnect;
+          Alcotest.test_case "sigterm drains cleanly" `Quick
+            test_server_sigterm_drains;
+          Alcotest.test_case "watchdog cancels stuck job" `Quick
+            test_server_watchdog_cancels_stuck;
+          Alcotest.test_case "journal replays on restart" `Quick
+            test_server_journal_replays_on_restart;
         ] );
     ]
